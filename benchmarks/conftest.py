@@ -1,0 +1,43 @@
+"""Benchmark-harness configuration.
+
+Each file in this directory regenerates one figure or table of the paper
+at full scale, asserts the paper's qualitative claims, and reports wall
+time via pytest-benchmark.  Experiments run once per benchmark session
+(``rounds=1``) — they are deterministic, so repetition buys nothing.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated paper-style tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, module, **kwargs):
+    """Run ``module.run(**kwargs)`` under the benchmark timer, print its
+    paper-style table, and assert its claims."""
+    result = benchmark.pedantic(
+        lambda: module.run(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(f"--- {module.__name__} ---")
+    print(result.format())
+    failures = [c for c in result.checks() if not c.holds]
+    for claim in result.checks():
+        print(claim)
+    assert not failures, f"{len(failures)} claim(s) failed: {failures}"
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture-ised :func:`run_experiment`."""
+
+    def _run(module, **kwargs):
+        return run_experiment(benchmark, module, **kwargs)
+
+    return _run

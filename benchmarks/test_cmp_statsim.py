@@ -1,0 +1,8 @@
+"""Related-work comparison (paper §1.2): the first-order model vs true
+statistical simulation, both against detailed simulation."""
+
+from repro.experiments import cmp_statsim
+
+
+def test_cmp_statsim(experiment):
+    experiment(cmp_statsim)

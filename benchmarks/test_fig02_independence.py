@@ -1,0 +1,11 @@
+"""Figure 2: miss-event penalties are approximately independent.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig02_independence` for the experiment definition.
+"""
+
+from repro.experiments import fig02_independence
+
+
+def test_fig02_independence(experiment):
+    experiment(fig02_independence)

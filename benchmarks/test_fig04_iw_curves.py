@@ -1,0 +1,11 @@
+"""Figure 4: IW power-law curves for all twelve benchmarks.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig04_iw_curves` for the experiment definition.
+"""
+
+from repro.experiments import fig04_iw_curves
+
+
+def test_fig04_iw_curves(experiment):
+    experiment(fig04_iw_curves)

@@ -1,0 +1,11 @@
+"""Figure 5: log-log linear fit quality.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig05_fit` for the experiment definition.
+"""
+
+from repro.experiments import fig05_fit
+
+
+def test_fig05_fit(experiment):
+    experiment(fig05_fit)

@@ -1,0 +1,11 @@
+"""Figure 6: IW characteristic with limited issue width.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig06_limited_width` for the experiment definition.
+"""
+
+from repro.experiments import fig06_limited_width
+
+
+def test_fig06_limited_width(experiment):
+    experiment(fig06_limited_width)

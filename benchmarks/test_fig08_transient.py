@@ -1,0 +1,11 @@
+"""Figure 8: isolated branch-misprediction transient.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig08_transient` for the experiment definition.
+"""
+
+from repro.experiments import fig08_transient
+
+
+def test_fig08_transient(experiment):
+    experiment(fig08_transient)

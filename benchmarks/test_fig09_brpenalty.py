@@ -1,0 +1,11 @@
+"""Figure 9: penalty per branch misprediction, 5 vs 9 stages.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig09_brpenalty` for the experiment definition.
+"""
+
+from repro.experiments import fig09_brpenalty
+
+
+def test_fig09_brpenalty(experiment):
+    experiment(fig09_brpenalty)

@@ -1,0 +1,11 @@
+"""Figure 11: I-cache miss penalty is depth-independent.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig11_icache` for the experiment definition.
+"""
+
+from repro.experiments import fig11_icache
+
+
+def test_fig11_icache(experiment):
+    experiment(fig11_icache)

@@ -1,0 +1,11 @@
+"""Figure 14: long data-cache miss penalty vs the Eq. 8 model.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig14_dcache` for the experiment definition.
+"""
+
+from repro.experiments import fig14_dcache
+
+
+def test_fig14_dcache(experiment):
+    experiment(fig14_dcache)

@@ -1,0 +1,11 @@
+"""Figure 15: model CPI vs detailed-simulation CPI.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig15_overall` for the experiment definition.
+"""
+
+from repro.experiments import fig15_overall
+
+
+def test_fig15_overall(experiment):
+    experiment(fig15_overall)

@@ -1,0 +1,11 @@
+"""Figure 16: CPI stacks.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig16_stack` for the experiment definition.
+"""
+
+from repro.experiments import fig16_stack
+
+
+def test_fig16_stack(experiment):
+    experiment(fig16_stack)

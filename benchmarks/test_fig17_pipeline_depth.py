@@ -1,0 +1,11 @@
+"""Figure 17: performance vs front-end pipeline depth.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig17_pipeline_depth` for the experiment definition.
+"""
+
+from repro.experiments import fig17_pipeline_depth
+
+
+def test_fig17_pipeline_depth(experiment):
+    experiment(fig17_pipeline_depth)

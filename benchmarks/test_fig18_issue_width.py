@@ -1,0 +1,11 @@
+"""Figure 18: branch prediction must scale as the square of issue width.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig18_issue_width` for the experiment definition.
+"""
+
+from repro.experiments import fig18_issue_width
+
+
+def test_fig18_issue_width(experiment):
+    experiment(fig18_issue_width)

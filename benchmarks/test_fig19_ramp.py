@@ -1,0 +1,11 @@
+"""Figure 19: issue-rate ramp between mispredictions.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.fig19_ramp` for the experiment definition.
+"""
+
+from repro.experiments import fig19_ramp
+
+
+def test_fig19_ramp(experiment):
+    experiment(fig19_ramp)

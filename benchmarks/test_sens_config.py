@@ -1,0 +1,8 @@
+"""Robustness sweep: model accuracy across 108 machine configurations
+(depth x width x window) for three diverse benchmarks."""
+
+from repro.experiments import sens_config
+
+
+def test_sens_config(experiment):
+    experiment(sens_config)

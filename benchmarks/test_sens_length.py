@@ -1,0 +1,7 @@
+"""Stability sweep: model inputs and accuracy vs trace length."""
+
+from repro.experiments import sens_length
+
+
+def test_sens_length(experiment):
+    experiment(sens_length)

@@ -1,0 +1,8 @@
+"""Robustness sweep: model accuracy across the branch-predictor quality
+spectrum (static, bimodal, gShare, local-history, tournament)."""
+
+from repro.experiments import sens_predictor
+
+
+def test_sens_predictor(experiment):
+    experiment(sens_predictor)

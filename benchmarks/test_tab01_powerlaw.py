@@ -1,0 +1,11 @@
+"""Table 1: power-law parameters of the IW characteristic.
+
+Full-scale regeneration of the paper artifact; see
+:mod:`repro.experiments.tab01_powerlaw` for the experiment definition.
+"""
+
+from repro.experiments import tab01_powerlaw
+
+
+def test_tab01_powerlaw(experiment):
+    experiment(tab01_powerlaw)

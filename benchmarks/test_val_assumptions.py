@@ -1,0 +1,12 @@
+"""In-text assumption validation (paper §4.1 and §4.3).
+
+Reproduces the prose-quoted measurements: useful instructions left when a
+mispredicted branch issues, ROB position of missing loads, and the
+ROB-vs-window dispatch-stall balance.
+"""
+
+from repro.experiments import val_assumptions
+
+
+def test_val_assumptions(experiment):
+    experiment(val_assumptions)

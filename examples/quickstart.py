@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the first-order model in five steps.
+
+Reproduces the paper's §5 recipe for one benchmark and compares the
+analytical CPI estimate with the detailed cycle-level simulator:
+
+1. generate (or load) an instruction trace;
+2. run the cheap functional pass (caches + gShare) to collect miss-event
+   statistics;
+3. measure the IW characteristic by idealized trace simulation and fit
+   the power law I = alpha * W**beta;
+4. evaluate Eq. 1: CPI = steady-state + branch + I-cache + D-cache;
+5. sanity-check against detailed simulation.
+
+Run:  python examples/quickstart.py [benchmark] [trace_length]
+"""
+
+import sys
+
+from repro import (
+    BASELINE,
+    FirstOrderModel,
+    build_characteristic,
+    collect_events,
+    generate_trace,
+    simulate,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 30_000
+
+    # 1. a workload trace (a stand-in for a SPECint2000 trace)
+    trace = generate_trace(benchmark, length)
+    print(f"trace: {benchmark}, {len(trace)} instructions")
+
+    # 2. functional miss-event collection — the model's only measurement
+    profile = collect_events(trace)
+    print(f"  mispredictions : {profile.misprediction_count} "
+          f"({profile.misprediction_rate:.1%} of branches)")
+    print(f"  I-cache misses : {profile.icache_short_count} short, "
+          f"{profile.icache_long_count} long")
+    print(f"  D-cache misses : {profile.dcache_short_count} short, "
+          f"{profile.dcache_long_count} long")
+
+    # 3. the IW characteristic (paper §3)
+    characteristic = build_characteristic(trace, BASELINE, profile)
+    print(f"  IW fit         : I = {characteristic.alpha:.2f} * "
+          f"W^{characteristic.beta:.2f}, mean latency "
+          f"{characteristic.latency:.2f}")
+
+    # 4. the first-order model (paper Eq. 1)
+    report = FirstOrderModel(BASELINE).evaluate(profile, characteristic)
+    print("\nmodel CPI breakdown (Eq. 1):")
+    for label, value in report.stack().as_rows():
+        print(f"  {label:22s} {value:.3f}")
+    print(f"  {'total':22s} {report.cpi:.3f}  (IPC {report.ipc:.2f})")
+
+    # 5. reference: the detailed cycle-level simulator
+    reference = simulate(trace, BASELINE)
+    error = (report.cpi - reference.cpi) / reference.cpi
+    print(f"\ndetailed simulation CPI: {reference.cpi:.3f} "
+          f"(model error {error:+.1%})")
+
+
+if __name__ == "__main__":
+    main()

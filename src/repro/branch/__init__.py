@@ -1,0 +1,27 @@
+"""Branch-prediction substrate.
+
+The paper's baseline is an 8K gShare (§1.1); ideal predictors realise the
+"everything ideal except…" simulator configurations of Figure 2.
+"""
+
+from repro.branch.predictor import BranchPredictor, PredictorStats
+from repro.branch.gshare import GShare
+from repro.branch.simple import (
+    Bimodal,
+    StaticPredictor,
+    IdealPredictor,
+    PessimalPredictor,
+)
+from repro.branch.twolevel import LocalHistory, Tournament
+
+__all__ = [
+    "BranchPredictor",
+    "PredictorStats",
+    "GShare",
+    "Bimodal",
+    "StaticPredictor",
+    "IdealPredictor",
+    "PessimalPredictor",
+    "LocalHistory",
+    "Tournament",
+]

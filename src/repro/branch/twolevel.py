@@ -1,0 +1,122 @@
+"""Two-level local-history and tournament predictors.
+
+The paper's machine uses gShare, but model accuracy as a function of
+predictor quality is an obvious question for a model whose largest error
+source is the branch term.  These classic predictors — a per-branch
+local-history predictor (Yeh & Patt's PAg) and an Alpha-21264-style
+tournament that chooses between local and global predictors per branch —
+provide the quality spread for such studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.branch.gshare import GShare
+from repro.branch.predictor import BranchPredictor
+from repro.branch.simple import Bimodal
+
+_WEAKLY_TAKEN = 2
+_MAX_COUNTER = 3
+
+
+class LocalHistory(BranchPredictor):
+    """Two-level predictor with per-branch history (PAg).
+
+    A first-level table records each branch's recent outcome pattern; the
+    pattern indexes a shared table of 2-bit counters.  Captures loops
+    with stable trip counts up to the history length even when global
+    history is noisy.
+    """
+
+    def __init__(self, history_entries: int = 1024,
+                 history_bits: int = 10,
+                 pattern_entries: int | None = None):
+        super().__init__()
+        if history_entries <= 0 or history_entries & (history_entries - 1):
+            raise ValueError("history_entries must be a power of two")
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        self.history_bits = history_bits
+        entries = pattern_entries or (1 << history_bits)
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("pattern_entries must be a power of two")
+        self._histories = np.zeros(history_entries, dtype=np.int64)
+        self._patterns = np.full(entries, _WEAKLY_TAKEN, dtype=np.int8)
+        self._hist_mask = history_entries - 1
+        self._hist_bits_mask = (1 << history_bits) - 1
+        self._pattern_mask = entries - 1
+
+    def _slots(self, pc: int) -> tuple[int, int]:
+        h = (pc >> 2) & self._hist_mask
+        p = int(self._histories[h]) & self._pattern_mask
+        return h, p
+
+    def _predict(self, pc: int) -> bool:
+        _, p = self._slots(pc)
+        return bool(self._patterns[p] >= _WEAKLY_TAKEN)
+
+    def _update(self, pc: int, taken: bool) -> None:
+        h, p = self._slots(pc)
+        counter = self._patterns[p]
+        if taken:
+            if counter < _MAX_COUNTER:
+                self._patterns[p] = counter + 1
+        else:
+            if counter > 0:
+                self._patterns[p] = counter - 1
+        self._histories[h] = (
+            (int(self._histories[h]) << 1) | int(taken)
+        ) & self._hist_bits_mask
+
+    def _reset_state(self) -> None:
+        self._histories.fill(0)
+        self._patterns.fill(_WEAKLY_TAKEN)
+
+
+class Tournament(BranchPredictor):
+    """Alpha-style tournament: a chooser of 2-bit counters selects
+    between a local-history and a global-history component per branch.
+
+    The chooser trains toward whichever component was right when they
+    disagree.
+    """
+
+    def __init__(self, chooser_entries: int = 4096,
+                 local: LocalHistory | None = None,
+                 global_: GShare | None = None):
+        super().__init__()
+        if chooser_entries <= 0 or chooser_entries & (chooser_entries - 1):
+            raise ValueError("chooser_entries must be a power of two")
+        self.local = local or LocalHistory()
+        self.global_ = global_ or GShare(entries=4096)
+        #: 2-bit chooser; >= 2 means "trust the global component"
+        self._chooser = np.full(chooser_entries, _WEAKLY_TAKEN,
+                                dtype=np.int8)
+        self._mask = chooser_entries - 1
+
+    def _predict(self, pc: int) -> bool:
+        use_global = self._chooser[(pc >> 2) & self._mask] >= _WEAKLY_TAKEN
+        if use_global:
+            return self.global_._predict(pc)
+        return self.local._predict(pc)
+
+    def _update(self, pc: int, taken: bool) -> None:
+        local_pred = self.local._predict(pc)
+        global_pred = self.global_._predict(pc)
+        idx = (pc >> 2) & self._mask
+        if local_pred != global_pred:
+            counter = self._chooser[idx]
+            if global_pred == taken:
+                if counter < _MAX_COUNTER:
+                    self._chooser[idx] = counter + 1
+            else:
+                if counter > 0:
+                    self._chooser[idx] = counter - 1
+        self.local._update(pc, taken)
+        self.global_._update(pc, taken)
+
+    def _reset_state(self) -> None:
+        self.local._reset_state()
+        self.global_._reset_state()
+        self._chooser.fill(_WEAKLY_TAKEN)

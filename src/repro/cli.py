@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main flows without
+writing any code:
+
+* ``model <bench>``       — the Eq. 1 report and CPI stack for one benchmark
+* ``simulate <bench>``    — the detailed reference simulator
+* ``compare [bench...]``  — model vs simulation (the Figure-15 table)
+* ``iw <bench>``          — the IW curve, power-law fit and an ASCII plot
+* ``transient``           — the Figure-8 misprediction transient, plotted
+* ``experiment <name>``   — run any paper experiment (``fig15``, ``tab01`` …)
+* ``report [-o FILE]``    — run every experiment, emit a markdown report
+* ``list``                — available benchmarks and experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import BASELINE
+from repro.core.model import FirstOrderModel
+from repro.simulator.processor import DetailedSimulator
+from repro.trace.profiles import BENCHMARK_ORDER
+from repro.trace.synthetic import generate_trace
+from repro.util.ascii_plot import bar_chart, line_plot
+
+
+def _experiment_registry():
+    from repro import experiments
+
+    return {
+        m.__name__.split(".")[-1].split("_")[0]: m
+        for m in experiments.ALL_EXPERIMENTS
+    } | {
+        m.__name__.split(".")[-1]: m for m in experiments.ALL_EXPERIMENTS
+    }
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    trace = generate_trace(args.benchmark, args.length)
+    report = FirstOrderModel(BASELINE).evaluate_trace(trace)
+    print(f"{args.benchmark}: model CPI {report.cpi:.3f} "
+          f"(IPC {report.ipc:.2f})")
+    print(f"  IW fit: I = {report.characteristic.alpha:.2f} * "
+          f"W^{report.characteristic.beta:.2f}, "
+          f"L = {report.characteristic.latency:.2f}")
+    print(f"  branch penalty/event: "
+          f"{report.branch_penalty_per_event:.1f} cycles; long-miss "
+          f"penalty/miss: {report.dcache_penalty_per_miss:.0f} cycles")
+    stack = report.stack()
+    print(bar_chart(
+        [label for label, _ in stack.as_rows()],
+        [value for _, value in stack.as_rows()],
+        title="CPI stack:",
+    ))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    trace = generate_trace(args.benchmark, args.length)
+    result = DetailedSimulator(BASELINE).run(trace)
+    print(f"{args.benchmark}: {result.instructions} instructions in "
+          f"{result.cycles} cycles — CPI {result.cpi:.3f} "
+          f"(IPC {result.ipc:.2f})")
+    print(f"  mispredictions {result.misprediction_count}, I-misses "
+          f"{result.icache_short_count}+{result.icache_long_count}, "
+          f"long D-misses {result.dcache_long_count}")
+    instr = result.instrumentation
+    if instr is not None:
+        frac = instr.fraction_of_cycles_at_issue(BASELINE.width)
+        print(f"  cycles at full issue width: {frac:.1%}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    benchmarks = args.benchmarks or list(BENCHMARK_ORDER)
+    model = FirstOrderModel(BASELINE)
+    print(f"{'bench':8s} {'model':>7s} {'sim':>7s} {'error':>7s}")
+    errors = []
+    for name in benchmarks:
+        trace = generate_trace(name, args.length)
+        report = model.evaluate_trace(trace)
+        sim = DetailedSimulator(BASELINE, instrument=False).run(trace)
+        err = (report.cpi - sim.cpi) / sim.cpi
+        errors.append(abs(err))
+        print(f"{name:8s} {report.cpi:7.3f} {sim.cpi:7.3f} {err:+7.1%}")
+    print(f"mean |error| {sum(errors) / len(errors):.1%}, "
+          f"worst {max(errors):.1%}")
+    return 0
+
+
+def cmd_iw(args: argparse.Namespace) -> int:
+    from repro.window.iw_simulator import measure_iw_curve
+    from repro.window.powerlaw import fit_curve
+
+    trace = generate_trace(args.benchmark, args.length)
+    curve = measure_iw_curve(trace)
+    fit = fit_curve(curve)
+    print(f"{args.benchmark}: I = {fit.alpha:.2f} * W^{fit.beta:.2f} "
+          f"(R^2 {fit.r_squared:.3f})")
+    xs = [float(p.window_size) for p in curve.points]
+    print(line_plot(
+        {
+            "measured": (xs, [p.ipc for p in curve.points]),
+            "fit": (xs, [fit.ipc(x) for x in xs]),
+        },
+        title="IW characteristic (unit latency, unbounded width)",
+        x_label="window size", y_label="IPC",
+    ))
+    return 0
+
+
+def cmd_transient(args: argparse.Namespace) -> int:
+    from repro.core.transient import branch_transient
+    from repro.window.characteristic import IWCharacteristic
+
+    ch = IWCharacteristic.square_law(issue_width=args.width)
+    bt = branch_transient(ch, args.depth, args.width, 48)
+    timeline = bt.issue_rate_timeline()
+    print(f"isolated misprediction transient (alpha=1, beta=0.5, "
+          f"width {args.width}, depth {args.depth}):")
+    print(f"  drain {bt.drain.penalty:.1f} + pipe {args.depth} + "
+          f"ramp {bt.ramp.penalty:.1f} = {bt.total_penalty:.1f} cycles")
+    print(line_plot(
+        {"issue rate": (list(range(len(timeline))), list(timeline))},
+        x_label="cycle", y_label="instructions issued",
+    ))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    module = registry.get(args.name)
+    if module is None:
+        print(f"unknown experiment {args.name!r}; try: "
+              + ", ".join(sorted(set(registry))), file=sys.stderr)
+        return 2
+    result = module.run()
+    print(result.format())
+    failures = 0
+    for claim in result.checks():
+        print(claim)
+        failures += not claim.holds
+    return 1 if failures else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    report = run_all(progress=lambda name: print(f"running {name} ..."))
+    text = report.to_markdown()
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    for name, claim in report.failures():
+        print(f"FAILED [{name}] {claim}")
+    return 0 if report.all_passed else 1
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:", ", ".join(BENCHMARK_ORDER))
+    names = sorted(
+        m.__name__.split(".")[-1]
+        for m in _experiment_registry().values()
+    )
+    print("experiments:", ", ".join(dict.fromkeys(names)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A First-Order Superscalar Processor Model "
+                    "(Karkhanis & Smith, ISCA 2004) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_bench(p):
+        p.add_argument("benchmark", choices=BENCHMARK_ORDER)
+        p.add_argument("--length", type=int, default=30_000,
+                       help="dynamic trace length (default 30000)")
+
+    p = sub.add_parser("model", help="evaluate the first-order model")
+    add_bench(p)
+    p.set_defaults(func=cmd_model)
+
+    p = sub.add_parser("simulate", help="run the detailed simulator")
+    add_bench(p)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="model vs simulation CPI table")
+    p.add_argument("benchmarks", nargs="*", choices=BENCHMARK_ORDER + ("",),
+                   default=None)
+    p.add_argument("--length", type=int, default=30_000)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("iw", help="measure and plot the IW characteristic")
+    add_bench(p)
+    p.set_defaults(func=cmd_iw)
+
+    p = sub.add_parser("transient",
+                       help="plot the misprediction transient")
+    p.add_argument("--width", type=int, default=4)
+    p.add_argument("--depth", type=int, default=5)
+    p.set_defaults(func=cmd_transient)
+
+    p = sub.add_parser("experiment", help="run one paper experiment")
+    p.add_argument("name", help="e.g. fig15, tab01, fig17, cmp_statsim")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "report",
+        help="run every experiment and emit a markdown report",
+    )
+    p.add_argument("--output", "-o", default=None,
+                   help="write the report to this file instead of stdout")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("list", help="available benchmarks and experiments")
+    p.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Shared processor configuration.
+
+One :class:`ProcessorConfig` describes the first-order superscalar
+machine of paper §1: front-end depth ΔP; a single parameter *i* for
+fetch/dispatch/issue/retire width; an issue window separate from the ROB;
+unbounded functional units with per-class latencies; two-level caches and
+a gShare predictor.  Both the analytical model and the detailed reference
+simulator are configured from the same object, so comparisons are always
+like-for-like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.branch.gshare import GShare
+from repro.branch.predictor import BranchPredictor
+from repro.isa.latency import LatencyTable
+from repro.memory.config import HierarchyConfig
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """The modeled machine.
+
+    Attributes:
+        pipeline_depth: front-end depth ΔP in cycles (fetch to dispatch).
+        width: the paper's *i* — fetch, dispatch, maximum issue and
+            retire width.
+        window_size: issue-window entries (baseline 48).
+        rob_size: reorder-buffer entries (baseline 128).
+        latencies: functional-unit latency table.
+        hierarchy: cache geometry/latencies and ideal flags.
+        predictor_factory: builds the direction predictor (paper baseline
+            8K gShare).
+        ideal_predictor: when True no branch mispredicts.
+    """
+
+    pipeline_depth: int = 5
+    width: int = 4
+    window_size: int = 48
+    rob_size: int = 128
+    latencies: LatencyTable = field(default_factory=LatencyTable)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    predictor_factory: Callable[[], BranchPredictor] = GShare
+    ideal_predictor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.window_size < 1:
+            raise ValueError("window size must be >= 1")
+        if self.rob_size < self.window_size:
+            raise ValueError(
+                "rob_size must be >= window_size (the ROB backs the window)"
+            )
+
+    # -- the paper's five Figure-2 configurations -----------------------
+
+    def all_ideal(self) -> "ProcessorConfig":
+        """Ideal caches and ideal predictor (simulation 1 of §1.1)."""
+        return replace(
+            self, hierarchy=self.hierarchy.ideal(), ideal_predictor=True
+        )
+
+    def all_real(self) -> "ProcessorConfig":
+        """Real caches and predictor (simulation 2)."""
+        return replace(
+            self,
+            hierarchy=self.hierarchy.with_ideal(icache=False, dcache=False),
+            ideal_predictor=False,
+        )
+
+    def only_real_predictor(self) -> "ProcessorConfig":
+        """Ideal caches, real predictor (simulation 3)."""
+        return replace(
+            self, hierarchy=self.hierarchy.ideal(), ideal_predictor=False
+        )
+
+    def only_real_icache(self) -> "ProcessorConfig":
+        """Real I-cache, ideal D-cache and predictor (simulation 4)."""
+        return replace(
+            self,
+            hierarchy=self.hierarchy.with_ideal(icache=False, dcache=True),
+            ideal_predictor=True,
+        )
+
+    def only_real_dcache(self) -> "ProcessorConfig":
+        """Real D-cache, ideal I-cache and predictor (simulation 5)."""
+        return replace(
+            self,
+            hierarchy=self.hierarchy.with_ideal(icache=True, dcache=False),
+            ideal_predictor=True,
+        )
+
+    def with_depth(self, pipeline_depth: int) -> "ProcessorConfig":
+        return replace(self, pipeline_depth=pipeline_depth)
+
+    def with_width(self, width: int) -> "ProcessorConfig":
+        return replace(self, width=width)
+
+
+#: the paper's baseline machine (§1.1)
+BASELINE = ProcessorConfig()

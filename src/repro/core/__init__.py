@@ -1,0 +1,51 @@
+"""The first-order superscalar processor model — the paper's contribution.
+
+Combines the IW characteristic (steady state), the three miss-event
+penalty models (branch misprediction, instruction cache, long data-cache
+miss with overlap) and the Eq. 1 additive composition, plus the §6
+microarchitecture-trend analyses.
+"""
+
+from repro.core.transient import (
+    DrainResult,
+    RampResult,
+    BranchTransient,
+    drain_transient,
+    ramp_transient,
+    branch_transient,
+    steady_state_occupancy,
+)
+from repro.core.branch_penalty import BranchPenaltyModel, BurstPolicy
+from repro.core.icache_penalty import ICachePenaltyModel
+from repro.core.dcache_penalty import DCachePenaltyModel
+from repro.core.steady_state import (
+    build_characteristic,
+    steady_state_ipc,
+    steady_state_cpi,
+)
+from repro.core.model import FirstOrderModel, ModelReport
+from repro.core.stack import CPIStack, render_stacks, STACK_ORDER
+from repro.core import trends
+
+__all__ = [
+    "DrainResult",
+    "RampResult",
+    "BranchTransient",
+    "drain_transient",
+    "ramp_transient",
+    "branch_transient",
+    "steady_state_occupancy",
+    "BranchPenaltyModel",
+    "BurstPolicy",
+    "ICachePenaltyModel",
+    "DCachePenaltyModel",
+    "build_characteristic",
+    "steady_state_ipc",
+    "steady_state_cpi",
+    "FirstOrderModel",
+    "ModelReport",
+    "CPIStack",
+    "render_stacks",
+    "STACK_ORDER",
+    "trends",
+]

@@ -1,0 +1,87 @@
+"""Branch-misprediction penalty model (paper §4.1, Eqs. 2–3).
+
+An isolated misprediction costs ``win_drain + ΔP + ramp_up`` (Eq. 2); a
+burst of *n* back-to-back mispredictions amortises the drain and ramp
+across the burst, ``ΔP + (win_drain + ramp_up)/n`` (Eq. 3).  The paper's
+headline evaluation uses the midpoint of the two extremes — "the average
+of 5 and 10 cycles (i.e. 7.5 cycles)" for the baseline — which is the
+default policy here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.transient import BranchTransient, branch_transient
+from repro.window.characteristic import IWCharacteristic
+
+
+class BurstPolicy(enum.Enum):
+    """How to fold misprediction clustering into a single penalty."""
+
+    ISOLATED = "isolated"    #: Eq. 2 — every misprediction stands alone
+    CLUSTERED = "clustered"  #: Eq. 3 with n → ∞ — only ΔP per event
+    MIDPOINT = "midpoint"    #: the paper's §5 recipe: mean of the extremes
+
+
+@dataclass(frozen=True)
+class BranchPenaltyModel:
+    """Penalty-per-misprediction calculator for one machine.
+
+    Attributes:
+        transient: the drain/refill/ramp transient of the machine.
+    """
+
+    transient: BranchTransient
+
+    @classmethod
+    def build(
+        cls,
+        characteristic: IWCharacteristic,
+        pipeline_depth: int,
+        dispatch_width: int,
+        window_size: int,
+    ) -> "BranchPenaltyModel":
+        return cls(
+            transient=branch_transient(
+                characteristic, pipeline_depth, dispatch_width, window_size
+            )
+        )
+
+    @property
+    def pipeline_depth(self) -> int:
+        return self.transient.pipeline_depth
+
+    @property
+    def isolated_penalty(self) -> float:
+        """Eq. 2: win_drain + ΔP + ramp_up."""
+        return self.transient.total_penalty
+
+    def burst_penalty(self, n: int) -> float:
+        """Eq. 3: per-misprediction penalty inside a burst of ``n``
+        consecutive mispredictions."""
+        if n < 1:
+            raise ValueError("burst size must be >= 1")
+        drain_plus_ramp = (
+            self.transient.drain.penalty + self.transient.ramp.penalty
+        )
+        return self.pipeline_depth + drain_plus_ramp / n
+
+    def penalty(self, policy: BurstPolicy = BurstPolicy.MIDPOINT) -> float:
+        """Effective penalty per misprediction under ``policy``."""
+        if policy is BurstPolicy.ISOLATED:
+            return self.isolated_penalty
+        if policy is BurstPolicy.CLUSTERED:
+            return float(self.pipeline_depth)
+        return 0.5 * (self.isolated_penalty + self.pipeline_depth)
+
+    def cpi_contribution(
+        self,
+        mispredictions_per_instruction: float,
+        policy: BurstPolicy = BurstPolicy.MIDPOINT,
+    ) -> float:
+        """CPI_brmisp of Eq. 1."""
+        if mispredictions_per_instruction < 0:
+            raise ValueError("misprediction rate must be non-negative")
+        return mispredictions_per_instruction * self.penalty(policy)

@@ -1,0 +1,84 @@
+"""Instruction-cache miss penalty model (paper §4.2, Eqs. 4–5).
+
+An isolated I-cache miss costs ``ΔI + ramp_up − win_drain`` (Eq. 4): the
+pipeline keeps the window fed while the miss is outstanding, the drain
+happens "for free" during the miss, and only the ramp-up is extra.
+Because drain and ramp-up penalties nearly cancel, the paper draws two
+conclusions this module encodes:
+
+1. the penalty is *independent of the front-end pipeline depth*, and
+2. the penalty per miss ≈ the miss delay, whether isolated or in a burst
+   (Eq. 5 divides the already-small residue by the burst size).
+
+The model's §5 recipe therefore charges ΔI (the L2 access delay, 8
+cycles) per L1 instruction miss and ΔD (memory, 200 cycles) per L2
+instruction miss; the exact Eq. 4 form is kept for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.transient import BranchTransient, branch_transient
+from repro.window.characteristic import IWCharacteristic
+
+
+@dataclass(frozen=True)
+class ICachePenaltyModel:
+    """Penalty-per-I-miss calculator.
+
+    Attributes:
+        miss_delay: ΔI — the fill delay of the missing level (the L2
+            latency for L1 misses, the memory latency for L2 misses).
+        transient: drain/ramp transient used by the exact Eq. 4 form.
+    """
+
+    miss_delay: float
+    transient: BranchTransient
+
+    @classmethod
+    def build(
+        cls,
+        characteristic: IWCharacteristic,
+        miss_delay: float,
+        pipeline_depth: int,
+        dispatch_width: int,
+        window_size: int,
+    ) -> "ICachePenaltyModel":
+        if miss_delay <= 0:
+            raise ValueError("miss delay must be positive")
+        return cls(
+            miss_delay=miss_delay,
+            transient=branch_transient(
+                characteristic, pipeline_depth, dispatch_width, window_size
+            ),
+        )
+
+    @property
+    def isolated_penalty_exact(self) -> float:
+        """Eq. 4: ΔI + ramp_up − win_drain."""
+        return (
+            self.miss_delay
+            + self.transient.ramp.penalty
+            - self.transient.drain.penalty
+        )
+
+    def burst_penalty_exact(self, n: int) -> float:
+        """Eq. 5: ΔI + (ramp_up − win_drain)/n."""
+        if n < 1:
+            raise ValueError("burst size must be >= 1")
+        residue = self.transient.ramp.penalty - self.transient.drain.penalty
+        return self.miss_delay + residue / n
+
+    @property
+    def penalty(self) -> float:
+        """The §5 recipe: penalty ≈ miss delay (drain and ramp cancel)."""
+        return self.miss_delay
+
+    def cpi_contribution(self, misses_per_instruction: float,
+                         exact: bool = False) -> float:
+        """CPI contribution of this miss class (per Eq. 1)."""
+        if misses_per_instruction < 0:
+            raise ValueError("miss rate must be non-negative")
+        per_miss = self.isolated_penalty_exact if exact else self.penalty
+        return misses_per_instruction * per_miss

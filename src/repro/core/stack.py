@@ -1,0 +1,79 @@
+"""CPI stacks (paper Figure 16).
+
+"Because delays independently add, we can build a 'stack model' of
+performance" — each miss-event class contributes its own CPI slice on top
+of the ideal (steady-state) CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+#: canonical component order, matching the paper's Figure 16 legend
+STACK_ORDER = (
+    "ideal",
+    "l1_icache",
+    "l2_icache",
+    "l2_dcache",
+    "branch",
+)
+
+_LABELS = {
+    "ideal": "Ideal",
+    "l1_icache": "L1 Icache misses",
+    "l2_icache": "L2 Icache misses",
+    "l2_dcache": "L2 Dcache misses",
+    "branch": "Branch mispredictions",
+}
+
+
+@dataclass(frozen=True)
+class CPIStack:
+    """Additive CPI decomposition for one benchmark."""
+
+    name: str
+    ideal: float
+    l1_icache: float
+    l2_icache: float
+    l2_dcache: float
+    branch: float
+
+    def __post_init__(self) -> None:
+        for key in STACK_ORDER:
+            if getattr(self, key) < 0:
+                raise ValueError(f"negative CPI component {key!r}")
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, key) for key in STACK_ORDER)
+
+    def component(self, key: str) -> float:
+        if key not in STACK_ORDER:
+            raise KeyError(f"unknown component {key!r}")
+        return getattr(self, key)
+
+    def fraction(self, key: str) -> float:
+        """Share of total CPI contributed by ``key`` (the paper quotes
+        e.g. 70% of mcf's CPI from long data-cache misses)."""
+        total = self.total
+        return self.component(key) / total if total > 0 else 0.0
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """(label, cpi) rows in Figure-16 order."""
+        return [(_LABELS[key], getattr(self, key)) for key in STACK_ORDER]
+
+    def render(self, bar_width: int = 50) -> str:
+        """ASCII bar rendering of the stack."""
+        total = self.total
+        lines = [f"{self.name}: CPI {total:.3f}"]
+        for label, value in self.as_rows():
+            frac = value / total if total > 0 else 0.0
+            bar = "#" * round(frac * bar_width)
+            lines.append(f"  {label:22s} {value:6.3f} {bar}")
+        return "\n".join(lines)
+
+
+def render_stacks(stacks: Iterable[CPIStack], bar_width: int = 50) -> str:
+    """Render several stacks, one after another."""
+    return "\n".join(s.render(bar_width) for s in stacks)

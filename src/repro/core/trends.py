@@ -1,0 +1,225 @@
+"""Microarchitecture trend analyses (paper §6).
+
+Pure-model studies — no traces required.  Both use the canonical
+square-law characteristic (alpha=1, beta=0.5) with branch statistics
+assumed as in the paper: one instruction in five is a branch and 5% of
+branches mispredict, giving 100 instructions between mispredictions.
+
+* §6.1 — performance versus front-end pipeline depth (Figure 17): IPC
+  falls with depth because the misprediction penalty grows by one cycle
+  per stage; absolute performance (BIPS) first rises with clock frequency
+  and then falls, with an optimum depth that *shrinks* as issue width
+  grows.
+
+* §6.2 — branch-prediction requirements of wider issue (Figures 18–19):
+  the fraction of time spent issuing near the machine width between two
+  mispredictions; maintaining that fraction when the width doubles
+  requires the misprediction distance to roughly quadruple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.branch_penalty import BranchPenaltyModel, BurstPolicy
+from repro.core.transient import (
+    drain_transient,
+    ramp_transient,
+    steady_state_occupancy,
+)
+from repro.window.characteristic import IWCharacteristic
+
+#: paper §6 workload assumptions
+BRANCH_FRACTION = 0.2
+MISPREDICTION_RATE = 0.05
+
+#: paper Figure 17b technology constants, from Sprangle & Carmean:
+#: total front-end logic delay and per-stage flip-flop overhead
+FRONT_END_LOGIC_PS = 8200.0
+FLIP_FLOP_OVERHEAD_PS = 90.0
+
+
+def _trend_characteristic(
+    issue_width: int, latency: float = 1.0
+) -> IWCharacteristic:
+    """Square-law characteristic clamped at ``issue_width``."""
+    return IWCharacteristic.square_law(latency=latency,
+                                       issue_width=issue_width)
+
+
+def _trend_window(characteristic: IWCharacteristic) -> int:
+    """A window big enough to sit on the saturated part of the curve."""
+    return max(2, math.ceil(characteristic.saturation_window() * 2))
+
+
+@dataclass(frozen=True)
+class DepthSweepPoint:
+    """One (depth, width) sample of the §6.1 study."""
+
+    pipeline_depth: int
+    issue_width: int
+    ipc: float
+    clock_ghz: float
+    bips: float
+
+
+def mispredictions_per_instruction(
+    branch_fraction: float = BRANCH_FRACTION,
+    misprediction_rate: float = MISPREDICTION_RATE,
+) -> float:
+    """Mispredictions per instruction under the §6 assumptions (0.01)."""
+    return branch_fraction * misprediction_rate
+
+
+def clock_ghz(pipeline_depth: int,
+              logic_ps: float = FRONT_END_LOGIC_PS,
+              overhead_ps: float = FLIP_FLOP_OVERHEAD_PS) -> float:
+    """Clock frequency for an n-stage front end:
+    cycle time = logic/n + overhead (Figure 17b)."""
+    if pipeline_depth < 1:
+        raise ValueError("pipeline depth must be >= 1")
+    cycle_ps = logic_ps / pipeline_depth + overhead_ps
+    return 1000.0 / cycle_ps
+
+
+def pipeline_depth_sweep(
+    depths: tuple[int, ...],
+    issue_widths: tuple[int, ...] = (2, 3, 4, 8),
+    latency: float = 1.0,
+    branch_fraction: float = BRANCH_FRACTION,
+    misprediction_rate: float = MISPREDICTION_RATE,
+    policy: BurstPolicy = BurstPolicy.ISOLATED,
+) -> dict[int, list[DepthSweepPoint]]:
+    """The §6.1 study: IPC and BIPS per (width, depth).
+
+    Returns ``{issue_width: [DepthSweepPoint, ...]}`` in depth order.
+    """
+    misp_per_instr = mispredictions_per_instruction(
+        branch_fraction, misprediction_rate
+    )
+    out: dict[int, list[DepthSweepPoint]] = {}
+    for width in issue_widths:
+        char = _trend_characteristic(width, latency)
+        window = _trend_window(char)
+        points: list[DepthSweepPoint] = []
+        for depth in depths:
+            model = BranchPenaltyModel.build(char, depth, width, window)
+            cpi = (
+                char.steady_state_cpi(window)
+                + misp_per_instr * model.penalty(policy)
+            )
+            ipc = 1.0 / cpi
+            ghz = clock_ghz(depth)
+            points.append(
+                DepthSweepPoint(
+                    pipeline_depth=depth,
+                    issue_width=width,
+                    ipc=ipc,
+                    clock_ghz=ghz,
+                    bips=ipc * ghz,
+                )
+            )
+        out[width] = points
+    return out
+
+
+def optimal_depth(points: list[DepthSweepPoint]) -> DepthSweepPoint:
+    """The BIPS-maximising point of one width's sweep."""
+    if not points:
+        raise ValueError("empty sweep")
+    return max(points, key=lambda p: p.bips)
+
+
+# -- §6.2: issue-width study -------------------------------------------------
+
+
+def inter_mispredict_timeline(
+    issue_width: int,
+    instructions_between: float,
+    pipeline_depth: int = 5,
+    latency: float = 1.0,
+) -> list[float]:
+    """Per-cycle issue rates between two mispredicted branches
+    (Figure 19).
+
+    The interval starts when the first misprediction is resolved: ΔP dead
+    cycles while the pipeline refills, then the leaky-bucket ramp, capped
+    when ``instructions_between`` useful instructions have issued (the
+    next misprediction enters the window and the cycle repeats).
+    """
+    if instructions_between <= 0:
+        raise ValueError("instruction distance must be positive")
+    char = _trend_characteristic(issue_width, latency)
+    window = _trend_window(char)
+    rates: list[float] = [0.0] * pipeline_depth
+    issued = 0.0
+    w = 0.0
+    while issued < instructions_between:
+        w = min(w + issue_width, float(window))
+        rate = min(char.issue_rate(w), w)
+        rate = min(rate, instructions_between - issued)
+        rates.append(rate)
+        issued += rate
+        w -= rate
+    return rates
+
+
+def fraction_near_max_issue(
+    issue_width: int,
+    instructions_between: float,
+    pipeline_depth: int = 5,
+    latency: float = 1.0,
+    closeness: float = 0.125,
+) -> float:
+    """Fraction of cycles between two mispredictions spent issuing within
+    ``closeness`` (12.5% in the paper) of the machine width.
+
+    The interval is the Figure-19 timeline: it starts at misprediction
+    resolution (pipeline refill, then ramp) and ends when the next
+    mispredicted branch's instructions have issued.  The preceding window
+    drain is excluded — its first cycles issue at full rate and would
+    spuriously credit very short intervals with near-max time.
+    """
+    ramp_rates = inter_mispredict_timeline(
+        issue_width, instructions_between, pipeline_depth, latency
+    )
+    threshold = (1.0 - closeness) * issue_width
+    near = sum(1 for r in ramp_rates if r >= threshold)
+    return near / len(ramp_rates)
+
+
+def required_mispredict_distance(
+    issue_width: int,
+    target_fraction: float,
+    pipeline_depth: int = 5,
+    latency: float = 1.0,
+    closeness: float = 0.125,
+    max_distance: float = 10_000_000.0,
+) -> float:
+    """Smallest instructions-between-mispredictions achieving
+    ``target_fraction`` of time near the max issue width (Figure 18),
+    found by bisection."""
+    if not 0 < target_fraction < 1:
+        raise ValueError("target fraction must be in (0, 1)")
+
+    def frac(n: float) -> float:
+        return fraction_near_max_issue(
+            issue_width, n, pipeline_depth, latency, closeness
+        )
+
+    lo, hi = 1.0, 2.0
+    while frac(hi) < target_fraction:
+        hi *= 2.0
+        if hi > max_distance:
+            raise ValueError(
+                f"target fraction {target_fraction} unreachable within "
+                f"{max_distance:.0f} instructions"
+            )
+    while hi - lo > 0.5:
+        mid = 0.5 * (lo + hi)
+        if frac(mid) >= target_fraction:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,96 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Every module in :mod:`repro.experiments` reproduces one figure or table
+of the paper.  They share trace generation (cached — several experiments
+reuse the same benchmark traces), the baseline machine, and small
+formatting helpers.  Each experiment returns a typed result object with
+``rows()`` for tabular display and ``checks()`` returning the paper's
+qualitative claims evaluated against the measured data.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.config import BASELINE, ProcessorConfig
+from repro.trace.profiles import BENCHMARK_ORDER
+from repro.trace.synthetic import generate_trace
+from repro.trace.trace import Trace
+
+#: default dynamic trace length for experiments; long enough for stable
+#: statistics, short enough that the full suite runs in minutes
+DEFAULT_TRACE_LENGTH = 30_000
+
+
+@functools.lru_cache(maxsize=64)
+def cached_trace(benchmark: str, length: int = DEFAULT_TRACE_LENGTH) -> Trace:
+    """Generate (once) and cache the trace for ``benchmark``."""
+    return generate_trace(benchmark, length)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One of the paper's qualitative claims, evaluated on measured data."""
+
+    description: str
+    holds: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        return f"[{mark}] {self.description} — {self.detail}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                      for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("%x"))
+        return True
+    except ValueError:
+        return False
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("empty sequence")
+    return sum(values) / len(values)
+
+
+__all__ = [
+    "BASELINE",
+    "BENCHMARK_ORDER",
+    "DEFAULT_TRACE_LENGTH",
+    "ProcessorConfig",
+    "cached_trace",
+    "Claim",
+    "format_table",
+    "mean",
+]

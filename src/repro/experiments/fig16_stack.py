@@ -1,0 +1,106 @@
+"""Figure 16 — the CPI "stack model".
+
+"Because delays independently add, we can build a stack model of
+performance": per benchmark, the CPI decomposed into ideal, L1/L2
+instruction-miss, L2 data-miss and branch-misprediction slices.  The
+paper highlights that mcf and twolf are dominated by long data-cache
+misses (≈70% and ≈60% of CPI) while gzip's loss is mostly branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ProcessorConfig
+from repro.core.model import FirstOrderModel
+from repro.core.stack import CPIStack, render_stacks
+from repro.experiments.common import (
+    BASELINE,
+    BENCHMARK_ORDER,
+    DEFAULT_TRACE_LENGTH,
+    Claim,
+    cached_trace,
+    format_table,
+)
+
+
+@dataclass(frozen=True)
+class StackResult:
+    stacks: tuple[CPIStack, ...]
+
+    def stack(self, benchmark: str) -> CPIStack:
+        for s in self.stacks:
+            if s.name == benchmark:
+                return s
+        raise KeyError(benchmark)
+
+    def format(self) -> str:
+        return format_table(
+            ("bench", "ideal", "L1 I$", "L2 I$", "L2 D$", "branch",
+             "total"),
+            [
+                (s.name, s.ideal, s.l1_icache, s.l2_icache, s.l2_dcache,
+                 s.branch, s.total)
+                for s in self.stacks
+            ],
+        )
+
+    def render(self) -> str:
+        return render_stacks(self.stacks)
+
+    def checks(self) -> list[Claim]:
+        mcf = self.stack("mcf")
+        twolf = self.stack("twolf")
+        gzip = self.stack("gzip")
+        non_ideal_gzip = {
+            k: gzip.component(k)
+            for k in ("l1_icache", "l2_icache", "l2_dcache", "branch")
+        }
+        return [
+            Claim(
+                "mcf is dominated by long data-cache misses "
+                "(paper: ~70% of CPI)",
+                mcf.fraction("l2_dcache") > 0.45,
+                f"mcf L2-D share {mcf.fraction('l2_dcache'):.0%}",
+            ),
+            Claim(
+                "twolf's largest loss is long data-cache misses "
+                "(paper: ~60% of CPI)",
+                twolf.fraction("l2_dcache")
+                == max(
+                    twolf.fraction(k)
+                    for k in ("l1_icache", "l2_icache", "l2_dcache", "branch")
+                ),
+                f"twolf L2-D share {twolf.fraction('l2_dcache'):.0%}",
+            ),
+            Claim(
+                "gzip's performance loss is mostly branch mispredictions",
+                max(non_ideal_gzip, key=non_ideal_gzip.get) == "branch",
+                f"gzip branch share {gzip.fraction('branch'):.0%}",
+            ),
+            Claim(
+                "every stack is non-negative and sums to the model CPI",
+                all(s.total > 0 for s in self.stacks),
+                "all totals positive",
+            ),
+        ]
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    config: ProcessorConfig = BASELINE,
+) -> StackResult:
+    model = FirstOrderModel(config)
+    stacks = []
+    for name in benchmarks:
+        trace = cached_trace(name, trace_length)
+        stacks.append(model.evaluate_trace(trace).stack())
+    return StackResult(stacks=tuple(stacks))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    result = run()
+    print(result.format())
+    for claim in result.checks():
+        print(claim)

@@ -1,0 +1,105 @@
+"""Run every experiment and emit a consolidated report.
+
+``python -m repro report`` (or :func:`run_all` programmatically) executes
+each experiment module in paper order, collects the formatted tables and
+claim verdicts, and renders one markdown document — the machinery behind
+EXPERIMENTS.md, so the paper-vs-measured record can be regenerated after
+any change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.experiments.common import Claim
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's run record."""
+
+    name: str
+    title: str
+    table: str
+    claims: tuple[Claim, ...]
+    seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+
+@dataclass(frozen=True)
+class Report:
+    outcomes: tuple[ExperimentOutcome, ...]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    def failures(self) -> list[tuple[str, Claim]]:
+        return [
+            (o.name, c)
+            for o in self.outcomes
+            for c in o.claims
+            if not c.holds
+        ]
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Experiment report",
+            "",
+            f"{len(self.outcomes)} experiments, "
+            f"{sum(len(o.claims) for o in self.outcomes)} claims, "
+            f"{len(self.failures())} failures.",
+            "",
+        ]
+        for o in self.outcomes:
+            lines.append(f"## {o.title} ({o.seconds:.1f}s)")
+            lines.append("")
+            lines.append("```")
+            lines.append(o.table)
+            lines.append("```")
+            lines.append("")
+            for claim in o.claims:
+                mark = "✅" if claim.holds else "❌"
+                lines.append(f"- {mark} {claim.description} — "
+                             f"{claim.detail}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def _title(module) -> str:
+    doc = (module.__doc__ or module.__name__).strip().splitlines()[0]
+    return doc.rstrip(".")
+
+
+def run_all(
+    modules: Iterable | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> Report:
+    """Execute ``modules`` (default: every registered experiment)."""
+    if modules is None:
+        from repro.experiments import ALL_EXPERIMENTS
+
+        modules = ALL_EXPERIMENTS
+    outcomes = []
+    for module in modules:
+        name = module.__name__.split(".")[-1]
+        if progress:
+            progress(name)
+        start = time.perf_counter()
+        result = module.run()
+        elapsed = time.perf_counter() - start
+        outcomes.append(
+            ExperimentOutcome(
+                name=name,
+                title=_title(module),
+                table=result.format(),
+                claims=tuple(result.checks()),
+                seconds=elapsed,
+            )
+        )
+    return Report(outcomes=tuple(outcomes))

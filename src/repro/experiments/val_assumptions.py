@@ -1,0 +1,149 @@
+"""In-text validation experiments (paper §4.1 and §4.3).
+
+Besides its numbered figures, the paper validates two modeling
+assumptions with measurements quoted in prose; the detailed simulator's
+instrumentation reproduces both:
+
+* §4.1 — "detailed simulations … showed that there are only 1.3 useful
+  instructions left in the window when a mispredicted branch issues
+  (averaged over all benchmarks); gap is the only outlier with 8" —
+  justifying the assumption that the branch is effectively the oldest
+  instruction when it resolves (full drain before redirect).
+
+* §4.3 — "the ROB fills and blocks dispatch in virtually every case.
+  After 200 cycles, the window is less than half full (except for vpr
+  …)" and "when a load misses there are 9 instructions ahead of it in
+  the ROB" (outliers gap, twolf, vpr) — justifying modeling the long-miss
+  penalty as ΔD with rob_fill ≈ 0 and retirement (not the window) as the
+  binding structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ProcessorConfig
+from repro.experiments.common import (
+    BASELINE,
+    BENCHMARK_ORDER,
+    DEFAULT_TRACE_LENGTH,
+    Claim,
+    cached_trace,
+    format_table,
+    mean,
+)
+from repro.simulator.processor import DetailedSimulator
+
+
+@dataclass(frozen=True)
+class AssumptionRow:
+    benchmark: str
+    window_left_at_mispredict: float
+    rob_ahead_at_long_miss: float
+    dispatch_stall_rob: int
+    dispatch_stall_window: int
+
+    @property
+    def rob_is_binding(self) -> bool:
+        """True when dispatch stalls on the full ROB more often than on
+        the full window (the paper's §4.3 finding)."""
+        return self.dispatch_stall_rob >= self.dispatch_stall_window
+
+
+@dataclass(frozen=True)
+class AssumptionsResult:
+    rows: tuple[AssumptionRow, ...]
+    window_size: int
+    rob_size: int
+
+    def row(self, benchmark: str) -> AssumptionRow:
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(benchmark)
+
+    def format(self) -> str:
+        return format_table(
+            ("bench", "win left @misp", "rob ahead @long miss",
+             "stalls: rob", "stalls: window"),
+            [
+                (r.benchmark, round(r.window_left_at_mispredict, 1),
+                 round(r.rob_ahead_at_long_miss, 1),
+                 r.dispatch_stall_rob, r.dispatch_stall_window)
+                for r in self.rows
+            ],
+        )
+
+    def checks(self) -> list[Claim]:
+        win_left = [r.window_left_at_mispredict for r in self.rows]
+        binding = [r for r in self.rows if r.benchmark != "vpr"]
+        with_misses = [
+            r for r in self.rows if r.rob_ahead_at_long_miss > 0
+        ]
+        claims = [
+            Claim(
+                "few useful instructions remain when a mispredicted "
+                "branch issues (paper: 1.3 on average; our machine "
+                "drains to single digits)",
+                mean(win_left) < 0.25 * self.window_size,
+                f"mean {mean(win_left):.1f} of {self.window_size} slots",
+            ),
+            Claim(
+                "the ROB, not the window, is the binding structure "
+                "during stalls for most benchmarks (vpr excepted, as in "
+                "the paper)",
+                sum(r.rob_is_binding for r in binding)
+                >= 0.7 * len(binding),
+                f"{sum(r.rob_is_binding for r in binding)}/{len(binding)} "
+                "benchmarks ROB-bound",
+            ),
+        ]
+        if with_misses:
+            ahead = [r.rob_ahead_at_long_miss for r in with_misses]
+            claims.append(
+                Claim(
+                    "missing loads are old relative to the ROB size when "
+                    "they issue (paper: 9 of 128 ahead), so rob_fill ≈ 0 "
+                    "is tenable",
+                    mean(ahead) < 0.6 * self.rob_size,
+                    f"mean {mean(ahead):.1f} of {self.rob_size} slots "
+                    "ahead",
+                )
+            )
+        return claims
+
+
+def run(
+    benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    config: ProcessorConfig = BASELINE,
+) -> AssumptionsResult:
+    rows = []
+    for name in benchmarks:
+        trace = cached_trace(name, trace_length)
+        result = DetailedSimulator(config.all_real()).run(trace)
+        instr = result.instrumentation
+        assert instr is not None
+        rows.append(
+            AssumptionRow(
+                benchmark=name,
+                window_left_at_mispredict=(
+                    instr.mean_window_left_at_mispredict
+                ),
+                rob_ahead_at_long_miss=instr.mean_rob_ahead_at_long_miss,
+                dispatch_stall_rob=instr.dispatch_stall_rob,
+                dispatch_stall_window=instr.dispatch_stall_window,
+            )
+        )
+    return AssumptionsResult(
+        rows=tuple(rows),
+        window_size=config.window_size,
+        rob_size=config.rob_size,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    result = run()
+    print(result.format())
+    for claim in result.checks():
+        print(claim)

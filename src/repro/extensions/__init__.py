@@ -1,0 +1,52 @@
+"""Extensions: the paper's §7 future-work features, implemented.
+
+The paper closes with a list of refinements and new features for the
+first-order model.  This package implements the concrete ones:
+
+* :mod:`branch_bursts` — "Modeling bursts of branch mispredictions …
+  collect secondary branch misprediction statistics to better model
+  bursty behavior": replaces the fixed midpoint policy with a
+  measured-burst-size application of Eq. 3.
+* :mod:`limited_fu` — "Limited numbers of functional units … the mix can
+  be used to determine the number of units required … or generate a
+  lower saturation level than the maximum issue width."
+* :mod:`fetch_buffer` — "Instruction fetch buffers … can hide some (or
+  all) of the I-cache miss penalty."
+* :mod:`tlb` — "Additional types of miss-events, TLB misses in
+  particular.  When added, these will act much like long data cache
+  misses."
+"""
+
+from repro.extensions.branch_bursts import (
+    BurstStatistics,
+    measure_bursts,
+    burst_aware_branch_cpi,
+)
+from repro.extensions.limited_fu import (
+    FunctionalUnitPool,
+    effective_issue_limit,
+    saturation_with_limited_units,
+)
+from repro.extensions.fetch_buffer import FetchBuffer, hidden_miss_cycles
+from repro.extensions.tlb import TLB, TLBConfig, collect_tlb_misses, tlb_cpi
+from repro.extensions.extended_model import (
+    ExtendedFirstOrderModel,
+    ExtendedReport,
+)
+
+__all__ = [
+    "BurstStatistics",
+    "measure_bursts",
+    "burst_aware_branch_cpi",
+    "FunctionalUnitPool",
+    "effective_issue_limit",
+    "saturation_with_limited_units",
+    "FetchBuffer",
+    "hidden_miss_cycles",
+    "TLB",
+    "TLBConfig",
+    "collect_tlb_misses",
+    "tlb_cpi",
+    "ExtendedFirstOrderModel",
+    "ExtendedReport",
+]

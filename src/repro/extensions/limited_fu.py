@@ -1,0 +1,125 @@
+"""Limited functional units (paper §7, new feature 1).
+
+The first-order machine assumes unbounded functional units; real
+machines have a few of each kind.  The paper sketches the extension:
+"we will have to collect instruction mix statistics … the mix can be
+used to determine the number of units required to meet this performance.
+Or, if the number of units is too small, we can generate a lower
+saturation level than the maximum issue width."
+
+With mix fraction ``m_c`` for class *c* and ``n_c`` units of the class's
+kind, sustaining an aggregate issue rate *I* requires ``m_c * I`` issues
+per cycle of kind *c*; a fully-pipelined unit sustains one issue per
+cycle, an unpipelined unit of latency *L* one per *L* cycles.  The
+binding constraint caps the sustainable rate at
+``min_c  n_c * throughput_c / m_c`` — the *effective issue limit* this
+module computes and clamps the IW characteristic with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.isa.latency import LatencyTable
+from repro.isa.opclass import OpClass
+from repro.window.characteristic import IWCharacteristic
+
+#: which opclasses execute on which unit kind
+UNIT_KINDS: Mapping[str, tuple[OpClass, ...]] = {
+    "ialu": (OpClass.IALU, OpClass.NOP),
+    "imul": (OpClass.IMUL, OpClass.IDIV),
+    "fpu": (OpClass.FALU, OpClass.FMUL, OpClass.FDIV),
+    "mem": (OpClass.LOAD, OpClass.STORE),
+    "branch": (OpClass.BRANCH, OpClass.JUMP),
+}
+
+
+@dataclass(frozen=True)
+class FunctionalUnitPool:
+    """Unit counts per kind, with per-kind pipelining.
+
+    Attributes:
+        counts: number of units per kind (keys of :data:`UNIT_KINDS`).
+        pipelined: kinds that accept a new operation every cycle; an
+            unpipelined kind sustains ``1/latency`` operations per unit
+            per cycle.
+    """
+
+    counts: Mapping[str, int]
+    pipelined: frozenset[str] = frozenset(
+        {"ialu", "fpu", "mem", "branch"}
+    )
+
+    def __post_init__(self) -> None:
+        unknown = set(self.counts) - set(UNIT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown unit kinds: {sorted(unknown)}")
+        bad = {k: n for k, n in self.counts.items() if n < 1}
+        if bad:
+            raise ValueError(f"unit counts must be >= 1: {bad}")
+
+    def throughput(self, kind: str, latencies: LatencyTable) -> float:
+        """Sustainable operations per cycle for one ``kind``: count for
+        pipelined kinds, count/mean-latency otherwise."""
+        count = self.counts.get(kind)
+        if count is None:
+            return math.inf
+        if kind in self.pipelined:
+            return float(count)
+        classes = UNIT_KINDS[kind]
+        mean_lat = sum(latencies[c] for c in classes) / len(classes)
+        return count / mean_lat
+
+    @classmethod
+    def generous(cls) -> "FunctionalUnitPool":
+        """A pool that never binds (for differential studies)."""
+        return cls(counts={k: 64 for k in UNIT_KINDS})
+
+
+def effective_issue_limit(
+    mix: Mapping[OpClass, float],
+    pool: FunctionalUnitPool,
+    latencies: LatencyTable | None = None,
+) -> float:
+    """The aggregate issue rate the pool can sustain for this mix:
+    ``min over kinds of  throughput_kind / mix_kind``."""
+    table = latencies or LatencyTable()
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("instruction mix is empty")
+    limit = math.inf
+    for kind, classes in UNIT_KINDS.items():
+        m = sum(mix.get(c, 0.0) for c in classes) / total
+        if m <= 0:
+            continue
+        limit = min(limit, pool.throughput(kind, table) / m)
+    return limit
+
+
+def saturation_with_limited_units(
+    characteristic: IWCharacteristic,
+    mix: Mapping[OpClass, float],
+    pool: FunctionalUnitPool,
+    latencies: LatencyTable | None = None,
+) -> IWCharacteristic:
+    """Clamp the characteristic at the pool's effective issue limit.
+
+    When the pool binds below the machine width, this realises the
+    paper's "lower saturation level than the maximum issue width";
+    otherwise the characteristic is returned with its original clamp.
+    """
+    fu_limit = effective_issue_limit(mix, pool, latencies)
+    current = (
+        characteristic.issue_width
+        if characteristic.issue_width is not None
+        else math.inf
+    )
+    new_limit = min(current, fu_limit)
+    if math.isinf(new_limit):
+        return characteristic
+    # the characteristic clamp is an integer width in the base model;
+    # preserve fractional FU limits by flooring conservatively but never
+    # below one instruction per cycle
+    return characteristic.with_issue_width(max(1, math.floor(new_limit)))

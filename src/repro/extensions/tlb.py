@@ -1,0 +1,144 @@
+"""TLB misses as an additional miss-event class (paper §7, new feature 4).
+
+"Additional types of miss-events, TLB misses in particular.  When added,
+these will act much like long data cache misses."
+
+A small fully-associative LRU TLB is run over the trace's data references
+(functional, like the cache collector).  Miss indices feed the same
+Eq. 8 overlap machinery as long data-cache misses, and the resulting CPI
+adder slots into Eq. 1 alongside the existing terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.opclass import OpClass
+from repro.trace.analysis import group_size_distribution
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """TLB geometry and miss cost.
+
+    Attributes:
+        entries: fully-associative entry count (typical D-TLBs: 64–512).
+        page_bytes: page size (power of two).
+        miss_penalty: page-walk cycles charged per miss.
+    """
+
+    entries: int = 64
+    page_bytes: int = 4096
+    miss_penalty: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        if self.page_bytes < 1 or self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a positive power of two")
+        if self.miss_penalty < 1:
+            raise ValueError("miss penalty must be >= 1 cycle")
+
+
+class TLB:
+    """Fully-associative LRU translation buffer."""
+
+    def __init__(self, config: TLBConfig | None = None):
+        self.config = config or TLBConfig()
+        self._pages: list[int] = []
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Translate ``addr``; returns True on hit."""
+        self.accesses += 1
+        page = addr // self.config.page_bytes
+        try:
+            self._pages.remove(page)
+        except ValueError:
+            self.misses += 1
+            self._pages.insert(0, page)
+            if len(self._pages) > self.config.entries:
+                self._pages.pop()
+            return False
+        self._pages.insert(0, page)
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+
+@dataclass(frozen=True)
+class TLBMissProfile:
+    """Functional TLB measurement over one trace."""
+
+    length: int
+    accesses: int
+    miss_indices: np.ndarray
+
+    @property
+    def miss_count(self) -> int:
+        return len(self.miss_indices)
+
+    @property
+    def misses_per_instruction(self) -> float:
+        return self.miss_count / self.length
+
+    def overlap_factor(self, rob_size: int) -> float:
+        """Eq. 8's Σ f(i)/i applied to TLB misses — they overlap within
+        the ROB window exactly like long data-cache misses."""
+        f = group_size_distribution(self.miss_indices, rob_size)
+        if f.size == 0:
+            return 1.0
+        sizes = np.arange(1, f.size + 1)
+        return float(np.sum(f / sizes))
+
+
+def collect_tlb_misses(
+    trace: Trace,
+    config: TLBConfig | None = None,
+    warmup_passes: int = 1,
+) -> TLBMissProfile:
+    """Run the data-reference stream through a TLB (with functional
+    warming, like the cache collector)."""
+    cfg = config or TLBConfig()
+    tlb = TLB(cfg)
+    mem_mask = trace.mask(OpClass.LOAD, OpClass.STORE)
+    addrs = trace.addr[mem_mask].tolist()
+    positions = np.flatnonzero(mem_mask).tolist()
+
+    for _ in range(max(0, warmup_passes)):
+        for addr in addrs:
+            tlb.access(addr)
+    tlb.accesses = 0
+    tlb.misses = 0
+
+    miss_indices = [
+        k for k, addr in zip(positions, addrs) if not tlb.access(addr)
+    ]
+    return TLBMissProfile(
+        length=len(trace),
+        accesses=tlb.accesses,
+        miss_indices=np.array(miss_indices, dtype=np.int64),
+    )
+
+
+def tlb_cpi(
+    profile: TLBMissProfile,
+    rob_size: int,
+    config: TLBConfig | None = None,
+) -> float:
+    """The Eq. 1 adder for TLB misses: rate x penalty x overlap factor."""
+    cfg = config or TLBConfig()
+    return (
+        profile.misses_per_instruction
+        * cfg.miss_penalty
+        * profile.overlap_factor(rob_size)
+    )

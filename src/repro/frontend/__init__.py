@@ -1,0 +1,20 @@
+"""Functional front-end: trace-driven miss-event collection.
+
+Produces the :class:`MissEventProfile` that is the analytical model's
+complete view of a workload (paper §5, step 5).
+"""
+
+from repro.frontend.events import EventAnnotations, MissEventProfile
+from repro.frontend.collector import (
+    CollectorConfig,
+    MissEventCollector,
+    collect_events,
+)
+
+__all__ = [
+    "EventAnnotations",
+    "MissEventProfile",
+    "CollectorConfig",
+    "MissEventCollector",
+    "collect_events",
+]

@@ -1,0 +1,27 @@
+"""Instruction-set abstractions for the first-order processor model.
+
+The paper's model is ISA-agnostic: it consumes register-based data
+dependences, an instruction mix (for mean functional-unit latency), memory
+reference addresses (for the cache simulators) and branch outcomes (for
+the predictor).  This package defines the minimal RISC-like instruction
+record that carries exactly that information, plus the opcode taxonomy and
+the latency table that maps opcode classes to functional-unit latencies.
+"""
+
+from repro.isa.instruction import Instruction, NO_REG
+from repro.isa.opclass import OpClass, is_memory, is_branch, writes_register
+from repro.isa.latency import LatencyTable, DEFAULT_LATENCIES
+from repro.isa.registers import NUM_ARCH_REGS, RegisterFile
+
+__all__ = [
+    "Instruction",
+    "NO_REG",
+    "OpClass",
+    "is_memory",
+    "is_branch",
+    "writes_register",
+    "LatencyTable",
+    "DEFAULT_LATENCIES",
+    "NUM_ARCH_REGS",
+    "RegisterFile",
+]

@@ -1,0 +1,73 @@
+"""The per-instruction record.
+
+``Instruction`` is the row-oriented view of a trace entry.  Bulk storage
+and simulation use the columnar :class:`repro.trace.Trace` arrays; this
+dataclass exists for construction, tests, examples and anywhere
+readability beats throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opclass import OpClass, is_branch, is_memory, writes_register
+
+#: sentinel register index meaning "no register operand"
+NO_REG = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One dynamic instruction.
+
+    Attributes:
+        pc: byte address of the instruction (drives the I-cache model).
+        opclass: instruction class (latency / memory / branch behaviour).
+        dst: destination architectural register, or :data:`NO_REG`.
+        src1: first source register, or :data:`NO_REG`.
+        src2: second source register, or :data:`NO_REG`.
+        addr: effective memory address for loads/stores, else 0.
+        taken: resolved direction for conditional branches, else False.
+        target: branch/jump target pc, else 0.
+    """
+
+    pc: int
+    opclass: OpClass
+    dst: int = NO_REG
+    src1: int = NO_REG
+    src2: int = NO_REG
+    addr: int = 0
+    taken: bool = False
+    target: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dst != NO_REG and not writes_register(self.opclass):
+            raise ValueError(
+                f"{self.opclass.name} instructions cannot have a destination"
+            )
+        if self.addr and not is_memory(self.opclass):
+            raise ValueError(
+                f"{self.opclass.name} instructions cannot have a memory address"
+            )
+        if self.taken and not (is_branch(self.opclass) or self.opclass == OpClass.JUMP):
+            raise ValueError(f"{self.opclass.name} instructions cannot be taken")
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass == OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return is_memory(self.opclass)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.opclass)
+
+    def sources(self) -> tuple[int, ...]:
+        """The register sources that are actually present."""
+        return tuple(r for r in (self.src1, self.src2) if r != NO_REG)

@@ -1,0 +1,93 @@
+"""Functional-unit latencies per opcode class.
+
+The paper assumes an *unbounded* number of functional units of each type,
+so latency is the only per-class execution property that matters.  The
+mean instruction latency L (Table 1, last column) feeds the Little's-law
+correction of the IW characteristic: ``I_L = I_1 / L``.
+
+Loads are special: the table holds the L1-hit latency; *short* misses
+(L1 miss, L2 hit) are modelled "as if handled by long-latency functional
+units" (paper §4.3), i.e. they lengthen the effective load latency rather
+than being treated as miss-events; *long* misses (L2 misses) are
+miss-events handled by the retirement-blocking model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.isa.opclass import OpClass
+
+#: SimpleScalar-flavoured default latencies (cycles).
+DEFAULT_LATENCIES: Mapping[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 12,
+    OpClass.FALU: 2,
+    OpClass.FMUL: 4,
+    OpClass.FDIV: 12,
+    OpClass.LOAD: 2,   # L1 hit
+    OpClass.STORE: 1,  # address generation; data drains via write buffer
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.NOP: 1,
+}
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Immutable map from :class:`OpClass` to execution latency in cycles.
+
+    Exposes a NumPy lookup vector so simulators can translate a whole
+    opclass column to latencies with one fancy-index operation.
+    """
+
+    latencies: Mapping[OpClass, int] = field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES)
+    )
+
+    def __post_init__(self) -> None:
+        missing = [c for c in OpClass if c not in self.latencies]
+        if missing:
+            raise ValueError(f"latency table is missing classes: {missing}")
+        bad = {c: l for c, l in self.latencies.items() if l < 1}
+        if bad:
+            raise ValueError(f"latencies must be >= 1 cycle: {bad}")
+
+    def __getitem__(self, opclass: OpClass) -> int:
+        return self.latencies[opclass]
+
+    def replace(self, **overrides: int) -> "LatencyTable":
+        """Return a copy with the named classes (by lower-case name)
+        overridden, e.g. ``table.replace(load=1, imul=5)``."""
+        merged = dict(self.latencies)
+        for name, lat in overrides.items():
+            merged[OpClass[name.upper()]] = lat
+        return LatencyTable(merged)
+
+    @classmethod
+    def unit(cls) -> "LatencyTable":
+        """All-unit latencies — used when deriving the implementation-
+        independent IW characteristic (paper §3)."""
+        return cls({c: 1 for c in OpClass})
+
+    def as_vector(self) -> np.ndarray:
+        """Latency lookup vector indexed by ``int(opclass)``."""
+        vec = np.ones(len(OpClass), dtype=np.int64)
+        for c, l in self.latencies.items():
+            vec[int(c)] = l
+        return vec
+
+    def mean_latency(self, mix: Mapping[OpClass, float]) -> float:
+        """Mix-weighted mean latency over the classes present in ``mix``.
+
+        ``mix`` maps opclass to its dynamic frequency; frequencies are
+        normalised so they need not sum to one.
+        """
+        total = sum(mix.values())
+        if total <= 0:
+            raise ValueError("instruction mix is empty")
+        return sum(self.latencies[c] * f for c, f in mix.items()) / total

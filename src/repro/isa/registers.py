@@ -1,0 +1,50 @@
+"""Architectural register-file conventions.
+
+The synthetic ISA has a flat file of integer/FP registers addressed by a
+single namespace (the dependence model does not care about banks).
+``RegisterFile`` is a tiny helper used by trace generation and by the
+renaming pass that converts register names into producer indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.instruction import NO_REG
+
+#: number of architectural registers in the synthetic ISA (MIPS-like: 32
+#: integer + 32 FP collapsed into one namespace)
+NUM_ARCH_REGS = 64
+
+
+@dataclass
+class RegisterFile:
+    """Tracks, for each architectural register, the trace index of its most
+    recent producer.  Used to rewrite (src register) -> (producer index),
+    which is the only dependence information the simulators need.
+    """
+
+    num_regs: int = NUM_ARCH_REGS
+    _producer: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_regs < 1:
+            raise ValueError("need at least one register")
+        self._producer = np.full(self.num_regs, -1, dtype=np.int64)
+
+    def producer_of(self, reg: int) -> int:
+        """Trace index of the last writer of ``reg``; -1 if never written
+        (the value is architecturally live-in and always ready)."""
+        if reg == NO_REG:
+            return -1
+        return int(self._producer[reg])
+
+    def write(self, reg: int, index: int) -> None:
+        """Record that the instruction at trace ``index`` writes ``reg``."""
+        if reg != NO_REG:
+            self._producer[reg] = index
+
+    def reset(self) -> None:
+        self._producer.fill(-1)

@@ -1,0 +1,105 @@
+"""Cache geometry and hierarchy configuration.
+
+Defaults reproduce the paper's baseline (§1.1): 4 KB 4-way L1 instruction
+and data caches with 128-byte lines, a unified 512 KB 4-way L2 with
+128-byte lines, an 8-cycle L2 access delay (the paper's ΔI for L1 misses)
+and a 200-cycle memory delay (the paper's ΔD for long misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "associativity", "line_bytes"):
+            v = getattr(self, name)
+            if not _is_pow2(v):
+                raise ValueError(f"{name} must be a positive power of two, got {v}")
+        if self.size_bytes < self.associativity * self.line_bytes:
+            raise ValueError(
+                "cache smaller than one set "
+                f"({self.size_bytes} < {self.associativity * self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    def set_index(self, addr: int) -> int:
+        return (addr // self.line_bytes) % self.num_sets
+
+    def tag(self, addr: int) -> int:
+        return addr // (self.line_bytes * self.num_sets)
+
+    def line_address(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+
+#: paper baseline geometries
+L1I_BASELINE = CacheGeometry(size_bytes=4 * 1024, associativity=4, line_bytes=128)
+L1D_BASELINE = CacheGeometry(size_bytes=4 * 1024, associativity=4, line_bytes=128)
+L2_BASELINE = CacheGeometry(size_bytes=512 * 1024, associativity=4, line_bytes=128)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Two-level hierarchy: split L1s over a unified L2.
+
+    Attributes:
+        l2_latency: extra cycles to fetch from L2 on an L1 miss — the
+            paper's ΔI and the short-miss load latency.
+        memory_latency: extra cycles to fetch from memory on an L2 miss —
+            the paper's ΔD (long-miss delay).
+        ideal_icache / ideal_dcache: when True, the corresponding L1
+            always hits (the paper's "everything ideal except ..."
+            simulation configurations).
+    """
+
+    l1i: CacheGeometry = L1I_BASELINE
+    l1d: CacheGeometry = L1D_BASELINE
+    l2: CacheGeometry = L2_BASELINE
+    l2_latency: int = 8
+    memory_latency: int = 200
+    ideal_icache: bool = False
+    ideal_dcache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.l2_latency < 1 or self.memory_latency < 1:
+            raise ValueError("latencies must be >= 1 cycle")
+        if self.memory_latency <= self.l2_latency:
+            raise ValueError("memory latency must exceed L2 latency")
+
+    def ideal(self) -> "HierarchyConfig":
+        """Copy with both L1s made ideal."""
+        return HierarchyConfig(
+            l1i=self.l1i, l1d=self.l1d, l2=self.l2,
+            l2_latency=self.l2_latency, memory_latency=self.memory_latency,
+            ideal_icache=True, ideal_dcache=True,
+        )
+
+    def with_ideal(self, icache: bool | None = None,
+                   dcache: bool | None = None) -> "HierarchyConfig":
+        """Copy with the given ideal flags overridden."""
+        return HierarchyConfig(
+            l1i=self.l1i, l1d=self.l1d, l2=self.l2,
+            l2_latency=self.l2_latency, memory_latency=self.memory_latency,
+            ideal_icache=self.ideal_icache if icache is None else icache,
+            ideal_dcache=self.ideal_dcache if dcache is None else dcache,
+        )

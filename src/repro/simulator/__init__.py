@@ -1,0 +1,12 @@
+"""Detailed cycle-level reference simulator.
+
+The repository's stand-in for the paper's "detailed simulation": a
+mechanistic out-of-order machine with a front-end pipeline, issue window,
+separate ROB, oldest-first issue and unbounded functional units, driven
+by trace-resolved miss-events.
+"""
+
+from repro.simulator.processor import DetailedSimulator, simulate
+from repro.simulator.results import Instrumentation, SimResult
+
+__all__ = ["DetailedSimulator", "simulate", "Instrumentation", "SimResult"]

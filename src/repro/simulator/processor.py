@@ -1,0 +1,270 @@
+"""Detailed cycle-level simulator of the first-order superscalar machine.
+
+This is the reference the analytical model is validated against —
+the repository's stand-in for the paper's "detailed simulation".  It
+implements the machine of paper §1 mechanistically:
+
+* front-end pipeline of ``pipeline_depth`` (ΔP) stages, ``width`` (*i*)
+  instructions per stage;
+* in-order dispatch into an issue window of ``window_size`` entries and a
+  *separate* reorder buffer of ``rob_size`` entries (not an RUU);
+* out-of-order, oldest-first issue of at most ``width`` instructions per
+  cycle; unbounded functional units of every type;
+* in-order retirement of at most ``width`` instructions per cycle.
+
+Miss-events are trace-driven: cache/predictor outcomes come from the
+functional pass (:class:`repro.frontend.EventAnnotations`), while every
+timing consequence — window drain, pipeline refill, issue ramp-up, ROB
+blocking on long misses, and all overlaps between events — emerges from
+the cycle-by-cycle simulation.  Nothing here consults the analytical
+model; agreement between the two is an experimental result, not a
+construction.
+
+Event handling:
+
+* **Branch misprediction** — fetch of useful instructions stops after a
+  mispredicted branch is fetched (wrong-path instructions are not
+  simulated; with oldest-first issue they would never inhibit useful
+  ones).  When the branch resolves (completes execution), fetch restarts
+  on the correct path and new instructions reach dispatch ΔP cycles
+  later — Figure 7's drain / refill / ramp-up transient.
+* **Instruction-cache miss** — fetch stalls for the annotated delay
+  (ΔI for an L2 hit, ΔD for an L2 miss) while instructions buffered in
+  the pipeline continue to drain toward the window — Figure 10.
+* **Long data-cache miss** — the load completes only when memory returns;
+  retirement stops at it, the ROB fills, dispatch stalls and issue
+  eventually runs dry — Figure 12.  Overlap of long misses (Figure 13)
+  falls out of the simulation for free.
+* **Short data-cache miss** — serviced like a long-latency functional
+  unit (extra load-to-use latency), per §4.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import ProcessorConfig
+from repro.frontend.collector import CollectorConfig, MissEventCollector
+from repro.frontend.events import EventAnnotations
+from repro.isa.opclass import OpClass
+from repro.simulator.results import Instrumentation, SimResult
+from repro.trace.trace import Trace
+
+import numpy as np
+
+
+class DetailedSimulator:
+    """Cycle-level simulator configured by a :class:`ProcessorConfig`."""
+
+    def __init__(self, config: ProcessorConfig | None = None,
+                 instrument: bool = True):
+        self.config = config or ProcessorConfig()
+        self.instrument = instrument
+
+    def annotate(self, trace: Trace, warmup_passes: int = 1) -> EventAnnotations:
+        """Run the functional pass that resolves this configuration's
+        miss-events for ``trace``."""
+        collector = MissEventCollector(
+            CollectorConfig(
+                hierarchy=self.config.hierarchy,
+                predictor_factory=self.config.predictor_factory,
+                warmup_passes=warmup_passes,
+                ideal_predictor=self.config.ideal_predictor,
+            )
+        )
+        profile = collector.collect(trace, annotate=True)
+        assert profile.annotations is not None
+        return profile.annotations
+
+    def run(
+        self,
+        trace: Trace,
+        annotations: EventAnnotations | None = None,
+    ) -> SimResult:
+        """Simulate ``trace`` and return timing results.
+
+        ``annotations`` may be passed to reuse a previous functional pass
+        (they must come from a collector with the same hierarchy and
+        predictor configuration).
+        """
+        n = len(trace)
+        if n == 0:
+            raise ValueError("cannot simulate an empty trace")
+        if annotations is None:
+            annotations = self.annotate(trace)
+        if len(annotations) != n:
+            raise ValueError("annotations do not match the trace length")
+
+        cfg = self.config
+        width = cfg.width
+        depth = cfg.pipeline_depth
+        win_size = cfg.window_size
+        rob_size = cfg.rob_size
+        pipe_capacity = depth * width
+
+        deps = trace.dependences()
+        dep1 = deps.dep1.tolist()
+        dep2 = deps.dep2.tolist()
+        static_lat = trace.latencies(cfg.latencies)
+        latency = (static_lat + annotations.load_extra).tolist()
+        fetch_stall = annotations.fetch_stall.tolist()
+        mispredicted = annotations.mispredicted.tolist()
+        long_miss = annotations.long_miss.tolist()
+
+        inf = float("inf")
+        complete = [inf] * n
+
+        pipe: deque[tuple[int, int]] = deque()  # (dispatch_ready_cycle, idx)
+        window: list[int] = []
+        rob: deque[int] = deque()
+
+        next_fetch = 0
+        fetch_resume = 0          # no fetch before this cycle
+        stall_paid_for = -1       # fetch index whose I-miss stall was charged
+        waiting_branch = -1       # mispredicted branch blocking fetch
+        branch_resolve = -1       # cycle at which that branch resolves
+
+        retired = 0
+        cycle = 0
+
+        instr = None
+        if self.instrument:
+            instr = Instrumentation(
+                issued_histogram=np.zeros(width + 1, dtype=np.int64)
+            )
+
+        while retired < n:
+            # ---- retire (in order, completed, up to width) ---------------
+            m = 0
+            while rob and m < width:
+                head = rob[0]
+                if complete[head] <= cycle:
+                    rob.popleft()
+                    retired += 1
+                    m += 1
+                else:
+                    break
+
+            # ---- issue (oldest-first, ready, up to width) -----------------
+            issued_now = 0
+            mispredict_issued = False
+            if window:
+                remaining: list[int] = []
+                for k in window:
+                    if issued_now >= width:
+                        remaining.append(k)
+                        continue
+                    d = dep1[k]
+                    if d >= 0 and complete[d] > cycle:
+                        remaining.append(k)
+                        continue
+                    d = dep2[k]
+                    if d >= 0 and complete[d] > cycle:
+                        remaining.append(k)
+                        continue
+                    complete[k] = cycle + latency[k]
+                    issued_now += 1
+                    if k == waiting_branch:
+                        branch_resolve = cycle + latency[k]
+                    if instr is not None:
+                        if mispredicted[k]:
+                            mispredict_issued = True
+                        if long_miss[k]:
+                            ahead = sum(1 for r in rob if r < k)
+                            instr.rob_ahead_at_long_miss.append(ahead)
+                window = remaining
+            if instr is not None:
+                instr.issued_histogram[issued_now] += 1
+                if mispredict_issued:
+                    # fetch stopped at the branch, so everything still in
+                    # the window is older and useful — the quantity the
+                    # paper measures to justify its drain assumption
+                    instr.window_left_at_mispredict.append(len(window))
+
+            # ---- dispatch (in order, up to width, both structures) --------
+            m = 0
+            while (
+                pipe
+                and m < width
+                and pipe[0][0] <= cycle
+            ):
+                if len(window) >= win_size:
+                    if instr is not None:
+                        instr.dispatch_stall_window += 1
+                    break
+                if len(rob) >= rob_size:
+                    if instr is not None:
+                        instr.dispatch_stall_rob += 1
+                    break
+                _, k = pipe.popleft()
+                window.append(k)
+                rob.append(k)
+                m += 1
+            # keep the window scan oldest-first
+            if m and len(window) > m:
+                window.sort()
+
+            # ---- fetch (up to width, subject to stalls) --------------------
+            if (
+                waiting_branch >= 0
+                and branch_resolve >= 0
+                and cycle >= branch_resolve
+            ):
+                # misprediction resolved: redirect, refill starts next cycle
+                waiting_branch = -1
+                branch_resolve = -1
+                fetch_resume = cycle + 1
+            if waiting_branch < 0 and cycle >= fetch_resume:
+                m = 0
+                while (
+                    m < width
+                    and next_fetch < n
+                    and len(pipe) < pipe_capacity
+                ):
+                    f = next_fetch
+                    stall = fetch_stall[f]
+                    if stall and stall_paid_for != f:
+                        # the line misses: fetch resumes after the fill
+                        stall_paid_for = f
+                        fetch_resume = cycle + stall
+                        break
+                    pipe.append((cycle + depth, f))
+                    next_fetch += 1
+                    m += 1
+                    if mispredicted[f]:
+                        # stop fetching useful instructions until resolved
+                        waiting_branch = f
+                        branch_resolve = (
+                            complete[f] if complete[f] != inf else -1
+                        )
+                        break
+
+            cycle += 1
+
+        ann = annotations
+        return SimResult(
+            name=trace.name,
+            instructions=n,
+            cycles=cycle,
+            config=cfg,
+            misprediction_count=int(ann.mispredicted.sum()),
+            icache_short_count=int(
+                ((ann.fetch_stall > 0)
+                 & (ann.fetch_stall < cfg.hierarchy.memory_latency)).sum()
+            ),
+            icache_long_count=int(
+                (ann.fetch_stall >= cfg.hierarchy.memory_latency).sum()
+            ),
+            dcache_long_count=int(ann.long_miss.sum()),
+            instrumentation=instr,
+        )
+
+
+def simulate(
+    trace: Trace,
+    config: ProcessorConfig | None = None,
+    annotations: EventAnnotations | None = None,
+    instrument: bool = True,
+) -> SimResult:
+    """Convenience wrapper around :class:`DetailedSimulator`."""
+    return DetailedSimulator(config, instrument).run(trace, annotations)

@@ -1,0 +1,23 @@
+"""Statistical simulation (paper §1.2, refs [8–11]).
+
+Collect a workload's statistical profile, sample a synthetic trace from
+it (miss events included), and run the cycle-level simulator over the
+synthetic trace.  Exists so the paper's claim — "In effect, our model
+performs statistical simulation, without the simulation, and overall
+accuracy is similar" — can be tested; see
+:mod:`repro.experiments.cmp_statsim`.
+"""
+
+from repro.statsim.statistics import ProgramStatistics
+from repro.statsim.generator import (
+    StatisticalTrace,
+    StatisticalTraceGenerator,
+    statistical_simulate,
+)
+
+__all__ = [
+    "ProgramStatistics",
+    "StatisticalTrace",
+    "StatisticalTraceGenerator",
+    "statistical_simulate",
+]

@@ -1,0 +1,107 @@
+"""Program statistics for statistical simulation.
+
+Statistical simulation (Carl & Smith; Nussbaum & Smith; Eeckhout et al.
+— paper §1.2 refs [8–11]) collects a program's statistical profile,
+generates a short synthetic trace from it, and runs a simple superscalar
+simulator over that trace.  The first-order model "performs statistical
+simulation, without the simulation"; this package implements the real
+thing so the claim of similar accuracy can be tested (see
+:mod:`repro.experiments.cmp_statsim`).
+
+A :class:`ProgramStatistics` is everything the synthetic-trace generator
+samples from: instruction mix, source-operand presence and
+dependence-distance distributions, branch misprediction rate, per-class
+cache miss rates, and the empirical inter-long-miss gap distribution
+(which carries the clustering that drives overlap behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.frontend.events import MissEventProfile
+from repro.isa.opclass import OpClass
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class ProgramStatistics:
+    """Sampled-from statistical profile of one workload.
+
+    Attributes:
+        length: dynamic length of the profiled trace.
+        mix: dynamic opclass distribution.
+        src1_presence / src2_presence: probability that the first /
+            second source operand exists (over instructions that may
+            carry one).
+        distance_histogram: counts over dependence distances 1..len(h);
+            the renaming-visible producer->consumer distances.
+        misprediction_rate: mispredictions per conditional branch.
+        icache_short_per_instruction / icache_long_per_instruction:
+            instruction-miss event rates.
+        dcache_short_rate: short misses per load.
+        dcache_long_rate: long misses per load.
+        long_miss_gaps: empirical gaps (dynamic instructions) between
+            consecutive long misses; empty when fewer than two occurred.
+    """
+
+    length: int
+    mix: Mapping[OpClass, float]
+    src1_presence: float
+    src2_presence: float
+    distance_histogram: np.ndarray
+    misprediction_rate: float
+    icache_short_per_instruction: float
+    icache_long_per_instruction: float
+    dcache_short_rate: float
+    dcache_long_rate: float
+    long_miss_gaps: np.ndarray
+
+    @classmethod
+    def collect(cls, trace: Trace, profile: MissEventProfile
+                ) -> "ProgramStatistics":
+        """Extract statistics from a trace and its miss-event profile."""
+        if profile.length != len(trace):
+            raise ValueError("profile does not match the trace")
+        deps = trace.dependences()
+        n = len(trace)
+        src1_presence = float((deps.dep1 >= 0).mean()) if n else 0.0
+        src2_presence = float((deps.dep2 >= 0).mean()) if n else 0.0
+        distances = deps.distances()
+        if distances.size:
+            hist = np.bincount(
+                np.minimum(distances, 256), minlength=257
+            )[1:]
+        else:
+            hist = np.ones(1, dtype=np.int64)
+        gaps = (
+            np.diff(profile.long_miss_indices)
+            if len(profile.long_miss_indices) > 1
+            else np.array([], dtype=np.int64)
+        )
+        return cls(
+            length=n,
+            mix=trace.instruction_mix(),
+            src1_presence=src1_presence,
+            src2_presence=src2_presence,
+            distance_histogram=hist,
+            misprediction_rate=profile.misprediction_rate,
+            icache_short_per_instruction=(
+                profile.icache_short_per_instruction
+            ),
+            icache_long_per_instruction=profile.icache_long_per_instruction,
+            dcache_short_rate=profile.short_miss_rate_per_load,
+            dcache_long_rate=profile.long_miss_rate_per_load,
+            long_miss_gaps=gaps,
+        )
+
+    def distance_distribution(self) -> np.ndarray:
+        """Normalised dependence-distance probabilities (index 0 ->
+        distance 1)."""
+        total = self.distance_histogram.sum()
+        if total == 0:
+            return np.array([1.0])
+        return self.distance_histogram / total

@@ -1,0 +1,37 @@
+"""Dynamic instruction traces: container, synthesis, and analysis.
+
+The paper's model is driven entirely by instruction traces plus cheap
+functional simulation over them.  This package provides the columnar
+:class:`Trace` container, the SPECint2000 stand-in profiles and synthetic
+generator, and trace-statistics utilities.
+"""
+
+from repro.trace.trace import Trace, Dependences
+from repro.trace.profiles import (
+    BenchmarkProfile,
+    SPECINT2000,
+    BENCHMARK_ORDER,
+    get_profile,
+)
+from repro.trace.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.trace.analysis import (
+    TraceStatistics,
+    analyze_trace,
+    event_distances,
+    group_size_distribution,
+)
+
+__all__ = [
+    "Trace",
+    "Dependences",
+    "BenchmarkProfile",
+    "SPECINT2000",
+    "BENCHMARK_ORDER",
+    "get_profile",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "TraceStatistics",
+    "analyze_trace",
+    "event_distances",
+    "group_size_distribution",
+]

@@ -1,0 +1,137 @@
+"""Trace-level statistics.
+
+The paper's model parameters come from "simple trace-driven simulations"
+and "instruction trace analysis" (§1.2, §4).  This module provides the
+pure trace-analysis half: instruction mix, mix-weighted mean latency,
+dependence-distance distributions, and inter-event distance utilities
+reused by the miss-event collector (e.g. the long-miss group-size
+distribution f_LDM of Eq. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.isa.latency import LatencyTable
+from repro.isa.opclass import OpClass
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one trace.
+
+    Attributes:
+        length: dynamic instruction count.
+        mix: dynamic opclass frequencies.
+        mean_latency: mix-weighted mean functional-unit latency (the
+            "Avg. Lat." column of paper Table 1, before any short-miss
+            adjustment).
+        branch_fraction: fraction of conditional branches.
+        load_fraction / store_fraction: memory-op fractions.
+        mean_dependence_distance: mean producer->consumer distance over
+            present register source operands.
+        dependence_distance_histogram: counts of distances 1..len(hist);
+            distances beyond the histogram length are clamped into the
+            last bucket.
+    """
+
+    length: int
+    mix: Mapping[OpClass, float]
+    mean_latency: float
+    branch_fraction: float
+    load_fraction: float
+    store_fraction: float
+    mean_dependence_distance: float
+    dependence_distance_histogram: np.ndarray
+
+    @property
+    def instructions_per_branch(self) -> float:
+        """Mean number of instructions between conditional branches."""
+        if self.branch_fraction == 0:
+            return float("inf")
+        return 1.0 / self.branch_fraction
+
+
+def analyze_trace(
+    trace: Trace,
+    latency_table: LatencyTable | None = None,
+    histogram_bins: int = 64,
+) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for ``trace``."""
+    if len(trace) == 0:
+        raise ValueError("cannot analyze an empty trace")
+    table = latency_table or LatencyTable()
+    mix = trace.instruction_mix()
+    deps = trace.dependences()
+    distances = deps.distances()
+    if distances.size:
+        mean_dist = float(distances.mean())
+        clipped = np.minimum(distances, histogram_bins)
+        hist = np.bincount(clipped, minlength=histogram_bins + 1)[1:]
+    else:
+        mean_dist = float("inf")
+        hist = np.zeros(histogram_bins, dtype=np.int64)
+    return TraceStatistics(
+        length=len(trace),
+        mix=mix,
+        mean_latency=table.mean_latency(mix),
+        branch_fraction=float(trace.branches.mean()),
+        load_fraction=float(trace.loads.mean()),
+        store_fraction=float(trace.stores.mean()),
+        mean_dependence_distance=mean_dist,
+        dependence_distance_histogram=hist,
+    )
+
+
+def event_distances(event_indices: np.ndarray) -> np.ndarray:
+    """Distances (in dynamic instructions) between consecutive events.
+
+    ``event_indices`` are sorted trace indices at which some event (e.g.
+    a long data-cache miss) occurred.  The result has one entry per
+    consecutive pair.  The paper measures exactly this for long misses:
+    "We measure the distances between long data cache misses" (§4.3).
+    """
+    idx = np.asarray(event_indices, dtype=np.int64)
+    if idx.ndim != 1:
+        raise ValueError("event indices must be one-dimensional")
+    if np.any(np.diff(idx) < 0):
+        raise ValueError("event indices must be sorted")
+    return np.diff(idx)
+
+
+def group_size_distribution(
+    event_indices: np.ndarray, window: int
+) -> np.ndarray:
+    """The f_LDM(i) distribution of paper Eq. 8.
+
+    Events are greedily grouped: an event joins the current group when it
+    falls within ``window`` dynamic instructions of the *first* event of
+    the group (the ROB-anchored view of §4.3 — overlap happens when a
+    second miss occurs within ``rob_size`` instructions of the first).
+    Returns an array ``f`` where ``f[i-1]`` is the probability that an
+    event belongs to a group of size ``i``; ``sum(i * count_i) == len(events)``.
+    """
+    idx = np.asarray(event_indices, dtype=np.int64)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if idx.size == 0:
+        return np.zeros(0, dtype=float)
+    sizes: list[int] = []
+    anchor = idx[0]
+    current = 1
+    for k in idx[1:]:
+        if k - anchor < window:
+            current += 1
+        else:
+            sizes.append(current)
+            anchor = k
+            current = 1
+    sizes.append(current)
+    max_size = max(sizes)
+    counts = np.bincount(np.array(sizes), minlength=max_size + 1)[1:]
+    weighted = counts * np.arange(1, max_size + 1)
+    return weighted / weighted.sum()

@@ -1,0 +1,370 @@
+"""Synthetic instruction-trace generation.
+
+Replaces the SPECint2000 traces the paper gathers with SimpleScalar-style
+tooling.  A :class:`SyntheticTraceGenerator` first lays out a *static
+program skeleton* — basic blocks with fixed addresses, terminator kinds,
+branch targets and per-branch behaviour — then walks it, emitting dynamic
+instructions whose register dependences, memory addresses and branch
+outcomes follow the knobs of a :class:`~repro.trace.profiles.BenchmarkProfile`.
+
+Design notes
+------------
+* **Dependences** — each source operand is either architecturally live-in
+  (registers 0..7, never written) or refers to the destination written
+  ``j`` dynamic writes earlier, with ``j`` geometric around
+  ``dep_mean_distance``.  The realised dependence-distance distribution is
+  the statistic that produces the IW power-law of paper §3.
+* **Control flow** — block terminators are conditional branches or jumps.
+  Loop back-edges follow a trip-count automaton (mispredicted only at
+  loop exit by a history predictor), biased branches are Bernoulli with a
+  strong bias, and "hard" branches are near-50/50 — these set the gShare
+  misprediction rate.
+* **Memory** — load/store addresses come from a three-region mixture
+  (small stack, strided streams, large heap with tunable temporal
+  locality).  Footprints relative to the cache geometry produce the
+  short/long miss rates and the long-miss clustering used by Eq. 8.
+* Realised class fractions: control instructions appear once per block,
+  so the dynamic branch fraction is ~``1/mean_block_size`` scaled by the
+  branch:jump ratio of the profile; body instructions are drawn from the
+  remaining mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.isa.instruction import NO_REG
+from repro.isa.opclass import OpClass
+from repro.trace.profiles import BenchmarkProfile, get_profile
+from repro.trace.trace import Trace
+
+#: registers 0..LIVE_IN_REGS-1 are never written: reading them models a
+#: long-distance (always-ready) dependence
+LIVE_IN_REGS = 8
+
+#: address-space region bases (comfortably disjoint).  The low bits are
+#: deliberately staggered: bases that are multiples of large powers of two
+#: all map to cache set 0, piling every region onto the same sets and
+#: manufacturing conflict misses no real address-space layout would have.
+STACK_BASE = 0x7FF0_4A00
+STREAM_BASE = 0x2000_0000
+STREAM_SPACING = 0x0100_0000
+#: per-stream extra offset spreading streams across the L2 index space
+#: (the L2 index wraps every 128 KB for the baseline geometry)
+STREAM_STAGGER = 0x9400
+HEAP_BASE = 0x4000_CC80
+CODE_BASE = 0x0040_1180
+
+#: granularity of the heap temporal-locality recency buffer (bytes);
+#: matches the paper's 128-byte cache lines
+_LOCALITY_LINE = 128
+_RECENCY_DEPTH = 16
+
+_BODY_CLASSES = (
+    OpClass.LOAD,
+    OpClass.STORE,
+    OpClass.IMUL,
+    OpClass.IDIV,
+    OpClass.FALU,
+    OpClass.FMUL,
+    OpClass.FDIV,
+    OpClass.IALU,
+)
+
+# terminator behaviour kinds
+_KIND_LOOP = 0
+_KIND_BIASED = 1
+_KIND_HARD = 2
+_KIND_JUMP = 3
+
+
+@dataclass(frozen=True)
+class _StaticBlock:
+    """One basic block of the synthetic program skeleton."""
+
+    index: int
+    addr: int            #: pc of the first instruction
+    size: int            #: instructions including the terminator
+    kind: int            #: terminator kind (_KIND_*)
+    target: int          #: taken-successor block index (branches)
+    trip_count: int      #: for loops: taken trip_count-1 times, then exits
+    taken_prob: float    #: for biased/hard branches
+    #: candidate targets for jumps; a jump picks one per dynamic execution
+    #: (call/indirect-jump behaviour).  Static jump targets would make the
+    #: block walk deterministic inside jump-only cycles and trap it there.
+    jump_targets: tuple[int, ...] = ()
+
+    @property
+    def terminator_pc(self) -> int:
+        return self.addr + 4 * (self.size - 1)
+
+
+class _StaticProgram:
+    """The static skeleton: block layout plus taken-successor structure."""
+
+    def __init__(self, profile: BenchmarkProfile, rng: np.random.Generator):
+        n = profile.num_static_blocks
+        sizes = 2 + rng.geometric(
+            1.0 / max(1.0, profile.mean_block_size - 2.0), size=n
+        )
+        addrs = CODE_BASE + 4 * np.concatenate([[0], np.cumsum(sizes[:-1])])
+
+        control_total = profile.frac_branch + profile.frac_jump
+        p_jump = profile.frac_jump / control_total if control_total > 0 else 0.0
+
+        blocks: list[_StaticBlock] = []
+        for b in range(n):
+            u = rng.random()
+            jump_targets: tuple[int, ...] = ()
+            if u < p_jump:
+                kind = _KIND_JUMP
+                jump_targets = tuple(
+                    int(t) for t in rng.integers(0, n, size=4)
+                )
+                target = jump_targets[0]
+                trip, p_taken = 0, 1.0
+            else:
+                v = rng.random()
+                if v < profile.frac_loop_branches and b > 0:
+                    kind = _KIND_LOOP
+                    # back-edge to a nearby earlier block (the loop head)
+                    span = int(rng.integers(1, min(8, b) + 1))
+                    target = b - span
+                    trip = max(2, int(rng.geometric(1.0 / profile.mean_trip_count)))
+                    p_taken = 0.0
+                elif v < profile.frac_loop_branches + profile.frac_hard_branches:
+                    kind = _KIND_HARD
+                    target = int(rng.integers(0, n))
+                    trip = 0
+                    p_taken = float(rng.uniform(0.35, 0.65))
+                else:
+                    kind = _KIND_BIASED
+                    # forward skip, as in if/else hammocks
+                    target = (b + int(rng.integers(2, 9))) % n
+                    trip = 0
+                    p_taken = profile.biased_taken_prob
+            blocks.append(
+                _StaticBlock(
+                    index=b, addr=int(addrs[b]), size=int(sizes[b]),
+                    kind=kind, target=target, trip_count=trip,
+                    taken_prob=p_taken, jump_targets=jump_targets,
+                )
+            )
+        self.blocks = blocks
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class _RegisterAllocator:
+    """Destination allocation plus distance-controlled source selection."""
+
+    def __init__(self, profile: BenchmarkProfile, rng: np.random.Generator,
+                 num_regs: int):
+        self._rng = rng
+        self._profile = profile
+        self._writable = list(range(LIVE_IN_REGS, num_regs))
+        self._next = 0
+        # ring buffer of recently written registers, most recent last
+        self._recent: list[int] = []
+        self._recent_cap = 4 * len(self._writable)
+        self._geom_p = 1.0 / profile.dep_mean_distance
+
+    def allocate_dst(self) -> int:
+        """Round-robin over the writable registers: maximises the time
+        before a register is overwritten, so requested dependence
+        distances survive renaming."""
+        reg = self._writable[self._next]
+        self._next = (self._next + 1) % len(self._writable)
+        self._recent.append(reg)
+        if len(self._recent) > self._recent_cap:
+            del self._recent[: -self._recent_cap]
+        return reg
+
+    def pick_source(self) -> int:
+        """A source register at geometric dependence distance, or a
+        live-in register."""
+        if not self._recent or self._rng.random() < self._profile.frac_live_in:
+            return int(self._rng.integers(0, LIVE_IN_REGS))
+        j = int(self._rng.geometric(self._geom_p))
+        if j > len(self._recent):
+            return int(self._rng.integers(0, LIVE_IN_REGS))
+        return self._recent[-j]
+
+
+class _AddressStream:
+    """Three-region data-address mixture (stack / streams / heap)."""
+
+    def __init__(self, profile: BenchmarkProfile, rng: np.random.Generator):
+        self._rng = rng
+        self._p = profile
+        total = profile.stack_frac + profile.stream_frac + profile.heap_frac
+        self._cum_stack = profile.stack_frac / total
+        self._cum_stream = self._cum_stack + profile.stream_frac / total
+        self._stream_pos = [0] * profile.num_streams
+        self._recent_lines: list[int] = []
+
+    def next_address(self) -> int:
+        u = self._rng.random()
+        if u < self._cum_stack:
+            off = int(self._rng.integers(0, max(4, self._p.stack_bytes) // 4)) * 4
+            return STACK_BASE + off
+        if u < self._cum_stream:
+            s = int(self._rng.integers(0, self._p.num_streams))
+            addr = (STREAM_BASE + s * (STREAM_SPACING + STREAM_STAGGER)
+                    + self._stream_pos[s])
+            self._stream_pos[s] = (
+                self._stream_pos[s] + self._p.stream_stride
+            ) % self._p.stream_bytes
+            return addr
+        return self._heap_address()
+
+    def _heap_address(self) -> int:
+        if self._recent_lines and self._rng.random() < self._p.heap_locality:
+            line = self._recent_lines[
+                int(self._rng.integers(0, len(self._recent_lines)))
+            ]
+        else:
+            num_lines = max(1, self._p.heap_bytes // _LOCALITY_LINE)
+            line = int(self._rng.integers(0, num_lines))
+            self._recent_lines.append(line)
+            if len(self._recent_lines) > _RECENCY_DEPTH:
+                del self._recent_lines[0]
+        off = int(self._rng.integers(0, _LOCALITY_LINE // 4)) * 4
+        return HEAP_BASE + line * _LOCALITY_LINE + off
+
+
+class SyntheticTraceGenerator:
+    """Generates reproducible dynamic traces for one benchmark profile.
+
+    Example:
+        >>> from repro.trace import SyntheticTraceGenerator, get_profile
+        >>> gen = SyntheticTraceGenerator(get_profile("gzip"))
+        >>> trace = gen.generate(10_000)
+        >>> len(trace)
+        10000
+    """
+
+    def __init__(self, profile: BenchmarkProfile, num_regs: int = 64):
+        if num_regs <= LIVE_IN_REGS + 1:
+            raise ValueError(f"num_regs must exceed {LIVE_IN_REGS + 1}")
+        self.profile = profile
+        self.num_regs = num_regs
+
+    def generate(self, length: int | None = None, seed: int | None = None) -> Trace:
+        """Produce a trace of ``length`` dynamic instructions.
+
+        Args:
+            length: dynamic instruction count; defaults to the profile's
+                ``default_length``.
+            seed: RNG seed; defaults to the profile's ``seed`` so repeated
+                calls yield identical traces.
+        """
+        profile = self.profile
+        n = profile.default_length if length is None else int(length)
+        if n <= 0:
+            raise ValueError("trace length must be positive")
+        rng = np.random.default_rng(profile.seed if seed is None else seed)
+
+        program = _StaticProgram(profile, rng)
+        regs = _RegisterAllocator(profile, rng, self.num_regs)
+        mem = _AddressStream(profile, rng)
+
+        body_classes, body_probs = _body_mix(profile)
+
+        pc = np.zeros(n, dtype=np.int64)
+        opclass = np.zeros(n, dtype=np.int8)
+        dst = np.full(n, NO_REG, dtype=np.int16)
+        src1 = np.full(n, NO_REG, dtype=np.int16)
+        src2 = np.full(n, NO_REG, dtype=np.int16)
+        addr = np.zeros(n, dtype=np.int64)
+        taken = np.zeros(n, dtype=np.bool_)
+        target = np.zeros(n, dtype=np.int64)
+
+        # pre-draw body opclasses in bulk; the walk consumes them in order
+        pool = rng.choice(body_classes, size=n, p=body_probs)
+        pool_i = 0
+
+        loop_counters = [0] * len(program)
+        block = program.blocks[int(rng.integers(0, len(program)))]
+        k = 0
+        while k < n:
+            # --- block body -------------------------------------------
+            body = block.size - 1
+            for slot in range(body):
+                if k >= n:
+                    break
+                cls = OpClass(int(pool[pool_i])); pool_i += 1
+                if pool_i >= n:
+                    pool = rng.choice(body_classes, size=n, p=body_probs)
+                    pool_i = 0
+                pc[k] = block.addr + 4 * slot
+                opclass[k] = int(cls)
+                if cls == OpClass.LOAD:
+                    src1[k] = regs.pick_source()
+                    dst[k] = regs.allocate_dst()
+                    addr[k] = mem.next_address()
+                elif cls == OpClass.STORE:
+                    src1[k] = regs.pick_source()
+                    src2[k] = regs.pick_source()
+                    addr[k] = mem.next_address()
+                else:
+                    src1[k] = regs.pick_source()
+                    if rng.random() < profile.frac_two_sources:
+                        src2[k] = regs.pick_source()
+                    dst[k] = regs.allocate_dst()
+                k += 1
+            if k >= n:
+                break
+
+            # --- terminator -------------------------------------------
+            pc[k] = block.terminator_pc
+            if block.kind == _KIND_JUMP:
+                opclass[k] = int(OpClass.JUMP)
+                taken[k] = True
+                is_taken = True
+                dyn_target = block.jump_targets[
+                    int(rng.integers(0, len(block.jump_targets)))
+                ]
+            else:
+                opclass[k] = int(OpClass.BRANCH)
+                src1[k] = regs.pick_source()
+                if block.kind == _KIND_LOOP:
+                    b = block.index
+                    loop_counters[b] += 1
+                    if loop_counters[b] < block.trip_count:
+                        is_taken = True
+                    else:
+                        is_taken = False
+                        loop_counters[b] = 0
+                else:
+                    is_taken = bool(rng.random() < block.taken_prob)
+                taken[k] = is_taken
+                dyn_target = block.target
+            succ = dyn_target if is_taken else (block.index + 1) % len(program)
+            next_block = program.blocks[succ]
+            target[k] = next_block.addr if is_taken else 0
+            k += 1
+            block = next_block
+
+        return Trace(pc, opclass, dst, src1, src2, addr, taken, target,
+                     name=profile.name)
+
+
+def _body_mix(profile: BenchmarkProfile) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised opclass distribution for non-control instructions."""
+    mix = profile.full_mix()
+    classes = [c for c in _BODY_CLASSES if mix.get(c, 0.0) > 0.0]
+    probs = np.array([mix[c] for c in classes], dtype=float)
+    probs /= probs.sum()
+    return np.array([int(c) for c in classes], dtype=np.int8), probs
+
+
+def generate_trace(
+    benchmark: str, length: int | None = None, seed: int | None = None
+) -> Trace:
+    """Convenience wrapper: trace for a named SPECint2000 stand-in."""
+    return SyntheticTraceGenerator(get_profile(benchmark)).generate(length, seed)

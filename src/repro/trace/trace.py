@@ -1,0 +1,249 @@
+"""Columnar dynamic-instruction trace.
+
+A :class:`Trace` stores one dynamic instruction stream as parallel NumPy
+arrays.  All simulators in this repository (the functional miss-event
+collector, the idealized IW simulator and the detailed cycle-level
+simulator) consume this representation; the row-oriented
+:class:`repro.isa.Instruction` view is generated on demand.
+
+The most important derived product is :meth:`Trace.dependences`: the
+register-renaming pass that converts source-register names into the trace
+index of the producing instruction.  Downstream simulators never touch
+register names — data-dependence questions become integer comparisons on
+producer indices, which is both faster and closer to how the paper
+reasons about dependences ("register-based data dependence properties",
+§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.isa.instruction import NO_REG, Instruction
+from repro.isa.latency import LatencyTable
+from repro.isa.opclass import OpClass, writes_register
+
+#: columns of a trace and their dtypes, in serialisation order
+_COLUMNS = (
+    ("pc", np.int64),
+    ("opclass", np.int8),
+    ("dst", np.int16),
+    ("src1", np.int16),
+    ("src2", np.int16),
+    ("addr", np.int64),
+    ("taken", np.bool_),
+    ("target", np.int64),
+)
+
+
+@dataclass(frozen=True)
+class Dependences:
+    """Producer indices for each instruction's source operands.
+
+    ``dep1[k]``/``dep2[k]`` hold the trace index of the instruction that
+    produces the value consumed by instruction ``k``'s first/second source
+    operand, or -1 when the operand is absent or architecturally live-in.
+    """
+
+    dep1: np.ndarray
+    dep2: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.dep1)
+
+    def distances(self) -> np.ndarray:
+        """Dependence distances (consumer index minus producer index) for
+        every present operand, flattened.  This is the raw statistic behind
+        the IW power-law (paper §3)."""
+        idx = np.arange(len(self.dep1))
+        d1 = idx - self.dep1
+        d2 = idx - self.dep2
+        out = np.concatenate([d1[self.dep1 >= 0], d2[self.dep2 >= 0]])
+        return out.astype(np.int64)
+
+
+class Trace:
+    """An immutable dynamic instruction stream in columnar form."""
+
+    def __init__(
+        self,
+        pc: np.ndarray,
+        opclass: np.ndarray,
+        dst: np.ndarray,
+        src1: np.ndarray,
+        src2: np.ndarray,
+        addr: np.ndarray,
+        taken: np.ndarray,
+        target: np.ndarray,
+        name: str = "trace",
+    ) -> None:
+        arrays = {
+            "pc": pc, "opclass": opclass, "dst": dst, "src1": src1,
+            "src2": src2, "addr": addr, "taken": taken, "target": target,
+        }
+        n = len(pc)
+        for col, dtype in _COLUMNS:
+            arr = np.asarray(arrays[col], dtype=dtype)
+            if len(arr) != n:
+                raise ValueError(f"column {col!r} has length {len(arr)} != {n}")
+            arr.setflags(write=False)
+            setattr(self, col, arr)
+        self.name = name
+        self._deps: Dependences | None = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_instructions(
+        cls, instructions: Iterable[Instruction], name: str = "trace"
+    ) -> "Trace":
+        """Build a trace from row-oriented instruction records."""
+        rows = list(instructions)
+        return cls(
+            pc=np.array([i.pc for i in rows], dtype=np.int64),
+            opclass=np.array([int(i.opclass) for i in rows], dtype=np.int8),
+            dst=np.array([i.dst for i in rows], dtype=np.int16),
+            src1=np.array([i.src1 for i in rows], dtype=np.int16),
+            src2=np.array([i.src2 for i in rows], dtype=np.int16),
+            addr=np.array([i.addr for i in rows], dtype=np.int64),
+            taken=np.array([i.taken for i in rows], dtype=np.bool_),
+            target=np.array([i.target for i in rows], dtype=np.int64),
+            name=name,
+        )
+
+    # -- container protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        for k in range(len(self)):
+            yield self[k]
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return Trace(
+                self.pc[key], self.opclass[key], self.dst[key],
+                self.src1[key], self.src2[key], self.addr[key],
+                self.taken[key], self.target[key], name=self.name,
+            )
+        k = int(key)
+        return Instruction(
+            pc=int(self.pc[k]),
+            opclass=OpClass(int(self.opclass[k])),
+            dst=int(self.dst[k]),
+            src1=int(self.src1[k]),
+            src2=int(self.src2[k]),
+            addr=int(self.addr[k]),
+            taken=bool(self.taken[k]),
+            target=int(self.target[k]),
+        )
+
+    def __repr__(self) -> str:
+        return f"Trace(name={self.name!r}, n={len(self)})"
+
+    # -- masks ----------------------------------------------------------
+
+    def mask(self, *classes: OpClass) -> np.ndarray:
+        """Boolean mask selecting instructions of the given classes."""
+        out = np.zeros(len(self), dtype=bool)
+        for c in classes:
+            out |= self.opclass == int(c)
+        return out
+
+    @property
+    def loads(self) -> np.ndarray:
+        return self.mask(OpClass.LOAD)
+
+    @property
+    def stores(self) -> np.ndarray:
+        return self.mask(OpClass.STORE)
+
+    @property
+    def branches(self) -> np.ndarray:
+        return self.mask(OpClass.BRANCH)
+
+    # -- derived products -------------------------------------------------
+
+    def dependences(self) -> Dependences:
+        """Run the register-renaming pass (cached).
+
+        A single in-order sweep maps each source register name to the trace
+        index of its most recent producer.  Loads/stores do not create
+        memory dependences here; the paper's model (and its detailed
+        reference simulator) track register dependences only.
+        """
+        if self._deps is None:
+            self._deps = _rename(self.dst, self.src1, self.src2, self.opclass)
+        return self._deps
+
+    def latencies(self, table: LatencyTable) -> np.ndarray:
+        """Per-instruction static latency column under ``table``."""
+        return table.as_vector()[self.opclass.astype(np.int64)]
+
+    def instruction_mix(self) -> dict[OpClass, float]:
+        """Dynamic frequency of each opclass present in the trace."""
+        counts = np.bincount(self.opclass.astype(np.int64), minlength=len(OpClass))
+        n = len(self)
+        return {OpClass(c): counts[c] / n for c in range(len(OpClass)) if counts[c]}
+
+    # -- (de)serialisation ------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            Path(path),
+            name=np.array(self.name),
+            **{col: getattr(self, col) for col, _ in _COLUMNS},
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                **{col: data[col] for col, _ in _COLUMNS},
+                name=str(data["name"]),
+            )
+
+
+def _rename(
+    dst: np.ndarray, src1: np.ndarray, src2: np.ndarray, opclass: np.ndarray
+) -> Dependences:
+    """Sequential renaming sweep; see :meth:`Trace.dependences`."""
+    n = len(dst)
+    num_regs = 1 + max(
+        int(dst.max(initial=NO_REG)),
+        int(src1.max(initial=NO_REG)),
+        int(src2.max(initial=NO_REG)),
+    )
+    num_regs = max(num_regs, 1)
+    producer = np.full(num_regs, -1, dtype=np.int64)
+    dep1 = np.full(n, -1, dtype=np.int64)
+    dep2 = np.full(n, -1, dtype=np.int64)
+    writer_mask = np.array([writes_register(OpClass(c)) for c in range(len(OpClass))])
+    dst_list = dst.tolist()
+    src1_list = src1.tolist()
+    src2_list = src2.tolist()
+    op_list = opclass.tolist()
+    prod = producer.tolist()
+    d1 = dep1.tolist()
+    d2 = dep2.tolist()
+    writes = writer_mask.tolist()
+    for k in range(n):
+        s1 = src1_list[k]
+        if s1 != NO_REG:
+            d1[k] = prod[s1]
+        s2 = src2_list[k]
+        if s2 != NO_REG:
+            d2[k] = prod[s2]
+        d = dst_list[k]
+        if d != NO_REG and writes[op_list[k]]:
+            prod[d] = k
+    return Dependences(
+        dep1=np.array(d1, dtype=np.int64), dep2=np.array(d2, dtype=np.int64)
+    )

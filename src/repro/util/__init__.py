@@ -1,0 +1,5 @@
+"""Small shared utilities (terminal plotting)."""
+
+from repro.util.ascii_plot import bar_chart, line_plot
+
+__all__ = ["bar_chart", "line_plot"]

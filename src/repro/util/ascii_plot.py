@@ -1,0 +1,107 @@
+"""Terminal plotting for curves and bars.
+
+The paper is full of small line plots (IW curves, transients, ramps) and
+bar charts (penalties, CPI stacks).  These renderers keep the repository
+dependency-free while letting the CLI and examples show the shapes, not
+just the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: glyphs assigned to successive series of a line plot
+_SERIES_GLYPHS = "*o+x#@%&"
+
+
+def line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (xs, ys) series on a shared-axis ASCII canvas.
+
+    Args:
+        series: label -> (xs, ys); series may have different x grids.
+        width/height: canvas size in characters (excluding axes).
+        title / x_label / y_label: optional annotations.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    for label, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r} has mismatched x/y")
+        if not xs:
+            raise ValueError(f"series {label!r} is empty")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, (xs, ys)) in enumerate(series.items()):
+        glyph = _SERIES_GLYPHS[idx % len(_SERIES_GLYPHS)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            canvas[height - 1 - row][col] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top = f"{y_hi:.2f}"
+    bottom = f"{y_lo:.2f}"
+    margin = max(len(top), len(bottom))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = top.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_lo:.0f}".ljust(width - 8) + f"{x_hi:.0f}".rjust(8)
+    lines.append(" " * (margin + 2) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (margin + 2) + x_label
+                     + (f"   (y: {y_label})" if y_label else ""))
+    legend = "   ".join(
+        f"{_SERIES_GLYPHS[i % len(_SERIES_GLYPHS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render a horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values differ in length")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    name_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * round(value / peak * width)
+        lines.append(
+            f"{label.ljust(name_w)}  {fmt.format(value).rjust(8)} {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""IW-characteristic machinery (paper §3).
+
+Measures issue-rate-vs-window-size curves by idealized trace-driven
+simulation, fits them to the power law I = alpha * W**beta, and wraps the
+fit plus the Little's-law and issue-width-saturation adjustments into the
+:class:`IWCharacteristic` the rest of the model consumes.
+"""
+
+from repro.window.iw_simulator import (
+    IWPoint,
+    IWCurve,
+    simulate_unbounded_issue,
+    LimitedWidthIWSimulator,
+    measure_iw_curve,
+    DEFAULT_WINDOW_SIZES,
+)
+from repro.window.powerlaw import PowerLawFit, fit_power_law, fit_curve
+from repro.window.characteristic import IWCharacteristic
+from repro.window.littles_law import (
+    window_residency,
+    issue_rate_from_residency,
+    latency_scaled_issue_rate,
+)
+
+__all__ = [
+    "IWPoint",
+    "IWCurve",
+    "simulate_unbounded_issue",
+    "LimitedWidthIWSimulator",
+    "measure_iw_curve",
+    "DEFAULT_WINDOW_SIZES",
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_curve",
+    "IWCharacteristic",
+    "window_residency",
+    "issue_rate_from_residency",
+    "latency_scaled_issue_rate",
+]

@@ -1,0 +1,128 @@
+"""The IW characteristic abstraction used throughout the model.
+
+An :class:`IWCharacteristic` bundles the unit-latency power-law fit
+(alpha, beta) with the two implementation adjustments of paper §3:
+
+* **Little's law** — with mean instruction latency L, dependence chains
+  are L times longer, so ``I_L(W) = I_1(W) / L``.
+* **Issue-width saturation** — "we assume unlimited issue width behavior
+  … until the issue rate reaches the maximum issue limit.  Then, as in
+  Jouppi, we assume issue rate saturates at the maximum issue width."
+
+The characteristic also answers the inverse question (window occupancy
+for a given issue rate), which the transient machinery needs to walk the
+curve during drains and ramp-ups.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.window.powerlaw import PowerLawFit
+
+
+@dataclass(frozen=True)
+class IWCharacteristic:
+    """I = min(issue_width, alpha * W**beta / latency).
+
+    Attributes:
+        alpha: power-law coefficient from the unit-latency fit.
+        beta: power-law exponent from the unit-latency fit.
+        latency: mean instruction latency L (>= 1); 1.0 reproduces the
+            raw unit-latency curve.
+        issue_width: saturation limit; ``None`` means unbounded.
+    """
+
+    alpha: float
+    beta: float
+    latency: float = 1.0
+    issue_width: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0 < self.beta <= 1:
+            raise ValueError("beta must be in (0, 1]")
+        if self.latency < 1:
+            raise ValueError("mean latency must be >= 1 cycle")
+        if self.issue_width is not None and self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_fit(
+        cls,
+        fit: PowerLawFit,
+        latency: float = 1.0,
+        issue_width: int | None = None,
+    ) -> "IWCharacteristic":
+        """Build from a unit-latency power-law fit."""
+        return cls(alpha=fit.alpha, beta=fit.beta, latency=latency,
+                   issue_width=issue_width)
+
+    @classmethod
+    def square_law(
+        cls, latency: float = 1.0, issue_width: int | None = None
+    ) -> "IWCharacteristic":
+        """The paper's canonical alpha=1, beta=0.5 square-law curve
+        ("the average for SpecINT2000 benchmarks once non-unit latencies
+        are accounted for", Figure 8)."""
+        return cls(alpha=1.0, beta=0.5, latency=latency,
+                   issue_width=issue_width)
+
+    def with_latency(self, latency: float) -> "IWCharacteristic":
+        return replace(self, latency=latency)
+
+    def with_issue_width(self, issue_width: int | None) -> "IWCharacteristic":
+        return replace(self, issue_width=issue_width)
+
+    # -- the characteristic ----------------------------------------------
+
+    def unit_issue_rate(self, window: float) -> float:
+        """Unit-latency, unbounded-width issue rate alpha * W**beta."""
+        if window <= 0:
+            return 0.0
+        return self.alpha * window ** self.beta
+
+    def issue_rate(self, window: float) -> float:
+        """Issue rate with Little's-law correction and width saturation."""
+        rate = self.unit_issue_rate(window) / self.latency
+        if self.issue_width is not None:
+            return min(rate, float(self.issue_width))
+        return rate
+
+    def window_for_rate(self, rate: float) -> float:
+        """Window occupancy at which the (unsaturated) curve sustains
+        ``rate`` — the inverse characteristic."""
+        if rate <= 0:
+            return 0.0
+        return (rate * self.latency / self.alpha) ** (1.0 / self.beta)
+
+    # -- steady state ------------------------------------------------------
+
+    def steady_state_ipc(self, window_size: int) -> float:
+        """Sustained no-miss-event IPC of a machine whose issue window
+        holds ``window_size`` instructions (paper §5 step 1)."""
+        if window_size < 1:
+            raise ValueError("window size must be >= 1")
+        return self.issue_rate(float(window_size))
+
+    def steady_state_cpi(self, window_size: int) -> float:
+        """1 / steady-state IPC — the CPI_steadystate term of Eq. 1."""
+        return 1.0 / self.steady_state_ipc(window_size)
+
+    def saturation_window(self) -> float:
+        """Smallest window occupancy at which the curve saturates at the
+        issue-width limit (infinite when unbounded)."""
+        if self.issue_width is None:
+            return math.inf
+        return self.window_for_rate(float(self.issue_width))
+
+    def is_saturated(self, window_size: int) -> bool:
+        """True when the machine runs in the flat part of the curve —
+        the paper's preferred operating point ("we use a window size
+        large enough so that the issue rate … is in the saturation part
+        of the curve")."""
+        return window_size >= self.saturation_window()

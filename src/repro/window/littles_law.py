@@ -1,0 +1,37 @@
+"""Little's-law latency correction (paper §3).
+
+"If the average issue rate is I1 with a window size of W and unit
+functional unit latencies, then the average time spent in the window by a
+given instruction is T = W/I1 … If the average instruction latency is L,
+then all dependence chains, weighted by latencies, are approximately L
+times longer than for the unit latency case … so the issue rate with
+average latency L can be easily derived as IL = I1/L."
+
+The functions here are deliberately tiny — they exist so the derivation
+is testable on its own and referenced by name from the documentation.
+"""
+
+from __future__ import annotations
+
+
+def window_residency(window_size: float, issue_rate: float) -> float:
+    """Mean cycles an instruction spends in the window: T = W / I."""
+    if window_size <= 0 or issue_rate <= 0:
+        raise ValueError("window size and issue rate must be positive")
+    return window_size / issue_rate
+
+
+def issue_rate_from_residency(window_size: float, residency: float) -> float:
+    """Little's law rearranged: I = W / T."""
+    if window_size <= 0 or residency <= 0:
+        raise ValueError("window size and residency must be positive")
+    return window_size / residency
+
+
+def latency_scaled_issue_rate(unit_rate: float, mean_latency: float) -> float:
+    """I_L = I_1 / L — the paper's non-unit-latency correction."""
+    if mean_latency < 1:
+        raise ValueError("mean latency must be >= 1")
+    if unit_rate < 0:
+        raise ValueError("issue rate must be non-negative")
+    return unit_rate / mean_latency

@@ -1,0 +1,78 @@
+"""Power-law fitting of IW curves (paper §3, Table 1, Figure 5).
+
+"Because they have a Power-Law relationship, we fit the IW curves to the
+line I = alpha * W ** beta" — a linear least-squares fit in log2-log2
+space, exactly as the annotated fits of Figure 5
+(``log2(I) = beta*log2(W) + log2(alpha)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.window.iw_simulator import IWCurve
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """I = alpha * W**beta with goodness-of-fit in log space."""
+
+    alpha: float
+    beta: float
+    r_squared: float
+
+    def ipc(self, window_size: float) -> float:
+        """Predicted issue rate at ``window_size`` (unit latency,
+        unbounded width)."""
+        return self.alpha * window_size ** self.beta
+
+    def window_for_ipc(self, ipc: float) -> float:
+        """Window occupancy at which the fit predicts ``ipc``."""
+        if ipc <= 0:
+            return 0.0
+        return (ipc / self.alpha) ** (1.0 / self.beta)
+
+    def log2_line(self) -> tuple[float, float]:
+        """(slope, intercept) of the log2-log2 line, as annotated in
+        Figure 5."""
+        return self.beta, float(np.log2(self.alpha))
+
+
+def fit_power_law(
+    window_sizes: np.ndarray, ipcs: np.ndarray
+) -> PowerLawFit:
+    """Least-squares power-law fit through measured (W, I) points."""
+    w = np.asarray(window_sizes, dtype=float)
+    i = np.asarray(ipcs, dtype=float)
+    if w.shape != i.shape or w.size < 2:
+        raise ValueError("need at least two matching (W, I) points")
+    if np.any(w <= 0) or np.any(i <= 0):
+        raise ValueError("window sizes and IPCs must be positive")
+    x = np.log2(w)
+    y = np.log2(i)
+    beta, logalpha = np.polyfit(x, y, 1)
+    predicted = beta * x + logalpha
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(alpha=float(2.0 ** logalpha), beta=float(beta),
+                       r_squared=r2)
+
+
+def fit_curve(
+    curve: IWCurve,
+    min_window: int = 2,
+    max_window: int | None = None,
+) -> PowerLawFit:
+    """Fit a measured :class:`IWCurve`, optionally restricting the window
+    range (the paper fits the pre-saturation region)."""
+    ws = curve.window_sizes
+    ipcs = curve.ipcs
+    mask = ws >= min_window
+    if max_window is not None:
+        mask &= ws <= max_window
+    if mask.sum() < 2:
+        raise ValueError("window range leaves fewer than two points")
+    return fit_power_law(ws[mask], ipcs[mask])

@@ -1,0 +1,153 @@
+"""Tests for the branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.branch.gshare import GShare
+from repro.branch.simple import (
+    Bimodal,
+    IdealPredictor,
+    PessimalPredictor,
+    StaticPredictor,
+)
+
+
+class TestGShareConstruction:
+    def test_default_is_8k(self):
+        g = GShare()
+        assert g.entries == 8192
+        assert g.index_bits == 13
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            GShare(entries=1000)
+
+    def test_history_bits_bounded(self):
+        with pytest.raises(ValueError):
+            GShare(entries=256, history_bits=20)
+
+    def test_explicit_history_bits(self):
+        assert GShare(entries=256, history_bits=4).history_bits == 4
+
+
+class TestGShareLearning:
+    def test_learns_always_taken(self):
+        g = GShare(entries=256)
+        results = [g.observe(0x400, True) for _ in range(50)]
+        assert all(results[5:])
+
+    def test_learns_always_not_taken(self):
+        g = GShare(entries=256)
+        results = [g.observe(0x400, False) for _ in range(50)]
+        assert all(results[5:])
+
+    def test_learns_alternating_pattern_via_history(self):
+        g = GShare(entries=1024)
+        outcomes = [bool(i % 2) for i in range(400)]
+        results = [g.observe(0x400, t) for t in outcomes]
+        # once history is established, the alternation is predictable
+        assert all(results[-100:])
+
+    def test_cannot_learn_random(self):
+        rng = np.random.default_rng(7)
+        g = GShare(entries=256)
+        outcomes = rng.random(2000) < 0.5
+        correct = [g.observe(0x400, bool(t)) for t in outcomes]
+        accuracy = np.mean(correct[500:])
+        assert 0.3 < accuracy < 0.7
+
+    def test_reset_forgets(self):
+        g = GShare(entries=256)
+        for _ in range(20):
+            g.observe(0x400, False)
+        g.reset()
+        assert g.stats.predictions == 0
+        # fresh counters predict weakly-taken
+        assert g._predict(0x400) is True
+
+
+class TestBimodal:
+    def test_learns_bias_per_pc(self):
+        b = Bimodal(entries=64)
+        for _ in range(10):
+            b.observe(0x100, True)
+            b.observe(0x104, False)
+        assert b.observe(0x100, True)
+        assert b.observe(0x104, False)
+
+    def test_aliasing_pcs_share_a_counter(self):
+        b = Bimodal(entries=64)
+        for _ in range(10):
+            b.observe(0x100, True)
+        # 0x200 aliases to the same counter (index wraps at 64 entries)
+        assert b._predict(0x200) is True
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            Bimodal(entries=100)
+
+    def test_cannot_learn_alternation(self):
+        b = Bimodal(entries=64)
+        correct = [b.observe(0x100, bool(i % 2)) for i in range(200)]
+        assert np.mean(correct[50:]) < 0.75
+
+
+class TestStaticAndExtremes:
+    def test_static_taken(self):
+        p = StaticPredictor(taken=True)
+        assert p.observe(0, True)
+        assert not p.observe(0, False)
+
+    def test_static_not_taken(self):
+        p = StaticPredictor(taken=False)
+        assert p.observe(0, False)
+        assert not p.observe(0, True)
+
+    def test_ideal_never_mispredicts(self):
+        p = IdealPredictor()
+        for taken in (True, False, True, True):
+            assert p.observe(0x40, taken)
+        assert p.stats.misprediction_rate == 0.0
+        assert p.stats.predictions == 4
+
+    def test_pessimal_always_mispredicts(self):
+        p = PessimalPredictor()
+        assert not p.observe(0, True)
+        assert p.stats.misprediction_rate == 1.0
+
+
+class TestStats:
+    def test_accuracy_complementary_to_missrate(self):
+        g = GShare(entries=256)
+        for i in range(100):
+            g.observe(0x400, i % 3 == 0)
+        assert g.stats.accuracy == pytest.approx(
+            1.0 - g.stats.misprediction_rate
+        )
+
+    def test_empty_stats(self):
+        g = GShare()
+        assert g.stats.accuracy == 1.0
+        assert g.stats.misprediction_rate == 0.0
+
+
+class TestRunTrace:
+    def test_run_trace_alignment(self, gzip_trace):
+        g = GShare()
+        misp = g.run_trace(gzip_trace)
+        assert len(misp) == len(gzip_trace)
+        # mispredictions only at conditional branches
+        assert not misp[~gzip_trace.branches].any()
+        assert misp.sum() == g.stats.mispredictions
+        assert g.stats.predictions == int(gzip_trace.branches.sum())
+
+    def test_warmed_gshare_beats_static_on_benchmarks(self, gzip_trace):
+        """After a functional warm-up pass (the collector's default), the
+        trained gShare clearly beats static prediction."""
+        g = GShare()
+        g.run_trace(gzip_trace)   # warm-up pass
+        g.stats.reset()           # keep tables, drop statistics
+        s = StaticPredictor(taken=True)
+        g.run_trace(gzip_trace)
+        s.run_trace(gzip_trace)
+        assert g.stats.misprediction_rate < s.stats.misprediction_rate

@@ -1,0 +1,90 @@
+"""Tests for the local-history and tournament predictors."""
+
+import numpy as np
+import pytest
+
+from repro.branch.gshare import GShare
+from repro.branch.twolevel import LocalHistory, Tournament
+
+
+class TestLocalHistory:
+    def test_learns_short_loop_pattern(self):
+        """A trip-count-4 loop (T,T,T,N repeating) is fully captured by
+        local history, including the exit."""
+        p = LocalHistory(history_bits=8)
+        pattern = [True, True, True, False] * 120
+        results = [p.observe(0x400, t) for t in pattern]
+        assert all(results[-100:])
+
+    def test_pattern_beyond_history_not_learned(self):
+        """A period longer than the history cannot be captured."""
+        p = LocalHistory(history_bits=4)
+        period = 64
+        pattern = [(i % period) == 0 for i in range(2000)]
+        [p.observe(0x400, t) for t in pattern]
+        # the rare taken at the period boundary keeps being missed
+        assert p.stats.misprediction_rate > 0.005
+
+    def test_separate_branch_histories(self):
+        p = LocalHistory()
+        for _ in range(100):
+            p.observe(0x100, True)
+            p.observe(0x104, False)
+        assert p.observe(0x100, True)
+        assert p.observe(0x104, False)
+
+    def test_reset(self):
+        p = LocalHistory()
+        for _ in range(50):
+            p.observe(0x100, False)
+        p.reset()
+        assert p.stats.predictions == 0
+        assert p._predict(0x100) is True  # fresh weakly-taken
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalHistory(history_entries=1000)
+        with pytest.raises(ValueError):
+            LocalHistory(history_bits=0)
+        with pytest.raises(ValueError):
+            LocalHistory(pattern_entries=100)
+
+
+class TestTournament:
+    def test_beats_or_matches_components_on_mixed_workload(self, gzip_trace):
+        def warmed_rate(predictor):
+            predictor.run_trace(gzip_trace)
+            predictor.stats.reset()
+            predictor.run_trace(gzip_trace)
+            return predictor.stats.misprediction_rate
+
+        t_rate = warmed_rate(Tournament())
+        g_rate = warmed_rate(GShare(entries=4096))
+        l_rate = warmed_rate(LocalHistory())
+        assert t_rate <= min(g_rate, l_rate) + 0.02
+
+    def test_chooser_picks_the_right_component(self):
+        """A branch with a local-friendly pattern but hostile global
+        history: the tournament must converge to the local component."""
+        rng = np.random.default_rng(5)
+        t = Tournament()
+        for i in range(3000):
+            # noise branches scramble global history
+            t.observe(0x900 + 8 * (i % 7), bool(rng.random() < 0.5))
+            # the target branch alternates - locally predictable
+            t.observe(0x400, bool(i % 2))
+        t.stats.reset()
+        for i in range(3000, 3200):
+            t.observe(0x900 + 8 * (i % 7), bool(rng.random() < 0.5))
+            assert t.observe(0x400, bool(i % 2))
+
+    def test_reset_clears_all_components(self):
+        t = Tournament()
+        for _ in range(20):
+            t.observe(0x100, True)
+        t.reset()
+        assert t.stats.predictions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tournament(chooser_entries=100)

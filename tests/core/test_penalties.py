@@ -1,0 +1,177 @@
+"""Tests for the three miss-event penalty models (paper Eqs. 2–8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.branch_penalty import BranchPenaltyModel, BurstPolicy
+from repro.core.dcache_penalty import DCachePenaltyModel
+from repro.core.icache_penalty import ICachePenaltyModel
+from repro.window.characteristic import IWCharacteristic
+
+
+@pytest.fixture
+def square():
+    return IWCharacteristic.square_law(issue_width=4)
+
+
+@pytest.fixture
+def branch_model(square):
+    return BranchPenaltyModel.build(square, pipeline_depth=5,
+                                    dispatch_width=4, window_size=48)
+
+
+class TestBranchPenalty:
+    def test_isolated_matches_eq2(self, branch_model):
+        t = branch_model.transient
+        assert branch_model.isolated_penalty == pytest.approx(
+            t.drain.penalty + 5 + t.ramp.penalty
+        )
+
+    def test_paper_baseline_range(self, branch_model):
+        """Paper: 'we would expect the penalty to be between 5 and 10
+        cycles' for the baseline."""
+        assert 5 <= branch_model.penalty(BurstPolicy.CLUSTERED) <= 10
+        assert 9 <= branch_model.isolated_penalty <= 11
+
+    def test_burst_limit_is_pipeline_depth(self, branch_model):
+        """Eq. 3 with n→∞ leaves only ΔP."""
+        assert branch_model.burst_penalty(10**6) == pytest.approx(5.0,
+                                                                  abs=0.01)
+
+    def test_burst_of_one_is_isolated(self, branch_model):
+        assert branch_model.burst_penalty(1) == pytest.approx(
+            branch_model.isolated_penalty
+        )
+
+    def test_burst_monotone(self, branch_model):
+        pens = [branch_model.burst_penalty(n) for n in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(pens, pens[1:]))
+
+    def test_midpoint_policy(self, branch_model):
+        expected = 0.5 * (branch_model.isolated_penalty + 5)
+        assert branch_model.penalty(BurstPolicy.MIDPOINT) == pytest.approx(
+            expected
+        )
+        # paper: "average of 5 and 10 cycles (i.e. 7.5 cycles)"
+        assert expected == pytest.approx(7.5, abs=0.4)
+
+    def test_cpi_contribution_scales_with_rate(self, branch_model):
+        one = branch_model.cpi_contribution(0.01)
+        two = branch_model.cpi_contribution(0.02)
+        assert two == pytest.approx(2 * one)
+
+    def test_validation(self, branch_model):
+        with pytest.raises(ValueError):
+            branch_model.burst_penalty(0)
+        with pytest.raises(ValueError):
+            branch_model.cpi_contribution(-0.1)
+
+
+class TestICachePenalty:
+    def make(self, square, delay=8.0, depth=5):
+        return ICachePenaltyModel.build(
+            square, miss_delay=delay, pipeline_depth=depth,
+            dispatch_width=4, window_size=48,
+        )
+
+    def test_recipe_penalty_is_miss_delay(self, square):
+        assert self.make(square).penalty == 8.0
+
+    def test_exact_eq4(self, square):
+        m = self.make(square)
+        assert m.isolated_penalty_exact == pytest.approx(
+            8.0 + m.transient.ramp.penalty - m.transient.drain.penalty
+        )
+
+    def test_drain_and_ramp_nearly_cancel(self, square):
+        """Paper observation: the Eq. 4 residue is small, so the penalty
+        is ≈ ΔI."""
+        m = self.make(square)
+        assert abs(m.isolated_penalty_exact - m.penalty) < 2.0
+
+    def test_penalty_independent_of_depth(self, square):
+        """Paper observation 1 of §4.2."""
+        p5 = self.make(square, depth=5)
+        p9 = self.make(square, depth=9)
+        assert p5.isolated_penalty_exact == pytest.approx(
+            p9.isolated_penalty_exact
+        )
+
+    def test_burst_approaches_miss_delay(self, square):
+        m = self.make(square)
+        assert m.burst_penalty_exact(1000) == pytest.approx(8.0, abs=0.01)
+
+    def test_cpi_contribution(self, square):
+        m = self.make(square)
+        assert m.cpi_contribution(0.01) == pytest.approx(0.08)
+        assert m.cpi_contribution(0.01, exact=True) == pytest.approx(
+            0.01 * m.isolated_penalty_exact
+        )
+
+    def test_validation(self, square):
+        with pytest.raises(ValueError):
+            self.make(square, delay=0)
+        m = self.make(square)
+        with pytest.raises(ValueError):
+            m.burst_penalty_exact(0)
+        with pytest.raises(ValueError):
+            m.cpi_contribution(-1)
+
+
+class TestDCachePenalty:
+    def make(self, rob_fill=0.0):
+        return DCachePenaltyModel(miss_delay=200, rob_size=128,
+                                  rob_fill=rob_fill)
+
+    def test_isolated_is_miss_delay(self):
+        assert self.make().isolated_penalty == 200.0
+
+    def test_rob_fill_correction(self):
+        """Eq. 6: penalty ≈ ΔD − rob_fill."""
+        assert self.make(rob_fill=32).isolated_penalty == 168.0
+
+    def test_pair_penalty_is_half(self):
+        """Eq. 7: two overlapping misses cost half each."""
+        assert self.make().pair_penalty() == 100.0
+
+    def test_group_penalty(self):
+        m = self.make()
+        assert m.group_penalty(4) == 50.0
+        with pytest.raises(ValueError):
+            m.group_penalty(0)
+
+    def test_expected_penalty_eq8(self):
+        m = self.make()
+        # half the misses isolated, half in pairs
+        f = np.array([0.5, 0.5])
+        assert m.expected_penalty(f) == pytest.approx(200 * (0.5 + 0.25))
+
+    def test_expected_penalty_all_isolated(self):
+        assert self.make().expected_penalty(np.array([1.0])) == 200.0
+
+    def test_empty_distribution_means_isolated(self):
+        assert self.make().expected_penalty(np.array([])) == 200.0
+
+    def test_distribution_validated(self):
+        m = self.make()
+        with pytest.raises(ValueError):
+            m.expected_penalty(np.array([0.5, 0.2]))  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            m.expected_penalty(np.array([1.5, -0.5]))
+
+    def test_profile_plumbing(self, pressure_profile):
+        profile = pressure_profile
+        m = self.make()
+        expected = 200.0 * profile.overlap_factor(128)
+        assert m.penalty_from_profile(profile) == pytest.approx(expected)
+        assert m.cpi_contribution(profile) == pytest.approx(
+            profile.dcache_long_per_instruction * expected
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DCachePenaltyModel(miss_delay=0, rob_size=128)
+        with pytest.raises(ValueError):
+            DCachePenaltyModel(miss_delay=200, rob_size=0)
+        with pytest.raises(ValueError):
+            DCachePenaltyModel(miss_delay=200, rob_size=128, rob_fill=300)

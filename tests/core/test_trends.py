@@ -1,0 +1,141 @@
+"""Tests for the §6 microarchitecture trend analyses."""
+
+import pytest
+
+from repro.core.trends import (
+    clock_ghz,
+    fraction_near_max_issue,
+    inter_mispredict_timeline,
+    mispredictions_per_instruction,
+    optimal_depth,
+    pipeline_depth_sweep,
+    required_mispredict_distance,
+)
+
+
+class TestAssumptions:
+    def test_paper_rates(self):
+        """One in five branches, 5% mispredicted -> 1 per 100."""
+        assert mispredictions_per_instruction() == pytest.approx(0.01)
+
+    def test_custom_rates(self):
+        assert mispredictions_per_instruction(0.1, 0.1) == pytest.approx(0.01)
+
+
+class TestClock:
+    def test_deeper_is_faster(self):
+        assert clock_ghz(20) > clock_ghz(5)
+
+    def test_overhead_bounds_frequency(self):
+        # even infinite depth cannot beat the flip-flop overhead
+        assert clock_ghz(10_000) < 1000.0 / 90.0
+
+    def test_paper_constants(self):
+        # 8200/5 + 90 = 1730 ps -> ~0.578 GHz
+        assert clock_ghz(5) == pytest.approx(1000.0 / 1730.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clock_ghz(0)
+
+
+class TestDepthSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return pipeline_depth_sweep(
+            depths=tuple(range(5, 101, 5)), issue_widths=(2, 3, 4, 8)
+        )
+
+    def test_ipc_decreases_with_depth(self, sweep):
+        for width, points in sweep.items():
+            ipcs = [p.ipc for p in points]
+            assert all(a >= b for a, b in zip(ipcs, ipcs[1:]))
+
+    def test_wider_issue_higher_ipc_at_fixed_depth(self, sweep):
+        for i in range(len(sweep[2])):
+            assert sweep[2][i].ipc < sweep[8][i].ipc
+
+    def test_bips_has_interior_optimum(self, sweep):
+        for width in (2, 3, 4, 8):
+            opt = optimal_depth(sweep[width])
+            assert 5 < opt.pipeline_depth < 100
+
+    def test_paper_optimum_width3(self, sweep):
+        """Paper: ≈55 front-end stages at issue width 3 with Sprangle &
+        Carmean's numbers."""
+        opt = optimal_depth(sweep[3])
+        assert 35 <= opt.pipeline_depth <= 75
+
+    def test_wider_issue_prefers_shallower(self, sweep):
+        opts = {w: optimal_depth(sweep[w]).pipeline_depth
+                for w in (2, 3, 8)}
+        assert opts[8] <= opts[3] <= opts[2]
+
+    def test_optimal_depth_empty(self):
+        with pytest.raises(ValueError):
+            optimal_depth([])
+
+
+class TestInterMispredictTimeline:
+    def test_starts_with_pipeline_refill(self):
+        t = inter_mispredict_timeline(4, 100, pipeline_depth=5)
+        assert t[:5] == [0.0] * 5
+        assert t[5] > 0
+
+    def test_issues_exactly_the_interval(self):
+        t = inter_mispredict_timeline(4, 100)
+        assert sum(t) == pytest.approx(100.0)
+
+    def test_rates_bounded_by_width(self):
+        t = inter_mispredict_timeline(8, 500)
+        assert max(t) <= 8.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inter_mispredict_timeline(4, 0)
+
+
+class TestFractionNearMax:
+    def test_fraction_bounds(self):
+        f = fraction_near_max_issue(4, 100)
+        assert 0 <= f <= 1
+
+    def test_longer_intervals_increase_fraction(self):
+        f_short = fraction_near_max_issue(4, 50)
+        f_long = fraction_near_max_issue(4, 5000)
+        assert f_long > f_short
+
+    def test_wide_machines_struggle(self):
+        """At 100 instructions between mispredictions, a width-4 machine
+        spends some time near max; a width-16 machine essentially none
+        (paper Figure 19's message)."""
+        assert fraction_near_max_issue(4, 100) > 0.2
+        assert fraction_near_max_issue(16, 100) < 0.05
+
+
+class TestRequiredDistance:
+    def test_square_law_in_width(self):
+        """Paper Figure 18: doubling width quadruples the requirement."""
+        d4 = required_mispredict_distance(4, 0.3)
+        d8 = required_mispredict_distance(8, 0.3)
+        d16 = required_mispredict_distance(16, 0.3)
+        assert d8 / d4 == pytest.approx(4.0, rel=0.35)
+        assert d16 / d8 == pytest.approx(4.0, rel=0.35)
+
+    def test_monotone_in_target(self):
+        d = [required_mispredict_distance(4, f) for f in (0.1, 0.3, 0.5)]
+        assert d[0] <= d[1] <= d[2]
+
+    def test_achieves_target(self):
+        n = required_mispredict_distance(4, 0.4)
+        assert fraction_near_max_issue(4, n) >= 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_mispredict_distance(4, 0.0)
+        with pytest.raises(ValueError):
+            required_mispredict_distance(4, 1.0)
+
+    def test_unreachable_target(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            required_mispredict_distance(4, 0.999, max_distance=1000)

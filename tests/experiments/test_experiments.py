@@ -1,0 +1,230 @@
+"""Tests for the experiment harness.
+
+Pure-model experiments run at full fidelity; trace-driven experiments run
+on shortened traces and reduced benchmark sets so the whole file stays
+fast — the full-size runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig02_independence,
+    fig04_iw_curves,
+    fig05_fit,
+    fig06_limited_width,
+    fig08_transient,
+    fig09_brpenalty,
+    fig11_icache,
+    fig14_dcache,
+    fig15_overall,
+    fig16_stack,
+    fig17_pipeline_depth,
+    fig18_issue_width,
+    fig19_ramp,
+    tab01_powerlaw,
+)
+from repro.experiments.common import Claim, format_table
+
+SMALL = 6_000
+FEW = ("gzip", "vortex", "vpr")
+
+
+class TestCommon:
+    def test_claim_str(self):
+        assert "PASS" in str(Claim("x", True, "d"))
+        assert "FAIL" in str(Claim("x", False, "d"))
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bench"), [(1.5, "gzip"), (10.25, "mcf")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in text and "gzip" in text
+
+    def test_cached_trace_is_cached(self):
+        from repro.experiments.common import cached_trace
+
+        assert cached_trace("gzip", 500) is cached_trace("gzip", 500)
+
+
+class TestPureModelExperiments:
+    """These run at full paper scale — they need no traces."""
+
+    def test_fig08(self):
+        result = fig08_transient.run()
+        assert result.total_penalty == pytest.approx(10.0, abs=1.0)
+        assert all(c.holds for c in result.checks()), result.checks()
+        assert "drain" in result.format()
+
+    def test_fig17(self):
+        result = fig17_pipeline_depth.run()
+        assert all(c.holds for c in result.checks()), result.checks()
+        assert result.optimum(3).pipeline_depth > result.optimum(8).pipeline_depth - 50
+        assert "optimal depths" in result.format()
+
+    def test_fig18(self):
+        result = fig18_issue_width.run(
+            issue_widths=(4, 8), target_fractions=(0.2, 0.4)
+        )
+        assert result.distance(8, 0.2) > result.distance(4, 0.2)
+        assert "width 4" in result.format()
+
+    def test_fig18_full_checks(self):
+        result = fig18_issue_width.run()
+        assert all(c.holds for c in result.checks()), result.checks()
+
+    def test_fig19(self):
+        result = fig19_ramp.run()
+        assert all(c.holds for c in result.checks()), result.checks()
+        assert "peak issue rates" in result.format()
+
+
+class TestTraceDrivenExperiments:
+    def test_tab01(self):
+        result = tab01_powerlaw.run(trace_length=SMALL)
+        assert all(c.holds for c in result.checks()), result.checks()
+        assert "alpha" in result.format()
+
+    def test_fig04(self):
+        result = fig04_iw_curves.run(benchmarks=FEW, trace_length=SMALL)
+        assert len(result.rows) == 3
+        for claim in result.checks():
+            assert claim.holds, claim
+
+    def test_fig05(self):
+        result = fig05_fit.run(trace_length=SMALL)
+        assert all(c.holds for c in result.checks()), result.checks()
+        assert "log2(I)" in result.format()
+
+    def test_fig06(self):
+        result = fig06_limited_width.run(
+            benchmark="gzip", trace_length=SMALL,
+            window_sizes=(2, 8, 32, 128),
+        )
+        for claim in result.checks():
+            assert claim.holds, claim
+
+    def test_fig09(self):
+        result = fig09_brpenalty.run(benchmarks=FEW, trace_length=SMALL)
+        # every penalty exceeds the shallow front-end depth
+        assert all(r.penalties[5] > 5 for r in result.rows)
+        assert all(
+            r.penalties[9] > r.penalties[5] for r in result.rows
+        )
+
+    def test_fig11(self):
+        result = fig11_icache.run(
+            benchmarks=("crafty", "perl", "gzip"), trace_length=SMALL
+        )
+        # gzip has a tiny code footprint: always skipped
+        assert "gzip" in result.skipped
+        for r in result.rows:
+            assert abs(r.penalties[9] - r.penalties[5]) < 4
+
+    def test_fig14(self):
+        result = fig14_dcache.run(
+            benchmarks=("mcf", "twolf", "gzip"), trace_length=20_000
+        )
+        assert result.rows, "expected at least one long-miss benchmark"
+        for r in result.rows:
+            assert r.simulated_penalty <= 1.3 * result.miss_delay
+            assert 0 < r.overlap_factor <= 1
+
+    def test_fig15(self):
+        result = fig15_overall.run(benchmarks=FEW, trace_length=SMALL)
+        assert result.mean_error() < 0.25
+        assert "model CPI" in result.format()
+
+    def test_fig16(self):
+        result = fig16_stack.run(
+            benchmarks=("gzip", "mcf", "twolf"), trace_length=20_000
+        )
+        for claim in result.checks():
+            assert claim.holds, claim
+        assert "L2 D$" in result.format()
+
+    def test_fig02(self):
+        result = fig02_independence.run(
+            benchmarks=("gzip", "mcf"), trace_length=SMALL
+        )
+        assert result.mean_independent_error() < 0.15
+        assert "combined" in result.format()
+
+
+class TestSensitivityExperiments:
+    def test_sens_config_small(self):
+        from repro.experiments import sens_config
+
+        result = sens_config.run(
+            benchmarks=("gzip",), trace_length=SMALL,
+            depths=(5, 9), widths=(2, 4), windows=(16, 48),
+        )
+        assert len(result.points) == 8
+        assert result.mean_error() < 0.3
+        assert "depth" in result.format()
+
+    def test_sens_predictor_small(self):
+        from repro.experiments import sens_predictor
+
+        result = sens_predictor.run(
+            benchmarks=("gzip",), trace_length=SMALL
+        )
+        assert len(result.rows) == 5
+        # ideal ordering claim at small scale: just check bounds
+        assert all(0 <= r.misprediction_rate <= 1 for r in result.rows)
+        assert "predictor" in result.format()
+
+    def test_val_assumptions_small(self):
+        from repro.experiments import val_assumptions
+
+        result = val_assumptions.run(
+            benchmarks=("gzip", "mcf", "vpr"), trace_length=SMALL
+        )
+        assert len(result.rows) == 3
+        assert "win left" in result.format()
+
+    def test_cmp_statsim_small(self):
+        from repro.experiments import cmp_statsim
+
+        result = cmp_statsim.run(benchmarks=("gzip",), trace_length=SMALL)
+        assert result.mean_statsim_error() < 0.3
+        assert "statsim" in result.format()
+
+    def test_sens_length_small(self):
+        from repro.experiments import sens_length
+
+        result = sens_length.run(
+            benchmarks=("gzip",), lengths=(3_000, 6_000)
+        )
+        assert len(result.rows) == 2
+        series = result.series("gzip")
+        assert series[0].length < series[1].length
+        assert "beta" in result.format()
+
+
+class TestRunner:
+    def test_run_all_subset(self):
+        from repro.experiments import fig08_transient, fig19_ramp
+        from repro.experiments.runner import run_all
+
+        seen = []
+        report = run_all([fig08_transient, fig19_ramp],
+                         progress=seen.append)
+        assert seen == ["fig08_transient", "fig19_ramp"]
+        assert len(report.outcomes) == 2
+        assert report.all_passed
+        assert report.failures() == []
+        md = report.to_markdown()
+        assert "## " in md and "✅" in md and "```" in md
+
+    def test_failures_are_surfaced(self):
+        from repro.experiments.common import Claim
+        from repro.experiments.runner import ExperimentOutcome, Report
+
+        bad = ExperimentOutcome(
+            name="x", title="X", table="t",
+            claims=(Claim("c", False, "d"),), seconds=0.1,
+        )
+        report = Report(outcomes=(bad,))
+        assert not report.all_passed
+        assert report.failures() == [("x", bad.claims[0])]
+        assert "❌" in report.to_markdown()

@@ -1,0 +1,278 @@
+"""Tests for the §7 future-work extensions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.branch_penalty import BranchPenaltyModel, BurstPolicy
+from repro.extensions.branch_bursts import (
+    BurstStatistics,
+    burst_aware_branch_cpi,
+    measure_bursts,
+)
+from repro.extensions.fetch_buffer import (
+    FetchBuffer,
+    hidden_miss_cycles,
+    icache_cpi_with_buffer,
+)
+from repro.extensions.limited_fu import (
+    FunctionalUnitPool,
+    effective_issue_limit,
+    saturation_with_limited_units,
+)
+from repro.extensions.tlb import TLB, TLBConfig, collect_tlb_misses, tlb_cpi
+from repro.frontend.collector import collect_events
+from repro.isa.opclass import OpClass
+from repro.window.characteristic import IWCharacteristic
+
+
+@pytest.fixture(scope="module")
+def gzip_profile(gzip_trace):
+    return collect_events(gzip_trace)
+
+
+@pytest.fixture
+def branch_model():
+    return BranchPenaltyModel.build(
+        IWCharacteristic.square_law(issue_width=4), 5, 4, 48
+    )
+
+
+class TestBranchBursts:
+    def test_measure_bursts_distribution(self, gzip_profile):
+        stats = measure_bursts(gzip_profile, window=64)
+        assert stats.window == 64
+        assert stats.distribution.sum() == pytest.approx(1.0)
+        assert 0 < stats.bracket_share() <= 1.0
+
+    def test_isolated_mispredictions_full_bracket(self):
+        from repro.frontend.events import MissEventProfile
+        import dataclasses
+
+        # synthetic profile with widely spaced mispredictions
+        stats = BurstStatistics(window=64,
+                                distribution=np.array([1.0]))
+        assert stats.bracket_share() == 1.0
+        assert stats.mean_burst_size == 1.0
+
+    def test_pairs_share_one_bracket(self):
+        stats = BurstStatistics(window=64,
+                                distribution=np.array([0.0, 1.0]))
+        assert stats.bracket_share() == pytest.approx(0.5)
+        assert stats.mean_burst_size == pytest.approx(2.0)
+
+    def test_burst_aware_between_extremes(self, gzip_profile, branch_model):
+        aware = burst_aware_branch_cpi(gzip_profile, branch_model)
+        isolated = branch_model.cpi_contribution(
+            gzip_profile.mispredictions_per_instruction,
+            BurstPolicy.ISOLATED,
+        )
+        clustered = branch_model.cpi_contribution(
+            gzip_profile.mispredictions_per_instruction,
+            BurstPolicy.CLUSTERED,
+        )
+        assert clustered <= aware <= isolated + 1e-9
+
+    def test_window_validation(self, gzip_profile):
+        with pytest.raises(ValueError):
+            measure_bursts(gzip_profile, window=0)
+
+
+class TestLimitedFU:
+    def test_generous_pool_never_binds(self):
+        mix = {OpClass.IALU: 0.7, OpClass.LOAD: 0.3}
+        limit = effective_issue_limit(mix, FunctionalUnitPool.generous())
+        assert limit > 32
+
+    def test_single_memory_port_binds(self):
+        mix = {OpClass.IALU: 0.7, OpClass.LOAD: 0.3}
+        pool = FunctionalUnitPool(counts={"mem": 1, "ialu": 8})
+        # 1 port / 0.3 loads per instruction -> ~3.33 IPC ceiling
+        assert effective_issue_limit(mix, pool) == pytest.approx(1 / 0.3)
+
+    def test_binding_constraint_is_the_minimum(self):
+        mix = {OpClass.IALU: 0.5, OpClass.LOAD: 0.25, OpClass.BRANCH: 0.25}
+        pool = FunctionalUnitPool(
+            counts={"ialu": 1, "mem": 4, "branch": 4}
+        )
+        assert effective_issue_limit(mix, pool) == pytest.approx(2.0)
+
+    def test_unpipelined_units_divide_by_latency(self):
+        from repro.isa.latency import LatencyTable
+
+        mix = {OpClass.IMUL: 1.0}
+        pool = FunctionalUnitPool(counts={"imul": 1}, pipelined=frozenset())
+        table = LatencyTable()
+        mean_lat = (table[OpClass.IMUL] + table[OpClass.IDIV]) / 2
+        assert effective_issue_limit(mix, pool, table) == pytest.approx(
+            1.0 / mean_lat
+        )
+
+    def test_saturation_clamp_applies_when_binding(self):
+        ch = IWCharacteristic.square_law(issue_width=8)
+        mix = {OpClass.IALU: 0.5, OpClass.LOAD: 0.5}
+        pool = FunctionalUnitPool(counts={"mem": 1, "ialu": 8})
+        clamped = saturation_with_limited_units(ch, mix, pool)
+        assert clamped.issue_width == 2  # floor(1/0.5)
+
+    def test_saturation_clamp_noop_when_generous(self):
+        ch = IWCharacteristic.square_law(issue_width=4)
+        mix = {OpClass.IALU: 1.0}
+        out = saturation_with_limited_units(
+            ch, mix, FunctionalUnitPool.generous()
+        )
+        assert out.issue_width == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FunctionalUnitPool(counts={"warp_drive": 1})
+        with pytest.raises(ValueError, match=">= 1"):
+            FunctionalUnitPool(counts={"ialu": 0})
+        with pytest.raises(ValueError, match="empty"):
+            effective_issue_limit({}, FunctionalUnitPool.generous())
+
+
+class TestFetchBuffer:
+    def test_no_buffer_exposes_everything(self):
+        assert FetchBuffer(0).exposed_delay(8, 2.0) == 8.0
+
+    def test_big_buffer_hides_everything(self):
+        assert FetchBuffer(64).exposed_delay(8, 2.0) == 0.0
+
+    def test_partial_hiding(self):
+        # 8 instructions at 2 IPC hide 4 of the 8 cycles
+        assert FetchBuffer(8).exposed_delay(8, 2.0) == pytest.approx(4.0)
+
+    def test_hidden_plus_exposed_is_delay(self):
+        b = FetchBuffer(6)
+        hidden = hidden_miss_cycles(b, 8, 2.0)
+        assert hidden + b.exposed_delay(8, 2.0) == pytest.approx(8.0)
+
+    def test_cpi_with_buffer_bounded_by_plain(self, gzip_profile):
+        plain = icache_cpi_with_buffer(gzip_profile, FetchBuffer(0), 8,
+                                       200, 2.0)
+        buffered = icache_cpi_with_buffer(gzip_profile, FetchBuffer(16),
+                                          8, 200, 2.0)
+        assert 0 <= buffered <= plain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FetchBuffer(-1)
+        with pytest.raises(ValueError):
+            FetchBuffer(4).drain_cycles(0.0)
+        with pytest.raises(ValueError):
+            FetchBuffer(4).exposed_delay(-1, 2.0)
+
+
+class TestTLB:
+    def test_tlb_lru(self):
+        tlb = TLB(TLBConfig(entries=2))
+        assert not tlb.access(0)            # page 0 miss
+        assert not tlb.access(4096)         # page 1 miss
+        assert tlb.access(100)              # page 0 hit
+        assert not tlb.access(2 * 4096)     # page 2 evicts page 1
+        assert not tlb.access(4096)         # page 1 gone
+        assert tlb.miss_rate == pytest.approx(4 / 5)
+
+    def test_flush(self):
+        tlb = TLB(TLBConfig(entries=4))
+        tlb.access(0)
+        tlb.flush()
+        assert not tlb.access(0)
+
+    def test_collect_over_trace(self, mcf_trace):
+        profile = collect_tlb_misses(mcf_trace, TLBConfig(entries=8))
+        assert profile.length == len(mcf_trace)
+        assert profile.miss_count >= 0
+        assert (np.diff(profile.miss_indices) > 0).all()
+        mem = mcf_trace.loads | mcf_trace.stores
+        assert mem[profile.miss_indices].all()
+
+    def test_smaller_tlb_misses_more(self, mcf_trace):
+        small = collect_tlb_misses(mcf_trace, TLBConfig(entries=4))
+        big = collect_tlb_misses(mcf_trace, TLBConfig(entries=512))
+        assert small.miss_count >= big.miss_count
+
+    def test_cpi_adder(self, mcf_trace):
+        cfg = TLBConfig(entries=8, miss_penalty=30)
+        profile = collect_tlb_misses(mcf_trace, cfg)
+        cpi = tlb_cpi(profile, rob_size=128, config=cfg)
+        upper = profile.misses_per_instruction * cfg.miss_penalty
+        assert 0 <= cpi <= upper + 1e-12
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=0)
+        with pytest.raises(ValueError):
+            TLBConfig(page_bytes=1000)
+        with pytest.raises(ValueError):
+            TLBConfig(miss_penalty=0)
+
+
+class TestExtendedModel:
+    def test_all_disabled_equals_base_model(self, gzip_trace):
+        from repro.config import BASELINE
+        from repro.core.model import FirstOrderModel
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+
+        base = FirstOrderModel(BASELINE).evaluate_trace(gzip_trace)
+        ext = ExtendedFirstOrderModel(BASELINE).evaluate_trace(gzip_trace)
+        assert ext.cpi == pytest.approx(base.cpi)
+        assert ext.cpi_tlb == 0.0
+
+    def test_tlb_adds_cpi(self, mcf_trace):
+        from repro.config import BASELINE
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+        from repro.extensions.tlb import TLBConfig
+
+        plain = ExtendedFirstOrderModel(BASELINE).evaluate_trace(mcf_trace)
+        with_tlb = ExtendedFirstOrderModel(
+            BASELINE, tlb=TLBConfig(entries=4)
+        ).evaluate_trace(mcf_trace)
+        assert with_tlb.cpi_tlb > 0
+        assert with_tlb.cpi > plain.cpi
+
+    def test_fetch_buffer_reduces_icache_term(self):
+        from repro.config import BASELINE
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+        from repro.trace.synthetic import generate_trace
+
+        trace = generate_trace("perl", 8_000)
+        plain = ExtendedFirstOrderModel(BASELINE).evaluate_trace(trace)
+        buffered = ExtendedFirstOrderModel(
+            BASELINE, fetch_buffer=FetchBuffer(32)
+        ).evaluate_trace(trace)
+        assert buffered.cpi_icache <= plain.cpi_icache
+        assert buffered.cpi <= plain.cpi
+
+    def test_fu_pool_clamps_steady_state(self, gzip_trace):
+        from repro.config import BASELINE
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+
+        pool = FunctionalUnitPool(counts={"ialu": 1, "mem": 1})
+        limited = ExtendedFirstOrderModel(
+            BASELINE, fu_pool=pool
+        ).evaluate_trace(gzip_trace)
+        generous = ExtendedFirstOrderModel(
+            BASELINE, fu_pool=FunctionalUnitPool.generous()
+        ).evaluate_trace(gzip_trace)
+        assert limited.base.cpi_steady > generous.base.cpi_steady
+
+    def test_burst_aware_branch_substitution(self, gzip_trace):
+        from repro.config import BASELINE
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+
+        aware = ExtendedFirstOrderModel(
+            BASELINE, burst_aware_branches=True
+        ).evaluate_trace(gzip_trace)
+        plain = ExtendedFirstOrderModel(BASELINE).evaluate_trace(gzip_trace)
+        assert aware.cpi_branch != plain.cpi_branch
+        assert aware.cpi > 0
+
+    def test_ipc_reciprocal(self, gzip_trace):
+        from repro.config import BASELINE
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+
+        ext = ExtendedFirstOrderModel(BASELINE).evaluate_trace(gzip_trace)
+        assert ext.ipc == pytest.approx(1.0 / ext.cpi)

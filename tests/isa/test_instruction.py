@@ -1,0 +1,66 @@
+"""Tests for the Instruction record and its validation."""
+
+import pytest
+
+from repro.isa.instruction import NO_REG, Instruction
+from repro.isa.opclass import OpClass
+
+
+def alu(dst=1, src1=2, src2=NO_REG):
+    return Instruction(pc=0x1000, opclass=OpClass.IALU, dst=dst,
+                       src1=src1, src2=src2)
+
+
+class TestConstruction:
+    def test_basic_alu(self):
+        i = alu()
+        assert i.dst == 1
+        assert i.sources() == (2,)
+
+    def test_two_source_alu(self):
+        assert alu(src2=3).sources() == (2, 3)
+
+    def test_load_properties(self):
+        i = Instruction(pc=4, opclass=OpClass.LOAD, dst=5, src1=6,
+                        addr=0x2000)
+        assert i.is_load and i.is_memory and not i.is_store
+
+    def test_store_properties(self):
+        i = Instruction(pc=4, opclass=OpClass.STORE, src1=1, src2=2,
+                        addr=0x2000)
+        assert i.is_store and i.is_memory and not i.is_load
+
+    def test_branch_properties(self):
+        i = Instruction(pc=4, opclass=OpClass.BRANCH, src1=1, taken=True,
+                        target=0x100)
+        assert i.is_branch and not i.is_memory
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            alu().pc = 5
+
+
+class TestValidation:
+    def test_store_cannot_have_destination(self):
+        with pytest.raises(ValueError, match="destination"):
+            Instruction(pc=0, opclass=OpClass.STORE, dst=3, addr=8)
+
+    def test_branch_cannot_have_destination(self):
+        with pytest.raises(ValueError, match="destination"):
+            Instruction(pc=0, opclass=OpClass.BRANCH, dst=3)
+
+    def test_alu_cannot_have_address(self):
+        with pytest.raises(ValueError, match="memory address"):
+            Instruction(pc=0, opclass=OpClass.IALU, dst=1, addr=0x2000)
+
+    def test_alu_cannot_be_taken(self):
+        with pytest.raises(ValueError, match="taken"):
+            Instruction(pc=0, opclass=OpClass.IALU, dst=1, taken=True)
+
+    def test_jump_may_be_taken(self):
+        i = Instruction(pc=0, opclass=OpClass.JUMP, taken=True, target=64)
+        assert i.taken
+
+    def test_sources_skips_missing_operands(self):
+        i = Instruction(pc=0, opclass=OpClass.IALU, dst=1)
+        assert i.sources() == ()

@@ -1,0 +1,87 @@
+"""Tests for the functional-unit latency table."""
+
+import numpy as np
+import pytest
+
+from repro.isa.latency import DEFAULT_LATENCIES, LatencyTable
+from repro.isa.opclass import OpClass
+
+
+class TestDefaults:
+    def test_default_covers_all_classes(self):
+        table = LatencyTable()
+        for c in OpClass:
+            assert table[c] >= 1
+
+    def test_ialu_is_single_cycle(self):
+        assert LatencyTable()[OpClass.IALU] == 1
+
+    def test_divide_is_slowest_integer_op(self):
+        t = LatencyTable()
+        assert t[OpClass.IDIV] > t[OpClass.IMUL] > t[OpClass.IALU]
+
+
+class TestValidation:
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            LatencyTable({OpClass.IALU: 1})
+
+    def test_zero_latency_rejected(self):
+        bad = dict(DEFAULT_LATENCIES)
+        bad[OpClass.IALU] = 0
+        with pytest.raises(ValueError, match=">= 1"):
+            LatencyTable(bad)
+
+
+class TestUnit:
+    def test_unit_table_is_all_ones(self):
+        t = LatencyTable.unit()
+        assert all(t[c] == 1 for c in OpClass)
+
+
+class TestReplace:
+    def test_replace_overrides_named_class(self):
+        t = LatencyTable().replace(load=1)
+        assert t[OpClass.LOAD] == 1
+
+    def test_replace_leaves_others(self):
+        t = LatencyTable().replace(imul=7)
+        assert t[OpClass.IALU] == LatencyTable()[OpClass.IALU]
+
+    def test_replace_returns_new_table(self):
+        base = LatencyTable()
+        assert base.replace(load=1) is not base
+        assert base[OpClass.LOAD] == DEFAULT_LATENCIES[OpClass.LOAD]
+
+    def test_replace_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            LatencyTable().replace(frobnicate=3)
+
+
+class TestVector:
+    def test_vector_indexed_by_opclass(self):
+        vec = LatencyTable().as_vector()
+        for c in OpClass:
+            assert vec[int(c)] == LatencyTable()[c]
+
+    def test_vector_dtype_is_integer(self):
+        assert LatencyTable().as_vector().dtype == np.int64
+
+
+class TestMeanLatency:
+    def test_pure_ialu_mix(self):
+        assert LatencyTable().mean_latency({OpClass.IALU: 1.0}) == 1.0
+
+    def test_weighted_mix(self):
+        t = LatencyTable()
+        mix = {OpClass.IALU: 0.5, OpClass.LOAD: 0.5}
+        expected = 0.5 * t[OpClass.IALU] + 0.5 * t[OpClass.LOAD]
+        assert t.mean_latency(mix) == pytest.approx(expected)
+
+    def test_unnormalised_mix_is_normalised(self):
+        t = LatencyTable()
+        assert t.mean_latency({OpClass.IALU: 2.0}) == 1.0
+
+    def test_empty_mix_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            LatencyTable().mean_latency({})

@@ -1,0 +1,49 @@
+"""Tests for the register-file producer tracking."""
+
+import pytest
+
+from repro.isa.instruction import NO_REG
+from repro.isa.registers import NUM_ARCH_REGS, RegisterFile
+
+
+class TestRegisterFile:
+    def test_unwritten_registers_are_live_in(self):
+        rf = RegisterFile()
+        for r in range(NUM_ARCH_REGS):
+            assert rf.producer_of(r) == -1
+
+    def test_write_records_producer(self):
+        rf = RegisterFile()
+        rf.write(3, 42)
+        assert rf.producer_of(3) == 42
+
+    def test_later_write_shadows_earlier(self):
+        rf = RegisterFile()
+        rf.write(3, 10)
+        rf.write(3, 20)
+        assert rf.producer_of(3) == 20
+
+    def test_no_reg_is_always_live_in(self):
+        rf = RegisterFile()
+        assert rf.producer_of(NO_REG) == -1
+
+    def test_write_to_no_reg_is_noop(self):
+        rf = RegisterFile()
+        rf.write(NO_REG, 5)
+        for r in range(rf.num_regs):
+            assert rf.producer_of(r) == -1
+
+    def test_reset_clears_producers(self):
+        rf = RegisterFile()
+        rf.write(1, 7)
+        rf.reset()
+        assert rf.producer_of(1) == -1
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(num_regs=0)
+
+    def test_custom_size(self):
+        rf = RegisterFile(num_regs=4)
+        rf.write(3, 1)
+        assert rf.producer_of(3) == 1

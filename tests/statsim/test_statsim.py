@@ -1,0 +1,124 @@
+"""Tests for the statistical-simulation subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.config import BASELINE
+from repro.frontend.collector import collect_events
+from repro.isa.opclass import OpClass
+from repro.simulator.processor import DetailedSimulator
+from repro.statsim.generator import (
+    StatisticalTraceGenerator,
+    statistical_simulate,
+)
+from repro.statsim.statistics import ProgramStatistics
+
+
+@pytest.fixture(scope="module")
+def gzip_stats(gzip_trace):
+    profile = collect_events(gzip_trace)
+    return ProgramStatistics.collect(gzip_trace, profile)
+
+
+class TestStatisticsCollection:
+    def test_mix_matches_trace(self, gzip_trace, gzip_stats):
+        trace_mix = gzip_trace.instruction_mix()
+        for c, f in gzip_stats.mix.items():
+            assert f == pytest.approx(trace_mix[c])
+
+    def test_presence_probabilities(self, gzip_stats):
+        assert 0 < gzip_stats.src1_presence <= 1
+        assert 0 <= gzip_stats.src2_presence <= 1
+
+    def test_distance_distribution_normalised(self, gzip_stats):
+        assert gzip_stats.distance_distribution().sum() == pytest.approx(1.0)
+
+    def test_rates_bounded(self, gzip_stats):
+        assert 0 <= gzip_stats.misprediction_rate <= 1
+        assert 0 <= gzip_stats.dcache_short_rate <= 1
+        assert 0 <= gzip_stats.dcache_long_rate <= 1
+
+    def test_mismatched_profile_rejected(self, gzip_trace, vpr_trace):
+        profile = collect_events(vpr_trace[:100])
+        with pytest.raises(ValueError, match="match"):
+            ProgramStatistics.collect(gzip_trace, profile)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def synthetic(self, gzip_stats):
+        return StatisticalTraceGenerator(gzip_stats, BASELINE).generate(
+            seed=7
+        )
+
+    def test_length_defaults_to_profiled(self, synthetic, gzip_trace):
+        assert len(synthetic.trace) == len(gzip_trace)
+
+    def test_custom_length(self, gzip_stats):
+        st = StatisticalTraceGenerator(gzip_stats).generate(length=500)
+        assert len(st.trace) == 500
+
+    def test_mix_is_reproduced(self, synthetic, gzip_stats):
+        mix = synthetic.trace.instruction_mix()
+        for c, f in gzip_stats.mix.items():
+            if f > 0.05:
+                assert mix.get(c, 0.0) == pytest.approx(f, rel=0.25)
+
+    def test_dependence_distances_reproduced(self, synthetic, gzip_stats):
+        got = synthetic.trace.dependences().distances()
+        want_mean = float(
+            np.average(
+                np.arange(1, len(gzip_stats.distance_distribution()) + 1),
+                weights=gzip_stats.distance_distribution(),
+            )
+        )
+        assert got.mean() == pytest.approx(want_mean, rel=0.35)
+
+    def test_misprediction_rate_reproduced(self, synthetic, gzip_stats):
+        ann = synthetic.annotations
+        branches = synthetic.trace.branches
+        rate = ann.mispredicted.sum() / max(1, branches.sum())
+        assert rate == pytest.approx(gzip_stats.misprediction_rate,
+                                     rel=0.4)
+
+    def test_short_miss_rate_reproduced(self, synthetic, gzip_stats):
+        ann = synthetic.annotations
+        loads = synthetic.trace.loads
+        l2 = BASELINE.hierarchy.l2_latency
+        rate = (ann.load_extra == l2).sum() / max(1, loads.sum())
+        assert rate == pytest.approx(gzip_stats.dcache_short_rate, rel=0.4)
+
+    def test_annotations_well_formed(self, synthetic):
+        ann = synthetic.annotations
+        trace = synthetic.trace
+        assert not ann.load_extra[~trace.loads].any()
+        assert not ann.mispredicted[~trace.branches].any()
+        assert (ann.load_extra[ann.long_miss]
+                == BASELINE.hierarchy.memory_latency).all()
+
+    def test_deterministic_per_seed(self, gzip_stats):
+        a = StatisticalTraceGenerator(gzip_stats).generate(seed=1)
+        b = StatisticalTraceGenerator(gzip_stats).generate(seed=1)
+        assert (a.trace.opclass == b.trace.opclass).all()
+        c = StatisticalTraceGenerator(gzip_stats).generate(seed=2)
+        assert not (a.trace.opclass == c.trace.opclass).all()
+
+    def test_invalid_length(self, gzip_stats):
+        with pytest.raises(ValueError):
+            StatisticalTraceGenerator(gzip_stats).generate(length=0)
+
+
+class TestEndToEnd:
+    def test_statsim_tracks_detailed_simulation(self, gzip_trace):
+        detailed = DetailedSimulator(BASELINE, instrument=False).run(
+            gzip_trace
+        )
+        stat = statistical_simulate(gzip_trace, BASELINE, seed=3)
+        assert stat.cpi == pytest.approx(detailed.cpi, rel=0.2)
+
+    def test_statsim_orders_benchmarks(self, gzip_trace, vpr_trace):
+        """vpr (low ILP) must come out slower than gzip through the
+        statistical pipeline too."""
+        gz = statistical_simulate(gzip_trace, BASELINE, seed=3)
+        vp = statistical_simulate(vpr_trace, BASELINE, seed=3)
+        assert vp.cpi > gz.cpi

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_model_args(self):
+        args = build_parser().parse_args(["model", "gzip",
+                                          "--length", "500"])
+        assert args.benchmark == "gzip" and args.length == 500
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model", "spec2017"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "fig15_overall" in out
+
+    def test_model(self, capsys):
+        assert main(["model", "gzip", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "model CPI" in out and "CPI stack" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "vpr", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "mispredictions" in out
+
+    def test_compare_subset(self, capsys):
+        assert main(["compare", "gzip", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "mean |error|" in out
+
+    def test_iw(self, capsys):
+        assert main(["iw", "vortex", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "W^" in out and "measured" in out
+
+    def test_transient(self, capsys):
+        assert main(["transient", "--width", "4", "--depth", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "drain" in out and "ramp" in out
+
+    def test_experiment_fig08(self, capsys):
+        assert main(["experiment", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_experiment_by_full_name(self, capsys):
+        assert main(["experiment", "fig19_ramp"]) == 0
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

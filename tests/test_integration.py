@@ -1,0 +1,83 @@
+"""End-to-end integration tests: the paper's headline pipeline on small
+traces, plus the public API surface."""
+
+import pytest
+
+import repro
+from repro import (
+    BASELINE,
+    FirstOrderModel,
+    build_characteristic,
+    collect_events,
+    generate_trace,
+    simulate,
+)
+
+
+class TestHeadlinePipeline:
+    """Model vs detailed simulation, end to end (paper Figure 15 at
+    reduced scale)."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        trace = generate_trace("gzip", 12_000)
+        report = FirstOrderModel(BASELINE).evaluate_trace(trace)
+        sim = simulate(trace, BASELINE)
+        return report, sim
+
+    def test_model_tracks_simulation(self, comparison):
+        report, sim = comparison
+        assert report.cpi == pytest.approx(sim.cpi, rel=0.25)
+
+    def test_both_see_the_same_event_counts(self, comparison):
+        report, sim = comparison
+        # the model's inputs and the simulator's annotations come from
+        # the same functional pass, so counts must agree
+        trace = generate_trace("gzip", 12_000)
+        profile = collect_events(trace)
+        assert sim.misprediction_count == profile.misprediction_count
+        assert sim.dcache_long_count == profile.dcache_long_count
+
+    def test_steady_state_below_total(self, comparison):
+        report, _ = comparison
+        assert report.cpi_steady < report.cpi
+
+
+class TestCrossBenchmarkShape:
+    def test_low_ilp_benchmark_has_higher_ideal_cpi(self):
+        reports = {}
+        for name in ("vpr", "vortex"):
+            trace = generate_trace(name, 8_000)
+            reports[name] = FirstOrderModel(BASELINE).evaluate_trace(trace)
+        assert reports["vpr"].cpi_steady > reports["vortex"].cpi_steady
+
+    def test_memory_bound_benchmark_is_memory_dominated(self):
+        trace = generate_trace("mcf", 25_000)
+        report = FirstOrderModel(BASELINE).evaluate_trace(trace)
+        stack = report.stack()
+        assert stack.fraction("l2_dcache") > 0.3
+
+
+class TestCharacteristicPipeline:
+    def test_build_characteristic_from_public_api(self):
+        trace = generate_trace("gzip", 6_000)
+        profile = collect_events(trace)
+        ch = build_characteristic(trace, BASELINE, profile)
+        assert ch.issue_width == BASELINE.width
+        assert ch.latency >= 1.0
+        assert 0.2 < ch.beta < 0.9
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_docstring_names_exist(self):
+        # the names used by the package docstring example
+        for name in ("FirstOrderModel", "generate_trace", "simulate",
+                     "BASELINE"):
+            assert hasattr(repro, name)

@@ -1,0 +1,121 @@
+"""The paper's summarised conclusions (§7), tested directly.
+
+The paper closes with three numbered intuitions and two trend results.
+Each gets a focused test here, at test scale (full-scale versions live in
+``benchmarks/``), so the repository's headline claims are guarded by the
+fast suite.
+"""
+
+import pytest
+
+from repro.config import BASELINE
+from repro.core.branch_penalty import BranchPenaltyModel
+from repro.core.dcache_penalty import DCachePenaltyModel
+from repro.core.icache_penalty import ICachePenaltyModel
+from repro.core.trends import (
+    optimal_depth,
+    pipeline_depth_sweep,
+    required_mispredict_distance,
+)
+from repro.window.characteristic import IWCharacteristic
+
+
+@pytest.fixture(scope="module")
+def square():
+    return IWCharacteristic.square_law(issue_width=4)
+
+
+class TestConclusion1:
+    """"The branch misprediction penalty is often significantly larger
+    than the front-end pipeline depth." """
+
+    def test_model_penalty_exceeds_depth(self, square):
+        for depth in (3, 5, 9, 15):
+            model = BranchPenaltyModel.build(square, depth, 4, 48)
+            assert model.isolated_penalty > depth + 2
+
+    def test_penalty_can_double_the_depth(self, square):
+        model = BranchPenaltyModel.build(square, 5, 4, 48)
+        assert model.isolated_penalty >= 1.8 * 5
+
+    def test_low_ilp_machines_pay_more(self):
+        """vpr-like characteristics (low beta, high latency) stretch the
+        drain/ramp bracket — the paper's vpr outlier."""
+        typical = BranchPenaltyModel.build(
+            IWCharacteristic.square_law(issue_width=4), 5, 4, 48
+        )
+        vpr_like = BranchPenaltyModel.build(
+            IWCharacteristic(alpha=1.5, beta=0.3, latency=2.2,
+                             issue_width=4), 5, 4, 48
+        )
+        assert vpr_like.isolated_penalty > typical.isolated_penalty
+
+
+class TestConclusion2:
+    """"Instruction cache penalty is independent of the front-end
+    pipeline; it depends largely on the miss delay." """
+
+    def test_depth_independence(self, square):
+        penalties = [
+            ICachePenaltyModel.build(square, 8, depth, 4, 48)
+            .isolated_penalty_exact
+            for depth in (3, 5, 9, 15)
+        ]
+        assert max(penalties) - min(penalties) < 1e-9
+
+    def test_penalty_tracks_miss_delay(self, square):
+        p8 = ICachePenaltyModel.build(square, 8, 5, 4, 48)
+        p16 = ICachePenaltyModel.build(square, 16, 5, 4, 48)
+        assert (
+            p16.isolated_penalty_exact - p8.isolated_penalty_exact
+            == pytest.approx(8.0)
+        )
+
+
+class TestConclusion3:
+    """"The data cache penalty for an isolated long miss is essentially
+    the miss delay.  For multiple misses within a ROB-size of
+    instructions, the combined penalty is the same as an isolated
+    miss." """
+
+    def test_isolated_penalty_is_miss_delay(self):
+        model = DCachePenaltyModel(miss_delay=200, rob_size=128)
+        assert model.isolated_penalty == 200.0
+
+    def test_overlapped_group_costs_one_isolated_penalty(self):
+        model = DCachePenaltyModel(miss_delay=200, rob_size=128)
+        for group in (2, 3, 5):
+            combined = group * model.group_penalty(group)
+            assert combined == pytest.approx(model.isolated_penalty)
+
+
+class TestTrendResults:
+    """"We were able to reproduce optimal pipeline depth results" and
+    "branch prediction accuracy must improve as the square of issue
+    width"."""
+
+    def test_finite_optimal_depth_exists(self):
+        sweep = pipeline_depth_sweep(tuple(range(5, 101, 5)), (3,))
+        opt = optimal_depth(sweep[3])
+        assert 5 < opt.pipeline_depth < 100
+
+    def test_square_law_of_issue_width(self):
+        d4 = required_mispredict_distance(4, 0.3)
+        d8 = required_mispredict_distance(8, 0.3)
+        assert d8 / d4 == pytest.approx(4.0, rel=0.35)
+
+
+class TestEquationOne:
+    """Eq. 1 at test scale: the model must track detailed simulation for
+    a diverse benchmark pair."""
+
+    @pytest.mark.parametrize("bench,tolerance", [("gzip", 0.25),
+                                                 ("vpr", 0.25)])
+    def test_model_tracks_simulation(self, bench, tolerance, request):
+        from repro.core.model import FirstOrderModel
+        from repro.simulator.processor import simulate
+
+        trace = request.getfixturevalue(f"{bench}_trace")
+        report = FirstOrderModel(BASELINE).evaluate_trace(trace)
+        sim = simulate(trace, BASELINE, instrument=False)
+        assert report.cpi == pytest.approx(sim.cpi, rel=tolerance)

@@ -1,0 +1,99 @@
+"""Tests for the SPECint2000 stand-in profiles."""
+
+import pytest
+
+from repro.isa.opclass import OpClass
+from repro.trace.profiles import (
+    BENCHMARK_ORDER,
+    SPECINT2000,
+    BenchmarkProfile,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(SPECINT2000) == 12
+        assert len(BENCHMARK_ORDER) == 12
+
+    def test_order_covers_registry(self):
+        assert set(BENCHMARK_ORDER) == set(SPECINT2000)
+
+    def test_paper_names_present(self):
+        for name in ("gzip", "vortex", "vpr", "mcf", "twolf", "gcc"):
+            assert name in SPECINT2000
+
+    def test_get_profile(self):
+        assert get_profile("gzip").name == "gzip"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("spec2017")
+
+    def test_distinct_seeds(self):
+        seeds = [p.seed for p in SPECINT2000.values()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestProfileInvariants:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_mix_is_a_distribution(self, name):
+        mix = get_profile(name).full_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert all(f >= 0 for f in mix.values())
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_region_mixture_positive(self, name):
+        p = get_profile(name)
+        assert p.stack_frac + p.stream_frac + p.heap_frac > 0
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_code_footprint_positive(self, name):
+        assert get_profile(name).code_bytes > 0
+
+
+class TestCalibrationAnchors:
+    """The paper's Table 1 anchors encoded as profile-level orderings."""
+
+    def test_vpr_has_shortest_dependences(self):
+        vpr = get_profile("vpr").dep_mean_distance
+        assert all(
+            vpr <= get_profile(n).dep_mean_distance
+            for n in BENCHMARK_ORDER
+        )
+
+    def test_vortex_has_longest_dependences(self):
+        vortex = get_profile("vortex").dep_mean_distance
+        assert all(
+            vortex >= get_profile(n).dep_mean_distance
+            for n in BENCHMARK_ORDER
+        )
+
+    def test_vpr_has_high_latency_mix(self):
+        p = get_profile("vpr")
+        assert p.frac_imul + p.frac_falu + p.frac_fmul > 0.1
+
+    def test_mcf_has_biggest_memory_pressure(self):
+        mcf = get_profile("mcf")
+        assert mcf.heap_bytes >= max(
+            get_profile(n).heap_bytes for n in BENCHMARK_ORDER
+        )
+
+
+class TestValidation:
+    def test_oversubscribed_mix_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            BenchmarkProfile(name="bad", frac_load=0.9, frac_store=0.9)
+
+    def test_zero_region_mixture_rejected(self):
+        with pytest.raises(ValueError, match="mixture"):
+            BenchmarkProfile(name="bad", stack_frac=0.0, stream_frac=0.0,
+                             heap_frac=0.0)
+
+    def test_sub_unit_dependence_distance_rejected(self):
+        with pytest.raises(ValueError, match="dep_mean_distance"):
+            BenchmarkProfile(name="bad", dep_mean_distance=0.5)
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(AttributeError):
+            get_profile("gzip").seed = 99

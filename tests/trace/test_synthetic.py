@@ -1,0 +1,153 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instruction import NO_REG
+from repro.isa.opclass import OpClass, writes_register
+from repro.trace.profiles import BENCHMARK_ORDER, get_profile
+from repro.trace.synthetic import (
+    CODE_BASE,
+    HEAP_BASE,
+    LIVE_IN_REGS,
+    STACK_BASE,
+    STREAM_BASE,
+    SyntheticTraceGenerator,
+    generate_trace,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("gzip", 2000)
+        b = generate_trace("gzip", 2000)
+        assert (a.pc == b.pc).all()
+        assert (a.opclass == b.opclass).all()
+        assert (a.addr == b.addr).all()
+        assert (a.taken == b.taken).all()
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace("gzip", 2000, seed=1)
+        b = generate_trace("gzip", 2000, seed=2)
+        assert not (a.taken == b.taken).all()
+
+    def test_benchmarks_differ(self):
+        a = generate_trace("gzip", 2000)
+        b = generate_trace("vpr", 2000)
+        assert not (a.opclass == b.opclass).all()
+
+
+class TestWellFormed:
+    @pytest.mark.parametrize("bench", BENCHMARK_ORDER)
+    def test_generates_exact_length(self, bench):
+        assert len(generate_trace(bench, 1234)) == 1234
+
+    def test_default_length_from_profile(self):
+        tr = SyntheticTraceGenerator(get_profile("gzip")).generate()
+        assert len(tr) == get_profile("gzip").default_length
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace("gzip", 0)
+
+    def test_memory_ops_have_addresses(self, gzip_trace):
+        mem = gzip_trace.loads | gzip_trace.stores
+        assert (gzip_trace.addr[mem] > 0).all()
+        assert (gzip_trace.addr[~mem] == 0).all()
+
+    def test_addresses_fall_in_known_regions(self, gzip_trace):
+        mem = gzip_trace.loads | gzip_trace.stores
+        addrs = gzip_trace.addr[mem]
+        in_region = (
+            ((addrs >= STACK_BASE) & (addrs < STACK_BASE + (1 << 24)))
+            | ((addrs >= STREAM_BASE) & (addrs < HEAP_BASE))
+            | ((addrs >= HEAP_BASE) & (addrs < STACK_BASE))
+        )
+        assert in_region.all()
+
+    def test_pcs_in_code_region(self, gzip_trace):
+        assert (gzip_trace.pc >= CODE_BASE).all()
+        assert (gzip_trace.pc < CODE_BASE + (1 << 22)).all()
+
+    def test_destinations_never_live_in(self, gzip_trace):
+        has_dst = gzip_trace.dst != NO_REG
+        assert (gzip_trace.dst[has_dst] >= LIVE_IN_REGS).all()
+
+    def test_writer_classes_have_destinations(self, gzip_trace):
+        for k in range(0, len(gzip_trace), 37):
+            instr = gzip_trace[k]
+            if writes_register(instr.opclass):
+                assert instr.dst != NO_REG
+            else:
+                assert instr.dst == NO_REG
+
+    def test_taken_branches_have_targets(self, gzip_trace):
+        br = gzip_trace.branches
+        taken = br & gzip_trace.taken
+        assert (gzip_trace.target[taken] > 0).all()
+
+    def test_jumps_always_taken(self, gzip_trace):
+        jumps = gzip_trace.mask(OpClass.JUMP)
+        assert gzip_trace.taken[jumps].all()
+
+
+class TestControlFlowConsistency:
+    def test_taken_branch_target_is_next_pc(self, gzip_trace):
+        """The instruction after a taken branch starts at the target."""
+        taken = np.flatnonzero(
+            (gzip_trace.branches | gzip_trace.mask(OpClass.JUMP))
+            & gzip_trace.taken
+        )
+        taken = taken[taken < len(gzip_trace) - 1]
+        assert (
+            gzip_trace.pc[taken + 1] == gzip_trace.target[taken]
+        ).all()
+
+    def test_not_taken_branch_falls_through(self, gzip_trace):
+        br = np.flatnonzero(gzip_trace.branches & ~gzip_trace.taken)
+        br = br[br < len(gzip_trace) - 1]
+        # fall-through continues at the next block, which starts right
+        # after the branch instruction — except when the last static block
+        # falls through and the walk wraps to block 0
+        falls_through = gzip_trace.pc[br + 1] == gzip_trace.pc[br] + 4
+        assert falls_through.mean() > 0.9
+        wrapped = gzip_trace.pc[br + 1][~falls_through]
+        assert (wrapped == gzip_trace.pc.min()).all()
+
+    def test_sequential_pcs_inside_blocks(self, gzip_trace):
+        """Non-control instructions are followed by pc+4."""
+        ctrl = gzip_trace.branches | gzip_trace.mask(OpClass.JUMP)
+        body = np.flatnonzero(~ctrl)
+        body = body[body < len(gzip_trace) - 1]
+        assert (gzip_trace.pc[body + 1] == gzip_trace.pc[body] + 4).all()
+
+
+class TestStatisticalShape:
+    def test_branch_fraction_tracks_block_size(self):
+        tr = generate_trace("gzip", 20_000)
+        profile = get_profile("gzip")
+        realized = float(
+            (tr.branches | tr.mask(OpClass.JUMP)).mean()
+        )
+        expected = 1.0 / profile.mean_block_size
+        assert realized == pytest.approx(expected, rel=0.35)
+
+    def test_dependence_distance_ordering(self):
+        """vpr (short distances) < gzip < vortex (long distances)."""
+        from repro.trace.analysis import analyze_trace
+
+        dists = {
+            name: analyze_trace(
+                generate_trace(name, 10_000)
+            ).mean_dependence_distance
+            for name in ("vpr", "gzip", "vortex")
+        }
+        assert dists["vpr"] < dists["gzip"] < dists["vortex"]
+
+    def test_num_regs_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(get_profile("gzip"), num_regs=4)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            generate_trace("nonexistent", 100)

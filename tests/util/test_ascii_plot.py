@@ -1,0 +1,72 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, line_plot
+
+
+class TestLinePlot:
+    def test_renders_single_series(self):
+        out = line_plot({"a": ([0, 1, 2], [0.0, 1.0, 2.0])}, width=20,
+                        height=5)
+        assert "a" in out
+        assert "2.00" in out and "0.00" in out
+
+    def test_title_and_labels(self):
+        out = line_plot({"s": ([0, 1], [1, 2])}, title="T",
+                        x_label="cycles", y_label="IPC")
+        assert out.startswith("T")
+        assert "cycles" in out and "IPC" in out
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        out = line_plot({
+            "one": ([0, 1], [0, 1]),
+            "two": ([0, 1], [1, 0]),
+        })
+        assert "* one" in out and "o two" in out
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        out = line_plot({"flat": ([0, 1, 2], [3.0, 3.0, 3.0])})
+        assert "3.00" in out
+
+    def test_canvas_dimensions(self):
+        out = line_plot({"a": ([0, 10], [0, 1])}, width=30, height=7)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": ([], [])})
+        with pytest.raises(ValueError):
+            line_plot({"a": ([1], [1, 2])})
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        out = bar_chart(["x", "longer"], [1, 1])
+        lines = out.splitlines()
+        assert lines[0].index("1.000") == lines[1].index("1.000")
+
+    def test_title(self):
+        assert bar_chart(["a"], [1], title="T").startswith("T")
+
+    def test_custom_format(self):
+        assert "50%" in bar_chart(["a"], [0.5], fmt="{:.0%}")
+
+    def test_all_zero_values(self):
+        out = bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart([], [])

@@ -1,0 +1,97 @@
+"""Tests for the IWCharacteristic abstraction."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.window.characteristic import IWCharacteristic
+from repro.window.powerlaw import PowerLawFit
+
+
+class TestConstruction:
+    def test_square_law(self):
+        ch = IWCharacteristic.square_law()
+        assert ch.alpha == 1.0 and ch.beta == 0.5
+
+    def test_from_fit(self):
+        fit = PowerLawFit(alpha=1.4, beta=0.6, r_squared=0.99)
+        ch = IWCharacteristic.from_fit(fit, latency=1.5, issue_width=4)
+        assert ch.alpha == 1.4 and ch.beta == 0.6
+        assert ch.latency == 1.5 and ch.issue_width == 4
+
+    def test_builders(self):
+        ch = IWCharacteristic.square_law()
+        assert ch.with_latency(2.0).latency == 2.0
+        assert ch.with_issue_width(8).issue_width == 8
+        assert ch.with_issue_width(None).issue_width is None
+
+    @pytest.mark.parametrize("kw", [
+        dict(alpha=0.0, beta=0.5),
+        dict(alpha=1.0, beta=0.0),
+        dict(alpha=1.0, beta=1.5),
+        dict(alpha=1.0, beta=0.5, latency=0.5),
+        dict(alpha=1.0, beta=0.5, issue_width=0),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            IWCharacteristic(**kw)
+
+
+class TestIssueRate:
+    def test_square_law_values(self):
+        ch = IWCharacteristic.square_law()
+        assert ch.issue_rate(16) == pytest.approx(4.0)
+        assert ch.issue_rate(64) == pytest.approx(8.0)
+
+    def test_latency_divides_rate(self):
+        ch = IWCharacteristic.square_law(latency=2.0)
+        assert ch.issue_rate(16) == pytest.approx(2.0)
+
+    def test_width_clamps_rate(self):
+        ch = IWCharacteristic.square_law(issue_width=4)
+        assert ch.issue_rate(64) == 4.0
+        assert ch.issue_rate(4) == pytest.approx(2.0)
+
+    def test_zero_window(self):
+        assert IWCharacteristic.square_law().issue_rate(0) == 0.0
+
+    @given(st.floats(1.0, 1e4))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_roundtrip(self, w):
+        ch = IWCharacteristic(alpha=1.3, beta=0.45, latency=1.7)
+        assert ch.window_for_rate(ch.issue_rate(w)) == pytest.approx(
+            w, rel=1e-9
+        )
+
+
+class TestSteadyState:
+    def test_ipc_and_cpi_are_reciprocal(self):
+        ch = IWCharacteristic.square_law(issue_width=4)
+        assert ch.steady_state_ipc(48) * ch.steady_state_cpi(48) == (
+            pytest.approx(1.0)
+        )
+
+    def test_saturation_window(self):
+        ch = IWCharacteristic.square_law(issue_width=4)
+        assert ch.saturation_window() == pytest.approx(16.0)
+
+    def test_unbounded_never_saturates(self):
+        ch = IWCharacteristic.square_law()
+        assert math.isinf(ch.saturation_window())
+        assert not ch.is_saturated(10**9)
+
+    def test_is_saturated_at_baseline(self):
+        """The paper's baseline (W=48, width 4) sits on the flat part."""
+        ch = IWCharacteristic.square_law(issue_width=4)
+        assert ch.is_saturated(48)
+
+    def test_latency_moves_saturation_point(self):
+        fast = IWCharacteristic.square_law(issue_width=4)
+        slow = IWCharacteristic.square_law(latency=2.0, issue_width=4)
+        assert slow.saturation_window() > fast.saturation_window()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            IWCharacteristic.square_law().steady_state_ipc(0)

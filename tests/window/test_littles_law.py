@@ -1,0 +1,67 @@
+"""Tests for the Little's-law helpers and their consistency with the
+idealized simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.window.littles_law import (
+    issue_rate_from_residency,
+    latency_scaled_issue_rate,
+    window_residency,
+)
+
+
+class TestAlgebra:
+    def test_residency(self):
+        assert window_residency(16, 4) == 4.0
+
+    def test_rate_from_residency(self):
+        assert issue_rate_from_residency(16, 4.0) == 4.0
+
+    @given(st.floats(1, 1e3), st.floats(0.1, 1e2))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, window, rate):
+        t = window_residency(window, rate)
+        assert issue_rate_from_residency(window, t) == pytest.approx(rate)
+
+    def test_latency_scaling(self):
+        assert latency_scaled_issue_rate(4.0, 2.0) == 2.0
+        assert latency_scaled_issue_rate(4.0, 1.0) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_residency(0, 1)
+        with pytest.raises(ValueError):
+            issue_rate_from_residency(1, 0)
+        with pytest.raises(ValueError):
+            latency_scaled_issue_rate(1.0, 0.5)
+        with pytest.raises(ValueError):
+            latency_scaled_issue_rate(-1.0, 2.0)
+
+
+class TestAgainstSimulation:
+    def test_littles_law_predicts_latency_effect(self, vpr_trace):
+        """I_L ≈ I_1 / L on a real trace (the paper's §3 derivation).
+
+        The approximation is best for dependence-dense code (vpr): chains
+        through always-ready live-in operands do not stretch with L, so
+        live-in-heavy benchmarks (vortex) issue faster than I_1/L.
+        """
+        from repro.isa.latency import LatencyTable
+        from repro.window.iw_simulator import simulate_unbounded_issue
+
+        table = LatencyTable({c: 3 for c in LatencyTable.unit().latencies})
+        unit = simulate_unbounded_issue(vpr_trace, 32)
+        scaled = simulate_unbounded_issue(vpr_trace, 32, table)
+        predicted = latency_scaled_issue_rate(unit.ipc, 3.0)
+        assert scaled.ipc == pytest.approx(predicted, rel=0.25)
+
+    def test_littles_law_is_lower_bound_with_live_ins(self, vortex_trace):
+        from repro.isa.latency import LatencyTable
+        from repro.window.iw_simulator import simulate_unbounded_issue
+
+        table = LatencyTable({c: 3 for c in LatencyTable.unit().latencies})
+        unit = simulate_unbounded_issue(vortex_trace, 32)
+        scaled = simulate_unbounded_issue(vortex_trace, 32, table)
+        assert scaled.ipc >= latency_scaled_issue_rate(unit.ipc, 3.0)

@@ -1,0 +1,75 @@
+"""Tests for power-law fitting, including hypothesis-based recovery of
+known exponents."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.window.iw_simulator import measure_iw_curve
+from repro.window.powerlaw import PowerLawFit, fit_curve, fit_power_law
+
+
+class TestExactRecovery:
+    @given(
+        st.floats(0.2, 4.0),
+        st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_exact_power_law(self, alpha, beta):
+        w = np.array([2.0, 4, 8, 16, 32, 64])
+        i = alpha * w ** beta
+        fit = fit_power_law(w, i)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+        assert fit.beta == pytest.approx(beta, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_square_law(self):
+        w = np.array([4.0, 16, 64])
+        fit = fit_power_law(w, np.sqrt(w))
+        assert fit.alpha == pytest.approx(1.0)
+        assert fit.beta == pytest.approx(0.5)
+
+
+class TestFitInterface:
+    def test_prediction_roundtrip(self):
+        fit = PowerLawFit(alpha=1.5, beta=0.5, r_squared=1.0)
+        assert fit.ipc(16) == pytest.approx(6.0)
+        assert fit.window_for_ipc(6.0) == pytest.approx(16.0)
+
+    def test_window_for_zero_ipc(self):
+        fit = PowerLawFit(alpha=1.0, beta=0.5, r_squared=1.0)
+        assert fit.window_for_ipc(0.0) == 0.0
+
+    def test_log2_line(self):
+        fit = PowerLawFit(alpha=2.0, beta=0.5, r_squared=1.0)
+        slope, intercept = fit.log2_line()
+        assert slope == 0.5
+        assert intercept == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([2.0, -4]), np.array([1.0, 2]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([2.0, 4]), np.array([1.0, 2, 3]))
+
+
+class TestFitCurve:
+    def test_fit_range_restriction(self, gzip_trace):
+        curve = measure_iw_curve(gzip_trace, (2, 4, 8, 16, 32, 64))
+        full = fit_curve(curve)
+        restricted = fit_curve(curve, min_window=4, max_window=32)
+        assert full.beta != restricted.beta  # different point sets
+
+    def test_too_narrow_range_rejected(self, gzip_trace):
+        curve = measure_iw_curve(gzip_trace, (2, 4, 8))
+        with pytest.raises(ValueError, match="fewer than two"):
+            fit_curve(curve, min_window=8)
+
+    def test_benchmark_fit_quality(self, gzip_trace):
+        fit = fit_curve(measure_iw_curve(gzip_trace))
+        assert fit.r_squared > 0.9
+        assert 0.2 < fit.beta < 0.9
+        assert 0.5 < fit.alpha < 3.0
