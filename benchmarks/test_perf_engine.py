@@ -1,0 +1,48 @@
+"""Regenerate ``BENCH_perf.json``: kernel and sweep timings at full scale.
+
+This is the benchmark-suite hook for ``repro bench --quick``: it times
+trace generation, the functional pass and the detailed simulation for
+every benchmark at the experiments' full trace length, reference vs fast
+kernels, cold vs warm artifact cache, asserts the optimization
+contract, and rewrites ``BENCH_perf.json`` at the repository root.
+
+Run it alone with::
+
+    pytest benchmarks/test_perf_engine.py -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.runner.bench import (
+    DEFAULT_TRACE_LENGTH,
+    format_bench,
+    run_bench,
+    write_bench,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
+
+
+def test_regenerate_bench_perf(benchmark):
+    doc = benchmark.pedantic(
+        lambda: run_bench(length=DEFAULT_TRACE_LENGTH, runs=1),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_bench(doc))
+
+    sweep = doc["sweep"]
+    # a warm repeat of the sweep regenerates nothing up front ...
+    assert sweep["warm_trace_computes"] == 0
+    assert sweep["warm_annotation_computes"] == 0
+    # ... and the optimized stack beats the seed pipeline by >= 3x
+    assert sweep["speedup"] >= 3.0, (
+        f"sweep speedup {sweep['speedup']:.2f}x fell below the 3x contract"
+    )
+    # the kernels alone must be comfortably faster too
+    assert doc["aggregate"]["kernel_speedup"] >= 1.5
+
+    write_bench(doc, BENCH_PATH)
+    print(f"wrote {BENCH_PATH}")

@@ -10,6 +10,9 @@ writing any code:
 * ``transient``           — the Figure-8 misprediction transient, plotted
 * ``experiment <name>``   — run any paper experiment (``fig15``, ``tab01`` …)
 * ``report [-o FILE]``    — run every experiment, emit a markdown report
+* ``bench [-o FILE]``     — time the simulation kernels and the baseline
+  sweep (reference vs fast engines, cold vs warm artifact cache) and
+  write ``BENCH_perf.json``
 * ``list``                — available benchmarks and experiments
 """
 
@@ -146,9 +149,28 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.runner.bench import format_bench, run_bench, write_bench
+
+    runs = 1 if args.quick else args.runs
+    doc = run_bench(
+        length=args.length, runs=runs, jobs=args.jobs,
+        progress=lambda msg: print(f"bench: {msg} ...", file=sys.stderr),
+    )
+    print(format_bench(doc))
+    if args.output:
+        write_bench(doc, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
+    if args.jobs is not None:
+        from repro.runner import set_default_jobs
+
+        set_default_jobs(args.jobs)
     report = run_all(progress=lambda name: print(f"running {name} ..."))
     text = report.to_markdown()
     if args.output:
@@ -219,7 +241,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", "-o", default=None,
                    help="write the report to this file instead of stdout")
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker processes for sweep experiments "
+                        "(default: CPU count)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the simulation kernels and the baseline sweep",
+    )
+    p.add_argument("--output", "-o", default=None,
+                   help="also write the JSON document (BENCH_perf.json)")
+    p.add_argument("--length", type=int, default=30_000,
+                   help="dynamic trace length (default 30000)")
+    p.add_argument("--runs", type=int, default=3,
+                   help="best-of-N timing repetitions (default 3)")
+    p.add_argument("--quick", action="store_true",
+                   help="single-repetition timings (for CI)")
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker processes for the sweep phase")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("list", help="available benchmarks and experiments")
     p.set_defaults(func=cmd_list)

@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.config import BASELINE, ProcessorConfig
+from repro.runner.artifacts import trace_artifact
 from repro.trace.profiles import BENCHMARK_ORDER
-from repro.trace.synthetic import generate_trace
 from repro.trace.trace import Trace
 
 #: default dynamic trace length for experiments; long enough for stable
@@ -25,9 +25,19 @@ DEFAULT_TRACE_LENGTH = 30_000
 
 
 @functools.lru_cache(maxsize=64)
-def cached_trace(benchmark: str, length: int = DEFAULT_TRACE_LENGTH) -> Trace:
-    """Generate (once) and cache the trace for ``benchmark``."""
-    return generate_trace(benchmark, length)
+def cached_trace(
+    benchmark: str, length: int = DEFAULT_TRACE_LENGTH,
+    seed: int | None = None,
+) -> Trace:
+    """The trace for ``(benchmark, length, seed)``, cached twice over.
+
+    The in-memory ``lru_cache`` serves repeats within a process; beneath
+    it, :func:`repro.runner.artifacts.trace_artifact` persists the trace
+    on disk so repeated experiment invocations (and parallel runner
+    workers) skip generation entirely.  ``seed=None`` means the
+    benchmark profile's deterministic default seed.
+    """
+    return trace_artifact(benchmark, length, seed)
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from repro.experiments.common import (
     format_table,
     mean,
 )
-from repro.simulator.processor import DetailedSimulator
+from repro.runner import WorkUnit, run_units
 
 #: accuracy bands asserted by the checks (paper: 5.8% mean, 13% worst)
 MEAN_ERROR_BAND = 0.10
@@ -114,15 +114,19 @@ def run(
     config: ProcessorConfig = BASELINE,
 ) -> OverallResult:
     model = FirstOrderModel(config)
+    sims, _ = run_units([
+        WorkUnit(benchmark=name, config=config.all_real(),
+                 length=trace_length)
+        for name in benchmarks
+    ])
     rows = []
-    for name in benchmarks:
+    for name, sim in zip(benchmarks, sims):
         trace = cached_trace(name, trace_length)
         report = model.evaluate_trace(trace)
-        sim = DetailedSimulator(config.all_real(),
-                                instrument=False).run(trace)
         rows.append(
             OverallRow(
-                benchmark=name, report=report, simulated_cpi=sim.cpi
+                benchmark=name, report=report,
+                simulated_cpi=sim.result.cpi,
             )
         )
     return OverallResult(rows=tuple(rows))

@@ -23,7 +23,7 @@ from repro.experiments.common import (
     format_table,
     mean,
 )
-from repro.simulator.processor import DetailedSimulator
+from repro.runner import WorkUnit, run_units
 
 #: a diverse trio: mid-ILP, low-ILP/high-latency, memory-bound
 BENCHMARKS = ("gzip", "vpr", "mcf")
@@ -125,28 +125,41 @@ def run(
     widths: tuple[int, ...] = WIDTHS,
     windows: tuple[int, ...] = WINDOWS,
 ) -> ConfigSweepResult:
+    grid = [
+        (depth, width, window)
+        for depth in depths for width in widths for window in windows
+    ]
+    units = [
+        WorkUnit(
+            benchmark=name,
+            config=dataclasses.replace(
+                BASELINE, pipeline_depth=depth, width=width,
+                window_size=window,
+                rob_size=max(BASELINE.rob_size, 2 * window),
+            ),
+            length=trace_length,
+        )
+        for name in benchmarks
+        for depth, width, window in grid
+    ]
+    # every grid point shares its benchmark's trace and annotations (the
+    # functional pass is config-independent along these axes), so the
+    # artifact cache collapses the sweep's front-end work to one pass
+    # per benchmark
+    sims, _ = run_units(units)
     points = []
-    for name in benchmarks:
-        trace = cached_trace(name, trace_length)
-        for depth in depths:
-            for width in widths:
-                for window in windows:
-                    cfg = dataclasses.replace(
-                        BASELINE, pipeline_depth=depth, width=width,
-                        window_size=window,
-                        rob_size=max(BASELINE.rob_size, 2 * window),
-                    )
-                    report = FirstOrderModel(cfg).evaluate_trace(trace)
-                    sim = DetailedSimulator(cfg, instrument=False).run(
-                        trace
-                    )
-                    points.append(
-                        ConfigPoint(
-                            benchmark=name, pipeline_depth=depth,
-                            width=width, window_size=window,
-                            model_cpi=report.cpi, sim_cpi=sim.cpi,
-                        )
-                    )
+    for unit_result in sims:
+        unit = unit_result.unit
+        cfg = unit.config
+        trace = cached_trace(unit.benchmark, trace_length)
+        report = FirstOrderModel(cfg).evaluate_trace(trace)
+        points.append(
+            ConfigPoint(
+                benchmark=unit.benchmark, pipeline_depth=cfg.pipeline_depth,
+                width=cfg.width, window_size=cfg.window_size,
+                model_cpi=report.cpi, sim_cpi=unit_result.result.cpi,
+            )
+        )
     return ConfigSweepResult(points=tuple(points))
 
 

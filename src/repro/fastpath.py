@@ -1,0 +1,44 @@
+"""Runtime selection between the reference and fast simulation kernels.
+
+Both the detailed simulator (:mod:`repro.simulator.processor`) and the
+functional miss-event collector (:mod:`repro.frontend.collector`) ship
+two interchangeable, bit-identical implementations: a *reference* kernel
+that transcribes the machine semantics directly, and a *fast* kernel
+optimized for throughput.  This module holds the shared engine registry
+and the environment-variable override so every component resolves the
+same default.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: recognised engine names; "fast" is the optimized kernel, "reference"
+#: the direct transcription the fast path is validated against
+ENGINES = ("fast", "reference")
+
+
+def default_engine() -> str:
+    """Engine used when a component does not name one explicitly.
+
+    Overridable via ``REPRO_SIM_ENGINE=reference`` (or ``fast``) — handy
+    for A/B timing and for bisecting any suspected fast-path divergence.
+    """
+    name = os.environ.get("REPRO_SIM_ENGINE", "").strip().lower()
+    if not name:
+        return "fast"
+    if name not in ENGINES:
+        raise ValueError(
+            f"REPRO_SIM_ENGINE={name!r} is not a known engine; "
+            f"expected one of {ENGINES}"
+        )
+    return name
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate ``engine``, falling back to :func:`default_engine`."""
+    if engine is None:
+        return default_engine()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine

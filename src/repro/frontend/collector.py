@@ -25,9 +25,11 @@ import numpy as np
 
 from repro.branch.gshare import GShare
 from repro.branch.predictor import BranchPredictor
+from repro.fastpath import resolve_engine
 from repro.memory.config import HierarchyConfig
 from repro.memory.hierarchy import AccessOutcome, CacheHierarchy
 from repro.frontend.events import EventAnnotations, MissEventProfile
+from repro.frontend.fastpass import FastPassPlan, run_fast_pass
 from repro.isa.opclass import OpClass
 from repro.trace.analysis import analyze_trace
 from repro.trace.trace import Trace
@@ -57,10 +59,19 @@ class CollectorConfig:
 
 
 class MissEventCollector:
-    """Runs the functional pass and produces a :class:`MissEventProfile`."""
+    """Runs the functional pass and produces a :class:`MissEventProfile`.
 
-    def __init__(self, config: CollectorConfig | None = None):
+    Two interchangeable engines produce bit-identical profiles, cache
+    states and statistics: the *reference* pass below walks the trace one
+    instruction at a time, the *fast* pass
+    (:mod:`repro.frontend.fastpass`) sweeps precomputed index arrays.
+    The fast pass is the default; see :func:`repro.fastpath.default_engine`.
+    """
+
+    def __init__(self, config: CollectorConfig | None = None,
+                 engine: str | None = None):
         self.config = config or CollectorConfig()
+        self.engine = resolve_engine(engine)
 
     def collect(self, trace: Trace, annotate: bool = False) -> MissEventProfile:
         """Measure ``trace`` and return its miss-event profile.
@@ -75,15 +86,44 @@ class MissEventCollector:
         hierarchy = CacheHierarchy(cfg.hierarchy)
         predictor = cfg.predictor_factory()
 
+        if self.engine == "fast":
+            plan = FastPassPlan(trace, cfg)
+            for _ in range(max(0, cfg.warmup_passes)):
+                run_fast_pass(plan, trace, cfg, hierarchy, predictor,
+                              record=False)
+            tallies = run_fast_pass(plan, trace, cfg, hierarchy, predictor,
+                                    record=True, annotate=annotate)
+            assert tallies is not None
+            return MissEventProfile(
+                name=trace.name,
+                length=len(trace),
+                branch_count=tallies.branch_count,
+                misprediction_count=tallies.misprediction_count,
+                misprediction_indices=np.array(
+                    tallies.misprediction_indices, dtype=np.int64
+                ),
+                fetch_line_accesses=tallies.fetch_line_accesses,
+                icache_short_count=tallies.icache_short_count,
+                icache_long_count=tallies.icache_long_count,
+                load_count=tallies.load_count,
+                dcache_short_count=tallies.dcache_short_count,
+                dcache_long_count=tallies.dcache_long_count,
+                long_miss_indices=np.array(
+                    tallies.long_miss_indices, dtype=np.int64
+                ),
+                trace_stats=analyze_trace(trace),
+                annotations=tallies.annotations,
+            )
+
         for _ in range(max(0, cfg.warmup_passes)):
-            self._pass(trace, hierarchy, predictor, record=False)
-        result = self._pass(trace, hierarchy, predictor, record=True,
-                            annotate=annotate)
+            self._pass_reference(trace, hierarchy, predictor, record=False)
+        result = self._pass_reference(trace, hierarchy, predictor, record=True,
+                                      annotate=annotate)
         return result
 
     # -- internals ----------------------------------------------------------
 
-    def _pass(
+    def _pass_reference(
         self,
         trace: Trace,
         hierarchy: CacheHierarchy,
@@ -196,7 +236,8 @@ class MissEventCollector:
 
 
 def collect_events(
-    trace: Trace, config: CollectorConfig | None = None
+    trace: Trace, config: CollectorConfig | None = None,
+    engine: str | None = None,
 ) -> MissEventProfile:
     """Convenience wrapper around :class:`MissEventCollector`."""
-    return MissEventCollector(config).collect(trace)
+    return MissEventCollector(config, engine=engine).collect(trace)

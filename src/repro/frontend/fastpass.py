@@ -1,0 +1,380 @@
+"""Fast path for the functional miss-event pass.
+
+The reference pass (:meth:`MissEventCollector._pass_reference`) walks the
+trace one instruction at a time, calling into the cache-hierarchy and
+branch-predictor objects for every reference.  This module implements the
+same pass as two specialised sweeps over *precomputed* index arrays:
+
+* **Memory sweep.**  Only instructions that touch cache state matter:
+  fetch-line transitions and loads/stores.  Their set indices and tags
+  (for L1I, L1D and the unified L2) are computed up front with numpy;
+  the Python loop then runs only over this compact index list with the
+  LRU update inlined (operating directly on the ``Cache._sets`` state of
+  the hierarchy, so external observers see identical cache contents and
+  statistics).  Because the L2 is unified, instruction- and data-stream
+  references must stay in trace order relative to each other — they do,
+  since the sweep visits trace indices in order and handles a
+  transition-and-load instruction I-side first, exactly like the
+  reference.
+* **Branch sweep.**  gShare's global history is a sliding window over
+  the *outcome* bits, independent of its predictions — so the whole
+  per-branch table-index sequence is vectorizable.  The remaining loop
+  only steps the 2-bit counters (whose chains per table entry are the
+  one truly sequential part) and tallies mispredictions.  Non-gShare
+  predictors fall back to the generic per-branch ``observe`` call.
+
+A :class:`FastPassPlan` captures everything that depends only on the
+trace and the collector configuration, so warm-up and measurement passes
+share one precomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.branch.gshare import GShare
+from repro.branch.predictor import BranchPredictor
+from repro.frontend.events import EventAnnotations
+from repro.isa.opclass import OpClass
+from repro.memory.hierarchy import CacheHierarchy
+from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.frontend.collector import CollectorConfig
+
+
+@dataclass(frozen=True)
+class PassTallies:
+    """Counters produced by one recording pass (mirrors what the
+    reference pass accumulates inline)."""
+
+    branch_count: int
+    misprediction_count: int
+    misprediction_indices: list[int]
+    fetch_line_accesses: int
+    icache_short_count: int
+    icache_long_count: int
+    load_count: int
+    dcache_short_count: int
+    dcache_long_count: int
+    long_miss_indices: list[int]
+    annotations: EventAnnotations | None
+
+
+class FastPassPlan:
+    """Trace- and config-dependent precomputation shared by all passes."""
+
+    def __init__(self, trace: Trace, config: "CollectorConfig"):
+        hier = config.hierarchy
+        n = len(trace)
+        pc = trace.pc
+        op = trace.opclass
+        addr = trace.addr
+
+        lines = pc // hier.l1i.line_bytes
+        tr = np.empty(n, dtype=bool)
+        tr[0] = True  # the per-pass last_line sentinel always misses here
+        np.not_equal(lines[1:], lines[:-1], out=tr[1:])
+        self.n_transitions = int(tr.sum())
+
+        is_load = op == int(OpClass.LOAD)
+        is_store = op == int(OpClass.STORE)
+        self.n_loads = int(is_load.sum())
+        self.n_stores = int(is_store.sum())
+
+        # the memory sweep visits only indices whose stream is actually
+        # simulated; ideal streams are tallied in bulk instead
+        sel = np.zeros(n, dtype=bool)
+        if not hier.ideal_icache:
+            sel |= tr
+        if not hier.ideal_dcache:
+            sel |= is_load
+            sel |= is_store
+        mem_idx = np.flatnonzero(sel)
+        m = len(mem_idx)
+        self.mem_idx = mem_idx.tolist()
+        if hier.ideal_icache:
+            self.tr_flag = [False] * m
+        else:
+            self.tr_flag = tr[mem_idx].tolist()
+        if hier.ideal_dcache:
+            self.dop = [0] * m
+        else:
+            self.dop = np.where(is_load, 1, np.where(is_store, 2, 0))[
+                mem_idx
+            ].tolist()
+
+        l2 = hier.l2
+        lm = lines[mem_idx]
+        self.iset = (lm % hier.l1i.num_sets).tolist()
+        self.itag = (lm // hier.l1i.num_sets).tolist()
+        il2 = pc[mem_idx] // l2.line_bytes
+        self.i2set = (il2 % l2.num_sets).tolist()
+        self.i2tag = (il2 // l2.num_sets).tolist()
+        dl = addr[mem_idx] // hier.l1d.line_bytes
+        self.dset = (dl % hier.l1d.num_sets).tolist()
+        self.dtag = (dl // hier.l1d.num_sets).tolist()
+        dl2 = addr[mem_idx] // l2.line_bytes
+        self.d2set = (dl2 % l2.num_sets).tolist()
+        self.d2tag = (dl2 // l2.num_sets).tolist()
+
+        bidx = np.flatnonzero(op == int(OpClass.BRANCH))
+        self.branch_idx = bidx.tolist()
+        self.branch_pc = pc[bidx]
+        self.branch_pc_list = self.branch_pc.tolist()
+        self.branch_taken = trace.taken[bidx].astype(np.int64)
+        self.branch_taken_list = self.branch_taken.tolist()
+
+
+def _gshare_history(
+    predictor: GShare, taken: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Global-history value before each branch, plus the final history.
+
+    The history register is the last ``history_bits`` outcome bits — a
+    pure function of the taken sequence and the pass-entry history, so it
+    vectorizes even though predictions do not.
+    """
+    hb = predictor.history_bits
+    hmask = predictor._history_mask
+    h0 = predictor._history
+    num = len(taken)
+    if hb == 0:
+        return np.zeros(num, dtype=np.int64), 0
+    ext = np.empty(num + hb, dtype=np.int64)
+    for i in range(hb):
+        ext[hb - 1 - i] = (h0 >> i) & 1
+    ext[hb:] = taken
+    hist = np.zeros(num, dtype=np.int64)
+    for i in range(hb):
+        hist |= ext[hb - 1 - i : hb - 1 - i + num] << i
+    hist &= hmask
+    final = 0
+    for i in range(hb):
+        final |= int(ext[num + hb - 1 - i]) << i
+    return hist, final & hmask
+
+
+def run_fast_pass(
+    plan: FastPassPlan,
+    trace: Trace,
+    config: "CollectorConfig",
+    hierarchy: CacheHierarchy,
+    predictor: BranchPredictor,
+    record: bool,
+    annotate: bool = False,
+) -> PassTallies | None:
+    """One functional pass over ``trace`` using the precomputed ``plan``.
+
+    Mutates ``hierarchy`` and ``predictor`` (state *and* statistics)
+    exactly as the reference pass does; returns tallies when ``record``.
+    """
+    hier_cfg = config.hierarchy
+    l2_lat = hier_cfg.l2_latency
+    mem_lat = hier_cfg.memory_latency
+    n = len(trace)
+
+    ann_fetch = ann_load = ann_long = ann_misp = None
+    if annotate:
+        ann_fetch = np.zeros(n, dtype=np.int32)
+        ann_load = np.zeros(n, dtype=np.int32)
+        ann_long = np.zeros(n, dtype=np.bool_)
+        ann_misp = np.zeros(n, dtype=np.bool_)
+
+    # ---- memory sweep (L1I / L1D over the unified L2, in trace order) ----
+    isets = hierarchy.l1i._sets
+    dsets = hierarchy.l1d._sets
+    l2sets = hierarchy.l2._sets
+    iassoc = hier_cfg.l1i.associativity
+    dassoc = hier_cfg.l1d.associativity
+    l2assoc = hier_cfg.l2.associativity
+    i_hit = i_short = i_long = 0
+    d_hit = d_short_all = d_long_all = 0
+    d_short_ld = d_long_ld = 0
+    long_indices: list[int] = []
+
+    mem_idx = plan.mem_idx
+    trf = plan.tr_flag
+    dop = plan.dop
+    iset = plan.iset
+    itag = plan.itag
+    i2set = plan.i2set
+    i2tag = plan.i2tag
+    dset = plan.dset
+    dtag = plan.dtag
+    d2set = plan.d2set
+    d2tag = plan.d2tag
+
+    for i in range(len(mem_idx)):
+        if trf[i]:
+            tags = isets[iset[i]]
+            tag = itag[i]
+            if tags and tags[0] == tag:
+                i_hit += 1
+            elif tag in tags:
+                tags.remove(tag)
+                tags.insert(0, tag)
+                i_hit += 1
+            else:
+                tags.insert(0, tag)
+                if len(tags) > iassoc:
+                    tags.pop()
+                t2 = l2sets[i2set[i]]
+                tg2 = i2tag[i]
+                if t2 and t2[0] == tg2:
+                    hit2 = True
+                elif tg2 in t2:
+                    t2.remove(tg2)
+                    t2.insert(0, tg2)
+                    hit2 = True
+                else:
+                    t2.insert(0, tg2)
+                    if len(t2) > l2assoc:
+                        t2.pop()
+                    hit2 = False
+                if hit2:
+                    i_short += 1
+                    if annotate:
+                        ann_fetch[mem_idx[i]] = l2_lat
+                else:
+                    i_long += 1
+                    if annotate:
+                        ann_fetch[mem_idx[i]] = mem_lat
+        d = dop[i]
+        if d:
+            tags = dsets[dset[i]]
+            tag = dtag[i]
+            if tags and tags[0] == tag:
+                d_hit += 1
+            elif tag in tags:
+                tags.remove(tag)
+                tags.insert(0, tag)
+                d_hit += 1
+            else:
+                tags.insert(0, tag)
+                if len(tags) > dassoc:
+                    tags.pop()
+                t2 = l2sets[d2set[i]]
+                tg2 = d2tag[i]
+                if t2 and t2[0] == tg2:
+                    hit2 = True
+                elif tg2 in t2:
+                    t2.remove(tg2)
+                    t2.insert(0, tg2)
+                    hit2 = True
+                else:
+                    t2.insert(0, tg2)
+                    if len(t2) > l2assoc:
+                        t2.pop()
+                    hit2 = False
+                if hit2:
+                    d_short_all += 1
+                    if d == 1:
+                        d_short_ld += 1
+                        if annotate:
+                            ann_load[mem_idx[i]] = l2_lat
+                else:
+                    d_long_all += 1
+                    if d == 1:
+                        d_long_ld += 1
+                        long_indices.append(mem_idx[i])
+                        if annotate:
+                            ann_load[mem_idx[i]] = mem_lat
+                            ann_long[mem_idx[i]] = True
+
+    # ---- statistics, settled in bulk (end-of-pass state is what the
+    # reference exposes; nothing observes mid-pass counters) -------------
+    ist = hierarchy.istats
+    if hier_cfg.ideal_icache:
+        ist.l1_hits += plan.n_transitions
+    else:
+        ist.l1_hits += i_hit
+        ist.short_misses += i_short
+        ist.long_misses += i_long
+        cs = hierarchy.l1i.stats
+        cs.accesses += plan.n_transitions
+        cs.misses += i_short + i_long
+    dst = hierarchy.dstats
+    n_data = plan.n_loads + plan.n_stores
+    if hier_cfg.ideal_dcache:
+        dst.l1_hits += n_data
+    else:
+        dst.l1_hits += d_hit
+        dst.short_misses += d_short_all
+        dst.long_misses += d_long_all
+        cs = hierarchy.l1d.stats
+        cs.accesses += n_data
+        cs.misses += d_short_all + d_long_all
+    cs = hierarchy.l2.stats
+    cs.accesses += i_short + i_long + d_short_all + d_long_all
+    cs.misses += i_long + d_long_all
+
+    # ---- branch sweep ---------------------------------------------------
+    branch_idx = plan.branch_idx
+    num_b = len(branch_idx)
+    misp_count = 0
+    misp_indices: list[int] = []
+    if num_b and not config.ideal_predictor:
+        taken_l = plan.branch_taken_list
+        if type(predictor) is GShare:
+            hist, final_hist = _gshare_history(predictor, plan.branch_taken)
+            idx = (
+                ((plan.branch_pc >> 2) ^ hist) & predictor._index_mask
+            ).tolist()
+            tbl = predictor._table.tolist()
+            for j in range(num_b):
+                ix = idx[j]
+                c = tbl[ix]
+                if taken_l[j]:
+                    if c < 2:  # predicted not-taken: mispredict
+                        misp_count += 1
+                        misp_indices.append(branch_idx[j])
+                        if annotate:
+                            ann_misp[branch_idx[j]] = True
+                    if c < 3:
+                        tbl[ix] = c + 1
+                else:
+                    if c >= 2:  # predicted taken: mispredict
+                        misp_count += 1
+                        misp_indices.append(branch_idx[j])
+                        if annotate:
+                            ann_misp[branch_idx[j]] = True
+                    if c:
+                        tbl[ix] = c - 1
+            predictor._table[:] = tbl
+            predictor._history = final_hist
+            predictor.stats.predictions += num_b
+            predictor.stats.mispredictions += misp_count
+        else:
+            pcs = plan.branch_pc_list
+            for j in range(num_b):
+                if not predictor.observe(pcs[j], bool(taken_l[j])):
+                    misp_count += 1
+                    misp_indices.append(branch_idx[j])
+                    if annotate:
+                        ann_misp[branch_idx[j]] = True
+
+    if not record:
+        return None
+    annotations = None
+    if annotate:
+        annotations = EventAnnotations(
+            fetch_stall=ann_fetch, load_extra=ann_load,
+            long_miss=ann_long, mispredicted=ann_misp,
+        )
+    return PassTallies(
+        branch_count=num_b,
+        misprediction_count=misp_count,
+        misprediction_indices=misp_indices,
+        fetch_line_accesses=plan.n_transitions,
+        icache_short_count=i_short,
+        icache_long_count=i_long,
+        load_count=plan.n_loads,
+        dcache_short_count=d_short_ld,
+        dcache_long_count=d_long_ld,
+        long_miss_indices=long_indices,
+        annotations=annotations,
+    )

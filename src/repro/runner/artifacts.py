@@ -1,0 +1,331 @@
+"""Persistent content-addressed cache for expensive experiment artifacts.
+
+Traces, miss-event annotations and simulation results are all pure
+functions of a small recipe (benchmark profile, trace length, RNG seed,
+machine configuration).  This module stores them on disk under a key that
+hashes the *complete* recipe, so
+
+* repeated experiment invocations — and every worker of the parallel
+  runner — reuse earlier work instead of regenerating it, and
+* a changed configuration can never be served a stale artifact: any
+  change to the recipe changes the key.
+
+Layout and integrity
+--------------------
+Artifacts live under ``<root>/<kind>/<key[:2]>/<key>.pkl`` where ``root``
+defaults to ``$XDG_CACHE_HOME/repro-firstorder`` (or
+``~/.cache/repro-firstorder``).  Writes go to a temporary file in the
+same directory and are published with :func:`os.replace`, so readers
+never observe a partial artifact.  A corrupt or unreadable entry is
+treated as a miss and recomputed (then overwritten); the cache is purely
+an accelerator and can be deleted at any time.
+
+Environment
+-----------
+``REPRO_CACHE_DIR``
+    overrides the cache root (the test suite points this at a tmpdir).
+``REPRO_CACHE_DISABLE``
+    any non-empty value bypasses the cache entirely.
+
+Both are read at call time, not import time.
+
+Keys embed a schema version: bump :data:`SCHEMA_VERSION` whenever the
+pickled payload layout changes and old entries simply stop matching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: bump when the pickled layout of any artifact kind changes; old cache
+#: entries become unreachable rather than unreadable
+SCHEMA_VERSION = 1
+
+#: pickle protocol for stored artifacts (5 handles numpy buffers well)
+_PICKLE_PROTOCOL = 5
+
+
+class UncacheableError(TypeError):
+    """A recipe contains a value with no stable canonical form (e.g. a
+    closure); the computation must run uncached."""
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is active (``REPRO_CACHE_DISABLE``)."""
+    return not os.environ.get("REPRO_CACHE_DISABLE")
+
+
+def cache_root() -> Path:
+    """Resolve the cache directory (``REPRO_CACHE_DIR`` wins)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-firstorder"
+
+
+# -- canonical recipe form --------------------------------------------------
+
+
+def canonicalize(value):
+    """Reduce ``value`` to plain JSON-serializable data, deterministically.
+
+    Dataclasses flatten to ``[qualified-name, {field: value, ...}]`` so a
+    renamed or re-fielded configuration class changes every key that used
+    it.  Callables are identified by module-qualified name — classes and
+    plain functions are fine, but a closure's behaviour is not recoverable
+    from its name, so closures raise :class:`UncacheableError`.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [f"{type(value).__module__}.{type(value).__qualname__}", fields]
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, functools.partial):
+        return [
+            "functools.partial",
+            canonicalize(value.func),
+            canonicalize(value.args),
+            canonicalize(value.keywords),
+        ]
+    if isinstance(value, type):
+        return f"{value.__module__}.{value.__qualname__}"
+    if callable(value):
+        if getattr(value, "__closure__", None):
+            raise UncacheableError(
+                f"cannot derive a stable cache key for closure {value!r}"
+            )
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if not module or not qualname or "<lambda>" in qualname:
+            raise UncacheableError(
+                f"cannot derive a stable cache key for callable {value!r}"
+            )
+        return f"{module}.{qualname}"
+    raise UncacheableError(
+        f"cannot derive a stable cache key for {type(value).__name__!r}"
+    )
+
+
+def artifact_key(kind: str, recipe: dict) -> str:
+    """Content hash of ``(schema, kind, recipe)`` — the artifact's name."""
+    payload = json.dumps(
+        [SCHEMA_VERSION, kind, canonicalize(recipe)],
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- hit/miss accounting ----------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Per-process cache effectiveness counters, by artifact kind."""
+
+    hits: dict = field(default_factory=dict)
+    misses: dict = field(default_factory=dict)
+    stores: dict = field(default_factory=dict)
+    errors: int = 0        #: unreadable entries treated as misses
+    uncacheable: int = 0   #: recipes that could not be keyed
+
+    def _bump(self, counter: dict, kind: str) -> None:
+        counter[kind] = counter.get(kind, 0) + 1
+
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def merge(self, other: "CacheStats") -> None:
+        for mine, theirs in (
+            (self.hits, other.hits),
+            (self.misses, other.misses),
+            (self.stores, other.stores),
+        ):
+            for kind, count in theirs.items():
+                mine[kind] = mine.get(kind, 0) + count
+        self.errors += other.errors
+        self.uncacheable += other.uncacheable
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=dict(self.hits), misses=dict(self.misses),
+            stores=dict(self.stores), errors=self.errors,
+            uncacheable=self.uncacheable,
+        )
+
+
+_STATS = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    """This process's cumulative cache counters (live object)."""
+    return _STATS
+
+
+def reset_cache_stats() -> CacheStats:
+    """Zero the counters; returns the stats object for convenience."""
+    _STATS.hits.clear()
+    _STATS.misses.clear()
+    _STATS.stores.clear()
+    _STATS.errors = 0
+    _STATS.uncacheable = 0
+    return _STATS
+
+
+# -- storage ----------------------------------------------------------------
+
+
+def _artifact_path(kind: str, key: str) -> Path:
+    return cache_root() / kind / key[:2] / f"{key}.pkl"
+
+
+_MISS = object()
+
+
+def _load(kind: str, key: str):
+    path = _artifact_path(kind, key)
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except FileNotFoundError:
+        return _MISS
+    except Exception:
+        # truncated/corrupt/incompatible entry: recompute and overwrite
+        _STATS.errors += 1
+        return _MISS
+
+
+def _store(kind: str, key: str, obj) -> None:
+    path = _artifact_path(kind, key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(obj, fh, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp, path)  # atomic publish
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # a read-only or full cache never fails the computation
+        _STATS.errors += 1
+        return
+    _STATS._bump(_STATS.stores, kind)
+
+
+def cached_artifact(kind: str, recipe: dict, compute):
+    """Return the artifact for ``recipe``, computing and storing on miss.
+
+    ``compute`` is a zero-argument callable producing the artifact.  With
+    the cache disabled, or when the recipe has no stable key (it contains
+    e.g. a closure), the computation simply runs uncached.
+    """
+    if not cache_enabled():
+        return compute()
+    try:
+        key = artifact_key(kind, recipe)
+    except UncacheableError:
+        _STATS.uncacheable += 1
+        return compute()
+    obj = _load(kind, key)
+    if obj is not _MISS:
+        _STATS._bump(_STATS.hits, kind)
+        return obj
+    _STATS._bump(_STATS.misses, kind)
+    obj = compute()
+    _store(kind, key, obj)
+    return obj
+
+
+# -- the concrete artifact kinds --------------------------------------------
+
+
+def trace_artifact(benchmark: str, length: int, seed: int | None = None):
+    """The synthetic trace for ``(benchmark, length, seed)``, disk-cached.
+
+    ``seed=None`` uses the benchmark profile's own default seed — the
+    deterministic baseline every experiment shares — and is keyed as such.
+    """
+    from repro.trace.synthetic import generate_trace
+
+    return cached_artifact(
+        "trace",
+        {"benchmark": benchmark, "length": length, "seed": seed},
+        lambda: generate_trace(benchmark, length, seed),
+    )
+
+
+def annotations_artifact(
+    trace,
+    config,
+    benchmark: str,
+    length: int,
+    seed: int | None = None,
+    warmup_passes: int = 1,
+):
+    """Functional-pass miss-event annotations for ``trace``, disk-cached.
+
+    The key covers the trace recipe plus everything the functional pass
+    depends on: cache hierarchy, predictor factory, ideal-predictor flag
+    and warm-up count.  The simulation engine is deliberately *not* part
+    of the key — the fast and reference passes are bit-identical (an
+    equivalence the test suite enforces), so either may serve both.
+    """
+    from repro.frontend.collector import CollectorConfig, MissEventCollector
+
+    def compute():
+        collector = MissEventCollector(
+            CollectorConfig(
+                hierarchy=config.hierarchy,
+                predictor_factory=config.predictor_factory,
+                warmup_passes=warmup_passes,
+                ideal_predictor=config.ideal_predictor,
+            )
+        )
+        profile = collector.collect(trace, annotate=True)
+        return profile.annotations
+
+    return cached_artifact(
+        "annotations",
+        {
+            "benchmark": benchmark,
+            "length": length,
+            "seed": seed,
+            "hierarchy": config.hierarchy,
+            "predictor": config.predictor_factory,
+            "ideal_predictor": config.ideal_predictor,
+            "warmup_passes": warmup_passes,
+        },
+        compute,
+    )

@@ -1,0 +1,212 @@
+"""Parallel experiment runner: (benchmark × configuration) work units.
+
+Experiment sweeps are embarrassingly parallel — every point is an
+independent (trace, configuration) simulation.  This module expresses a
+point as a picklable :class:`WorkUnit`, fans units out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and reports per-run
+:class:`RunnerStats` including artifact-cache effectiveness, so a warm
+sweep is visibly doing no trace-generation or functional-pass work.
+
+On a single-core host (or with ``jobs=1``) the runner degrades to a
+plain in-process loop with identical results and statistics — process
+fan-out is an optimization, never a requirement.  Results always come
+back in unit order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.config import BASELINE, ProcessorConfig
+from repro.runner import artifacts
+from repro.simulator.results import SimResult
+
+#: default dynamic trace length, matching the experiment suite's
+#: :data:`repro.experiments.common.DEFAULT_TRACE_LENGTH`
+_DEFAULT_LENGTH = 30_000
+
+_default_jobs: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the process count used when ``run_units(jobs=None)``.
+
+    ``None`` restores the automatic choice (the CPU count).  The CLI's
+    ``--jobs`` flag lands here so experiment modules stay oblivious.
+    """
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def default_jobs() -> int:
+    """Resolve the effective worker count (at least 1)."""
+    if _default_jobs is not None:
+        return max(1, _default_jobs)
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One simulation point of a sweep.
+
+    Attributes:
+        benchmark: profile name (``repro.trace.profiles``).
+        config: machine configuration to simulate.
+        length: dynamic trace length.
+        seed: trace RNG seed (``None`` = the profile's default seed).
+        instrument: collect per-cycle instrumentation.
+        engine: simulation engine override (``None`` = session default).
+        tag: free-form label carried through to the result, so sweep
+            code can recover which axis point a unit was.
+    """
+
+    benchmark: str
+    config: ProcessorConfig = BASELINE
+    length: int = _DEFAULT_LENGTH
+    seed: int | None = None
+    instrument: bool = False
+    engine: str | None = None
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """A unit's outcome: the simulation result plus wall time."""
+
+    unit: WorkUnit
+    result: SimResult
+    seconds: float
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate statistics for one :func:`run_units` call."""
+
+    units: int = 0
+    jobs: int = 1
+    seconds: float = 0.0
+    cache: artifacts.CacheStats = field(default_factory=artifacts.CacheStats)
+
+    @property
+    def trace_computes(self) -> int:
+        """Traces actually generated (cache misses + uncached runs)."""
+        return self.cache.misses.get("trace", 0)
+
+    @property
+    def annotation_computes(self) -> int:
+        """Functional passes actually executed."""
+        return self.cache.misses.get("annotations", 0)
+
+    def summary(self) -> str:
+        c = self.cache
+        return (
+            f"{self.units} units in {self.seconds:.2f}s "
+            f"({self.jobs} job{'s' if self.jobs != 1 else ''}); cache "
+            f"hits {c.total_hits()}, misses {c.total_misses()}, "
+            f"errors {c.errors}"
+        )
+
+
+def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
+    """Run one work unit through the artifact cache.
+
+    The trace and its annotations are fetched from (or added to) the
+    persistent cache; the detailed simulation itself is re-run unless
+    ``reuse_result`` is set, in which case a previously stored
+    :class:`SimResult` for the identical recipe is returned directly.
+    """
+    from repro.simulator.processor import DetailedSimulator
+
+    trace = artifacts.trace_artifact(unit.benchmark, unit.length, unit.seed)
+
+    def simulate() -> SimResult:
+        annotations = artifacts.annotations_artifact(
+            trace, unit.config, unit.benchmark, unit.length, unit.seed
+        )
+        sim = DetailedSimulator(
+            unit.config, instrument=unit.instrument, engine=unit.engine
+        )
+        return sim.run(trace, annotations)
+
+    # the engine is excluded from the result recipe on purpose: fast and
+    # reference engines are bit-identical (enforced by the test suite)
+    recipe = {
+        "benchmark": unit.benchmark,
+        "length": unit.length,
+        "seed": unit.seed,
+        "config": unit.config,
+        "instrument": unit.instrument,
+    }
+    if reuse_result:
+        return artifacts.cached_artifact("result", recipe, simulate)
+    result = simulate()
+    if artifacts.cache_enabled():
+        try:
+            key = artifacts.artifact_key("result", recipe)
+        except artifacts.UncacheableError:
+            artifacts.cache_stats().uncacheable += 1
+        else:
+            artifacts._store("result", key, result)
+    return result
+
+
+def _worker(args: tuple[WorkUnit, bool]) -> tuple[SimResult, float,
+                                                  artifacts.CacheStats]:
+    unit, reuse_result = args
+    before = artifacts.cache_stats().snapshot()
+    start = time.perf_counter()
+    result = execute_unit(unit, reuse_result)
+    elapsed = time.perf_counter() - start
+    after = artifacts.cache_stats().snapshot()
+    delta = artifacts.CacheStats()
+    delta.merge(after)
+    for counter, base in (
+        (delta.hits, before.hits),
+        (delta.misses, before.misses),
+        (delta.stores, before.stores),
+    ):
+        for kind, count in base.items():
+            counter[kind] = counter.get(kind, 0) - count
+            if not counter[kind]:
+                del counter[kind]
+    delta.errors -= before.errors
+    delta.uncacheable -= before.uncacheable
+    return result, elapsed, delta
+
+
+def run_units(
+    units: list[WorkUnit] | tuple[WorkUnit, ...],
+    jobs: int | None = None,
+    reuse_results: bool = False,
+) -> tuple[list[UnitResult], RunnerStats]:
+    """Execute ``units`` and return their results in input order.
+
+    ``jobs`` defaults to :func:`default_jobs`; with one job (or one
+    unit) everything runs in-process.  ``reuse_results`` additionally
+    serves stored :class:`SimResult` artifacts for unchanged recipes,
+    skipping the simulation itself.
+    """
+    units = list(units)
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, min(jobs, len(units) or 1))
+
+    stats = RunnerStats(units=len(units), jobs=jobs)
+    start = time.perf_counter()
+    outcomes: list[tuple[SimResult, float, artifacts.CacheStats]]
+    if jobs == 1:
+        outcomes = [_worker((u, reuse_results)) for u in units]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(
+                pool.map(_worker, [(u, reuse_results) for u in units])
+            )
+    stats.seconds = time.perf_counter() - start
+    results = []
+    for unit, (result, elapsed, delta) in zip(units, outcomes):
+        stats.cache.merge(delta)
+        results.append(UnitResult(unit=unit, result=result, seconds=elapsed))
+    return results, stats

@@ -1,0 +1,478 @@
+"""Fast-path engine for the detailed simulator.
+
+This module is the optimized twin of the reference loop in
+:mod:`repro.simulator.processor`.  It simulates exactly the same machine
+— same phase order within a cycle (retire, issue, dispatch, fetch), same
+structural limits, same miss-event handling — and is asserted cycle-exact
+against the reference by ``tests/simulator/test_engine_equivalence.py``.
+What changes is purely the algorithm:
+
+* **Index-range structures.**  Dispatch and retirement are both in
+  program order, so the ROB always holds the contiguous trace-index range
+  ``[retired, dispatched)`` and the front-end pipeline holds
+  ``[dispatched, fetched)``.  Both collapse into integer pointers: ROB
+  occupancy, pipeline occupancy and the "instructions ahead of a long
+  miss" instrumentation are all O(1) arithmetic instead of container
+  scans.  The pipeline itself is a deque of *fetch-group* records
+  ``(dispatch_ready_cycle, end_index)`` — one entry per fetch cycle, not
+  per instruction — and a whole group whose dispatch cannot stall is
+  dispatched with a single structural check.
+* **Event-driven wake-up.**  The reference re-scans the whole issue
+  window every cycle to find ready instructions.  Here each instruction
+  is woken exactly once.  Instructions whose producers have all completed
+  by dispatch go onto a plain next-cycle list (the common case; it merges
+  into the ready list without sorting, because newly dispatched indices
+  exceed everything already waiting).  Instructions blocked on an
+  in-flight producer register themselves on that producer's *waiter
+  list*; when the producer issues it walks its waiters, and the waiter
+  whose last outstanding producer this was is scheduled in a calendar
+  (dict of wake cycle → bucket, with a heap of pending wake cycles for
+  the "when is the next wake?" query).  Due instructions merge into a
+  sorted ready list that preserves the machine's oldest-first issue
+  priority.  Work is proportional to instructions and *blocked*
+  dependence edges, not cycles × window size.
+* **Batched fetch.**  The trace positions where fetch can deviate from
+  the conveyor belt (I-miss stalls, mispredicted branches) are
+  precomputed with numpy; between two such events a whole fetch group is
+  latched as one record with no per-instruction checks.
+* **Event skipping.**  When a cycle performs no retire, issue, dispatch
+  or fetch and changes no front-end state, the machine is quiescent and
+  will stay quiescent until the next scheduled event (a completion, a
+  pipeline-latch expiry, an I-miss refill, a branch resolution).  The
+  engine jumps straight to that cycle, charging the skipped cycles to the
+  instrumentation counters in bulk — long-miss drains cost O(1) instead
+  of O(ΔD) Python iterations.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.config import ProcessorConfig
+from repro.frontend.events import EventAnnotations
+from repro.simulator.results import Instrumentation, SimResult
+from repro.trace.trace import Trace
+
+#: sentinel completion time for not-yet-issued instructions; any real
+#: cycle count is far below this
+_INF = 1 << 62
+
+
+def run_fast(
+    trace: Trace,
+    config: ProcessorConfig,
+    annotations: EventAnnotations,
+    instrument: bool = True,
+) -> SimResult:
+    """Simulate ``trace`` with the event-driven fast path.
+
+    Preconditions (the caller, :class:`DetailedSimulator`, checks them):
+    the trace is non-empty and ``annotations`` matches its length.
+    """
+    n = len(trace)
+    cfg = config
+    width = cfg.width
+    depth = cfg.pipeline_depth
+    win_size = cfg.window_size
+    rob_size = cfg.rob_size
+    pipe_capacity = depth * width
+
+    deps = trace.dependences()
+    dep1 = deps.dep1_list
+    dep2 = deps.dep2_list
+    latency = (trace.latencies(cfg.latencies) + annotations.load_extra).tolist()
+    fetch_stall = annotations.fetch_stall_list
+    mispredicted = annotations.mispredicted_list
+    long_miss = annotations.long_miss_list
+    notable = np.logical_or(
+        annotations.mispredicted, annotations.long_miss
+    ).tolist()
+
+    #: trace indices where fetch must leave the conveyor fast path
+    ev_list = np.flatnonzero(
+        (annotations.fetch_stall > 0) | annotations.mispredicted
+    ).tolist()
+    ev_list.append(n)
+    ev_i = 0
+    ev_next = ev_list[0]
+
+    complete = [_INF] * n
+    pending = [0] * n      #: unissued-producer count, valid once dispatched
+    ready_max = [0] * n    #: max completion time over already-issued producers
+    #: per-producer list of dispatched consumers blocked on it
+    waiters: list[list[int] | None] = [None] * n
+
+    cal: dict[int, list[int]] = {}  #: wake cycle -> instructions waking then
+    cal_get = cal.get
+    wt: list[int] = []              #: heap of pending wake cycles (distinct)
+    ready: list[int] = []           #: issue-ready indices, kept sorted
+    nxt: list[int] = []             #: dispatched this cycle, ready the next
+    wake1: list[int] = []           #: freed by an issue, ready next cycle
+
+    #: fetch groups (dispatch_ready_cycle, end_index); together the
+    #: groups cover the pipeline range [next_dispatch, next_fetch)
+    pipe: deque[tuple[int, int]] = deque()
+
+    next_fetch = 0
+    next_dispatch = 0      #: ROB is trace range [retired, next_dispatch)
+    retired = 0
+    window_count = 0       #: dispatched but not yet issued
+    fetch_resume = 0
+    stall_paid_for = -1
+    waiting_branch = -1
+    branch_resolve = -1
+    cycle = 0
+
+    hist = [0] * (width + 1)
+    window_left: list[int] = []
+    rob_ahead: list[int] = []
+    stall_window = 0
+    stall_rob = 0
+
+    while retired < n:
+        progress = False
+
+        # ---- retire (in order, completed, up to width) ---------------
+        if retired < next_dispatch and complete[retired] <= cycle:
+            lim = retired + width
+            if lim > next_dispatch:
+                lim = next_dispatch
+            retired += 1
+            while retired < lim and complete[retired] <= cycle:
+                retired += 1
+            progress = True
+
+        # ---- issue (oldest-first, ready, up to width) -----------------
+        if nxt:
+            if ready:
+                # every index in nxt was dispatched after everything
+                # already waiting, so appending keeps the list sorted
+                ready += nxt
+                nxt = []
+            else:
+                ready, nxt = nxt, ready
+        if wake1:
+            if ready:
+                for c in wake1:
+                    insort(ready, c)
+                wake1 = []
+            else:
+                wake1.sort()
+                ready, wake1 = wake1, ready
+        if wt and wt[0] <= cycle:
+            bucket = cal.pop(heappop(wt))
+            while wt and wt[0] <= cycle:
+                bucket += cal.pop(heappop(wt))
+            if ready:
+                ready += bucket
+                ready.sort()
+            else:
+                bucket.sort()
+                ready = bucket
+        mispredict_issued = False
+        if ready:
+            cycle_1 = cycle + 1
+            issued_now = len(ready)
+            if issued_now > width:
+                issued_now = width
+            for i in range(issued_now):
+                k = ready[i]
+                done = cycle + latency[k]
+                complete[k] = done
+                if k == waiting_branch:
+                    branch_resolve = done
+                if notable[k] and instrument:
+                    if mispredicted[k]:
+                        mispredict_issued = True
+                    if long_miss[k]:
+                        # the ROB holds the contiguous range
+                        # [retired, next_dispatch), so the entries ahead
+                        # of k are exactly k - retired
+                        rob_ahead.append(k - retired)
+                w = waiters[k]
+                if w is not None:
+                    waiters[k] = None
+                    for c in w:
+                        if done > ready_max[c]:
+                            ready_max[c] = done
+                        p = pending[c]
+                        if p == 1:
+                            pending[c] = 0
+                            t = ready_max[c]
+                            if t == cycle_1:
+                                # the common latency-1 wake skips the
+                                # calendar machinery entirely
+                                wake1.append(c)
+                            else:
+                                bkt = cal_get(t)
+                                if bkt is None:
+                                    cal[t] = [c]
+                                    heappush(wt, t)
+                                else:
+                                    bkt.append(c)
+                        else:
+                            pending[c] = p - 1
+            del ready[:issued_now]
+            window_count -= issued_now
+            progress = True
+        else:
+            issued_now = 0
+        if instrument:
+            hist[issued_now] += 1
+            if mispredict_issued:
+                window_left.append(window_count)
+
+        # ---- dispatch (in order, up to width, both structures) --------
+        if pipe and pipe[0][0] <= cycle:
+            d0 = next_dispatch
+            cycle_1 = cycle + 1
+            gend = pipe[0][1]
+            cnt = gend - d0
+            if (
+                cnt <= width
+                and window_count + cnt <= win_size
+                and gend - retired <= rob_size
+                and (cnt == width or len(pipe) < 2 or pipe[1][0] > cycle)
+            ):
+                # whole-group fast path: the group fits the dispatch
+                # width and both structures, and no younger group could
+                # dispatch this cycle — no per-instruction checks needed
+                pipe.popleft()
+                next_dispatch = gend
+                window_count += cnt
+                for k in range(d0, gend):
+                    pend = 0
+                    r = 0
+                    d = dep1[k]
+                    # deps already retired have completed by now and
+                    # cannot bound the issue time — skip them outright
+                    if d >= retired:
+                        cd = complete[d]
+                        if cd == _INF:
+                            pend = 1
+                            w = waiters[d]
+                            if w is None:
+                                waiters[d] = [k]
+                            else:
+                                w.append(k)
+                        elif cd > r:
+                            r = cd
+                    d = dep2[k]
+                    if d >= retired:
+                        cd = complete[d]
+                        if cd == _INF:
+                            pend += 1
+                            w = waiters[d]
+                            if w is None:
+                                waiters[d] = [k]
+                            else:
+                                w.append(k)
+                        elif cd > r:
+                            r = cd
+                    if pend:
+                        pending[k] = pend
+                        ready_max[k] = r
+                    elif r <= cycle_1:
+                        # a producer completing by cycle+1 cannot delay the
+                        # consumer: its earliest issue is the cycle after
+                        # dispatch anyway
+                        nxt.append(k)
+                    else:
+                        bkt = cal_get(r)
+                        if bkt is None:
+                            cal[r] = [k]
+                            heappush(wt, r)
+                        else:
+                            bkt.append(k)
+                progress = True
+            else:
+                lim = d0 + width
+                stalled = False
+                while pipe:
+                    t, gend = pipe[0]
+                    if t > cycle or next_dispatch >= lim:
+                        break
+                    e = gend if gend < lim else lim
+                    while next_dispatch < e:
+                        if window_count >= win_size:
+                            if instrument:
+                                stall_window += 1
+                            stalled = True
+                            break
+                        if next_dispatch - retired >= rob_size:
+                            if instrument:
+                                stall_rob += 1
+                            stalled = True
+                            break
+                        k = next_dispatch
+                        next_dispatch += 1
+                        window_count += 1
+                        pend = 0
+                        r = 0
+                        d = dep1[k]
+                        if d >= retired:
+                            cd = complete[d]
+                            if cd == _INF:
+                                pend = 1
+                                w = waiters[d]
+                                if w is None:
+                                    waiters[d] = [k]
+                                else:
+                                    w.append(k)
+                            elif cd > r:
+                                r = cd
+                        d = dep2[k]
+                        if d >= retired:
+                            cd = complete[d]
+                            if cd == _INF:
+                                pend += 1
+                                w = waiters[d]
+                                if w is None:
+                                    waiters[d] = [k]
+                                else:
+                                    w.append(k)
+                            elif cd > r:
+                                r = cd
+                        if pend:
+                            pending[k] = pend
+                            ready_max[k] = r
+                        elif r <= cycle_1:
+                            nxt.append(k)
+                        else:
+                            bkt = cal_get(r)
+                            if bkt is None:
+                                cal[r] = [k]
+                                heappush(wt, r)
+                            else:
+                                bkt.append(k)
+                    if stalled:
+                        break
+                    if next_dispatch >= gend:
+                        pipe.popleft()
+                    else:
+                        break
+                if next_dispatch != d0:
+                    progress = True
+
+        # ---- fetch (up to width, subject to stalls) --------------------
+        if waiting_branch >= 0:
+            if branch_resolve >= 0 and cycle >= branch_resolve:
+                # misprediction resolved: redirect, refill next cycle
+                waiting_branch = -1
+                branch_resolve = -1
+                fetch_resume = cycle + 1
+                progress = True
+        elif cycle >= fetch_resume and next_fetch < n:
+            space = pipe_capacity - (next_fetch - next_dispatch)
+            if space > 0:
+                m = width if width < space else space
+                end = next_fetch + m
+                if end > n:
+                    end = n
+                if end <= ev_next:
+                    # conveyor path: no stall or mispredict in the group
+                    pipe.append((cycle + depth, end))
+                    next_fetch = end
+                    progress = True
+                else:
+                    f0 = next_fetch
+                    while next_fetch < end:
+                        f = next_fetch
+                        stall = fetch_stall[f]
+                        if stall and stall_paid_for != f:
+                            # the line misses: resume after the fill
+                            stall_paid_for = f
+                            fetch_resume = cycle + stall
+                            progress = True
+                            break
+                        next_fetch += 1
+                        if mispredicted[f]:
+                            # stop fetching useful instructions
+                            waiting_branch = f
+                            branch_resolve = (
+                                complete[f] if complete[f] != _INF else -1
+                            )
+                            break
+                    if next_fetch != f0:
+                        pipe.append((cycle + depth, next_fetch))
+                        progress = True
+                    while ev_list[ev_i] < next_fetch:
+                        ev_i += 1
+                    ev_next = ev_list[ev_i]
+
+        cycle += 1
+        if progress or retired >= n:
+            continue
+
+        # ---- quiescent: jump to the next cycle anything can change ----
+        t_next = _INF
+        if retired < next_dispatch and complete[retired] < t_next:
+            t_next = complete[retired]
+        if wt and wt[0] < t_next:
+            t_next = wt[0]
+        if (
+            pipe
+            and window_count < win_size
+            and next_dispatch - retired < rob_size
+        ):
+            t = pipe[0][0]
+            if t < t_next:
+                t_next = t
+        if waiting_branch >= 0:
+            if 0 <= branch_resolve < t_next:
+                t_next = branch_resolve
+        elif next_fetch < n and next_fetch - next_dispatch < pipe_capacity:
+            if fetch_resume < t_next:
+                t_next = fetch_resume
+        if t_next == _INF:
+            raise RuntimeError(
+                "simulator deadlock: no schedulable event with "
+                f"{n - retired} instructions outstanding"
+            )
+        skip = t_next - cycle
+        if skip > 0:
+            if instrument:
+                hist[0] += skip
+                # the reference charges a dispatch-stall counter in every
+                # skipped cycle whose pipeline head is dispatch-ready
+                if pipe:
+                    head = pipe[0][0]
+                    blocked = t_next - (head if head > cycle else cycle)
+                    if blocked > 0:
+                        if window_count >= win_size:
+                            stall_window += blocked
+                        elif next_dispatch - retired >= rob_size:
+                            stall_rob += blocked
+            cycle = t_next
+
+    instr = None
+    if instrument:
+        instr = Instrumentation(
+            issued_histogram=np.array(hist, dtype=np.int64),
+            window_left_at_mispredict=window_left,
+            rob_ahead_at_long_miss=rob_ahead,
+            dispatch_stall_rob=stall_rob,
+            dispatch_stall_window=stall_window,
+        )
+
+    ann = annotations
+    return SimResult(
+        name=trace.name,
+        instructions=n,
+        cycles=cycle,
+        config=cfg,
+        misprediction_count=int(ann.mispredicted.sum()),
+        icache_short_count=int(
+            ((ann.fetch_stall > 0)
+             & (ann.fetch_stall < cfg.hierarchy.memory_latency)).sum()
+        ),
+        icache_long_count=int(
+            (ann.fetch_stall >= cfg.hierarchy.memory_latency).sum()
+        ),
+        dcache_long_count=int(ann.long_miss.sum()),
+        instrumentation=instr,
+    )

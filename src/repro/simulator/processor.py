@@ -44,6 +44,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.config import ProcessorConfig
+from repro.fastpath import ENGINES, default_engine, resolve_engine
 from repro.frontend.collector import CollectorConfig, MissEventCollector
 from repro.frontend.events import EventAnnotations
 from repro.isa.opclass import OpClass
@@ -54,12 +55,21 @@ import numpy as np
 
 
 class DetailedSimulator:
-    """Cycle-level simulator configured by a :class:`ProcessorConfig`."""
+    """Cycle-level simulator configured by a :class:`ProcessorConfig`.
+
+    Two interchangeable engines produce bit-identical results: the
+    *reference* engine below is the direct transcription of the machine's
+    per-cycle phases, while the *fast* engine
+    (:mod:`repro.simulator.engine`) is event-driven with quiescent-cycle
+    skipping.  Equivalence is enforced by the regression suite; the fast
+    engine is the default.
+    """
 
     def __init__(self, config: ProcessorConfig | None = None,
-                 instrument: bool = True):
+                 instrument: bool = True, engine: str | None = None):
         self.config = config or ProcessorConfig()
         self.instrument = instrument
+        self.engine = resolve_engine(engine)
 
     def annotate(self, trace: Trace, warmup_passes: int = 1) -> EventAnnotations:
         """Run the functional pass that resolves this configuration's
@@ -70,7 +80,8 @@ class DetailedSimulator:
                 predictor_factory=self.config.predictor_factory,
                 warmup_passes=warmup_passes,
                 ideal_predictor=self.config.ideal_predictor,
-            )
+            ),
+            engine=self.engine,
         )
         profile = collector.collect(trace, annotate=True)
         assert profile.annotations is not None
@@ -94,6 +105,12 @@ class DetailedSimulator:
             annotations = self.annotate(trace)
         if len(annotations) != n:
             raise ValueError("annotations do not match the trace length")
+
+        if self.engine == "fast":
+            from repro.simulator.engine import run_fast
+
+            return run_fast(trace, self.config, annotations,
+                            instrument=self.instrument)
 
         cfg = self.config
         width = cfg.width
@@ -170,8 +187,10 @@ class DetailedSimulator:
                         if mispredicted[k]:
                             mispredict_issued = True
                         if long_miss[k]:
-                            ahead = sum(1 for r in rob if r < k)
-                            instr.rob_ahead_at_long_miss.append(ahead)
+                            # dispatch and retire are both in order, so
+                            # the ROB holds a contiguous index range and
+                            # the entries ahead of k are k - rob[0]
+                            instr.rob_ahead_at_long_miss.append(k - rob[0])
                 window = remaining
             if instr is not None:
                 instr.issued_histogram[issued_now] += 1
@@ -200,9 +219,9 @@ class DetailedSimulator:
                 window.append(k)
                 rob.append(k)
                 m += 1
-            # keep the window scan oldest-first
-            if m and len(window) > m:
-                window.sort()
+            # the window stays oldest-first by construction: dispatch
+            # appends strictly increasing indices and the issue scan
+            # preserves relative order, so no re-sort is needed
 
             # ---- fetch (up to width, subject to stalls) --------------------
             if (
@@ -265,6 +284,9 @@ def simulate(
     config: ProcessorConfig | None = None,
     annotations: EventAnnotations | None = None,
     instrument: bool = True,
+    engine: str | None = None,
 ) -> SimResult:
     """Convenience wrapper around :class:`DetailedSimulator`."""
-    return DetailedSimulator(config, instrument).run(trace, annotations)
+    return DetailedSimulator(config, instrument, engine=engine).run(
+        trace, annotations
+    )

@@ -18,6 +18,7 @@ reasons about dependences ("register-based data dependence properties",
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -54,6 +55,17 @@ class Dependences:
 
     def __len__(self) -> int:
         return len(self.dep1)
+
+    @cached_property
+    def dep1_list(self) -> list[int]:
+        """``dep1`` as a plain list — the representation the cycle-level
+        simulators index per instruction (cached: the conversion shows up
+        in profiles when a trace is simulated under many configs)."""
+        return self.dep1.tolist()
+
+    @cached_property
+    def dep2_list(self) -> list[int]:
+        return self.dep2.tolist()
 
     def distances(self) -> np.ndarray:
         """Dependence distances (consumer index minus producer index) for

@@ -6,6 +6,8 @@ runs in well under a minute; full-length runs live in ``benchmarks/``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import BASELINE, ProcessorConfig
@@ -14,6 +16,25 @@ from repro.trace.trace import Trace
 
 #: short-but-representative test trace length
 TEST_TRACE_LENGTH = 4_000
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the persistent artifact cache at a per-session tmpdir.
+
+    Tests must neither depend on nor pollute the user's real cache
+    (``~/.cache/repro-firstorder``); within the session the cache still
+    works normally, so cross-test reuse is exercised.
+    """
+    prior = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("artifact-cache")
+    )
+    yield
+    if prior is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prior
 
 
 @pytest.fixture(scope="session")

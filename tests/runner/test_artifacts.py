@@ -1,0 +1,139 @@
+"""The persistent artifact cache: keys, hits, corruption, escape hatches."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import BASELINE
+from repro.memory.config import CacheGeometry, HierarchyConfig
+from repro.runner import artifacts
+from repro.runner.artifacts import (
+    UncacheableError,
+    annotations_artifact,
+    artifact_key,
+    cache_root,
+    cache_stats,
+    cached_artifact,
+    canonicalize,
+    reset_cache_stats,
+    trace_artifact,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(tmp_path, monkeypatch):
+    """Every test gets its own empty cache directory and zeroed stats."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    reset_cache_stats()
+    yield
+    reset_cache_stats()
+
+
+def test_hit_and_miss_counters():
+    calls = []
+    recipe = {"x": 1}
+    first = cached_artifact("thing", recipe, lambda: calls.append(1) or 41)
+    second = cached_artifact("thing", recipe, lambda: calls.append(1) or 42)
+    assert first == second == 41  # second call served from disk
+    assert len(calls) == 1
+    stats = cache_stats()
+    assert stats.misses == {"thing": 1}
+    assert stats.hits == {"thing": 1}
+    assert stats.stores == {"thing": 1}
+
+
+def test_key_covers_every_recipe_field():
+    base = {"benchmark": "gzip", "length": 1000, "seed": None}
+    key = artifact_key("trace", base)
+    for field, changed in (
+        ("benchmark", "mcf"),
+        ("length", 1001),
+        ("seed", 7),
+    ):
+        assert artifact_key("trace", base | {field: changed}) != key
+    # the kind and the schema version are part of the key too
+    assert artifact_key("other", base) != key
+    # an equal recipe keys identically
+    assert artifact_key("trace", dict(base)) == key
+
+
+def test_config_changes_change_annotation_keys():
+    base = {"hierarchy": BASELINE.hierarchy,
+            "predictor": BASELINE.predictor_factory}
+    small = dataclasses.replace(
+        BASELINE.hierarchy, l2=CacheGeometry(16 * 1024, 4, 128)
+    )
+    assert (
+        artifact_key("annotations", base)
+        != artifact_key("annotations", base | {"hierarchy": small})
+    )
+
+
+def test_closures_are_uncacheable_but_still_computed():
+    size = 512
+
+    def factory():  # closes over `size`: no stable key exists
+        return size
+
+    with pytest.raises(UncacheableError):
+        canonicalize(factory)
+    value = cached_artifact("thing", {"factory": factory}, lambda: 7)
+    assert value == 7
+    assert cache_stats().uncacheable == 1
+    assert cache_stats().misses == {}  # never reached the disk layer
+
+
+def test_corrupt_entry_is_recomputed_and_repaired(monkeypatch):
+    recipe = {"x": "y"}
+    assert cached_artifact("thing", recipe, lambda: [1, 2, 3]) == [1, 2, 3]
+    (path,) = (cache_root() / "thing").rglob("*.pkl")
+    path.write_bytes(path.read_bytes()[:7])  # truncate mid-stream
+    assert cached_artifact("thing", recipe, lambda: [4, 5]) == [4, 5]
+    stats = cache_stats()
+    assert stats.errors == 1
+    assert stats.misses == {"thing": 2}
+    # the repaired entry serves the next call
+    assert cached_artifact("thing", recipe, lambda: [6]) == [4, 5]
+
+
+def test_disable_env_var_bypasses_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+    calls = []
+    for _ in range(2):
+        cached_artifact("thing", {"x": 1}, lambda: calls.append(1))
+    assert len(calls) == 2
+    assert not (cache_root() / "thing").exists()
+
+
+def test_cache_dir_env_var_moves_the_root(tmp_path, monkeypatch):
+    override = tmp_path / "elsewhere"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(override))
+    cached_artifact("thing", {"x": 1}, lambda: 1)
+    assert any(override.rglob("*.pkl"))
+
+
+def test_trace_artifact_round_trip():
+    first = trace_artifact("gzip", 2_000)
+    again = trace_artifact("gzip", 2_000)
+    assert np.array_equal(first.pc, again.pc)
+    assert np.array_equal(first.taken, again.taken)
+    assert cache_stats().hits == {"trace": 1}
+    # a different seed is a different artifact
+    seeded = trace_artifact("gzip", 2_000, seed=99)
+    assert not np.array_equal(first.pc, seeded.pc)
+
+
+def test_annotations_artifact_round_trip(gzip_trace):
+    kwargs = dict(config=BASELINE, benchmark="gzip",
+                  length=len(gzip_trace), seed=None)
+    first = annotations_artifact(gzip_trace, **kwargs)
+    again = annotations_artifact(gzip_trace, **kwargs)
+    assert np.array_equal(first.fetch_stall, again.fetch_stall)
+    assert np.array_equal(first.mispredicted, again.mispredicted)
+    assert cache_stats().hits == {"annotations": 1}

@@ -1,0 +1,91 @@
+"""The parallel experiment runner: correctness, ordering, cache reuse."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import BASELINE
+from repro.runner import (
+    WorkUnit,
+    default_jobs,
+    reset_cache_stats,
+    run_units,
+    set_default_jobs,
+)
+from repro.simulator.processor import simulate
+from repro.trace.synthetic import generate_trace
+
+LENGTH = 2_000
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    reset_cache_stats()
+    yield
+    reset_cache_stats()
+    set_default_jobs(None)
+
+
+def _units():
+    cramped = dataclasses.replace(BASELINE, window_size=16, rob_size=32)
+    return [
+        WorkUnit(benchmark="gzip", length=LENGTH, tag="a"),
+        WorkUnit(benchmark="mcf", length=LENGTH, tag="b"),
+        WorkUnit(benchmark="gzip", length=LENGTH, config=cramped, tag="c"),
+    ]
+
+
+def test_results_match_direct_simulation_in_order():
+    results, stats = run_units(_units(), jobs=1)
+    assert [r.unit.tag for r in results] == ["a", "b", "c"]
+    for r in results:
+        direct = simulate(
+            generate_trace(r.unit.benchmark, LENGTH),
+            r.unit.config, instrument=False,
+        )
+        assert r.result.cycles == direct.cycles
+    assert stats.units == 3 and stats.jobs == 1
+
+
+def test_parallel_matches_serial():
+    serial, _ = run_units(_units(), jobs=1)
+    parallel, stats = run_units(_units(), jobs=2)
+    assert stats.jobs == 2
+    assert [r.result.cycles for r in parallel] == [
+        r.result.cycles for r in serial
+    ]
+
+
+def test_warm_run_does_no_frontend_work():
+    units = _units()
+    _, cold = run_units(units, jobs=1)
+    # gzip appears twice (two configs, same hierarchy): one generation,
+    # one functional pass, shared through the cache
+    assert cold.trace_computes == 2
+    assert cold.annotation_computes == 2
+    results, warm = run_units(units, jobs=1)
+    assert warm.trace_computes == 0
+    assert warm.annotation_computes == 0
+    assert warm.cache.total_hits() >= 6
+    assert "units in" in warm.summary()
+
+
+def test_reuse_results_skips_simulation():
+    units = _units()
+    first, _ = run_units(units, jobs=1)
+    second, stats = run_units(units, jobs=1, reuse_results=True)
+    assert stats.cache.hits.get("result") == 3
+    assert [r.result.cycles for r in second] == [
+        r.result.cycles for r in first
+    ]
+
+
+def test_default_jobs_override():
+    set_default_jobs(3)
+    assert default_jobs() == 3
+    set_default_jobs(None)
+    assert default_jobs() >= 1

@@ -1,0 +1,108 @@
+"""Cycle-exactness of the fast engine against the reference engine.
+
+The fast path (:mod:`repro.simulator.engine`) is pure optimization: for
+every trace and configuration it must reproduce the reference loop's
+cycle count, event counts and instrumentation bit for bit.  This is the
+regression gate that keeps it honest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import BASELINE, ProcessorConfig
+from repro.simulator.processor import DetailedSimulator, simulate
+from repro.trace.profiles import BENCHMARK_ORDER
+from repro.trace.synthetic import generate_trace
+
+#: two trace lengths: one short, one mid-size
+LENGTHS = (1_500, 3_000)
+
+#: the baseline plus a deliberately cramped machine that exercises every
+#: structural stall (tiny window, shallow ROB, narrow width)
+CONFIGS = (
+    BASELINE,
+    ProcessorConfig(pipeline_depth=3, width=2, window_size=8, rob_size=16),
+)
+
+
+def assert_equivalent(fast, ref) -> None:
+    assert fast.cycles == ref.cycles
+    assert fast.instructions == ref.instructions
+    assert fast.misprediction_count == ref.misprediction_count
+    assert fast.icache_short_count == ref.icache_short_count
+    assert fast.icache_long_count == ref.icache_long_count
+    assert fast.dcache_long_count == ref.dcache_long_count
+    fi, ri = fast.instrumentation, ref.instrumentation
+    assert (fi is None) == (ri is None)
+    if fi is not None:
+        assert np.array_equal(fi.issued_histogram, ri.issued_histogram)
+        assert fi.window_left_at_mispredict == ri.window_left_at_mispredict
+        assert fi.rob_ahead_at_long_miss == ri.rob_ahead_at_long_miss
+        assert fi.dispatch_stall_rob == ri.dispatch_stall_rob
+        assert fi.dispatch_stall_window == ri.dispatch_stall_window
+
+
+@pytest.mark.parametrize("bench_name", BENCHMARK_ORDER)
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("config", CONFIGS, ids=("baseline", "cramped"))
+def test_fast_engine_matches_reference(bench_name, length, config):
+    trace = generate_trace(bench_name, length)
+    annotations = DetailedSimulator(config, engine="fast").annotate(trace)
+    fast = DetailedSimulator(config, engine="fast").run(trace, annotations)
+    ref = DetailedSimulator(config, engine="reference").run(
+        trace, annotations
+    )
+    assert_equivalent(fast, ref)
+
+
+def test_equivalence_without_instrumentation(gzip_trace):
+    fast = simulate(gzip_trace, instrument=False, engine="fast")
+    ref = simulate(gzip_trace, instrument=False, engine="reference")
+    assert fast.instrumentation is None
+    assert_equivalent(fast, ref)
+
+
+def test_equivalence_under_miss_pressure(mcf_trace, small_l2_hierarchy):
+    """A 16 KB L2 floods the trace with long misses — the drain/skip
+    machinery gets real exercise."""
+    config = dataclasses.replace(BASELINE, hierarchy=small_l2_hierarchy)
+    annotations = DetailedSimulator(config).annotate(mcf_trace)
+    fast = DetailedSimulator(config, engine="fast").run(
+        mcf_trace, annotations
+    )
+    ref = DetailedSimulator(config, engine="reference").run(
+        mcf_trace, annotations
+    )
+    assert fast.dcache_long_count > 30
+    assert_equivalent(fast, ref)
+
+
+def test_engine_env_override(monkeypatch, gzip_trace):
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+    assert DetailedSimulator().engine == "reference"
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "fast")
+    assert DetailedSimulator().engine == "fast"
+    with pytest.raises(ValueError):
+        DetailedSimulator(engine="warp")
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+    with pytest.raises(ValueError):
+        DetailedSimulator()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench_name", ("gzip", "mcf", "vpr"))
+def test_full_length_equivalence(bench_name):
+    """Full experiment-length traces, both engines, bit-for-bit."""
+    trace = generate_trace(bench_name, 30_000)
+    annotations = DetailedSimulator(BASELINE).annotate(trace)
+    fast = DetailedSimulator(BASELINE, engine="fast").run(
+        trace, annotations
+    )
+    ref = DetailedSimulator(BASELINE, engine="reference").run(
+        trace, annotations
+    )
+    assert_equivalent(fast, ref)
