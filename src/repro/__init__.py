@@ -31,6 +31,15 @@ from repro.frontend import (
     collect_events,
 )
 from repro.simulator import DetailedSimulator, SimResult, simulate
+from repro.telemetry import (
+    MeasuredCPIStack,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryConfig,
+    TelemetryReport,
+    metrics_registry,
+    telemetry_enabled,
+)
 from repro.trace import (
     Trace,
     BenchmarkProfile,
@@ -59,6 +68,13 @@ __all__ = [
     "DetailedSimulator",
     "SimResult",
     "simulate",
+    "MeasuredCPIStack",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetryReport",
+    "metrics_registry",
+    "telemetry_enabled",
     "Trace",
     "BenchmarkProfile",
     "SPECINT2000",

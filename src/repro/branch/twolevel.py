@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.branch.gshare import GShare
 from repro.branch.predictor import BranchPredictor
-from repro.branch.simple import Bimodal
 
 _WEAKLY_TAKEN = 2
 _MAX_COUNTER = 3

@@ -13,12 +13,22 @@ writing any code:
 * ``bench [-o FILE]``     — time the simulation kernels and the baseline
   sweep (reference vs fast engines, cold vs warm artifact cache) and
   write ``BENCH_perf.json``
+* ``timeline <bench>``    — interval IPC/occupancy sparklines and the
+  measured CPI stack of one simulation
+* ``stats [bench...]``    — run a sweep and dump the runner/cache
+  metrics registry
 * ``list``                — available benchmarks and experiments
+
+``repro --log-level debug <command>`` (or ``-v``) turns on the
+package's :mod:`logging` output; library modules never print outside
+their renderers.  Setting ``REPRO_TELEMETRY=1`` attaches the stall
+accountant to every simulation (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -63,7 +73,8 @@ def cmd_model(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     trace = generate_trace(args.benchmark, args.length)
-    result = DetailedSimulator(BASELINE).run(trace)
+    sim = DetailedSimulator(BASELINE)
+    result = sim.run(trace)
     print(f"{args.benchmark}: {result.instructions} instructions in "
           f"{result.cycles} cycles — CPI {result.cpi:.3f} "
           f"(IPC {result.ipc:.2f})")
@@ -74,6 +85,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if instr is not None:
         frac = instr.fraction_of_cycles_at_issue(BASELINE.width)
         print(f"  cycles at full issue width: {frac:.1%}")
+    if sim.last_telemetry is not None:  # REPRO_TELEMETRY was set
+        print()
+        print(sim.last_telemetry.report.stack.render())
     return 0
 
 
@@ -150,38 +164,104 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.runner import artifacts
     from repro.runner.bench import format_bench, run_bench, write_bench
+    from repro.telemetry.manifest import build_manifest, write_manifest
 
     runs = 1 if args.quick else args.runs
+    start = time.perf_counter()
     doc = run_bench(
         length=args.length, runs=runs, jobs=args.jobs,
         progress=lambda msg: print(f"bench: {msg} ...", file=sys.stderr),
     )
+    elapsed = time.perf_counter() - start
     print(format_bench(doc))
     if args.output:
         write_bench(doc, args.output)
         print(f"wrote {args.output}")
+        write_manifest(args.output, build_manifest(
+            command="bench",
+            config=BASELINE,
+            wall_seconds=elapsed,
+            cache_stats=artifacts.cache_stats(),
+            extra={"trace_length": args.length, "runs": runs},
+        ))
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    import time
+
     from repro.experiments.runner import run_all
+    from repro.runner import artifacts
+    from repro.telemetry.manifest import build_manifest, write_manifest
 
     if args.jobs is not None:
         from repro.runner import set_default_jobs
 
         set_default_jobs(args.jobs)
+    start = time.perf_counter()
     report = run_all(progress=lambda name: print(f"running {name} ..."))
+    elapsed = time.perf_counter() - start
     text = report.to_markdown()
     if args.output:
         with open(args.output, "w") as f:
             f.write(text)
         print(f"wrote {args.output}")
+        write_manifest(args.output, build_manifest(
+            command="report",
+            config=BASELINE,
+            wall_seconds=elapsed,
+            cache_stats=artifacts.cache_stats(),
+        ))
     else:
         print(text)
     for name, claim in report.failures():
         print(f"FAILED [{name}] {claim}")
     return 0 if report.all_passed else 1
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.telemetry.session import Telemetry, TelemetryConfig
+
+    trace = generate_trace(args.benchmark, args.length)
+    tele = Telemetry(TelemetryConfig(interval=args.interval))
+    sim = DetailedSimulator(BASELINE, telemetry=tele)
+    result = sim.run(trace)
+    report = tele.report
+    print(f"{args.benchmark}: CPI {result.cpi:.3f} over {result.cycles} "
+          f"cycles ({report.timeline.intervals} intervals of "
+          f"{args.interval} cycles)")
+    print()
+    print(report.timeline.render())
+    print()
+    print(report.stack.render())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.runner.pool import WorkUnit, run_units
+    from repro.telemetry.metrics import metrics_registry
+
+    benchmarks = args.benchmarks or list(BENCHMARK_ORDER)
+    units = [
+        WorkUnit(benchmark=b, length=args.length) for b in benchmarks
+    ]
+    results, stats = run_units(units, jobs=args.jobs)
+    for r in results:
+        print(f"{r.unit.benchmark:10s} CPI {r.result.cpi:6.3f}  "
+              f"{r.seconds:6.3f}s")
+    print()
+    print(stats.summary())
+    print()
+    reg = metrics_registry()
+    if args.json:
+        print(reg.to_json())
+    else:
+        print(reg.render())
+    return 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -199,6 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="A First-Order Superscalar Processor Model "
                     "(Karkhanis & Smith, ISCA 2004) — reproduction CLI",
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="logging verbosity for the repro package (default warning)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="shorthand: -v = info, -vv = debug",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -262,6 +351,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the sweep phase")
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "timeline",
+        help="interval IPC/occupancy sparklines for one simulation",
+    )
+    add_bench(p)
+    p.add_argument("--interval", type=int, default=1000,
+                   help="interval length in cycles (default 1000)")
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a sweep and dump the runner/cache metrics registry",
+    )
+    p.add_argument("benchmarks", nargs="*", choices=BENCHMARK_ORDER + ("",),
+                   default=None)
+    p.add_argument("--length", type=int, default=30_000)
+    p.add_argument("--jobs", "-j", type=int, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit the registry as JSON instead of text")
+    p.set_defaults(func=cmd_stats)
+
     p = sub.add_parser("list", help="available benchmarks and experiments")
     p.set_defaults(func=cmd_list)
 
@@ -270,6 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    level = args.log_level
+    if args.verbose:
+        level = "info" if args.verbose == 1 else "debug"
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     return args.func(args)
 
 

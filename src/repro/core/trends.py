@@ -23,11 +23,6 @@ import math
 from dataclasses import dataclass
 
 from repro.core.branch_penalty import BranchPenaltyModel, BurstPolicy
-from repro.core.transient import (
-    drain_transient,
-    ramp_transient,
-    steady_state_occupancy,
-)
 from repro.window.characteristic import IWCharacteristic
 
 #: paper §6 workload assumptions

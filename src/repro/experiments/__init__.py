@@ -22,6 +22,7 @@ runnable as scripts: ``python -m repro.experiments.fig15_overall``.
 | fig18_issue_width     | Figure 18 — prediction vs issue width |
 | fig19_ramp            | Figure 19 — inter-misprediction ramp |
 | val_assumptions       | §4.1/§4.3 in-text assumption checks |
+| val_additivity        | Eq. 1 — measured vs modeled CPI stack |
 | cmp_statsim           | §1.2 — model vs statistical simulation |
 | sens_config           | robustness across machine configurations |
 | sens_predictor        | robustness across predictor quality |
@@ -47,6 +48,7 @@ from repro.experiments import (
     fig17_pipeline_depth,
     fig18_issue_width,
     fig19_ramp,
+    val_additivity,
     val_assumptions,
 )
 from repro.experiments.common import Claim, cached_trace, format_table
@@ -69,6 +71,7 @@ ALL_EXPERIMENTS = (
     fig18_issue_width,
     fig19_ramp,
     val_assumptions,
+    val_additivity,
     cmp_statsim,
     sens_config,
     sens_length,

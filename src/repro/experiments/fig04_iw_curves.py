@@ -7,7 +7,6 @@ log2(W) and observes near-straight lines whose slopes cluster around 0.5.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.experiments.common import (

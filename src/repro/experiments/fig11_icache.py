@@ -19,7 +19,6 @@ from repro.experiments.common import (
     Claim,
     cached_trace,
     format_table,
-    mean,
 )
 from repro.simulator.processor import DetailedSimulator
 

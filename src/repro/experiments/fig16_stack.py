@@ -22,11 +22,17 @@ from repro.experiments.common import (
     cached_trace,
     format_table,
 )
+from repro.simulator.processor import DetailedSimulator
+from repro.telemetry.accountant import MeasuredCPIStack, render_side_by_side
+from repro.telemetry.session import telemetry_enabled
 
 
 @dataclass(frozen=True)
 class StackResult:
     stacks: tuple[CPIStack, ...]
+    #: measured stacks from the instrumented detailed simulation, in the
+    #: same benchmark order; empty when telemetry was not requested
+    measured: tuple[MeasuredCPIStack, ...] = ()
 
     def stack(self, benchmark: str) -> CPIStack:
         for s in self.stacks:
@@ -34,8 +40,14 @@ class StackResult:
                 return s
         raise KeyError(benchmark)
 
+    def measured_stack(self, benchmark: str) -> MeasuredCPIStack:
+        for s in self.measured:
+            if s.name == benchmark:
+                return s
+        raise KeyError(benchmark)
+
     def format(self) -> str:
-        return format_table(
+        table = format_table(
             ("bench", "ideal", "L1 I$", "L2 I$", "L2 D$", "branch",
              "total"),
             [
@@ -44,8 +56,29 @@ class StackResult:
                 for s in self.stacks
             ],
         )
+        if not self.measured:
+            return table
+        folded = [m.as_model_stack() for m in self.measured]
+        measured_table = format_table(
+            ("bench", "ideal", "L1 I$", "L2 I$", "L2 D$", "branch",
+             "total"),
+            [
+                (f.name, f.ideal, f.l1_icache, f.l2_icache, f.l2_dcache,
+                 f.branch, f.total)
+                for f in folded
+            ],
+        )
+        return (
+            "model:\n" + table
+            + "\n\nmeasured (detailed simulation):\n" + measured_table
+        )
 
     def render(self) -> str:
+        if self.measured:
+            return "\n\n".join(
+                render_side_by_side(self.stack(m.name), m)
+                for m in self.measured
+            )
         return render_stacks(self.stacks)
 
     def checks(self) -> list[Claim]:
@@ -56,7 +89,7 @@ class StackResult:
             k: gzip.component(k)
             for k in ("l1_icache", "l2_icache", "l2_dcache", "branch")
         }
-        return [
+        claims = [
             Claim(
                 "mcf is dominated by long data-cache misses "
                 "(paper: ~70% of CPI)",
@@ -84,19 +117,49 @@ class StackResult:
                 "all totals positive",
             ),
         ]
+        if self.measured:
+            worst = max(
+                abs(m.total - m.cycles / m.instructions)
+                for m in self.measured
+            )
+            claims.append(
+                Claim(
+                    "measured stack components sum to the simulated CPI",
+                    worst < 1e-9,
+                    f"worst residual {worst:.2e}",
+                )
+            )
+        return claims
 
 
 def run(
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
+    measured: bool | None = None,
 ) -> StackResult:
+    """Model CPI stacks, optionally next to measured ones.
+
+    ``measured=None`` defers to the ``REPRO_TELEMETRY`` environment knob;
+    when it resolves true, each benchmark is also run through the
+    detailed simulator with the stall accountant attached and the
+    measured stack reported alongside the model's.
+    """
+    if measured is None:
+        measured = telemetry_enabled()
     model = FirstOrderModel(config)
     stacks = []
+    measured_stacks = []
     for name in benchmarks:
         trace = cached_trace(name, trace_length)
         stacks.append(model.evaluate_trace(trace).stack())
-    return StackResult(stacks=tuple(stacks))
+        if measured:
+            sim = DetailedSimulator(config, telemetry=True)
+            sim.run(trace)
+            measured_stacks.append(sim.last_telemetry.report.stack)
+    return StackResult(
+        stacks=tuple(stacks), measured=tuple(measured_stacks)
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,11 +9,14 @@ any change.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.experiments.common import Claim
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -93,6 +96,7 @@ def run_all(
         start = time.perf_counter()
         result = module.run()
         elapsed = time.perf_counter() - start
+        _log.info("experiment %s finished in %.2fs", name, elapsed)
         outcomes.append(
             ExperimentOutcome(
                 name=name,

@@ -13,7 +13,6 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from repro.config import ProcessorConfig
 from repro.core.model import FirstOrderModel
 from repro.experiments.common import (
     BASELINE,

@@ -13,12 +13,7 @@ from dataclasses import dataclass
 
 from repro.config import ProcessorConfig
 from repro.core.model import FirstOrderModel
-from repro.experiments.common import (
-    BASELINE,
-    Claim,
-    format_table,
-    mean,
-)
+from repro.experiments.common import BASELINE, Claim, format_table
 from repro.frontend.collector import CollectorConfig, MissEventCollector
 from repro.simulator.processor import DetailedSimulator
 from repro.trace.synthetic import generate_trace

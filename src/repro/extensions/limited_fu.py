@@ -19,7 +19,7 @@ module computes and clamps the IW characteristic with.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.isa.latency import LatencyTable

@@ -8,7 +8,7 @@ readability beats throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.opclass import OpClass, is_branch, is_memory, writes_register
 

@@ -15,7 +15,7 @@ miss-events handled by the retirement-blocking model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 

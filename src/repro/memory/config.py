@@ -8,7 +8,7 @@ and a 200-cycle memory delay (the paper's ΔD for long misses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 def _is_pow2(x: int) -> bool:

@@ -39,6 +39,7 @@ import dataclasses
 import functools
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -46,6 +47,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+_log = logging.getLogger(__name__)
 
 #: bump when the pickled layout of any artifact kind changes; old cache
 #: entries become unreachable rather than unreadable
@@ -214,8 +217,9 @@ def _load(kind: str, key: str):
             return pickle.load(fh)
     except FileNotFoundError:
         return _MISS
-    except Exception:
+    except Exception as exc:
         # truncated/corrupt/incompatible entry: recompute and overwrite
+        _log.warning("unreadable cache entry %s (%s); recomputing", path, exc)
         _STATS.errors += 1
         return _MISS
 
@@ -237,11 +241,13 @@ def _store(kind: str, key: str, obj) -> None:
             except OSError:
                 pass
             raise
-    except OSError:
+    except OSError as exc:
         # a read-only or full cache never fails the computation
+        _log.warning("could not store %s artifact %s: %s", kind, key, exc)
         _STATS.errors += 1
         return
     _STATS._bump(_STATS.stores, kind)
+    _log.debug("stored %s artifact %s", kind, key)
 
 
 def cached_artifact(kind: str, recipe: dict, compute):

@@ -38,8 +38,9 @@ from repro.runner.pool import WorkUnit, run_units
 #: the experiment suite's default dynamic trace length
 DEFAULT_TRACE_LENGTH = 30_000
 
-#: schema of the emitted JSON document
-BENCH_SCHEMA = 1
+#: schema of the emitted JSON document (2 added the ``telemetry``
+#: overhead section)
+BENCH_SCHEMA = 2
 
 
 def _best_of(runs: int, fn) -> float:
@@ -178,6 +179,52 @@ def bench_sweep(benchmarks, length: int, runs: int, jobs, progress=None) -> dict
     return sweep
 
 
+def bench_telemetry(benchmarks, length: int, runs: int, progress=None) -> dict:
+    """Cost of the stall accountant: fast-engine sim with telemetry
+    off vs on, and the bit-identity the "zero-cost when disabled"
+    claim rests on (equal cycle and event counts either way)."""
+    from repro.frontend.collector import CollectorConfig, MissEventCollector
+    from repro.simulator.processor import DetailedSimulator
+    from repro.trace.synthetic import generate_trace
+
+    collector_cfg = CollectorConfig(
+        hierarchy=BASELINE.hierarchy,
+        predictor_factory=BASELINE.predictor_factory,
+        ideal_predictor=BASELINE.ideal_predictor,
+    )
+    off_s = on_s = 0.0
+    identical = True
+    for name in benchmarks:
+        if progress:
+            progress(f"telemetry overhead: {name}")
+        trace = generate_trace(name, length)
+        annotations = (
+            MissEventCollector(collector_cfg, engine="fast")
+            .collect(trace, annotate=True).annotations
+        )
+        sim_off = DetailedSimulator(BASELINE, instrument=False,
+                                    engine="fast", telemetry=False)
+        sim_on = DetailedSimulator(BASELINE, instrument=False,
+                                   engine="fast", telemetry=True)
+        off = sim_off.run(trace, annotations)
+        on = sim_on.run(trace, annotations)
+        identical = identical and (
+            off.cycles == on.cycles
+            and off.misprediction_count == on.misprediction_count
+            and off.icache_short_count == on.icache_short_count
+            and off.icache_long_count == on.icache_long_count
+            and off.dcache_long_count == on.dcache_long_count
+        )
+        off_s += _best_of(runs, lambda: sim_off.run(trace, annotations))
+        on_s += _best_of(runs, lambda: sim_on.run(trace, annotations))
+    return {
+        "sim_off_s": off_s,
+        "sim_on_s": on_s,
+        "overhead": on_s / off_s - 1.0,
+        "bit_identical": identical,
+    }
+
+
 def run_bench(
     length: int = DEFAULT_TRACE_LENGTH,
     runs: int = 3,
@@ -192,6 +239,7 @@ def run_bench(
         benchmarks = list(BENCHMARK_ORDER)
     per_bench = bench_kernels(benchmarks, length, runs, progress)
     sweep = bench_sweep(benchmarks, length, runs, jobs, progress)
+    telemetry = bench_telemetry(benchmarks, length, runs, progress)
 
     def total(field: str) -> float:
         return sum(row[field] for row in per_bench.values())
@@ -223,6 +271,7 @@ def run_bench(
         "benchmarks": per_bench,
         "aggregate": aggregate,
         "sweep": sweep,
+        "telemetry": telemetry,
     }
 
 
@@ -261,6 +310,15 @@ def format_bench(doc: dict) -> str:
         f"{sweep['warm_trace_computes']} traces and "
         f"{sweep['warm_annotation_computes']} functional passes re-run)",
     ]
+    tele = doc.get("telemetry")
+    if tele:  # absent in schema-1 documents
+        lines += [
+            "",
+            f"telemetry overhead (fast engine): "
+            f"{tele['sim_off_s']:.3f}s off -> {tele['sim_on_s']:.3f}s on "
+            f"({tele['overhead']:+.1%}); disabled-telemetry results "
+            f"identical: {tele['bit_identical']}",
+        ]
     return "\n".join(lines)
 
 

@@ -15,6 +15,7 @@ back in unit order regardless of completion order.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -23,6 +24,9 @@ from dataclasses import dataclass, field
 from repro.config import BASELINE, ProcessorConfig
 from repro.runner import artifacts
 from repro.simulator.results import SimResult
+from repro.telemetry.metrics import metrics_registry
+
+_log = logging.getLogger(__name__)
 
 #: default dynamic trace length, matching the experiment suite's
 #: :data:`repro.experiments.common.DEFAULT_TRACE_LENGTH`
@@ -193,6 +197,7 @@ def run_units(
     if jobs is None:
         jobs = default_jobs()
     jobs = max(1, min(jobs, len(units) or 1))
+    _log.debug("running %d unit(s) over %d job(s)", len(units), jobs)
 
     stats = RunnerStats(units=len(units), jobs=jobs)
     start = time.perf_counter()
@@ -209,4 +214,34 @@ def run_units(
     for unit, (result, elapsed, delta) in zip(units, outcomes):
         stats.cache.merge(delta)
         results.append(UnitResult(unit=unit, result=result, seconds=elapsed))
+    _publish_metrics(results, stats)
+    _log.info("runner: %s", stats.summary())
     return results, stats
+
+
+def _publish_metrics(results: list[UnitResult], stats: RunnerStats) -> None:
+    """Fold one run's statistics into the process metrics registry."""
+    reg = metrics_registry()
+    reg.counter("runner.runs").inc()
+    reg.counter("runner.units").inc(stats.units)
+    unit_seconds = reg.histogram("runner.unit_seconds")
+    busy = 0.0
+    for r in results:
+        unit_seconds.observe(r.seconds)
+        busy += r.seconds
+    for kind, count in stats.cache.hits.items():
+        reg.counter(f"cache.hits.{kind}").inc(count)
+    for kind, count in stats.cache.misses.items():
+        reg.counter(f"cache.misses.{kind}").inc(count)
+    for kind, count in stats.cache.stores.items():
+        reg.counter(f"cache.stores.{kind}").inc(count)
+    if stats.cache.errors:
+        reg.counter("cache.errors").inc(stats.cache.errors)
+    if stats.cache.uncacheable:
+        reg.counter("cache.uncacheable").inc(stats.cache.uncacheable)
+    if stats.seconds > 0 and stats.jobs > 0:
+        # busy worker-seconds over available worker-seconds; pickling
+        # and pool startup are the visible complement
+        reg.gauge("runner.pool_utilization").set(
+            min(1.0, busy / (stats.seconds * stats.jobs))
+        )

@@ -55,6 +55,15 @@ import numpy as np
 from repro.config import ProcessorConfig
 from repro.frontend.events import EventAnnotations
 from repro.simulator.results import Instrumentation, SimResult
+from repro.telemetry.accountant import (
+    CLS_BASE,
+    CLS_BRANCH,
+    CLS_DCACHE_LONG,
+    CLS_ICACHE_L1,
+    CLS_ICACHE_L2,
+    CLS_ROB_FULL,
+    CLS_WINDOW_FULL,
+)
 from repro.trace.trace import Trace
 
 #: sentinel completion time for not-yet-issued instructions; any real
@@ -67,11 +76,19 @@ def run_fast(
     config: ProcessorConfig,
     annotations: EventAnnotations,
     instrument: bool = True,
+    telemetry=None,
 ) -> SimResult:
     """Simulate ``trace`` with the event-driven fast path.
 
     Preconditions (the caller, :class:`DetailedSimulator`, checks them):
     the trace is non-empty and ``annotations`` matches its length.
+
+    ``telemetry`` is an optional :class:`repro.telemetry.Telemetry`
+    session.  With one attached, every cycle — including the ones the
+    quiescent-skip path jumps over, charged as constant-state spans — is
+    classified into a stall class and fed to the interval timeline, with
+    the identical priority order as the reference loop; with ``None``
+    every collection site is skipped and the engine is unchanged.
     """
     n = len(trace)
     cfg = config
@@ -133,11 +150,23 @@ def run_fast(
     stall_window = 0
     stall_rob = 0
 
+    tele = telemetry
+    notable_any = instrument or tele is not None
+    mem_lat = cfg.hierarchy.memory_latency
+    front_cause = CLS_BASE    #: sticky class of the last fetch break
+    branch_wait_start = 0     #: cycle the pending mispredict stopped fetch
+    dispatched_t = False
+    stalled_window_t = stalled_rob_t = False
+
     while retired < n:
         progress = False
+        if tele is not None:
+            dispatched_t = False
+            stalled_window_t = stalled_rob_t = False
 
         # ---- retire (in order, completed, up to width) ---------------
         if retired < next_dispatch and complete[retired] <= cycle:
+            r0 = retired
             lim = retired + width
             if lim > next_dispatch:
                 lim = next_dispatch
@@ -145,6 +174,8 @@ def run_fast(
             while retired < lim and complete[retired] <= cycle:
                 retired += 1
             progress = True
+            if tele is not None:
+                tele.retire(cycle, retired - r0)
 
         # ---- issue (oldest-first, ready, up to width) -----------------
         if nxt:
@@ -185,14 +216,19 @@ def run_fast(
                 complete[k] = done
                 if k == waiting_branch:
                     branch_resolve = done
-                if notable[k] and instrument:
+                if notable[k] and notable_any:
                     if mispredicted[k]:
                         mispredict_issued = True
+                        if tele is not None:
+                            tele.mark_mispredict(cycle, k)
                     if long_miss[k]:
-                        # the ROB holds the contiguous range
-                        # [retired, next_dispatch), so the entries ahead
-                        # of k are exactly k - retired
-                        rob_ahead.append(k - retired)
+                        if instrument:
+                            # the ROB holds the contiguous range
+                            # [retired, next_dispatch), so the entries
+                            # ahead of k are exactly k - retired
+                            rob_ahead.append(k - retired)
+                        if tele is not None:
+                            tele.mark_long_miss(cycle, k, latency[k])
                 w = waiters[k]
                 if w is not None:
                     waiters[k] = None
@@ -244,6 +280,7 @@ def run_fast(
                 pipe.popleft()
                 next_dispatch = gend
                 window_count += cnt
+                dispatched_t = True
                 for k in range(d0, gend):
                     pend = 0
                     r = 0
@@ -299,11 +336,13 @@ def run_fast(
                     e = gend if gend < lim else lim
                     while next_dispatch < e:
                         if window_count >= win_size:
+                            stalled_window_t = True
                             if instrument:
                                 stall_window += 1
                             stalled = True
                             break
                         if next_dispatch - retired >= rob_size:
+                            stalled_rob_t = True
                             if instrument:
                                 stall_rob += 1
                             stalled = True
@@ -357,11 +396,42 @@ def run_fast(
                         break
                 if next_dispatch != d0:
                     progress = True
+                    dispatched_t = True
+
+        if tele is not None:
+            # stall attribution — same priority order as the reference
+            # loop (see repro.telemetry.accountant)
+            if dispatched_t:
+                front_cause = CLS_BASE
+                cls = CLS_BASE
+            elif stalled_window_t:
+                cls = CLS_WINDOW_FULL
+            elif stalled_rob_t:
+                cls = (
+                    CLS_DCACHE_LONG
+                    if long_miss[retired] and complete[retired] > cycle
+                    else CLS_ROB_FULL
+                )
+            elif waiting_branch >= 0:
+                cls = CLS_BRANCH
+            elif (
+                retired < next_dispatch
+                and long_miss[retired]
+                and complete[retired] > cycle
+            ):
+                cls = CLS_DCACHE_LONG
+            else:
+                cls = front_cause
+            tele.charge(cls, cycle)
 
         # ---- fetch (up to width, subject to stalls) --------------------
         if waiting_branch >= 0:
             if branch_resolve >= 0 and cycle >= branch_resolve:
                 # misprediction resolved: redirect, refill next cycle
+                if tele is not None:
+                    tele.mark_branch_redirect(
+                        cycle, waiting_branch, branch_wait_start
+                    )
                 waiting_branch = -1
                 branch_resolve = -1
                 fetch_resume = cycle + 1
@@ -388,6 +458,12 @@ def run_fast(
                             stall_paid_for = f
                             fetch_resume = cycle + stall
                             progress = True
+                            if tele is not None:
+                                long = stall >= mem_lat
+                                front_cause = (
+                                    CLS_ICACHE_L2 if long else CLS_ICACHE_L1
+                                )
+                                tele.mark_icache_stall(cycle, f, stall, long)
                             break
                         next_fetch += 1
                         if mispredicted[f]:
@@ -396,6 +472,9 @@ def run_fast(
                             branch_resolve = (
                                 complete[f] if complete[f] != _INF else -1
                             )
+                            if tele is not None:
+                                front_cause = CLS_BRANCH
+                                branch_wait_start = cycle
                             break
                     if next_fetch != f0:
                         pipe.append((cycle + depth, next_fetch))
@@ -404,6 +483,8 @@ def run_fast(
                         ev_i += 1
                     ev_next = ev_list[ev_i]
 
+        if tele is not None:
+            tele.occupancy(cycle, 1, next_dispatch - retired, window_count)
         cycle += 1
         if progress or retired >= n:
             continue
@@ -447,6 +528,49 @@ def run_fast(
                             stall_window += blocked
                         elif next_dispatch - retired >= rob_size:
                             stall_rob += blocked
+            if tele is not None:
+                # classify the skipped cycles in bulk.  The machine state
+                # is frozen throughout, so the span splits into at most
+                # two constant classes: cycles before the pipeline head's
+                # latch expires are front-end starvation, cycles after it
+                # are a structural dispatch stall (the skip logic only
+                # lets the head become ready when a structure is full —
+                # otherwise dispatch would progress and end the skip)
+                if waiting_branch >= 0:
+                    idle_cls = CLS_BRANCH
+                elif (
+                    retired < next_dispatch
+                    and long_miss[retired]
+                    and complete[retired] > cycle
+                ):
+                    idle_cls = CLS_DCACHE_LONG
+                else:
+                    idle_cls = front_cause
+                if pipe:
+                    head = pipe[0][0]
+                    split = head if head > cycle else cycle
+                    if split > t_next:
+                        split = t_next
+                    if split > cycle:
+                        tele.charge(idle_cls, cycle, split - cycle)
+                    if t_next > split:
+                        if window_count >= win_size:
+                            blocked_cls = CLS_WINDOW_FULL
+                        elif next_dispatch - retired >= rob_size:
+                            blocked_cls = (
+                                CLS_DCACHE_LONG
+                                if long_miss[retired]
+                                and complete[retired] > cycle
+                                else CLS_ROB_FULL
+                            )
+                        else:  # pragma: no cover — see span-split note
+                            blocked_cls = idle_cls
+                        tele.charge(blocked_cls, split, t_next - split)
+                else:
+                    tele.charge(idle_cls, cycle, skip)
+                tele.occupancy(
+                    cycle, skip, next_dispatch - retired, window_count
+                )
             cycle = t_next
 
     instr = None

@@ -41,17 +41,29 @@ Event handling:
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 
 from repro.config import ProcessorConfig
-from repro.fastpath import ENGINES, default_engine, resolve_engine
+from repro.fastpath import resolve_engine
 from repro.frontend.collector import CollectorConfig, MissEventCollector
 from repro.frontend.events import EventAnnotations
-from repro.isa.opclass import OpClass
 from repro.simulator.results import Instrumentation, SimResult
+from repro.telemetry.accountant import (
+    CLS_BASE,
+    CLS_BRANCH,
+    CLS_DCACHE_LONG,
+    CLS_ICACHE_L1,
+    CLS_ICACHE_L2,
+    CLS_ROB_FULL,
+    CLS_WINDOW_FULL,
+)
+from repro.telemetry.session import Telemetry, TelemetryConfig
 from repro.trace.trace import Trace
 
 import numpy as np
+
+_log = logging.getLogger(__name__)
 
 
 class DetailedSimulator:
@@ -66,10 +78,33 @@ class DetailedSimulator:
     """
 
     def __init__(self, config: ProcessorConfig | None = None,
-                 instrument: bool = True, engine: str | None = None):
+                 instrument: bool = True, engine: str | None = None,
+                 telemetry: "Telemetry | TelemetryConfig | bool | None" = None):
         self.config = config or ProcessorConfig()
         self.instrument = instrument
         self.engine = resolve_engine(engine)
+        #: telemetry opt-in: ``None`` defers to ``REPRO_TELEMETRY``,
+        #: ``True``/a :class:`TelemetryConfig` collects with (those)
+        #: defaults, a :class:`Telemetry` session collects into it,
+        #: ``False`` disables regardless of the environment
+        self.telemetry = telemetry
+        #: the session of the most recent :meth:`run` (``None`` when
+        #: telemetry was off); its ``report`` holds the measurements
+        self.last_telemetry: Telemetry | None = None
+
+    def _telemetry_session(self) -> Telemetry | None:
+        """A fresh (or the caller's) session for one run, or ``None``."""
+        t = self.telemetry
+        if t is None:
+            config = TelemetryConfig.from_env()
+            return Telemetry(config) if config is not None else None
+        if t is False:
+            return None
+        if t is True:
+            return Telemetry()
+        if isinstance(t, Telemetry):
+            return t
+        return Telemetry(t)
 
     def annotate(self, trace: Trace, warmup_passes: int = 1) -> EventAnnotations:
         """Run the functional pass that resolves this configuration's
@@ -106,11 +141,29 @@ class DetailedSimulator:
         if len(annotations) != n:
             raise ValueError("annotations do not match the trace length")
 
+        tele = self._telemetry_session()
+        result = self._run_engine(trace, annotations, tele)
+        if tele is not None:
+            tele.finish(trace.name, result.instructions, result.cycles)
+            _log.debug(
+                "simulated %s: %d instructions, %d cycles (telemetry on)",
+                trace.name, result.instructions, result.cycles,
+            )
+        self.last_telemetry = tele
+        return result
+
+    def _run_engine(
+        self,
+        trace: Trace,
+        annotations: EventAnnotations,
+        tele: Telemetry | None,
+    ) -> SimResult:
+        n = len(trace)
         if self.engine == "fast":
             from repro.simulator.engine import run_fast
 
             return run_fast(trace, self.config, annotations,
-                            instrument=self.instrument)
+                            instrument=self.instrument, telemetry=tele)
 
         cfg = self.config
         width = cfg.width
@@ -144,6 +197,10 @@ class DetailedSimulator:
         retired = 0
         cycle = 0
 
+        mem_lat = cfg.hierarchy.memory_latency
+        front_cause = CLS_BASE    #: sticky class of the last fetch break
+        branch_wait_start = 0     #: cycle the pending mispredict stopped fetch
+
         instr = None
         if self.instrument:
             instr = Instrumentation(
@@ -161,6 +218,8 @@ class DetailedSimulator:
                     m += 1
                 else:
                     break
+            if tele is not None and m:
+                tele.retire(cycle, m)
 
             # ---- issue (oldest-first, ready, up to width) -----------------
             issued_now = 0
@@ -183,14 +242,22 @@ class DetailedSimulator:
                     issued_now += 1
                     if k == waiting_branch:
                         branch_resolve = cycle + latency[k]
-                    if instr is not None:
+                    if instr is not None or tele is not None:
                         if mispredicted[k]:
                             mispredict_issued = True
+                            if tele is not None:
+                                tele.mark_mispredict(cycle, k)
                         if long_miss[k]:
-                            # dispatch and retire are both in order, so
-                            # the ROB holds a contiguous index range and
-                            # the entries ahead of k are k - rob[0]
-                            instr.rob_ahead_at_long_miss.append(k - rob[0])
+                            if instr is not None:
+                                # dispatch and retire are both in order,
+                                # so the ROB holds a contiguous index
+                                # range and the entries ahead of k are
+                                # k - rob[0]
+                                instr.rob_ahead_at_long_miss.append(
+                                    k - rob[0]
+                                )
+                            if tele is not None:
+                                tele.mark_long_miss(cycle, k, latency[k])
                 window = remaining
             if instr is not None:
                 instr.issued_histogram[issued_now] += 1
@@ -202,16 +269,19 @@ class DetailedSimulator:
 
             # ---- dispatch (in order, up to width, both structures) --------
             m = 0
+            stalled_window = stalled_rob = False
             while (
                 pipe
                 and m < width
                 and pipe[0][0] <= cycle
             ):
                 if len(window) >= win_size:
+                    stalled_window = True
                     if instr is not None:
                         instr.dispatch_stall_window += 1
                     break
                 if len(rob) >= rob_size:
+                    stalled_rob = True
                     if instr is not None:
                         instr.dispatch_stall_rob += 1
                     break
@@ -223,6 +293,30 @@ class DetailedSimulator:
             # appends strictly increasing indices and the issue scan
             # preserves relative order, so no re-sort is needed
 
+            if tele is not None:
+                # stall attribution (see repro.telemetry.accountant for
+                # the priority order); one class per cycle, so the class
+                # counts partition the simulated cycles
+                if m > 0:
+                    front_cause = CLS_BASE
+                    cls = CLS_BASE
+                elif stalled_window:
+                    cls = CLS_WINDOW_FULL
+                elif stalled_rob:
+                    head = rob[0]
+                    cls = (
+                        CLS_DCACHE_LONG
+                        if long_miss[head] and complete[head] > cycle
+                        else CLS_ROB_FULL
+                    )
+                elif waiting_branch >= 0:
+                    cls = CLS_BRANCH
+                elif rob and long_miss[rob[0]] and complete[rob[0]] > cycle:
+                    cls = CLS_DCACHE_LONG
+                else:
+                    cls = front_cause
+                tele.charge(cls, cycle)
+
             # ---- fetch (up to width, subject to stalls) --------------------
             if (
                 waiting_branch >= 0
@@ -230,6 +324,10 @@ class DetailedSimulator:
                 and cycle >= branch_resolve
             ):
                 # misprediction resolved: redirect, refill starts next cycle
+                if tele is not None:
+                    tele.mark_branch_redirect(
+                        cycle, waiting_branch, branch_wait_start
+                    )
                 waiting_branch = -1
                 branch_resolve = -1
                 fetch_resume = cycle + 1
@@ -246,6 +344,12 @@ class DetailedSimulator:
                         # the line misses: fetch resumes after the fill
                         stall_paid_for = f
                         fetch_resume = cycle + stall
+                        if tele is not None:
+                            long = stall >= mem_lat
+                            front_cause = (
+                                CLS_ICACHE_L2 if long else CLS_ICACHE_L1
+                            )
+                            tele.mark_icache_stall(cycle, f, stall, long)
                         break
                     pipe.append((cycle + depth, f))
                     next_fetch += 1
@@ -256,8 +360,13 @@ class DetailedSimulator:
                         branch_resolve = (
                             complete[f] if complete[f] != inf else -1
                         )
+                        if tele is not None:
+                            front_cause = CLS_BRANCH
+                            branch_wait_start = cycle
                         break
 
+            if tele is not None:
+                tele.occupancy(cycle, 1, len(rob), len(window))
             cycle += 1
 
         ann = annotations
@@ -285,8 +394,14 @@ def simulate(
     annotations: EventAnnotations | None = None,
     instrument: bool = True,
     engine: str | None = None,
+    telemetry: "Telemetry | TelemetryConfig | bool | None" = None,
 ) -> SimResult:
-    """Convenience wrapper around :class:`DetailedSimulator`."""
-    return DetailedSimulator(config, instrument, engine=engine).run(
-        trace, annotations
-    )
+    """Convenience wrapper around :class:`DetailedSimulator`.
+
+    Pass ``telemetry=`` a :class:`~repro.telemetry.Telemetry` session (or
+    ``True``/a :class:`~repro.telemetry.TelemetryConfig`) to measure the
+    run; read the session's ``report`` afterwards.
+    """
+    return DetailedSimulator(
+        config, instrument, engine=engine, telemetry=telemetry
+    ).run(trace, annotations)

@@ -50,11 +50,44 @@ class Instrumentation:
 
     def fraction_of_cycles_at_issue(self, threshold: int) -> float:
         """Fraction of cycles in which at least ``threshold`` instructions
-        issued (§6.2's "within 12.5% of the implemented issue width")."""
+        issued (§6.2's "within 12.5% of the implemented issue width").
+
+        ``threshold <= 0`` is trivially satisfied by every cycle and a
+        threshold beyond the issue width by none — in particular a
+        negative threshold must not wrap around into Python's
+        end-relative slicing.
+        """
         total = int(self.issued_histogram.sum())
         if total == 0:
             return 0.0
+        if threshold <= 0:
+            return 1.0
+        if threshold >= len(self.issued_histogram):
+            return 0.0
         return float(self.issued_histogram[threshold:].sum()) / total
+
+    def __iadd__(self, other: "Instrumentation") -> "Instrumentation":
+        """Merge another run segment's counts into this one.
+
+        Lets warmup/measure segments and parallel shards combine their
+        instrumentation: histograms add bin-wise (the segments must come
+        from machines of the same issue width), per-event samples
+        concatenate, stall counters add.
+        """
+        if not isinstance(other, Instrumentation):
+            return NotImplemented
+        if len(other.issued_histogram) != len(self.issued_histogram):
+            raise ValueError(
+                "cannot merge instrumentation of different issue widths "
+                f"({len(self.issued_histogram) - 1} vs "
+                f"{len(other.issued_histogram) - 1})"
+            )
+        self.issued_histogram = self.issued_histogram + other.issued_histogram
+        self.window_left_at_mispredict.extend(other.window_left_at_mispredict)
+        self.rob_ahead_at_long_miss.extend(other.rob_ahead_at_long_miss)
+        self.dispatch_stall_rob += other.dispatch_stall_rob
+        self.dispatch_stall_window += other.dispatch_stall_window
+        return self
 
 
 @dataclass(frozen=True)

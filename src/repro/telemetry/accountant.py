@@ -1,0 +1,188 @@
+"""Per-cycle stall attribution — the *measured* CPI stack.
+
+The paper's Figure 16 renders a stack model built from Eq. 1: penalties
+are assumed to add independently, so the model's CPI decomposes by
+construction.  This module measures the decomposition instead.  Both
+detailed-simulator engines classify every cycle into exactly one stall
+class — base progress, branch-misprediction drain/refill, L1/L2
+instruction-miss stall, long data-miss (ROB blocked behind an
+outstanding L2 load miss), other ROB-full pressure, or issue-window-full
+pressure — and the class counts necessarily sum to the simulated cycle
+count, so the measured stack sums to the simulated CPI *exactly*.
+Comparing it against the model's stack turns the additivity assumption
+into an observation (the ``val_additivity`` experiment).
+
+Classification priority, applied after the dispatch phase of each cycle
+(both engines use the identical order; the equivalence suite asserts the
+resulting counts match bit for bit):
+
+1. dispatch moved at least one instruction        -> ``base``
+2. dispatch blocked, issue window full            -> ``window_full``
+3. dispatch blocked, ROB full —
+   ROB head is an outstanding long-miss load      -> ``dcache_long``
+   otherwise                                      -> ``rob_full``
+4. fetch stopped at an unresolved mispredict      -> ``branch``
+5. ROB head is an outstanding long-miss load      -> ``dcache_long``
+6. otherwise, the sticky front-end cause: the class of the event that
+   last interrupted fetch (branch redirect/refill bubbles, I-miss fill)
+   until dispatch succeeds again, else ``base``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.stack import CPIStack
+
+#: integer stall-class codes used by the engine hot loops
+(
+    CLS_BASE,
+    CLS_BRANCH,
+    CLS_ICACHE_L1,
+    CLS_ICACHE_L2,
+    CLS_DCACHE_LONG,
+    CLS_ROB_FULL,
+    CLS_WINDOW_FULL,
+) = range(7)
+
+#: class names in code order
+STALL_CLASSES = (
+    "base",
+    "branch",
+    "icache_l1",
+    "icache_l2",
+    "dcache_long",
+    "rob_full",
+    "window_full",
+)
+
+_LABELS = {
+    "base": "Base (dispatching)",
+    "branch": "Branch mispredictions",
+    "icache_l1": "L1 Icache misses",
+    "icache_l2": "L2 Icache misses",
+    "dcache_long": "L2 Dcache misses",
+    "rob_full": "ROB full (other)",
+    "window_full": "Window full",
+}
+
+
+@dataclass(frozen=True)
+class MeasuredCPIStack:
+    """Measured CPI decomposition of one detailed simulation.
+
+    Every component is ``cycles in that class / instructions``; the
+    components partition the simulated cycles, so :attr:`total` equals
+    the simulated CPI exactly (up to float division).
+    """
+
+    name: str
+    instructions: int
+    cycles: int
+    base: float
+    branch: float
+    icache_l1: float
+    icache_l2: float
+    dcache_long: float
+    rob_full: float
+    window_full: float
+
+    @classmethod
+    def from_counts(
+        cls, name: str, counts: Sequence[int], instructions: int
+    ) -> "MeasuredCPIStack":
+        """Build from the engines' per-class cycle counters."""
+        if len(counts) != len(STALL_CLASSES):
+            raise ValueError(
+                f"expected {len(STALL_CLASSES)} class counts, "
+                f"got {len(counts)}"
+            )
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        n = instructions
+        return cls(
+            name=name,
+            instructions=n,
+            cycles=int(sum(counts)),
+            **{
+                key: counts[code] / n
+                for code, key in enumerate(STALL_CLASSES)
+            },
+        )
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, key) for key in STALL_CLASSES)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions
+
+    def component(self, key: str) -> float:
+        if key not in STALL_CLASSES:
+            raise KeyError(f"unknown component {key!r}")
+        return getattr(self, key)
+
+    def fraction(self, key: str) -> float:
+        total = self.total
+        return self.component(key) / total if total > 0 else 0.0
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        return [(_LABELS[key], getattr(self, key)) for key in STALL_CLASSES]
+
+    def as_model_stack(self) -> CPIStack:
+        """Fold the measured classes onto the model's Figure-16 slices.
+
+        The model's ideal CPI comes from the IW characteristic at the
+        real window size, so steady-state window pressure belongs to
+        ``ideal``; ROB-full cycles are a secondary effect of long misses
+        (paper §4.3: the ROB, not the window, binds during a long miss)
+        and fold into ``l2_dcache``.
+        """
+        return CPIStack(
+            name=self.name,
+            ideal=self.base + self.window_full,
+            l1_icache=self.icache_l1,
+            l2_icache=self.icache_l2,
+            l2_dcache=self.dcache_long + self.rob_full,
+            branch=self.branch,
+        )
+
+    def render(self, bar_width: int = 50) -> str:
+        """ASCII bar rendering, mirroring :meth:`CPIStack.render`."""
+        total = self.total
+        lines = [f"{self.name}: measured CPI {total:.3f}"]
+        for label, value in self.as_rows():
+            frac = value / total if total > 0 else 0.0
+            bar = "#" * round(frac * bar_width)
+            lines.append(f"  {label:22s} {value:6.3f} {bar}")
+        return "\n".join(lines)
+
+
+def render_side_by_side(
+    model: CPIStack, measured: MeasuredCPIStack, bar_width: int = 24
+) -> str:
+    """Model and measured stacks as one comparison table.
+
+    The measured stack is first folded onto the model's slices
+    (:meth:`MeasuredCPIStack.as_model_stack`) so rows line up.
+    """
+    folded = measured.as_model_stack()
+    lines = [
+        f"{measured.name}: model CPI {model.total:.3f} vs "
+        f"measured CPI {measured.total:.3f}"
+    ]
+    peak = max(
+        max(v for _, v in model.as_rows()),
+        max(v for _, v in folded.as_rows()),
+        1e-12,
+    )
+    for (label, mv), (_, sv) in zip(model.as_rows(), folded.as_rows()):
+        mbar = "#" * round(mv / peak * bar_width)
+        sbar = "=" * round(sv / peak * bar_width)
+        lines.append(
+            f"  {label:22s} model {mv:6.3f} {mbar:<{bar_width}s} "
+            f"measured {sv:6.3f} {sbar}"
+        )
+    return "\n".join(lines)

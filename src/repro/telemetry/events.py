@@ -1,0 +1,189 @@
+"""Structured event traces: JSONL and Chrome ``trace_event`` output.
+
+Every miss event, pipeline flush and dispatch-stall span of a simulation
+can be captured as a structured record and dumped two ways:
+
+* **JSONL** — one JSON object per line, the stable machine-readable
+  schema (``name``, ``cat``, ``ph``, ``ts``, ``dur``, ``args``), with
+  cycle timestamps;
+* **Chrome trace format** — a ``{"traceEvents": [...]}`` document that
+  loads directly into ``chrome://tracing`` or `Perfetto
+  <https://ui.perfetto.dev>`_, with one timeline lane per category.
+
+High-event-rate runs can be *sampled*: each event is kept with
+probability ``sample_rate``, drawn from a private ``random.Random``
+seeded by ``seed`` — the kept subset is a pure function of the emission
+sequence and the seed, so sampled traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import Iterable
+
+#: event categories, each mapped to its own Chrome-trace thread lane
+CATEGORIES = ("frontend", "backend", "memory", "stall")
+
+_TIDS = {cat: tid for tid, cat in enumerate(CATEGORIES)}
+
+#: cycle timestamps are emitted as microseconds so a 1-cycle event is
+#: visible at default zoom in the Chrome/Perfetto UI
+_PROCESS_NAME = "repro detailed simulator"
+
+
+class EventTrace:
+    """In-memory event sink with deterministic sampling.
+
+    Args:
+        sample_rate: probability of keeping each emitted event, in
+            ``(0, 1]``; ``1.0`` keeps everything.
+        seed: RNG seed for the sampling decisions.
+        limit: optional hard cap on stored events (a safety valve for
+            very long runs; emission beyond it is counted but dropped).
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        limit: int | None = None,
+    ):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        self.sample_rate = sample_rate
+        self.seed = seed
+        self.limit = limit
+        self.events: list[dict] = []
+        self.emitted = 0    #: events offered (before sampling/limit)
+        self.dropped = 0    #: events lost to sampling or the limit
+        self._rng = random.Random(seed)
+
+    def emit(
+        self,
+        name: str,
+        cat: str,
+        ts: int,
+        dur: int | None = None,
+        **args,
+    ) -> None:
+        """Record one event at cycle ``ts`` (span events carry ``dur``)."""
+        if cat not in _TIDS:
+            raise ValueError(f"unknown category {cat!r}; "
+                             f"expected one of {CATEGORIES}")
+        self.emitted += 1
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            self.dropped += 1
+            return
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X" if dur is not None else "i",
+            "ts": int(ts),
+        }
+        if dur is not None:
+            event["dur"] = int(dur)
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def sorted_events(self) -> list[dict]:
+        """Events ordered by timestamp (stable for equal ``ts``)."""
+        return sorted(self.events, key=lambda e: e["ts"])
+
+    # -- JSONL ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(e, sort_keys=True, separators=(",", ":"))
+            for e in self.sorted_events()
+        ) + ("\n" if self.events else "")
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    # -- Chrome trace_event -----------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The ``chrome://tracing`` / Perfetto JSON document."""
+        trace_events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": _PROCESS_NAME},
+            }
+        ]
+        for cat, tid in _TIDS.items():
+            trace_events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": cat},
+            })
+        for e in self.sorted_events():
+            out = {
+                "name": e["name"],
+                "cat": e["cat"],
+                "ph": e["ph"],
+                "ts": float(e["ts"]),
+                "pid": 0,
+                "tid": _TIDS[e["cat"]],
+            }
+            if e["ph"] == "X":
+                out["dur"] = float(e["dur"])
+            else:
+                out["s"] = "t"  # instant-event scope: thread
+            if "args" in e:
+                out["args"] = e["args"]
+            trace_events.append(out)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "sample_rate": self.sample_rate,
+                "seed": self.seed,
+                "time_unit": "1 ts = 1 cycle",
+            },
+        }
+
+    def write_chrome(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome(), sort_keys=True))
+        return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL event trace back into event dictionaries."""
+    events: list[dict] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+def merge_traces(traces: Iterable[EventTrace]) -> EventTrace:
+    """Combine several traces (e.g. per-shard) into one, re-sorted."""
+    merged = EventTrace()
+    for t in traces:
+        merged.events.extend(t.events)
+        merged.emitted += t.emitted
+        merged.dropped += t.dropped
+    merged.events.sort(key=lambda e: e["ts"])
+    return merged

@@ -1,0 +1,208 @@
+"""Process-wide metrics: counters, gauges and histograms.
+
+The parallel runner and the artifact cache previously reported their
+effectiveness through ad-hoc dataclasses; this registry gives every
+subsystem one place to record operational numbers and one place to read
+them — ``repro stats`` renders it, and :meth:`MetricsRegistry.to_json`
+exports it for dashboards or CI artifacts.
+
+The design follows the usual Prometheus-style trio, sized for an
+in-process tool (no label cardinality, no background collection):
+
+* :class:`Counter` — monotonically increasing totals (cache hits, units
+  executed);
+* :class:`Gauge` — last-written values (pool utilization, worker count);
+* :class:`Histogram` — observation streams with count/sum/min/max and
+  percentiles (per-unit wall-clock).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Iterable
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can be set to anything at any time."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """An observation stream with summary statistics.
+
+    Observations are kept (bounded by ``keep``, oldest evicted first) so
+    percentiles are exact for typical runner scales — thousands of work
+    units, not millions of samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "keep", "_samples")
+
+    def __init__(self, name: str, keep: int = 4096):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.keep = keep
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._samples.append(value)
+        if len(self._samples) > self.keep:
+            del self._samples[: len(self._samples) - self.keep]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the retained samples (``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1)))
+        return ordered[idx]
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument afterwards; asking for an existing name with
+    a different type raises.  Thread-safe for instrument creation (the
+    runner's pool lives in one process, but experiment code may be
+    threaded).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory(name)
+                self._instruments[name] = instrument
+                return instrument
+        if not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def to_dict(self) -> dict:
+        return {
+            name: self._instruments[name].snapshot()
+            for name in self.names()
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, names: Iterable[str] | None = None) -> str:
+        """Human-readable one-line-per-metric summary."""
+        chosen = sorted(names) if names is not None else self.names()
+        lines = []
+        for name in chosen:
+            snap = self._instruments[name].snapshot()
+            if snap["type"] == "histogram":
+                lines.append(
+                    f"{name:32s} count {snap['count']:>8d}  "
+                    f"mean {snap['mean']:.4f}  p50 {snap['p50']:.4f}  "
+                    f"p90 {snap['p90']:.4f}  max {snap['max']:.4f}"
+                )
+            else:
+                value = snap["value"]
+                shown = (f"{value:d}" if isinstance(value, int)
+                         else f"{value:.4f}")
+                lines.append(f"{name:32s} {shown}")
+        return "\n".join(lines)
+
+
+#: the process-wide default registry used by the runner and the CLI
+_REGISTRY = MetricsRegistry()
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _REGISTRY
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Clear the default registry (tests); returns it for convenience."""
+    _REGISTRY.reset()
+    return _REGISTRY

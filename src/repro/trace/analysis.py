@@ -11,7 +11,7 @@ distribution f_LDM of Eq. 8).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

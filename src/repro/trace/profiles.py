@@ -27,7 +27,7 @@ paper's figures rather than the exact SPEC numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.isa.opclass import OpClass

@@ -82,6 +82,42 @@ def line_plot(
     return "\n".join(lines)
 
 
+#: glyph ramp for sparklines, dimmest to brightest
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float], width: int | None = None
+) -> str:
+    """Render ``values`` as a one-line ASCII intensity strip.
+
+    Values are scaled to the series peak; when ``width`` is smaller than
+    the series, consecutive values are averaged into one cell.  An empty
+    or all-zero series renders as spaces.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if width is not None and width < 1:
+        raise ValueError("width must be >= 1")
+    if width is not None and len(values) > width:
+        merged = []
+        for cell in range(width):
+            lo = cell * len(values) // width
+            hi = max(lo + 1, (cell + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            merged.append(sum(chunk) / len(chunk))
+        values = merged
+    peak = max(values)
+    if peak <= 0:
+        return " " * len(values)
+    top = len(_SPARK_GLYPHS) - 1
+    return "".join(
+        _SPARK_GLYPHS[min(top, round(v / peak * top))] if v > 0 else " "
+        for v in values
+    )
+
+
 def bar_chart(
     labels: Sequence[str],
     values: Sequence[float],

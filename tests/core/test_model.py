@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import BASELINE, ProcessorConfig
+from repro.config import BASELINE
 from repro.core.branch_penalty import BurstPolicy
 from repro.core.model import FirstOrderModel
 from repro.core.stack import CPIStack, STACK_ORDER, render_stacks

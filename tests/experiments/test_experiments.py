@@ -141,6 +141,33 @@ class TestTraceDrivenExperiments:
         for claim in result.checks():
             assert claim.holds, claim
         assert "L2 D$" in result.format()
+        assert not result.measured  # telemetry off by default
+
+    def test_fig16_measured_side_by_side(self):
+        result = fig16_stack.run(
+            benchmarks=("gzip", "mcf", "twolf"), trace_length=20_000,
+            measured=True,
+        )
+        assert len(result.measured) == 3
+        for claim in result.checks():
+            assert claim.holds, claim
+        text = result.format()
+        assert "measured (detailed simulation)" in text
+        assert "model" in result.render() and "measured" in result.render()
+        m = result.measured_stack("gzip")
+        assert m.total == pytest.approx(m.cpi, abs=1e-9)
+
+    def test_val_additivity(self):
+        from repro.experiments import val_additivity
+
+        result = val_additivity.run(
+            benchmarks=("gzip", "vortex", "vpr", "mcf", "twolf"),
+            trace_length=SMALL,
+        )
+        partition = result.checks()[0]
+        assert partition.holds, partition
+        assert "residual" in result.format()
+        assert "measured" in result.render()
 
     def test_fig02(self):
         result = fig02_independence.run(

@@ -1,7 +1,5 @@
 """Tests for the §7 future-work extensions."""
 
-import math
-
 import numpy as np
 import pytest
 
@@ -47,9 +45,6 @@ class TestBranchBursts:
         assert 0 < stats.bracket_share() <= 1.0
 
     def test_isolated_mispredictions_full_bracket(self):
-        from repro.frontend.events import MissEventProfile
-        import dataclasses
-
         # synthetic profile with widely spaced mispredictions
         stats = BurstStatistics(window=64,
                                 distribution=np.array([1.0]))

@@ -14,7 +14,7 @@ import pytest
 
 from repro.branch.gshare import GShare
 from repro.frontend.collector import CollectorConfig, MissEventCollector
-from repro.memory.config import CacheGeometry, HierarchyConfig
+from repro.memory.config import HierarchyConfig
 from repro.trace.synthetic import generate_trace
 
 

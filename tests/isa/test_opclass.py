@@ -1,7 +1,5 @@
 """Tests for the opcode-class taxonomy."""
 
-import pytest
-
 from repro.isa.opclass import (
     BRANCH_CLASSES,
     CONTROL_CLASSES,

@@ -1,7 +1,6 @@
 """Tests for the set-associative LRU cache, including property-based
 checks of the LRU discipline."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

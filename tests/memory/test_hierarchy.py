@@ -1,7 +1,5 @@
 """Tests for the two-level hierarchy and the short/long miss taxonomy."""
 
-import pytest
-
 from repro.memory.config import CacheGeometry, HierarchyConfig
 from repro.memory.hierarchy import AccessOutcome, CacheHierarchy
 

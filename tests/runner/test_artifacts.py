@@ -3,15 +3,12 @@
 from __future__ import annotations
 
 import dataclasses
-import os
-import pickle
 
 import numpy as np
 import pytest
 
 from repro.config import BASELINE
-from repro.memory.config import CacheGeometry, HierarchyConfig
-from repro.runner import artifacts
+from repro.memory.config import CacheGeometry
 from repro.runner.artifacts import (
     UncacheableError,
     annotations_artifact,

@@ -89,3 +89,27 @@ def test_default_jobs_override():
     assert default_jobs() == 3
     set_default_jobs(None)
     assert default_jobs() >= 1
+
+
+def test_run_units_publishes_metrics():
+    from repro.telemetry.metrics import metrics_registry, reset_metrics
+
+    reset_metrics()
+    units = [WorkUnit(benchmark="gzip", length=1_500)]
+    results, stats = run_units(units, jobs=1)
+    reg = metrics_registry()
+    assert reg.counter("runner.runs").value == 1
+    assert reg.counter("runner.units").value == 1
+    hist = reg.histogram("runner.unit_seconds")
+    assert hist.count == 1
+    assert hist.total == pytest.approx(results[0].seconds)
+    assert 0.0 < reg.gauge("runner.pool_utilization").value <= 1.0
+    # cache counters mirror the per-run stats by kind
+    total_cache = sum(
+        reg.counter(f"cache.{kind}.{k}").value
+        for kind in ("hits", "misses")
+        for k in getattr(stats.cache, kind)
+    )
+    assert total_cache == (stats.cache.total_hits()
+                           + stats.cache.total_misses())
+    reset_metrics()

@@ -106,3 +106,73 @@ def test_full_length_equivalence(bench_name):
         trace, annotations
     )
     assert_equivalent(fast, ref)
+
+
+class TestTelemetryEquivalence:
+    """Telemetry must be invisible to results and engine-independent."""
+
+    @pytest.mark.parametrize("bench_name", ("gzip", "mcf", "vpr", "gcc"))
+    @pytest.mark.parametrize("config", CONFIGS, ids=("baseline", "cramped"))
+    def test_telemetry_does_not_perturb_results(self, bench_name, config):
+        trace = generate_trace(bench_name, 2_000)
+        annotations = DetailedSimulator(config).annotate(trace)
+        for engine in ("fast", "reference"):
+            off = DetailedSimulator(
+                config, engine=engine, telemetry=False
+            ).run(trace, annotations)
+            on = DetailedSimulator(
+                config, engine=engine, telemetry=True
+            ).run(trace, annotations)
+            assert_equivalent(on, off)
+
+    @pytest.mark.parametrize("bench_name", ("gzip", "mcf", "vpr", "gcc"))
+    @pytest.mark.parametrize("config", CONFIGS, ids=("baseline", "cramped"))
+    def test_measured_stack_identical_across_engines(self, bench_name,
+                                                     config):
+        trace = generate_trace(bench_name, 2_000)
+        annotations = DetailedSimulator(config).annotate(trace)
+        sims = {
+            engine: DetailedSimulator(config, engine=engine, telemetry=True)
+            for engine in ("fast", "reference")
+        }
+        results = {
+            engine: sim.run(trace, annotations)
+            for engine, sim in sims.items()
+        }
+        fast, ref = sims["fast"].last_telemetry, sims["reference"].last_telemetry
+        assert fast.counts == ref.counts
+        assert sum(fast.counts) == results["fast"].cycles
+        assert fast.report.timeline == ref.report.timeline
+
+    def test_measured_stack_under_miss_pressure(self, mcf_trace,
+                                                small_l2_hierarchy):
+        config = dataclasses.replace(BASELINE, hierarchy=small_l2_hierarchy)
+        annotations = DetailedSimulator(config).annotate(mcf_trace)
+        sims = {
+            engine: DetailedSimulator(config, engine=engine, telemetry=True)
+            for engine in ("fast", "reference")
+        }
+        results = {
+            engine: sim.run(mcf_trace, annotations)
+            for engine, sim in sims.items()
+        }
+        fast, ref = sims["fast"].last_telemetry, sims["reference"].last_telemetry
+        assert fast.counts == ref.counts
+        assert sum(fast.counts) == results["fast"].cycles
+        # the pressure hierarchy must actually exercise the long-miss
+        # and ROB-full classes
+        from repro.telemetry.accountant import CLS_DCACHE_LONG
+
+        assert fast.counts[CLS_DCACHE_LONG] > 0
+        assert fast.report.timeline == ref.report.timeline
+
+    def test_telemetry_env_opt_in(self, monkeypatch, gzip_trace):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        sim = DetailedSimulator(BASELINE)
+        sim.run(gzip_trace)
+        assert sim.last_telemetry is None
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        sim = DetailedSimulator(BASELINE)
+        sim.run(gzip_trace)
+        assert sim.last_telemetry is not None
+        assert sim.last_telemetry.report.stack.cycles > 0

@@ -5,7 +5,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.config import BASELINE, ProcessorConfig
+from repro.config import ProcessorConfig
 from repro.frontend.events import EventAnnotations
 from repro.isa.instruction import NO_REG, Instruction
 from repro.isa.latency import LatencyTable

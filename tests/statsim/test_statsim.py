@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import BASELINE
 from repro.frontend.collector import collect_events
-from repro.isa.opclass import OpClass
 from repro.simulator.processor import DetailedSimulator
 from repro.statsim.generator import (
     StatisticalTraceGenerator,

@@ -1,0 +1,95 @@
+"""MetricsRegistry: counters, gauges, histograms and exports."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_registry,
+    reset_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("util")
+        g.set(0.5)
+        g.add(0.25)
+        assert g.value == pytest.approx(0.75)
+
+    def test_histogram_summary_statistics(self):
+        h = Histogram("t")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["mean"] == pytest.approx(2.5)
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+
+    def test_histogram_eviction_keeps_aggregates(self):
+        h = Histogram("t", keep=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.max == 99.0
+        # percentiles come from the retained (most recent) window
+        assert h.percentile(0) >= 90.0
+
+    def test_histogram_percentile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("t").percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(3)
+        reg.gauge("util").set(0.9)
+        reg.histogram("secs").observe(1.5)
+        doc = json.loads(reg.to_json())
+        assert doc["runs"]["value"] == 3
+        assert doc["secs"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(7)
+        reg.histogram("unit_seconds").observe(0.25)
+        text = reg.render()
+        assert "cache.hits" in text and "unit_seconds" in text
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.reset()
+        assert reg.names() == []
+
+    def test_module_registry_is_shared_and_resettable(self):
+        reset_metrics()
+        metrics_registry().counter("x").inc()
+        assert metrics_registry().counter("x").value == 1
+        reset_metrics()
+        assert metrics_registry().names() == []

@@ -1,0 +1,111 @@
+"""Telemetry sessions: env opt-in, accounting invariants, trace output."""
+
+import json
+
+import pytest
+
+from repro.telemetry.accountant import (
+    CLS_BASE,
+    CLS_BRANCH,
+    CLS_DCACHE_LONG,
+    MeasuredCPIStack,
+    STALL_CLASSES,
+)
+from repro.telemetry.session import (
+    Telemetry,
+    TelemetryConfig,
+    telemetry_enabled,
+    telemetry_from_env,
+)
+
+
+class TestEnvOptIn:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert TelemetryConfig.from_env() is None
+        assert not telemetry_enabled()
+        assert telemetry_from_env() is None
+
+    def test_zero_and_empty_mean_off(self, monkeypatch):
+        for value in ("0", "", "  "):
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert TelemetryConfig.from_env() is None
+
+    def test_enabled_with_knobs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_INTERVAL", "250")
+        monkeypatch.setenv("REPRO_TELEMETRY_TRACE",
+                           str(tmp_path / "t.jsonl"))
+        monkeypatch.setenv("REPRO_TELEMETRY_SAMPLE", "0.5")
+        monkeypatch.setenv("REPRO_TELEMETRY_SEED", "7")
+        config = TelemetryConfig.from_env()
+        assert config.interval == 250
+        assert config.events  # a trace path switches events on
+        assert config.sample_rate == 0.5
+        assert config.seed == 7
+        assert telemetry_enabled()
+        assert isinstance(telemetry_from_env(), Telemetry)
+
+
+class TestAccounting:
+    def test_counts_partition_cycles(self):
+        tele = Telemetry()
+        tele.charge(CLS_BASE, 0)
+        tele.charge(CLS_BRANCH, 1, span=4)
+        tele.charge(CLS_DCACHE_LONG, 5, span=5)
+        report = tele.finish("t", instructions=20, cycles=10)
+        assert report.stack.cycles == 10
+        assert report.stack.total == pytest.approx(report.stack.cpi)
+
+    def test_lost_cycles_detected(self):
+        tele = Telemetry()
+        tele.charge(CLS_BASE, 0, span=3)
+        with pytest.raises(AssertionError, match="lost cycles"):
+            tele.finish("t", instructions=10, cycles=5)
+
+    def test_stall_runs_coalesce_into_span_events(self, tmp_path):
+        config = TelemetryConfig(events=True)
+        tele = Telemetry(config)
+        tele.charge(CLS_BASE, 0)
+        for c in range(1, 5):
+            tele.charge(CLS_BRANCH, c)
+        tele.charge(CLS_BASE, 5)
+        tele.finish("t", instructions=10, cycles=6)
+        stalls = [e for e in tele.events.events
+                  if e["name"] == "dispatch_stall"]
+        assert len(stalls) == 1
+        assert stalls[0]["ts"] == 1 and stalls[0]["dur"] == 4
+        assert stalls[0]["args"]["cause"] == "branch"
+
+    def test_finish_writes_configured_trace_files(self, tmp_path):
+        config = TelemetryConfig(
+            events=True,
+            trace_path=str(tmp_path / "events.jsonl"),
+            chrome_path=str(tmp_path / "chrome.json"),
+        )
+        tele = Telemetry(config)
+        tele.charge(CLS_BASE, 0)
+        tele.mark_long_miss(0, 3, latency=200)
+        tele.finish("t", instructions=5, cycles=1)
+        assert (tmp_path / "events.jsonl").exists()
+        chrome = json.load(open(tmp_path / "chrome.json"))
+        assert any(e["name"] == "dcache_long_miss"
+                   for e in chrome["traceEvents"])
+
+
+class TestMeasuredStack:
+    def test_from_counts_validation(self):
+        with pytest.raises(ValueError, match="class counts"):
+            MeasuredCPIStack.from_counts("t", [1, 2], 10)
+        with pytest.raises(ValueError, match="instructions"):
+            MeasuredCPIStack.from_counts("t", [0] * len(STALL_CLASSES), 0)
+
+    def test_model_stack_folding_preserves_total(self):
+        counts = [50, 20, 5, 3, 12, 6, 4]
+        stack = MeasuredCPIStack.from_counts("t", counts, 100)
+        folded = stack.as_model_stack()
+        assert folded.total == pytest.approx(stack.total)
+        assert folded.ideal == pytest.approx(stack.base + stack.window_full)
+        assert folded.l2_dcache == pytest.approx(
+            stack.dcache_long + stack.rob_full
+        )

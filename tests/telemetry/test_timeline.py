@@ -1,0 +1,83 @@
+"""TimelineRecorder bucketing and IntervalTimeline rendering."""
+
+import pytest
+
+from repro.telemetry.timeline import TimelineRecorder
+from repro.util.ascii_plot import sparkline
+
+
+class TestRecorder:
+    def test_retire_buckets_by_interval(self):
+        rec = TimelineRecorder(interval=100)
+        rec.retire(0, 3)
+        rec.retire(99, 1)
+        rec.retire(100, 2)
+        tl = rec.finalize(cycles=200, instructions=6)
+        assert tl.retired == (4, 2)
+
+    def test_occupancy_span_splits_across_boundaries(self):
+        rec = TimelineRecorder(interval=10)
+        # constant occupancy 4 over [5, 25): 5 cycles in each of three
+        # intervals -> means 2.0, 4.0, 2.0 over the 10-cycle intervals
+        rec.occupancy(5, 20, rob=4, window=2)
+        tl = rec.finalize(cycles=30, instructions=1)
+        assert tl.rob_occupancy == (2.0, 4.0, 2.0)
+        assert tl.window_occupancy == (1.0, 2.0, 1.0)
+
+    def test_event_counts(self):
+        rec = TimelineRecorder(interval=50)
+        rec.count("mispredicts", 10)
+        rec.count("mispredicts", 60)
+        rec.count("long_misses", 60, 3)
+        tl = rec.finalize(cycles=100, instructions=1)
+        assert tl.mispredicts == (1, 1)
+        assert tl.long_misses == (0, 3)
+
+    def test_finalize_pads_to_cycle_count(self):
+        rec = TimelineRecorder(interval=10)
+        rec.retire(0, 1)
+        tl = rec.finalize(cycles=35, instructions=1)
+        assert tl.intervals == 4
+        assert tl.retired == (1, 0, 0, 0)
+
+    def test_partial_last_interval_ipc(self):
+        rec = TimelineRecorder(interval=10)
+        rec.retire(12, 5)
+        tl = rec.finalize(cycles=15, instructions=5)
+        # second interval spans only cycles 10..14
+        assert tl.ipc == (0.0, 1.0)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(interval=0)
+
+
+class TestRender:
+    def test_render_labels_every_series(self):
+        rec = TimelineRecorder(interval=10)
+        rec.retire(0, 5)
+        rec.occupancy(0, 20, rob=8, window=4)
+        text = rec.finalize(cycles=20, instructions=5).render()
+        for label in ("IPC", "ROB occupancy", "window occupancy",
+                      "mispredicts", "I-miss stalls", "long D-misses"):
+            assert label in text
+
+
+class TestSparkline:
+    def test_empty_and_zero_series(self):
+        assert sparkline([]) == ""
+        assert set(sparkline([0, 0, 0])) == {" "}
+
+    def test_peak_scaled(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        # strictly increasing series maps to non-decreasing glyphs
+        glyphs = " .:-=+*#%@"
+        ranks = [glyphs.index(ch) for ch in line]
+        assert ranks == sorted(ranks)
+        assert ranks[-1] == len(glyphs) - 1
+
+    def test_width_compression_averages_cells(self):
+        line = sparkline([1.0] * 100, width=10)
+        assert len(line) == 10
+        assert len(set(line)) == 1

@@ -62,3 +62,39 @@ class TestCommands:
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "gzip", "--length", "3000",
+                     "--interval", "250"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out and "measured CPI" in out
+        assert "IPC" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "gzip", "--length", "3000", "-j", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "runner.units" in out and "cache" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "gzip", "--length", "3000", "-j", "1",
+                     "--json"]) == 0
+        import json
+
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["runner.units"]["type"] == "counter"
+
+    def test_simulate_prints_measured_stack_with_telemetry(
+            self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert main(["simulate", "gzip", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "measured CPI" in out and "Base (dispatching)" in out
+
+
+class TestLogging:
+    def test_log_level_flag_accepted(self, capsys):
+        assert main(["--log-level", "info", "list"]) == 0
+
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["-v", "list"]) == 0

@@ -19,7 +19,8 @@ REPO = pathlib.Path(repro.__file__).resolve().parents[2]
 PACKAGES = [
     "repro", "repro.isa", "repro.trace", "repro.memory", "repro.branch",
     "repro.frontend", "repro.window", "repro.core", "repro.simulator",
-    "repro.experiments", "repro.extensions", "repro.statsim", "repro.util",
+    "repro.experiments", "repro.extensions", "repro.statsim",
+    "repro.telemetry", "repro.util",
 ]
 
 

@@ -15,7 +15,6 @@ program on the first-order machine:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

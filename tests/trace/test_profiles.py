@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.isa.opclass import OpClass
 from repro.trace.profiles import (
     BENCHMARK_ORDER,
     SPECINT2000,
