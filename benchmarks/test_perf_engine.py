@@ -44,5 +44,12 @@ def test_regenerate_bench_perf(benchmark):
     # the kernels alone must be comfortably faster too
     assert doc["aggregate"]["kernel_speedup"] >= 1.5
 
+    # the service answered every request, and the repeat passes of the
+    # workload never reached a worker (cache + in-flight coalescing)
+    service = doc["service"]
+    assert sum(service["served"].values()) == service["requests"]
+    assert service["served"]["computed"] >= 1
+    assert service["cache_hit_ratio"] > 0
+
     write_bench(doc, BENCH_PATH)
     print(f"wrote {BENCH_PATH}")

@@ -17,6 +17,8 @@ writing any code:
   measured CPI stack of one simulation
 * ``stats [bench...]``    — run a sweep and dump the runner/cache
   metrics registry
+* ``serve``               — start the evaluation service (``repro.service``)
+* ``submit <op> ...``     — query a running service over its protocol
 * ``list``                — available benchmarks and experiments
 
 ``repro --log-level debug <command>`` (or ``-v``) turns on the
@@ -40,15 +42,27 @@ from repro.trace.synthetic import generate_trace
 from repro.util.ascii_plot import bar_chart, line_plot
 
 
-def _experiment_registry():
-    from repro import experiments
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's.
 
-    return {
-        m.__name__.split(".")[-1].split("_")[0]: m
-        for m in experiments.ALL_EXPERIMENTS
-    } | {
-        m.__name__.split(".")[-1]: m for m in experiments.ALL_EXPERIMENTS
-    }
+    An installed distribution answers through :mod:`importlib.metadata`;
+    a source checkout on ``PYTHONPATH`` has no distribution, so the
+    package's own ``__version__`` is the authority there.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
+def _experiment_registry():
+    from repro.experiments import experiment_registry
+
+    return experiment_registry()
 
 
 def cmd_model(args: argparse.Namespace) -> int:
@@ -264,6 +278,90 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SchedulerConfig, serve
+
+    config = SchedulerConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        request_timeout_s=args.timeout,
+    )
+    serve(
+        args.host, args.port, config,
+        ready=lambda server: print(
+            f"repro service listening on {server.host}:{server.port} "
+            f"(queue limit {config.queue_limit}, "
+            f"workers {config.workers or 'auto'}); Ctrl-C drains and stops",
+            flush=True,
+        ),
+    )
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceClient
+
+    params: dict = {}
+    if args.op in ("model", "simulate"):
+        if not args.target:
+            print(f"{args.op} needs a benchmark name", file=sys.stderr)
+            return 2
+        params = {"benchmark": args.target[0], "length": args.length}
+    elif args.op == "compare":
+        if args.target:
+            params["benchmarks"] = list(args.target)
+        params["length"] = args.length
+    elif args.op == "experiment":
+        if not args.target:
+            print("experiment needs a name", file=sys.stderr)
+            return 2
+        params = {"name": args.target[0]}
+    try:
+        with ServiceClient(args.host, args.port,
+                           timeout=args.timeout) as client:
+            response = client.request(args.op, params or None,
+                                      timeout=args.timeout)
+    except ConnectionError as exc:
+        print(f"cannot reach service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(f"error [{error.get('code')}]: {error.get('message')}",
+              file=sys.stderr)
+        return 1
+    result = response["result"]
+    meta = response.get("meta", {})
+    if args.op in ("model", "simulate"):
+        print(f"{result['benchmark']}: CPI {result['cpi']:.3f} "
+              f"(IPC {result['ipc']:.2f})")
+    elif args.op == "compare":
+        print(f"{'bench':8s} {'model':>7s} {'sim':>7s} {'error':>7s}")
+        for row in result["rows"]:
+            print(f"{row['benchmark']:8s} {row['model_cpi']:7.3f} "
+                  f"{row['sim_cpi']:7.3f} {row['error']:+7.1%}")
+        print(f"mean |error| {result['mean_abs_error']:.1%}, "
+              f"worst {result['worst_abs_error']:.1%}")
+    elif args.op == "experiment":
+        print(result["output"])
+        for check in result["checks"]:
+            print(check["text"])
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    if meta:
+        print(f"[served from {meta.get('served_from')} in "
+              f"{meta.get('seconds', 0):.3f}s]", file=sys.stderr)
+    if args.op == "experiment" and not result.get("passed", True):
+        return 1
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(BENCHMARK_ORDER))
     names = sorted(
@@ -279,6 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="A First-Order Superscalar Processor Model "
                     "(Karkhanis & Smith, ISCA 2004) — reproduction CLI",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
     )
     parser.add_argument(
         "--log-level", default="warning",
@@ -371,6 +473,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the registry as JSON instead of text")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the model-evaluation service (see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7333,
+                   help="TCP port (0 picks a free one; default 7333)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool processes (default: CPU count)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="admission bound before 'overloaded' (default 64)")
+    p.add_argument("--batch-max", type=int, default=8,
+                   help="max requests per worker micro-batch (default 8)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="default per-request deadline in seconds")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one request to a running service",
+    )
+    p.add_argument("op",
+                   choices=("model", "simulate", "compare", "experiment",
+                            "ping", "metrics"))
+    p.add_argument("target", nargs="*",
+                   help="benchmark name(s) or experiment name")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7333)
+    p.add_argument("--length", type=int, default=30_000)
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw response frame")
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("list", help="available benchmarks and experiments")
     p.set_defaults(func=cmd_list)

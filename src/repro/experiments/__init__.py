@@ -78,9 +78,24 @@ ALL_EXPERIMENTS = (
     sens_predictor,
 )
 
+
+def experiment_registry() -> dict:
+    """Name → module map accepting both short and full experiment names.
+
+    ``fig15`` and ``fig15_overall`` resolve to the same module; the CLI
+    and the evaluation service share this single entry point.
+    """
+    return {
+        m.__name__.split(".")[-1].split("_")[0]: m for m in ALL_EXPERIMENTS
+    } | {
+        m.__name__.split(".")[-1]: m for m in ALL_EXPERIMENTS
+    }
+
+
 __all__ = [
     "ALL_EXPERIMENTS",
     "Report",
+    "experiment_registry",
     "run_all",
     "Claim",
     "cached_trace",

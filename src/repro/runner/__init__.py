@@ -24,20 +24,25 @@ from repro.runner.artifacts import (
     cache_root,
     cache_stats,
     cached_artifact,
+    probe_artifact,
     reset_cache_stats,
+    store_artifact,
     trace_artifact,
 )
 from repro.runner.pool import (
+    RunInterrupted,
     RunnerStats,
     UnitResult,
     WorkUnit,
     default_jobs,
+    execute_unit,
     run_units,
     set_default_jobs,
 )
 
 __all__ = [
     "CacheStats",
+    "RunInterrupted",
     "RunnerStats",
     "UnitResult",
     "WorkUnit",
@@ -48,8 +53,11 @@ __all__ = [
     "cache_stats",
     "cached_artifact",
     "default_jobs",
+    "execute_unit",
+    "probe_artifact",
     "reset_cache_stats",
     "run_units",
     "set_default_jobs",
+    "store_artifact",
     "trace_artifact",
 ]

@@ -250,6 +250,33 @@ def _store(kind: str, key: str, obj) -> None:
     _log.debug("stored %s artifact %s", kind, key)
 
 
+def probe_artifact(kind: str, key: str) -> tuple[bool, object]:
+    """Look a stored artifact up by key without computing anything.
+
+    Returns ``(True, value)`` and counts a hit when the entry exists and
+    loads; ``(False, None)`` otherwise — a probe miss is *not* counted
+    as a cache miss, because nothing was (re)computed.  This is the
+    service's fast path: answer a repeat query straight from disk.
+    """
+    if not cache_enabled():
+        return False, None
+    obj = _load(kind, key)
+    if obj is _MISS:
+        return False, None
+    _STATS._bump(_STATS.hits, kind)
+    return True, obj
+
+
+def store_artifact(kind: str, key: str, obj) -> None:
+    """Publish ``obj`` under a key from :func:`artifact_key` (atomic).
+
+    The public face of the internal store: pool workers and the service
+    use it to share computed payloads across processes.  Failures are
+    logged and counted, never raised — the cache stays an accelerator.
+    """
+    _store(kind, key, obj)
+
+
 def cached_artifact(kind: str, recipe: dict, compute):
     """Return the artifact for ``recipe``, computing and storing on miss.
 

@@ -39,8 +39,8 @@ from repro.runner.pool import WorkUnit, run_units
 DEFAULT_TRACE_LENGTH = 30_000
 
 #: schema of the emitted JSON document (2 added the ``telemetry``
-#: overhead section)
-BENCH_SCHEMA = 2
+#: overhead section; 3 added the ``service`` scenario)
+BENCH_SCHEMA = 3
 
 
 def _best_of(runs: int, fn) -> float:
@@ -225,6 +225,79 @@ def bench_telemetry(benchmarks, length: int, runs: int, progress=None) -> dict:
     }
 
 
+def bench_service(benchmarks, length: int, jobs, progress=None) -> dict:
+    """Throughput and latency of the evaluation service, mixed workload.
+
+    Eight client threads replay a mix every production front door sees:
+    a few distinct questions (cold — the pool computes), the same
+    questions again (warm — the persistent cache answers), and identical
+    questions in flight at once (coalesced).  Reported numbers are
+    requests/second, client-observed p50/p99 latency and the fraction of
+    requests that never reached a worker.
+    """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import BackgroundServer, SchedulerConfig, ServiceClient
+    from repro.telemetry.metrics import metrics_registry
+
+    if progress:
+        progress("service: mixed workload")
+    chosen = list(benchmarks)[:4]
+    # 3 passes over (benchmark × {model, simulate}): pass 0 computes,
+    # passes 1-2 hit the response cache or coalesce in flight
+    workload = [
+        (op, benchmark)
+        for _ in range(3)
+        for benchmark in chosen
+        for op in ("model", "simulate")
+    ]
+    registry = metrics_registry()
+    before = {
+        name: registry.counter(f"service.served.{name}").value
+        for name in ("computed", "cache", "inflight")
+    }
+    latencies: list[float] = []
+    lock = threading.Lock()
+    config = SchedulerConfig(workers=jobs, queue_limit=len(workload))
+    with BackgroundServer(config=config) as bg:
+        def one(item):
+            op, benchmark = item
+            with ServiceClient(bg.host, bg.port) as client:
+                start = time.perf_counter()
+                client.evaluate(op, {"benchmark": benchmark,
+                                     "length": length})
+                elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=8) as clients:
+            list(clients.map(one, workload))
+        wall = time.perf_counter() - start
+    served = {
+        name: registry.counter(f"service.served.{name}").value
+             - before[name]
+        for name in ("computed", "cache", "inflight")
+    }
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1,
+                           round(q * (len(ordered) - 1)))]
+
+    total = len(workload)
+    return {
+        "requests": total,
+        "seconds": wall,
+        "rps": total / wall,
+        "p50_ms": pct(0.50) * 1e3,
+        "p99_ms": pct(0.99) * 1e3,
+        "served": served,
+        "cache_hit_ratio": (served["cache"] + served["inflight"]) / total,
+    }
+
+
 def run_bench(
     length: int = DEFAULT_TRACE_LENGTH,
     runs: int = 3,
@@ -240,6 +313,7 @@ def run_bench(
     per_bench = bench_kernels(benchmarks, length, runs, progress)
     sweep = bench_sweep(benchmarks, length, runs, jobs, progress)
     telemetry = bench_telemetry(benchmarks, length, runs, progress)
+    service = bench_service(benchmarks, length, jobs, progress)
 
     def total(field: str) -> float:
         return sum(row[field] for row in per_bench.values())
@@ -272,6 +346,7 @@ def run_bench(
         "aggregate": aggregate,
         "sweep": sweep,
         "telemetry": telemetry,
+        "service": service,
     }
 
 
@@ -318,6 +393,18 @@ def format_bench(doc: dict) -> str:
             f"{tele['sim_off_s']:.3f}s off -> {tele['sim_on_s']:.3f}s on "
             f"({tele['overhead']:+.1%}); disabled-telemetry results "
             f"identical: {tele['bit_identical']}",
+        ]
+    service = doc.get("service")
+    if service:  # absent before schema 3
+        served = service["served"]
+        lines += [
+            "",
+            f"service, mixed workload ({service['requests']} requests): "
+            f"{service['rps']:.0f} req/s, p50 {service['p50_ms']:.1f}ms, "
+            f"p99 {service['p99_ms']:.1f}ms; "
+            f"{service['cache_hit_ratio']:.0%} served without a worker "
+            f"({served['cache']} cache, {served['inflight']} coalesced, "
+            f"{served['computed']} computed)",
         ]
     return "\n".join(lines)
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.config import BASELINE, ProcessorConfig
@@ -114,6 +115,27 @@ class RunnerStats:
         )
 
 
+class RunInterrupted(RuntimeError):
+    """A :func:`run_units` call did not finish: the user interrupted it
+    or a worker process died.
+
+    The partial outcome is preserved — ``completed`` holds the
+    :class:`UnitResult` of every unit that finished (in input order) and
+    ``pending`` the units that did not, so a sweep can be resumed by
+    re-running just ``pending`` (the artifact cache makes the finished
+    part nearly free either way).
+    """
+
+    def __init__(self, message: str, completed: list["UnitResult"],
+                 pending: list["WorkUnit"]):
+        super().__init__(
+            f"{message} ({len(completed)} of "
+            f"{len(completed) + len(pending)} units completed)"
+        )
+        self.completed = completed
+        self.pending = pending
+
+
 def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
     """Run one work unit through the artifact cache.
 
@@ -160,6 +182,11 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
 def _worker(args: tuple[WorkUnit, bool]) -> tuple[SimResult, float,
                                                   artifacts.CacheStats]:
     unit, reuse_result = args
+    # chaos hook: REPRO_CHAOS_KILL_BENCH=<name> hard-kills the worker
+    # that picks up that benchmark — how the crash-recovery tests (and
+    # an operator staging a failure drill) exercise the abort path
+    if os.environ.get("REPRO_CHAOS_KILL_BENCH") == unit.benchmark:
+        os._exit(1)
     before = artifacts.cache_stats().snapshot()
     start = time.perf_counter()
     result = execute_unit(unit, reuse_result)
@@ -179,6 +206,44 @@ def _worker(args: tuple[WorkUnit, bool]) -> tuple[SimResult, float,
     delta.errors -= before.errors
     delta.uncacheable -= before.uncacheable
     return result, elapsed, delta
+
+
+def _terminate_and_drain(
+    pool: ProcessPoolExecutor,
+    units: list[WorkUnit],
+    futures,
+    cause: BaseException,
+) -> RunInterrupted:
+    """Abort a parallel run: cancel, terminate, and account for it.
+
+    Outstanding futures are cancelled, worker processes terminated (a
+    Ctrl-C must not leave a long simulation running headless), and the
+    outcome is summarized as a :class:`RunInterrupted` naming exactly
+    which units completed.
+    """
+    for f in futures:
+        f.cancel()
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    completed = []
+    pending = []
+    for unit, f in zip(units, futures):
+        if f.done() and not f.cancelled() and f.exception() is None:
+            result, elapsed, _ = f.result()
+            completed.append(
+                UnitResult(unit=unit, result=result, seconds=elapsed))
+        else:
+            pending.append(unit)
+    message = ("worker process died"
+               if isinstance(cause, BrokenProcessPool) else "interrupted")
+    _log.warning("runner aborted (%s): %d/%d units completed",
+                 message, len(completed), len(units))
+    return RunInterrupted(message, completed, pending)
 
 
 def run_units(
@@ -203,12 +268,29 @@ def run_units(
     start = time.perf_counter()
     outcomes: list[tuple[SimResult, float, artifacts.CacheStats]]
     if jobs == 1:
-        outcomes = [_worker((u, reuse_results)) for u in units]
+        outcomes = []
+        try:
+            for u in units:
+                outcomes.append(_worker((u, reuse_results)))
+        except KeyboardInterrupt as exc:
+            completed = [
+                UnitResult(unit=u, result=o[0], seconds=o[1])
+                for u, o in zip(units, outcomes)
+            ]
+            raise RunInterrupted(
+                "interrupted", completed, list(units[len(outcomes):])
+            ) from exc
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(
-                pool.map(_worker, [(u, reuse_results) for u in units])
-            )
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        futures = [pool.submit(_worker, (u, reuse_results)) for u in units]
+        try:
+            # FIRST_EXCEPTION: a dead worker (BrokenProcessPool) stops
+            # the wait immediately instead of idling out the whole sweep
+            wait(futures, return_when=FIRST_EXCEPTION)
+            outcomes = [f.result() for f in futures]
+        except (KeyboardInterrupt, BrokenProcessPool) as exc:
+            raise _terminate_and_drain(pool, units, futures, exc) from exc
+        pool.shutdown()
     stats.seconds = time.perf_counter() - start
     results = []
     for unit, (result, elapsed, delta) in zip(units, outcomes):

@@ -1,0 +1,141 @@
+"""ServiceClient — the blocking Python API to a running service.
+
+One client holds one TCP connection speaking the native JSON-frames
+protocol.  Requests are correlated by id; sharing a client across
+threads is safe (a lock serializes the request/response exchange), but
+for genuinely concurrent traffic open one client per thread — the
+server handles any number of connections.
+
+::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7333) as client:
+        report = client.model("gzip", length=30_000)
+        sim = client.simulate("gzip", length=30_000)
+        print(report["cpi"], sim["cpi"])
+
+Failures surface as :class:`ServiceError` with the server's error code
+(``overloaded``, ``timeout``, ...) so callers can implement their own
+retry policy; the client never retries on its own.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service; ``code`` is the wire code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking client for :mod:`repro.service` (context manager)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7333,
+                 timeout: float | None = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()        # request/response framing
+        self._results: dict[str, dict] = {}  # out-of-order responses
+
+    # -- connection ----------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._file.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._file = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the protocol ---------------------------------------------------
+
+    def request(self, op: str, params: dict | None = None,
+                timeout: float | None = None) -> dict:
+        """Send one request and return its response frame (the full
+        ``{"ok": ..., ...}`` object, metadata included)."""
+        self.connect()
+        rid = str(next(self._ids))
+        frame = protocol.make_request(op, params, id=rid, timeout=timeout)
+        with self._lock:
+            self._sock.sendall(protocol.encode_frame(frame))
+            return self._read_until(rid)
+
+    def _read_until(self, rid: str) -> dict:
+        # responses may interleave when the connection is shared; stash
+        # frames for other ids until ours arrives
+        if rid in self._results:
+            return self._results.pop(rid)
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("service closed the connection")
+            response = protocol.decode_frame(line)
+            if response.get("id") == rid:
+                return response
+            self._results[response.get("id", "")] = response
+
+    def evaluate(self, op: str, params: dict | None = None,
+                 timeout: float | None = None) -> dict:
+        """Send one request; return ``result`` or raise ServiceError."""
+        response = self.request(op, params, timeout)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(error.get("code", "internal"),
+                               error.get("message", "unknown error"))
+        return response["result"]
+
+    # -- convenience wrappers -------------------------------------------
+
+    def ping(self) -> dict:
+        return self.evaluate("ping")
+
+    def metrics(self) -> dict:
+        return self.evaluate("metrics")["metrics"]
+
+    def model(self, benchmark: str, **params) -> dict:
+        return self.evaluate("model", {"benchmark": benchmark, **params})
+
+    def simulate(self, benchmark: str, **params) -> dict:
+        return self.evaluate("simulate", {"benchmark": benchmark, **params})
+
+    def compare(self, benchmarks: list[str] | None = None,
+                **params) -> dict:
+        if benchmarks is not None:
+            params["benchmarks"] = benchmarks
+        return self.evaluate("compare", params)
+
+    def experiment(self, name: str, timeout: float | None = None) -> dict:
+        return self.evaluate("experiment", {"name": name}, timeout=timeout)
+
+
+__all__ = ["ProtocolError", "ServiceClient", "ServiceError"]

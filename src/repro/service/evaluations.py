@@ -1,0 +1,330 @@
+"""Evaluation registry: what the service can compute, and how.
+
+Each op maps the request ``params`` onto the library's existing
+entry points and returns a plain-JSON payload:
+
+* ``model``      — :class:`repro.core.model.FirstOrderModel` (Eq. 1)
+* ``simulate``   — the detailed simulator via the artifact-cached
+  :func:`repro.runner.pool.execute_unit`
+* ``compare``    — model vs simulation for a benchmark list (Fig. 15)
+* ``experiment`` — any registered paper experiment, formatted
+
+Normalization (:func:`normalize_params`) fills defaults and rejects
+unknown fields *before* keying, so ``{"benchmark": "gzip"}`` and the
+fully spelled-out equivalent content-address identically
+(:func:`request_key` — the scheduler's dedup and persistent-cache key).
+Evaluations are deterministic pure functions of their normalized params;
+that is what makes coalescing and cache serving sound.
+
+:func:`run_batch` is the process-pool entry point: it executes a
+micro-batch of normalized requests, publishes each successful response
+into the persistent artifact cache, and isolates per-item failures so
+one bad request cannot poison its batch.
+
+The optional ``chaos`` param injects faults for robustness testing
+(``sleep`` delays a worker; ``kill_once`` hard-exits the worker the
+first time a flag file is absent) — see docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from repro.service.protocol import ErrorCode, PROTOCOL_VERSION, ProtocolError
+
+#: params accepted as ProcessorConfig overrides (what-if knobs)
+CONFIG_FIELDS = ("pipeline_depth", "width", "window_size", "rob_size")
+
+#: default dynamic trace length (the experiment suite's default)
+DEFAULT_LENGTH = 30_000
+
+#: ops the scheduler will run on the pool
+OPS = ("model", "simulate", "compare", "experiment")
+
+
+def _benchmarks() -> tuple[str, ...]:
+    from repro.trace.profiles import BENCHMARK_ORDER
+
+    return tuple(BENCHMARK_ORDER)
+
+
+def _check_benchmark(name) -> str:
+    if name not in _benchmarks():
+        raise ProtocolError(
+            f"unknown benchmark {name!r}; one of {', '.join(_benchmarks())}"
+        )
+    return name
+
+
+def _check_length(length) -> int:
+    if not isinstance(length, int) or isinstance(length, bool) or length < 1:
+        raise ProtocolError("'length' must be a positive integer")
+    return length
+
+
+def _check_chaos(chaos) -> dict:
+    if not isinstance(chaos, dict):
+        raise ProtocolError("'chaos' must be an object")
+    unknown = set(chaos) - {"sleep", "kill_once", "kill"}
+    if unknown:
+        raise ProtocolError(f"unknown chaos fields: {sorted(unknown)}")
+    sleep = chaos.get("sleep")
+    if sleep is not None and (
+            not isinstance(sleep, (int, float)) or sleep < 0):
+        raise ProtocolError("'chaos.sleep' must be a non-negative number")
+    kill = chaos.get("kill_once")
+    if kill is not None and not isinstance(kill, str):
+        raise ProtocolError("'chaos.kill_once' must be a path string")
+    if not isinstance(chaos.get("kill", False), bool):
+        raise ProtocolError("'chaos.kill' must be a boolean")
+    return dict(chaos)
+
+
+def _config_overrides(params: dict) -> dict:
+    overrides = {}
+    for name in CONFIG_FIELDS:
+        if name in params:
+            value = params[name]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError(f"{name!r} must be an integer")
+            overrides[name] = value
+    return overrides
+
+
+def build_config(params: dict):
+    """The :class:`~repro.config.ProcessorConfig` a request describes."""
+    from repro.config import BASELINE
+
+    overrides = _config_overrides(params)
+    if not overrides:
+        return BASELINE
+    try:
+        return dataclasses.replace(BASELINE, **overrides)
+    except ValueError as exc:  # __post_init__ constraint violated
+        raise ProtocolError(f"invalid configuration: {exc}") from exc
+
+
+def normalize_params(op: str, params: dict) -> dict:
+    """Validate ``params`` for ``op`` and fill every default in.
+
+    Raises :class:`ProtocolError` (``unknown_op`` / ``bad_request``) so
+    the server can answer without ever scheduling the request.
+    """
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; one of {', '.join(OPS)}",
+                            code=ErrorCode.UNKNOWN_OP)
+    known: set = {"chaos"}
+    out: dict = {}
+    if "chaos" in params:
+        out["chaos"] = _check_chaos(params["chaos"])
+
+    if op in ("model", "simulate"):
+        known |= {"benchmark", "length", "seed", *CONFIG_FIELDS}
+        out["benchmark"] = _check_benchmark(params.get("benchmark"))
+        out["length"] = _check_length(params.get("length", DEFAULT_LENGTH))
+        seed = params.get("seed")
+        if seed is not None and (not isinstance(seed, int)
+                                 or isinstance(seed, bool)):
+            raise ProtocolError("'seed' must be an integer")
+        out["seed"] = seed
+        out.update(_config_overrides(params))
+        build_config(params)  # reject impossible configs up front
+        if op == "simulate":
+            known.add("engine")
+            engine = params.get("engine")
+            if engine is not None and engine not in ("reference", "fast"):
+                raise ProtocolError(
+                    "'engine' must be 'reference' or 'fast'")
+            out["engine"] = engine
+    elif op == "compare":
+        known |= {"benchmarks", "length"}
+        benchmarks = params.get("benchmarks") or list(_benchmarks())
+        if not isinstance(benchmarks, list):
+            raise ProtocolError("'benchmarks' must be a list")
+        out["benchmarks"] = [_check_benchmark(b) for b in benchmarks]
+        out["length"] = _check_length(params.get("length", DEFAULT_LENGTH))
+    elif op == "experiment":
+        known |= {"name"}
+        from repro.experiments import experiment_registry
+
+        registry = experiment_registry()
+        name = params.get("name")
+        if name not in registry:
+            raise ProtocolError(
+                f"unknown experiment {name!r}; try: "
+                + ", ".join(sorted(set(registry)))
+            )
+        out["name"] = registry[name].__name__.split(".")[-1]
+
+    unknown = set(params) - known
+    if unknown:
+        raise ProtocolError(f"unknown params for {op!r}: {sorted(unknown)}")
+    return out
+
+
+def request_key(op: str, normalized: dict) -> str | None:
+    """Content-address of a normalized request, or ``None``.
+
+    This is the artifact cache's key discipline applied to the wire:
+    identical questions hash identically, so the scheduler can coalesce
+    them in flight and the persistent cache can answer repeats.
+    """
+    from repro.runner import artifacts
+
+    try:
+        return artifacts.artifact_key(
+            "response", {"protocol": PROTOCOL_VERSION, "op": op,
+                         "params": normalized},
+        )
+    except artifacts.UncacheableError:  # pragma: no cover - params are JSON
+        return None
+
+
+# -- the evaluations themselves ---------------------------------------------
+
+
+def _eval_model(params: dict) -> dict:
+    from repro.core.model import FirstOrderModel
+    from repro.runner import artifacts
+
+    trace = artifacts.trace_artifact(
+        params["benchmark"], params["length"], params["seed"])
+    report = FirstOrderModel(build_config(params)).evaluate_trace(trace)
+    ch = report.characteristic
+    return {
+        "benchmark": params["benchmark"],
+        "length": params["length"],
+        "cpi": report.cpi,
+        "ipc": report.ipc,
+        "cpi_steady": report.cpi_steady,
+        "cpi_branch": report.cpi_branch,
+        "cpi_icache_l1": report.cpi_icache_l1,
+        "cpi_icache_l2": report.cpi_icache_l2,
+        "cpi_dcache": report.cpi_dcache,
+        "branch_penalty_per_event": report.branch_penalty_per_event,
+        "dcache_penalty_per_miss": report.dcache_penalty_per_miss,
+        "characteristic": {"alpha": ch.alpha, "beta": ch.beta,
+                           "latency": ch.latency},
+    }
+
+
+def _eval_simulate(params: dict) -> dict:
+    from repro.runner.pool import WorkUnit, execute_unit
+
+    unit = WorkUnit(
+        benchmark=params["benchmark"],
+        config=build_config(params),
+        length=params["length"],
+        seed=params["seed"],
+        engine=params["engine"],
+    )
+    result = execute_unit(unit, reuse_result=True)
+    return {
+        "benchmark": params["benchmark"],
+        "length": params["length"],
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "cpi": result.cpi,
+        "ipc": result.ipc,
+        "misprediction_count": result.misprediction_count,
+        "icache_short_count": result.icache_short_count,
+        "icache_long_count": result.icache_long_count,
+        "dcache_long_count": result.dcache_long_count,
+    }
+
+
+def _eval_compare(params: dict) -> dict:
+    rows = []
+    errors = []
+    for benchmark in params["benchmarks"]:
+        sub = {"benchmark": benchmark, "length": params["length"],
+               "seed": None}
+        model = _eval_model(sub)
+        sim = _eval_simulate(sub | {"engine": None})
+        error = (model["cpi"] - sim["cpi"]) / sim["cpi"]
+        errors.append(abs(error))
+        rows.append({"benchmark": benchmark, "model_cpi": model["cpi"],
+                     "sim_cpi": sim["cpi"], "error": error})
+    return {
+        "length": params["length"],
+        "rows": rows,
+        "mean_abs_error": sum(errors) / len(errors) if errors else 0.0,
+        "worst_abs_error": max(errors) if errors else 0.0,
+    }
+
+
+def _eval_experiment(params: dict) -> dict:
+    from repro.experiments import experiment_registry
+
+    module = experiment_registry()[params["name"]]
+    result = module.run()
+    checks = [{"text": str(claim), "holds": claim.holds}
+              for claim in result.checks()]
+    return {
+        "name": params["name"],
+        "output": result.format(),
+        "checks": checks,
+        "passed": all(c["holds"] for c in checks),
+    }
+
+
+_EVALUATORS = {
+    "model": _eval_model,
+    "simulate": _eval_simulate,
+    "compare": _eval_compare,
+    "experiment": _eval_experiment,
+}
+
+
+def _apply_chaos(chaos: dict) -> None:
+    if chaos.get("kill"):  # die on *every* attempt: retry exhaustion
+        os._exit(1)
+    kill_flag = chaos.get("kill_once")
+    if kill_flag and not os.path.exists(kill_flag):
+        # leave the flag so the retry of this same request survives,
+        # then die the way a OOM-killed or segfaulted worker does
+        with open(kill_flag, "w") as fh:
+            fh.write("killed\n")
+        os._exit(1)
+    sleep = chaos.get("sleep")
+    if sleep:
+        time.sleep(float(sleep))
+
+
+def evaluate(op: str, normalized: dict) -> dict:
+    """Run one normalized request to its JSON payload (chaos included)."""
+    chaos = normalized.get("chaos")
+    if chaos:
+        _apply_chaos(chaos)
+    return _EVALUATORS[op](normalized)
+
+
+def run_batch(items: list[tuple[str, dict, str | None]]) -> list[dict]:
+    """Process-pool entry point: evaluate a micro-batch of requests.
+
+    ``items`` are ``(op, normalized_params, key)`` triples.  Every item
+    gets an outcome dict (``{"ok": True, "result": ...}`` or
+    ``{"ok": False, "code": ..., "message": ...}``); an item that raises
+    does not disturb its batch-mates.  Successful keyed responses are
+    published to the persistent artifact cache here, in the worker, so
+    the server process never touches pickle payloads.
+    """
+    from repro.runner import artifacts
+
+    outcomes: list[dict] = []
+    for op, params, key in items:
+        try:
+            payload = evaluate(op, params)
+        except ProtocolError as exc:
+            outcomes.append({"ok": False, "code": exc.code,
+                             "message": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - isolate batch-mates
+            outcomes.append({"ok": False, "code": ErrorCode.INTERNAL,
+                             "message": f"{type(exc).__name__}: {exc}"})
+        else:
+            if key is not None and artifacts.cache_enabled():
+                artifacts.store_artifact("response", key, payload)
+            outcomes.append({"ok": True, "result": payload})
+    return outcomes

@@ -1,0 +1,157 @@
+"""The versioned JSON wire protocol of :mod:`repro.service`.
+
+One frame is one JSON object on one line (UTF-8, ``\\n``-terminated).
+A connection carries any number of frames and responses may arrive out
+of order — the ``id`` chosen by the client correlates them.
+
+Request frame::
+
+    {"v": 1, "id": "7", "op": "simulate",
+     "params": {"benchmark": "gzip", "length": 30000},
+     "timeout": 30.0}
+
+Success / error responses::
+
+    {"v": 1, "id": "7", "ok": true, "result": {...},
+     "meta": {"served_from": "computed", "attempts": 1, "seconds": 0.8}}
+    {"v": 1, "id": "7", "ok": false,
+     "error": {"code": "overloaded", "message": "..."}}
+
+``meta.served_from`` is one of ``computed`` (a pool worker ran it),
+``inflight`` (coalesced onto an identical in-flight request) or
+``cache`` (served from the persistent artifact cache without touching
+the pool).
+
+The same request/response objects travel over HTTP: ``POST /v1/eval``
+with the request frame as the body returns the response frame.  See
+``docs/SERVICE.md`` for the full surface including ``/healthz`` and
+``/metrics``.
+
+Versioning: ``v`` is :data:`PROTOCOL_VERSION`.  A server rejects frames
+with a different major version with ``bad_request`` instead of guessing;
+absent ``v`` defaults to the current version (curl convenience).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: bump on any incompatible change to the frame layout
+PROTOCOL_VERSION = 1
+
+#: hard bound on one frame, to keep a hostile client from ballooning the
+#: server's line buffer (responses are small JSON summaries, never traces)
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ErrorCode:
+    """The closed set of machine-readable error codes."""
+
+    BAD_REQUEST = "bad_request"      #: malformed frame or unknown field
+    UNKNOWN_OP = "unknown_op"        #: op not in the evaluation registry
+    OVERLOADED = "overloaded"        #: admission queue full — retry later
+    TIMEOUT = "timeout"              #: per-request deadline expired
+    INTERNAL = "internal"            #: evaluation raised; message has why
+    SHUTTING_DOWN = "shutting_down"  #: server is draining
+
+    ALL = (BAD_REQUEST, UNKNOWN_OP, OVERLOADED, TIMEOUT, INTERNAL,
+           SHUTTING_DOWN)
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be accepted; carries the error code."""
+
+    def __init__(self, message: str, code: str = ErrorCode.BAD_REQUEST):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated request frame."""
+
+    op: str
+    params: dict = field(default_factory=dict)
+    id: str = ""
+    timeout: float | None = None
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialize one frame, newline-terminated."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True)
+            + "\n").encode()
+
+
+def decode_frame(data: bytes | str) -> dict:
+    """Parse one frame; :class:`ProtocolError` on garbage."""
+    if isinstance(data, bytes):
+        if len(data) > MAX_FRAME_BYTES:
+            raise ProtocolError("frame exceeds MAX_FRAME_BYTES")
+        try:
+            data = data.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from exc
+    try:
+        obj = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+def parse_request(frame: dict) -> Request:
+    """Validate a decoded frame into a :class:`Request`."""
+    version = frame.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks {PROTOCOL_VERSION})"
+        )
+    op = frame.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request needs a non-empty string 'op'")
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object")
+    rid = frame.get("id", "")
+    if not isinstance(rid, (str, int)):
+        raise ProtocolError("'id' must be a string or integer")
+    timeout = frame.get("timeout")
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ProtocolError("'timeout' must be a positive number")
+        timeout = float(timeout)
+    unknown = set(frame) - {"v", "id", "op", "params", "timeout"}
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+    return Request(op=op, params=params, id=str(rid), timeout=timeout)
+
+
+def make_request(op: str, params: dict | None = None, id: str = "",
+                 timeout: float | None = None) -> dict:
+    """Build a request frame (the client side of :func:`parse_request`)."""
+    frame: dict = {"v": PROTOCOL_VERSION, "id": id, "op": op,
+                   "params": params or {}}
+    if timeout is not None:
+        frame["timeout"] = timeout
+    return frame
+
+
+def make_response(id: str, result: dict, meta: dict | None = None) -> dict:
+    """Build a success response frame."""
+    frame: dict = {"v": PROTOCOL_VERSION, "id": id, "ok": True,
+                   "result": result}
+    if meta:
+        frame["meta"] = meta
+    return frame
+
+
+def make_error(id: str, code: str, message: str) -> dict:
+    """Build an error response frame."""
+    assert code in ErrorCode.ALL, code
+    return {
+        "v": PROTOCOL_VERSION, "id": id, "ok": False,
+        "error": {"code": code, "message": message},
+    }

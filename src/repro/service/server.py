@@ -1,0 +1,370 @@
+"""The asyncio front door: TCP JSON frames plus a small HTTP surface.
+
+One listening socket speaks both dialects — the first bytes of a
+connection decide.  ``GET``/``POST``/``HEAD`` opens the HTTP mapping
+(one request per connection, ``Connection: close``):
+
+* ``GET /healthz``  — liveness: ``ok`` (200) or ``draining`` (503)
+* ``GET /metrics``  — Prometheus text exposition of the process registry
+* ``GET /version``  — package and protocol versions
+* ``POST /v1/eval`` — body is a request frame, response is the frame
+
+Anything else is the native newline-delimited JSON protocol
+(:mod:`repro.service.protocol`): many requests per connection, handled
+concurrently, responses correlated by ``id``.  ``ping`` and ``metrics``
+ops are answered inline; ``model``/``simulate``/``compare``/
+``experiment`` go through the :class:`~repro.service.scheduler.Scheduler`.
+
+Shutdown is a drain, not a drop: the listener closes, new requests get
+``shutting_down``, in-flight requests finish, then the pool goes away.
+:class:`BackgroundServer` runs the whole stack on a daemon thread for
+tests, benchmarks and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+
+from repro.service import protocol
+from repro.service.protocol import ErrorCode, ProtocolError
+from repro.service.scheduler import (
+    EvalFailed,
+    EvalTimeout,
+    Overloaded,
+    Scheduler,
+    SchedulerConfig,
+)
+from repro.telemetry.metrics import metrics_registry
+
+_log = logging.getLogger(__name__)
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ")
+
+
+def _package_version() -> str:
+    from repro.cli import package_version
+
+    return package_version()
+
+
+class ServiceServer:
+    """The evaluation service: scheduler + protocol endpoints."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: SchedulerConfig | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.scheduler = Scheduler(config)
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener (resolving ``port=0``) and start workers."""
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        metrics_registry().gauge("service.up").set(1)
+        _log.info("service listening on %s:%d", self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self, drain_timeout: float | None = 30.0) -> None:
+        """Graceful drain: refuse new work, finish in-flight, shut down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.drain(timeout=drain_timeout)
+        for task in list(self._connections):  # idle keep-alive connections
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        metrics_registry().gauge("service.up").set(0)
+        _log.info("service stopped")
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if any(first.startswith(m) for m in _HTTP_METHODS):
+                await self._handle_http(first, reader, writer)
+            else:
+                await self._handle_frames(first, reader, writer)
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                ValueError):
+            pass  # client went away or overran the frame limit
+        except asyncio.CancelledError:
+            pass  # server shutdown closed this connection under us
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                pass  # teardown during loop shutdown is not an error
+
+    # -- the native JSON-frames dialect ---------------------------------
+
+    async def _handle_frames(self, first: bytes,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        line = first
+        while line:
+            if line.strip():
+                task = asyncio.ensure_future(
+                    self._answer_frame(line, writer, lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            line = await reader.readline()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _answer_frame(self, line: bytes,
+                            writer: asyncio.StreamWriter,
+                            lock: asyncio.Lock) -> None:
+        response = await self._respond(line)
+        async with lock:
+            writer.write(protocol.encode_frame(response))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict:
+        """One request frame in, one response frame out — never raises."""
+        rid = ""
+        try:
+            frame = protocol.decode_frame(line)
+            rid = str(frame.get("id", "")) if isinstance(frame, dict) else ""
+            request = protocol.parse_request(frame)
+            rid = request.id
+            result, meta = await self._evaluate(request)
+            return protocol.make_response(rid, result, meta)
+        except ProtocolError as exc:
+            return protocol.make_error(rid, exc.code, str(exc))
+        except Overloaded as exc:
+            return protocol.make_error(rid, ErrorCode.OVERLOADED, str(exc))
+        except EvalTimeout as exc:
+            return protocol.make_error(rid, ErrorCode.TIMEOUT, str(exc))
+        except EvalFailed as exc:
+            return protocol.make_error(rid, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the wire must answer
+            _log.exception("unexpected error answering a request")
+            return protocol.make_error(
+                rid, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    async def _evaluate(self, request: protocol.Request) -> tuple[dict, dict]:
+        if request.op == "ping":
+            return ({"pong": True, "version": _package_version(),
+                     "protocol": protocol.PROTOCOL_VERSION},
+                    {"served_from": "server"})
+        if request.op == "metrics":
+            return ({"metrics": metrics_registry().to_dict()},
+                    {"served_from": "server"})
+        return await self.scheduler.submit(
+            request.op, request.params, timeout=request.timeout)
+
+    # -- the HTTP dialect -----------------------------------------------
+
+    async def _handle_http(self, request_line: bytes,
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            method, target, _ = request_line.decode().split(None, 2)
+        except ValueError:
+            await self._http_reply(writer, 400, "bad request line\n")
+            return
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    pass
+        body = b""
+        if content_length:
+            if content_length > protocol.MAX_FRAME_BYTES:
+                await self._http_reply(writer, 413, "body too large\n")
+                return
+            body = await reader.readexactly(content_length)
+
+        path = target.split("?", 1)[0]
+        if method in ("GET", "HEAD") and path == "/healthz":
+            if self.scheduler.draining:
+                await self._http_reply(writer, 503, "draining\n")
+            else:
+                await self._http_reply(writer, 200, "ok\n")
+        elif method in ("GET", "HEAD") and path == "/metrics":
+            await self._http_reply(
+                writer, 200, metrics_registry().to_prometheus(),
+                content_type="text/plain; version=0.0.4")
+        elif method in ("GET", "HEAD") and path == "/version":
+            doc = {"version": _package_version(),
+                   "protocol": protocol.PROTOCOL_VERSION}
+            await self._http_reply(writer, 200, json.dumps(doc) + "\n",
+                                   content_type="application/json")
+        elif method == "POST" and path == "/v1/eval":
+            response = await self._respond(body)
+            status = 200
+            if not response["ok"]:
+                code = response["error"]["code"]
+                status = {ErrorCode.OVERLOADED: 503,
+                          ErrorCode.SHUTTING_DOWN: 503,
+                          ErrorCode.TIMEOUT: 504,
+                          ErrorCode.INTERNAL: 500}.get(code, 400)
+            await self._http_reply(
+                writer, status,
+                json.dumps(response, sort_keys=True) + "\n",
+                content_type="application/json")
+        else:
+            await self._http_reply(writer, 404, f"no route {path}\n")
+
+    async def _http_reply(self, writer: asyncio.StreamWriter, status: int,
+                          body: str,
+                          content_type: str = "text/plain") -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  413: "Payload Too Large", 500: "Internal Server Error",
+                  503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "Unknown")
+        payload = body.encode()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def _serve_async(host: str, port: int,
+                       config: SchedulerConfig | None,
+                       ready=None) -> None:
+    server = ServiceServer(host, port, config)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def serve(host: str = "127.0.0.1", port: int = 7333,
+          config: SchedulerConfig | None = None, ready=None) -> None:
+    """Run a service until interrupted (the ``repro serve`` entry).
+
+    ``ready`` is called with the started :class:`ServiceServer` once the
+    socket is bound — the CLI prints the address from it.
+    """
+    try:
+        asyncio.run(_serve_async(host, port, config, ready))
+    except KeyboardInterrupt:
+        _log.info("interrupted; drained and stopped")
+
+
+class BackgroundServer:
+    """A service on a daemon thread — tests, benchmarks, embedding.
+
+    ::
+
+        with BackgroundServer() as bg:
+            with ServiceClient(bg.host, bg.port) as client:
+                client.ping()
+
+    The context entry blocks until the socket is bound; the exit drains.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 config: SchedulerConfig | None = None):
+        self._host = host
+        self._port = port
+        self._config = config
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: ServiceServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._failure: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "not started"
+        return self._server.port
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._failure is not None:
+            raise RuntimeError("service failed to start") from self._failure
+        assert self._server is not None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self._shutdown(), self._loop).result(timeout=60)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                server = ServiceServer(self._host, self._port, self._config)
+                await server.start()
+                self._server = server
+            except BaseException as exc:  # surface bind errors to __enter__
+                self._failure = exc
+                raise
+            finally:
+                self._started.set()
+            await self._stop.wait()
+
+        try:
+            asyncio.run(main())
+        except BaseException:  # pragma: no cover - already recorded
+            pass
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            await self._server.stop()
+        self._stop.set()

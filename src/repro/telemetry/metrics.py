@@ -173,6 +173,35 @@ class MetricsRegistry:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """Prometheus text exposition (the service's ``/metrics`` body).
+
+        Instrument names map to ``<namespace>_<name>`` with
+        non-identifier characters folded to ``_``; histograms export
+        ``_count``/``_sum`` plus exact ``quantile``-labelled samples.
+        """
+        def mangle(name: str) -> str:
+            cleaned = "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+            return f"{namespace}_{cleaned}"
+
+        lines: list[str] = []
+        for name in self.names():
+            snap = self._instruments[name].snapshot()
+            metric = mangle(name)
+            if snap["type"] == "histogram":
+                lines.append(f"# TYPE {metric} summary")
+                for q in (0.5, 0.9, 0.99):
+                    value = self._instruments[name].percentile(q * 100)
+                    lines.append(
+                        f'{metric}{{quantile="{q}"}} {value!r}')
+                lines.append(f"{metric}_sum {snap['sum']!r}")
+                lines.append(f"{metric}_count {snap['count']}")
+            else:
+                lines.append(f"# TYPE {metric} {snap['type']}")
+                lines.append(f"{metric} {snap['value']!r}")
+        return "\n".join(lines) + "\n"
+
     def render(self, names: Iterable[str] | None = None) -> str:
         """Human-readable one-line-per-metric summary."""
         chosen = sorted(names) if names is not None else self.names()

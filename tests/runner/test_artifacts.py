@@ -126,6 +126,113 @@ def test_trace_artifact_round_trip():
     assert not np.array_equal(first.pc, seeded.pc)
 
 
+def _hammer_store(args):
+    """Worker: repeatedly publish a self-consistent payload under KEY."""
+    root, key, fill, rounds = args
+    import os
+
+    import numpy as np
+
+    os.environ["REPRO_CACHE_DIR"] = root
+    from repro.runner import artifacts
+
+    for _ in range(rounds):
+        artifacts.store_artifact(
+            "race", key, np.full(20_000, fill, dtype=np.int64))
+    return artifacts.cache_stats().errors
+
+
+def _hammer_read(args):
+    """Worker: read KEY continuously; every hit must be untorn."""
+    root, key, rounds = args
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = root
+    from repro.runner import artifacts
+
+    torn = 0
+    hits = 0
+    for _ in range(rounds):
+        found, value = artifacts.probe_artifact("race", key)
+        if not found:
+            continue
+        hits += 1
+        # a torn entry would deserialize to garbage (or not at all —
+        # which _load counts as an error); a valid one is constant
+        if value.shape != (20_000,) or (value != value[0]).any():
+            torn += 1
+    return torn, hits, artifacts.cache_stats().errors
+
+
+class TestConcurrentAccess:
+    """Racing writers and a concurrent reader never see a torn entry.
+
+    The cache publishes with write-to-temp + ``os.replace``; these tests
+    drive that invariant from separate *processes* so the race is real
+    (distinct file descriptors, no GIL serialization of the I/O).
+    """
+
+    def test_two_writers_and_readers_race_one_key(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        root = str(tmp_path / "cache")
+        key = artifact_key("race", {"who": "everyone"})
+        rounds = 60
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            # seed the entry so readers always have something to load;
+            # the interesting part is replacing it mid-read
+            pool.submit(_hammer_store, (root, key, 7, 1)).result(timeout=60)
+            writers = [
+                pool.submit(_hammer_store, (root, key, fill, rounds))
+                for fill in (1, 2)
+            ]
+            readers = [
+                pool.submit(_hammer_read, (root, key, rounds * 3))
+                for _ in range(2)
+            ]
+            write_errors = [f.result(timeout=120) for f in writers]
+            read_outcomes = [f.result(timeout=120) for f in readers]
+        assert write_errors == [0, 0]
+        total_hits = 0
+        for torn, hits, errors in read_outcomes:
+            assert torn == 0, "reader observed a torn entry"
+            assert errors == 0, "reader hit an unreadable entry"
+            total_hits += hits
+        assert total_hits > 0, "the race never actually overlapped"
+
+    def test_racing_threads_compute_consistent_values(self):
+        import threading
+
+        import numpy as np
+
+        results = []
+        lock = threading.Lock()
+        recipe = {"shared": True}
+
+        def compute_mine(fill):
+            def compute():
+                return np.full(5_000, fill, dtype=np.int64)
+            value = cached_artifact("race-thread", recipe, compute)
+            with lock:
+                results.append(value)
+
+        threads = [threading.Thread(target=compute_mine, args=(fill,))
+                   for fill in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(results) == 8
+        for value in results:
+            assert value.shape == (5_000,)
+            assert (value == value[0]).all(), "torn payload"
+        assert cache_stats().errors == 0
+        # afterwards the published entry is whole and serves reads
+        found_value = cached_artifact(
+            "race-thread", recipe, lambda: pytest.fail("must be a hit"))
+        assert (found_value == found_value[0]).all()
+
+
 def test_annotations_artifact_round_trip(gzip_trace):
     kwargs = dict(config=BASELINE, benchmark="gzip",
                   length=len(gzip_trace), seed=None)

@@ -8,6 +8,7 @@ import pytest
 
 from repro.config import BASELINE
 from repro.runner import (
+    RunInterrupted,
     WorkUnit,
     default_jobs,
     reset_cache_stats,
@@ -89,6 +90,56 @@ def test_default_jobs_override():
     assert default_jobs() == 3
     set_default_jobs(None)
     assert default_jobs() >= 1
+
+
+class TestShutdown:
+    """Interrupts and worker death leave a drained pool and a ledger."""
+
+    def test_worker_death_raises_run_interrupted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_KILL_BENCH", "mcf")
+        with pytest.raises(RunInterrupted) as err:
+            run_units(_units(), jobs=2)
+        exc = err.value
+        assert "worker process died" in str(exc)
+        assert [u.benchmark for u in exc.pending].count("mcf") == 1
+        assert len(exc.completed) + len(exc.pending) == 3
+        # the completed results are real, ordered unit outcomes
+        for outcome in exc.completed:
+            assert outcome.result.cycles > 0
+            assert outcome.unit.benchmark != "mcf"
+
+    def test_interrupt_in_serial_loop_preserves_partial_results(
+            self, monkeypatch):
+        import repro.runner.pool as pool_mod
+
+        real_worker = pool_mod._worker
+        calls = []
+
+        def flaky(args):
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            calls.append(args)
+            return real_worker(args)
+
+        monkeypatch.setattr(pool_mod, "_worker", flaky)
+        with pytest.raises(RunInterrupted) as err:
+            run_units(_units(), jobs=1)
+        exc = err.value
+        assert len(exc.completed) == 2
+        assert len(exc.pending) == 1
+        assert exc.pending[0].tag == "c"
+        assert isinstance(exc.__cause__, KeyboardInterrupt)
+
+    def test_interrupted_sweep_can_resume_from_pending(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_KILL_BENCH", "mcf")
+        with pytest.raises(RunInterrupted) as err:
+            run_units(_units(), jobs=2)
+        monkeypatch.delenv("REPRO_CHAOS_KILL_BENCH")
+        resumed, _ = run_units(err.value.pending, jobs=1)
+        full, _ = run_units(_units(), jobs=1)
+        by_tag = {r.unit.tag: r.result.cycles for r in full}
+        for outcome in list(err.value.completed) + list(resumed):
+            assert outcome.result.cycles == by_tag[outcome.unit.tag]
 
 
 def test_run_units_publishes_metrics():

@@ -1,0 +1,35 @@
+"""Shared fixtures: an isolated cache and a background service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.artifacts import reset_cache_stats
+from repro.service import BackgroundServer, SchedulerConfig
+from repro.telemetry.metrics import reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_state(tmp_path, monkeypatch):
+    """Every test gets its own cache directory and zeroed metrics.
+
+    The env var is set before any worker pool is created, so pool
+    workers inherit the isolated cache root too.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    reset_cache_stats()
+    reset_metrics()
+    yield
+    reset_cache_stats()
+    reset_metrics()
+
+
+@pytest.fixture
+def service():
+    """A running background service with a small, fast configuration."""
+    config = SchedulerConfig(workers=2, queue_limit=16,
+                             request_timeout_s=60.0,
+                             retries=2, retry_backoff_s=0.05)
+    with BackgroundServer(config=config) as bg:
+        yield bg

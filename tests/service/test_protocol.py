@@ -1,0 +1,86 @@
+"""The wire protocol: framing, validation, versioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    ErrorCode,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    make_error,
+    make_request,
+    make_response,
+    parse_request,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = make_request("model", {"benchmark": "gzip"}, id="7")
+        data = encode_frame(frame)
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        assert decode_frame(data[:-1]) == frame
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"not json at all")
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]")  # a frame must be an object
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe")
+
+    def test_decode_rejects_oversized_frames(self):
+        huge = b"x" * (protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            decode_frame(huge)
+
+
+class TestParseRequest:
+    def test_minimal(self):
+        request = parse_request({"op": "ping"})
+        assert request.op == "ping"
+        assert request.params == {} and request.timeout is None
+
+    def test_full(self):
+        request = parse_request(make_request(
+            "simulate", {"benchmark": "mcf"}, id="42", timeout=3.5))
+        assert request.id == "42" and request.timeout == 3.5
+
+    def test_integer_id_is_accepted_as_string(self):
+        assert parse_request({"op": "ping", "id": 9}).id == "9"
+
+    @pytest.mark.parametrize("frame", [
+        {},                                      # no op
+        {"op": ""},                              # empty op
+        {"op": 7},                               # non-string op
+        {"op": "x", "params": []},               # non-object params
+        {"op": "x", "timeout": -1},              # non-positive timeout
+        {"op": "x", "timeout": "soon"},          # non-numeric timeout
+        {"op": "x", "bogus": 1},                 # unknown field
+        {"op": "x", "v": 999},                   # future version
+    ])
+    def test_rejects(self, frame):
+        with pytest.raises(ProtocolError):
+            parse_request(frame)
+
+    def test_version_defaults_to_current(self):
+        assert parse_request({"op": "ping"}).op == "ping"
+
+
+class TestResponses:
+    def test_success_frame(self):
+        frame = make_response("1", {"cpi": 0.5}, {"served_from": "cache"})
+        assert frame["ok"] and frame["result"]["cpi"] == 0.5
+        assert frame["meta"]["served_from"] == "cache"
+
+    def test_error_frame(self):
+        frame = make_error("1", ErrorCode.OVERLOADED, "queue full")
+        assert not frame["ok"]
+        assert frame["error"]["code"] == "overloaded"
+
+    def test_error_codes_are_closed(self):
+        with pytest.raises(AssertionError):
+            make_error("1", "made_up_code", "nope")

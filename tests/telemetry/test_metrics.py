@@ -81,6 +81,22 @@ class TestRegistry:
         text = reg.render()
         assert "cache.hits" in text and "unit_seconds" in text
 
+    def test_to_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("service.requests").inc(4)
+        reg.gauge("service.queue_depth").set(2)
+        for value in (0.1, 0.2, 0.3):
+            reg.histogram("service.latency_seconds").observe(value)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_service_requests counter" in text
+        assert "repro_service_requests 4" in text
+        assert "repro_service_queue_depth 2.0" in text
+        assert "# TYPE repro_service_latency_seconds summary" in text
+        assert 'repro_service_latency_seconds{quantile="0.5"} 0.2' in text
+        assert "repro_service_latency_seconds_count 3" in text
+        # dots never leak into metric names
+        assert "service.requests" not in text
+
     def test_reset_clears(self):
         reg = MetricsRegistry()
         reg.counter("a")

@@ -10,6 +10,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as err:
+            build_parser().parse_args(["--version"])
+        assert err.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2",
+             "--queue-limit", "5"])
+        assert args.port == 0 and args.workers == 2
+        assert args.queue_limit == 5
+
+    def test_submit_args(self):
+        args = build_parser().parse_args(
+            ["submit", "simulate", "gzip", "--length", "2000", "--json"])
+        assert args.op == "simulate" and args.target == ["gzip"]
+        assert args.json
+
+    def test_submit_rejects_unknown_op(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "obliterate"])
+
     def test_model_args(self):
         args = build_parser().parse_args(["model", "gzip",
                                           "--length", "500"])
@@ -90,6 +115,48 @@ class TestCommands:
         assert main(["simulate", "gzip", "--length", "3000"]) == 0
         out = capsys.readouterr().out
         assert "measured CPI" in out and "Base (dispatching)" in out
+
+
+class TestSubmit:
+    """``repro submit`` against a live background service."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+
+    @pytest.fixture
+    def service(self):
+        from repro.service import BackgroundServer, SchedulerConfig
+
+        with BackgroundServer(config=SchedulerConfig(workers=1)) as bg:
+            yield bg
+
+    def test_submit_ping(self, service, capsys):
+        assert main(["submit", "ping", "--port", str(service.port)]) == 0
+        assert "pong" in capsys.readouterr().out
+
+    def test_submit_model(self, service, capsys):
+        assert main(["submit", "model", "gzip", "--length", "2000",
+                     "--port", str(service.port)]) == 0
+        assert "CPI" in capsys.readouterr().out
+
+    def test_submit_json_response(self, service, capsys):
+        import json
+
+        assert main(["submit", "simulate", "gzip", "--length", "2000",
+                     "--port", str(service.port), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] and doc["result"]["cycles"] > 0
+
+    def test_submit_model_needs_benchmark(self, service, capsys):
+        assert main(["submit", "model",
+                     "--port", str(service.port)]) == 2
+
+    def test_submit_unreachable_service(self, capsys):
+        assert main(["submit", "ping", "--port", "1",
+                     "--timeout", "2"]) == 3
+        assert "cannot reach" in capsys.readouterr().err
 
 
 class TestLogging:

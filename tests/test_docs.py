@@ -20,7 +20,7 @@ PACKAGES = [
     "repro", "repro.isa", "repro.trace", "repro.memory", "repro.branch",
     "repro.frontend", "repro.window", "repro.core", "repro.simulator",
     "repro.experiments", "repro.extensions", "repro.statsim",
-    "repro.telemetry", "repro.util",
+    "repro.telemetry", "repro.util", "repro.runner", "repro.service",
 ]
 
 
