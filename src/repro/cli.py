@@ -25,12 +25,21 @@ writing any code:
 package's :mod:`logging` output; library modules never print outside
 their renderers.  Setting ``REPRO_TELEMETRY=1`` attaches the stall
 accountant to every simulation (see :mod:`repro.telemetry`).
+
+Run configuration flows through one typed object — the
+:class:`repro.spec.RunSpec`.  Spec-driven commands take ``--spec
+path.json`` and resolve layers in precedence order: package defaults <
+spec file (``--spec`` or ``REPRO_SPEC``) < ``REPRO_*`` environment <
+explicit CLI flags.  ``--dump-spec`` prints the fully-resolved spec as
+JSON and exits without running, and manifests embed the resolved spec
+verbatim (see docs/CONFIGURATION.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from typing import Sequence
 
@@ -65,9 +74,54 @@ def _experiment_registry():
     return experiment_registry()
 
 
+def _resolved_spec(args: argparse.Namespace, benchmark: str | None = None,
+                   extra: dict | None = None):
+    """The :class:`repro.spec.RunSpec` this invocation describes.
+
+    Gathers the command's explicit flags into the top override layer
+    and resolves through :func:`repro.spec.resolve_spec` (defaults <
+    spec file < environment < flags).
+    """
+    from repro.spec import resolve_spec
+
+    overrides: dict = {}
+    if benchmark is not None:
+        overrides["workload"] = {"benchmark": benchmark}
+    length = getattr(args, "length", None)
+    if length is not None:
+        overrides.setdefault("workload", {})["length"] = length
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        overrides.setdefault("engine", {})["engine"] = engine
+    for section, fields in (extra or {}).items():
+        overrides.setdefault(section, {}).update(fields)
+    return resolve_spec(path=getattr(args, "spec", None),
+                        overrides=overrides or None)
+
+
+def _maybe_dump_spec(args: argparse.Namespace, spec) -> bool:
+    """Handle ``--dump-spec``: print the resolved spec, skip the run."""
+    if getattr(args, "dump_spec", False):
+        print(spec.to_json())
+        return True
+    return False
+
+
+def _spec_file_selected(args: argparse.Namespace) -> bool:
+    from repro.spec import env as specenv
+
+    return bool(getattr(args, "spec", None) or specenv.spec_file())
+
+
 def cmd_model(args: argparse.Namespace) -> int:
-    trace = generate_trace(args.benchmark, args.length)
-    report = FirstOrderModel(BASELINE).evaluate_trace(trace)
+    spec = _resolved_spec(args, benchmark=args.benchmark)
+    if _maybe_dump_spec(args, spec):
+        return 0
+    workload = spec.workload
+    trace = generate_trace(workload.benchmark, workload.length,
+                           workload.seed)
+    report = FirstOrderModel(
+        spec.machine.to_config()).evaluate_trace(trace)
     print(f"{args.benchmark}: model CPI {report.cpi:.3f} "
           f"(IPC {report.ipc:.2f})")
     print(f"  IW fit: I = {report.characteristic.alpha:.2f} * "
@@ -86,8 +140,14 @@ def cmd_model(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    trace = generate_trace(args.benchmark, args.length)
-    sim = DetailedSimulator(BASELINE)
+    spec = _resolved_spec(args, benchmark=args.benchmark,
+                          extra={"engine": {"instrument": True}})
+    if _maybe_dump_spec(args, spec):
+        return 0
+    workload = spec.workload
+    trace = generate_trace(workload.benchmark, workload.length,
+                           workload.seed)
+    sim = DetailedSimulator.from_spec(spec)
     result = sim.run(trace)
     print(f"{args.benchmark}: {result.instructions} instructions in "
           f"{result.cycles} cycles — CPI {result.cpi:.3f} "
@@ -97,7 +157,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"long D-misses {result.dcache_long_count}")
     instr = result.instrumentation
     if instr is not None:
-        frac = instr.fraction_of_cycles_at_issue(BASELINE.width)
+        frac = instr.fraction_of_cycles_at_issue(spec.machine.width)
         print(f"  cycles at full issue width: {frac:.1%}")
     if sim.last_telemetry is not None:  # REPRO_TELEMETRY was set
         print()
@@ -107,13 +167,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     benchmarks = args.benchmarks or list(BENCHMARK_ORDER)
-    model = FirstOrderModel(BASELINE)
+    spec = _resolved_spec(args, benchmark=benchmarks[0])
+    if _maybe_dump_spec(args, spec):
+        return 0
+    config = spec.machine.to_config()
+    model = FirstOrderModel(config)
     print(f"{'bench':8s} {'model':>7s} {'sim':>7s} {'error':>7s}")
     errors = []
     for name in benchmarks:
-        trace = generate_trace(name, args.length)
+        workload = spec.workload.with_benchmark(name)
+        trace = generate_trace(workload.benchmark, workload.length,
+                               workload.seed)
         report = model.evaluate_trace(trace)
-        sim = DetailedSimulator(BASELINE, instrument=False).run(trace)
+        sim = DetailedSimulator(config, instrument=False).run(trace)
         err = (report.cpi - sim.cpi) / sim.cpi
         errors.append(abs(err))
         print(f"{name:8s} {report.cpi:7.3f} {sim.cpi:7.3f} {err:+7.1%}")
@@ -126,7 +192,8 @@ def cmd_iw(args: argparse.Namespace) -> int:
     from repro.window.iw_simulator import measure_iw_curve
     from repro.window.powerlaw import fit_curve
 
-    trace = generate_trace(args.benchmark, args.length)
+    length = args.length if args.length is not None else 30_000
+    trace = generate_trace(args.benchmark, length)
     curve = measure_iw_curve(trace)
     fit = fit_curve(curve)
     print(f"{args.benchmark}: I = {fit.alpha:.2f} * W^{fit.beta:.2f} "
@@ -184,10 +251,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.runner.bench import format_bench, run_bench, write_bench
     from repro.telemetry.manifest import build_manifest, write_manifest
 
+    spec = None
+    length = args.length if args.length is not None else 30_000
+    if _spec_file_selected(args):
+        spec = _resolved_spec(args)
+        length = spec.workload.length
+        if _maybe_dump_spec(args, spec):
+            return 0
     runs = 1 if args.quick else args.runs
     start = time.perf_counter()
     doc = run_bench(
-        length=args.length, runs=runs, jobs=args.jobs,
+        length=length, runs=runs, jobs=args.jobs,
         progress=lambda msg: print(f"bench: {msg} ...", file=sys.stderr),
     )
     elapsed = time.perf_counter() - start
@@ -198,9 +272,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_manifest(args.output, build_manifest(
             command="bench",
             config=BASELINE,
+            spec=spec,
             wall_seconds=elapsed,
             cache_stats=artifacts.cache_stats(),
-            extra={"trace_length": args.length, "runs": runs},
+            extra={"trace_length": length, "runs": runs},
         ))
     return 0
 
@@ -216,17 +291,29 @@ def cmd_report(args: argparse.Namespace) -> int:
         from repro.runner import set_default_jobs
 
         set_default_jobs(args.jobs)
+    spec = None
+    if _spec_file_selected(args):
+        spec = _resolved_spec(args)
+        if _maybe_dump_spec(args, spec):
+            return 0
     start = time.perf_counter()
-    report = run_all(progress=lambda name: print(f"running {name} ..."))
+    report = run_all(
+        progress=lambda name: print(f"running {name} ..."),
+        workload=spec.workload if spec is not None else None,
+    )
     elapsed = time.perf_counter() - start
     text = report.to_markdown()
     if args.output:
+        parent = os.path.dirname(args.output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(args.output, "w") as f:
             f.write(text)
         print(f"wrote {args.output}")
         write_manifest(args.output, build_manifest(
             command="report",
             config=BASELINE,
+            spec=spec,
             wall_seconds=elapsed,
             cache_stats=artifacts.cache_stats(),
         ))
@@ -238,16 +325,26 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
-    from repro.telemetry.session import Telemetry, TelemetryConfig
+    from repro.telemetry.session import Telemetry
 
-    trace = generate_trace(args.benchmark, args.length)
-    tele = Telemetry(TelemetryConfig(interval=args.interval))
-    sim = DetailedSimulator(BASELINE, telemetry=tele)
+    telemetry_overrides: dict = {"enabled": True, "timeline": True}
+    if args.interval is not None:
+        telemetry_overrides["interval"] = args.interval
+    spec = _resolved_spec(args, benchmark=args.benchmark,
+                          extra={"telemetry": telemetry_overrides})
+    if _maybe_dump_spec(args, spec):
+        return 0
+    workload = spec.workload
+    trace = generate_trace(workload.benchmark, workload.length,
+                           workload.seed)
+    tconfig = spec.telemetry.to_config()
+    tele = Telemetry(tconfig)
+    sim = DetailedSimulator(spec.machine.to_config(), telemetry=tele)
     result = sim.run(trace)
     report = tele.report
     print(f"{args.benchmark}: CPI {result.cpi:.3f} over {result.cycles} "
           f"cycles ({report.timeline.intervals} intervals of "
-          f"{args.interval} cycles)")
+          f"{tconfig.interval} cycles)")
     print()
     print(report.timeline.render())
     print()
@@ -256,13 +353,15 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    from repro.runner.pool import WorkUnit, run_units
+    from repro.runner.pool import run_units
+    from repro.spec import SweepSpec
     from repro.telemetry.metrics import metrics_registry
 
     benchmarks = args.benchmarks or list(BENCHMARK_ORDER)
-    units = [
-        WorkUnit(benchmark=b, length=args.length) for b in benchmarks
-    ]
+    spec = _resolved_spec(args, benchmark=benchmarks[0])
+    if _maybe_dump_spec(args, spec):
+        return 0
+    units = SweepSpec(base=spec, benchmarks=benchmarks).expand()
     results, stats = run_units(units, jobs=args.jobs)
     for r in results:
         print(f"{r.unit.benchmark:10s} CPI {r.result.cpi:6.3f}  "
@@ -309,11 +408,15 @@ def cmd_submit(args: argparse.Namespace) -> int:
         if not args.target:
             print(f"{args.op} needs a benchmark name", file=sys.stderr)
             return 2
-        params = {"benchmark": args.target[0], "length": args.length}
+        spec = _resolved_spec(args, benchmark=args.target[0])
+        if _maybe_dump_spec(args, spec):
+            return 0
+        params = {"spec": spec.to_dict()}
     elif args.op == "compare":
         if args.target:
             params["benchmarks"] = list(args.target)
-        params["length"] = args.length
+        if args.length is not None:
+            params["length"] = args.length
     elif args.op == "experiment":
         if not args.target:
             print("experiment needs a name", file=sys.stderr)
@@ -395,21 +498,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_bench(p):
         p.add_argument("benchmark", choices=BENCHMARK_ORDER)
-        p.add_argument("--length", type=int, default=30_000,
+        p.add_argument("--length", type=int, default=None,
                        help="dynamic trace length (default 30000)")
+
+    def add_spec(p):
+        p.add_argument("--spec", default=None, metavar="PATH",
+                       help="resolve the run from this RunSpec JSON file "
+                            "(flags still override; see "
+                            "docs/CONFIGURATION.md)")
+        p.add_argument("--dump-spec", action="store_true",
+                       help="print the fully-resolved spec as JSON and "
+                            "exit without running")
 
     p = sub.add_parser("model", help="evaluate the first-order model")
     add_bench(p)
+    add_spec(p)
     p.set_defaults(func=cmd_model)
 
     p = sub.add_parser("simulate", help="run the detailed simulator")
     add_bench(p)
+    add_spec(p)
+    p.add_argument("--engine", choices=("fast", "reference"), default=None,
+                   help="simulation engine (default: spec/env, else fast)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="model vs simulation CPI table")
     p.add_argument("benchmarks", nargs="*", choices=BENCHMARK_ORDER + ("",),
                    default=None)
-    p.add_argument("--length", type=int, default=30_000)
+    p.add_argument("--length", type=int, default=None)
+    add_spec(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("iw", help="measure and plot the IW characteristic")
@@ -435,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", "-j", type=int, default=None,
                    help="worker processes for sweep experiments "
                         "(default: CPU count)")
+    add_spec(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -443,8 +561,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", "-o", default=None,
                    help="also write the JSON document (BENCH_perf.json)")
-    p.add_argument("--length", type=int, default=30_000,
+    p.add_argument("--length", type=int, default=None,
                    help="dynamic trace length (default 30000)")
+    add_spec(p)
     p.add_argument("--runs", type=int, default=3,
                    help="best-of-N timing repetitions (default 3)")
     p.add_argument("--quick", action="store_true",
@@ -458,7 +577,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="interval IPC/occupancy sparklines for one simulation",
     )
     add_bench(p)
-    p.add_argument("--interval", type=int, default=1000,
+    add_spec(p)
+    p.add_argument("--interval", type=int, default=None,
                    help="interval length in cycles (default 1000)")
     p.set_defaults(func=cmd_timeline)
 
@@ -468,10 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("benchmarks", nargs="*", choices=BENCHMARK_ORDER + ("",),
                    default=None)
-    p.add_argument("--length", type=int, default=30_000)
+    p.add_argument("--length", type=int, default=None)
     p.add_argument("--jobs", "-j", type=int, default=None)
     p.add_argument("--json", action="store_true",
                    help="emit the registry as JSON instead of text")
+    add_spec(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
@@ -502,10 +623,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark name(s) or experiment name")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7333)
-    p.add_argument("--length", type=int, default=30_000)
+    p.add_argument("--length", type=int, default=None)
     p.add_argument("--timeout", type=float, default=120.0)
     p.add_argument("--json", action="store_true",
                    help="print the raw response frame")
+    add_spec(p)
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("list", help="available benchmarks and experiments")

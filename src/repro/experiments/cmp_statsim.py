@@ -25,6 +25,8 @@ from repro.experiments.common import (
     cached_trace,
     format_table,
     mean,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.simulator.processor import DetailedSimulator
 from repro.statsim.generator import statistical_simulate
@@ -96,11 +98,12 @@ def run(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
     seed: int = 3,
+    workload: WorkloadSpec | None = None,
 ) -> ComparisonResult:
     model = FirstOrderModel(config)
     rows = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         detailed = DetailedSimulator(config.all_real(),
                                      instrument=False).run(trace)
         statsim = statistical_simulate(trace, config, seed=seed)

@@ -11,11 +11,13 @@ qualitative claims evaluated against the measured data.
 from __future__ import annotations
 
 import functools
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.config import BASELINE, ProcessorConfig
 from repro.runner.artifacts import trace_artifact
+from repro.spec.specs import WorkloadSpec
 from repro.trace.profiles import BENCHMARK_ORDER
 from repro.trace.trace import Trace
 
@@ -25,19 +27,70 @@ DEFAULT_TRACE_LENGTH = 30_000
 
 
 @functools.lru_cache(maxsize=64)
+def _cached_trace_resolved(benchmark: str, length: int, seed: int) -> Trace:
+    """The in-memory layer, keyed by the *resolved* seed only.
+
+    Normalizing before this cache fixes the old aliasing where
+    ``seed=None`` and the explicitly-passed default seed occupied two
+    ``lru_cache`` slots (and two disk probes) for the same trace.
+    """
+    return trace_artifact(benchmark, length, seed)
+
+
 def cached_trace(
-    benchmark: str, length: int = DEFAULT_TRACE_LENGTH,
+    workload: WorkloadSpec | str,
+    length: int | None = None,
     seed: int | None = None,
 ) -> Trace:
-    """The trace for ``(benchmark, length, seed)``, cached twice over.
+    """The trace a :class:`~repro.spec.WorkloadSpec` names, cached twice
+    over.
 
     The in-memory ``lru_cache`` serves repeats within a process; beneath
     it, :func:`repro.runner.artifacts.trace_artifact` persists the trace
     on disk so repeated experiment invocations (and parallel runner
-    workers) skip generation entirely.  ``seed=None`` means the
-    benchmark profile's deterministic default seed.
+    workers) skip generation entirely.  A ``seed`` of ``None`` in the
+    workload resolves to the benchmark profile's deterministic default
+    before either cache is consulted.
+
+    The pre-spec signature ``cached_trace(benchmark, length, seed)``
+    still works for one release and emits a :class:`DeprecationWarning`.
     """
-    return trace_artifact(benchmark, length, seed)
+    if not isinstance(workload, WorkloadSpec):
+        warnings.warn(
+            "cached_trace(benchmark, length, seed) is deprecated; pass a "
+            "repro.spec.WorkloadSpec",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        workload = WorkloadSpec(
+            benchmark=workload,
+            length=length if length is not None else DEFAULT_TRACE_LENGTH,
+            seed=seed,
+        )
+    elif length is not None or seed is not None:
+        raise TypeError(
+            "cached_trace(WorkloadSpec) takes no length/seed arguments"
+        )
+    return _cached_trace_resolved(
+        workload.benchmark, workload.length, workload.resolved_seed()
+    )
+
+
+def workload_for(
+    workload: WorkloadSpec | None,
+    benchmark: str,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+) -> WorkloadSpec:
+    """The per-benchmark workload an experiment should run.
+
+    Experiments take an optional :class:`WorkloadSpec` *template* (its
+    length and seed apply to every benchmark they iterate over) plus a
+    legacy ``trace_length`` scalar; this resolves one benchmark's
+    effective workload from whichever the caller supplied.
+    """
+    if workload is not None:
+        return workload.with_benchmark(benchmark)
+    return WorkloadSpec(benchmark=benchmark, length=trace_length)
 
 
 @dataclass(frozen=True)
@@ -99,7 +152,9 @@ __all__ = [
     "BENCHMARK_ORDER",
     "DEFAULT_TRACE_LENGTH",
     "ProcessorConfig",
+    "WorkloadSpec",
     "cached_trace",
+    "workload_for",
     "Claim",
     "format_table",
     "mean",

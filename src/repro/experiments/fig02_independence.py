@@ -24,6 +24,8 @@ from repro.experiments.common import (
     cached_trace,
     format_table,
     mean,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.simulator.processor import DetailedSimulator
 from repro.trace.trace import Trace
@@ -117,11 +119,12 @@ def run(
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
 ) -> IndependenceResult:
     """Run the five-configuration experiment for each benchmark."""
     rows = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         n = len(trace)
         ideal = DetailedSimulator(config.all_ideal(), instrument=False).run(trace)
         real = DetailedSimulator(config.all_real(), instrument=False).run(trace)

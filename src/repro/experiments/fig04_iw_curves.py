@@ -15,6 +15,8 @@ from repro.experiments.common import (
     Claim,
     cached_trace,
     format_table,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.window.iw_simulator import DEFAULT_WINDOW_SIZES, IWCurve, measure_iw_curve
 from repro.window.powerlaw import PowerLawFit, fit_curve
@@ -78,10 +80,11 @@ def run(
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     window_sizes: tuple[int, ...] = DEFAULT_WINDOW_SIZES,
+    workload: WorkloadSpec | None = None,
 ) -> IWCurvesResult:
     rows = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         curve = measure_iw_curve(trace, window_sizes)
         rows.append(
             IWCurveRow(benchmark=name, curve=curve, fit=fit_curve(curve))

@@ -16,6 +16,8 @@ from repro.experiments.common import (
     Claim,
     cached_trace,
     format_table,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.window.iw_simulator import DEFAULT_WINDOW_SIZES, measure_iw_curve
 from repro.window.powerlaw import PowerLawFit, fit_curve
@@ -79,11 +81,12 @@ def run(
     benchmarks: tuple[str, ...] = FIT_BENCHMARKS,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     window_sizes: tuple[int, ...] = DEFAULT_WINDOW_SIZES,
+    workload: WorkloadSpec | None = None,
 ) -> FitResult:
     rows: list[FitRow] = []
     fits: dict[str, PowerLawFit] = {}
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         curve = measure_iw_curve(trace, window_sizes)
         fit = fit_curve(curve)
         fits[name] = fit

@@ -14,8 +14,10 @@ from dataclasses import dataclass
 from repro.experiments.common import (
     DEFAULT_TRACE_LENGTH,
     Claim,
+    WorkloadSpec,
     cached_trace,
     format_table,
+    workload_for,
 )
 from repro.window.iw_simulator import LimitedWidthIWSimulator
 
@@ -79,8 +81,9 @@ def run(
     benchmark: str = DEFAULT_BENCHMARK,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     window_sizes: tuple[int, ...] = WINDOW_SIZES,
+    workload: WorkloadSpec | None = None,
 ) -> LimitedWidthResult:
-    trace = cached_trace(benchmark, trace_length)
+    trace = cached_trace(workload_for(workload, benchmark, trace_length))
     ipcs: dict[int | None, tuple[float, ...]] = {}
     for width in ISSUE_WIDTHS:
         series = []

@@ -21,6 +21,8 @@ from repro.experiments.common import (
     cached_trace,
     format_table,
     mean,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.simulator.processor import DetailedSimulator
 
@@ -83,10 +85,11 @@ def run(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
     depths: tuple[int, ...] = DEPTHS,
+    workload: WorkloadSpec | None = None,
 ) -> BranchPenaltyResult:
     rows = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         penalties: dict[int, float] = {}
         mispredictions = 0
         for depth in depths:

@@ -19,6 +19,8 @@ from repro.experiments.common import (
     Claim,
     cached_trace,
     format_table,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.simulator.processor import DetailedSimulator
 
@@ -88,11 +90,12 @@ def run(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
     depths: tuple[int, ...] = DEPTHS,
+    workload: WorkloadSpec | None = None,
 ) -> ICachePenaltyResult:
     rows = []
     skipped = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         penalties: dict[int, float] = {}
         misses = 0
         for depth in depths:

@@ -25,6 +25,8 @@ from repro.experiments.common import (
     cached_trace,
     format_table,
     mean,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.frontend.collector import CollectorConfig, MissEventCollector
 from repro.simulator.processor import DetailedSimulator
@@ -108,6 +110,7 @@ def run(
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
 ) -> DCachePenaltyResult:
     rows = []
     skipped = []
@@ -120,7 +123,7 @@ def run(
         miss_delay=config.hierarchy.memory_latency, rob_size=config.rob_size
     )
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         sim = DetailedSimulator(dcache_cfg, instrument=False)
         annotations = sim.annotate(trace)
         real_dc = sim.run(trace, annotations)

@@ -20,8 +20,11 @@ from repro.experiments.common import (
     cached_trace,
     format_table,
     mean,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.runner import WorkUnit, run_units
+from repro.spec import MachineSpec, RunSpec, SpecError, SweepSpec
 
 #: accuracy bands asserted by the checks (paper: 5.8% mean, 13% worst)
 MEAN_ERROR_BAND = 0.10
@@ -112,16 +115,31 @@ def run(
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
 ) -> OverallResult:
+    if not benchmarks:
+        return OverallResult(rows=())
     model = FirstOrderModel(config)
-    sims, _ = run_units([
-        WorkUnit(benchmark=name, config=config.all_real(),
-                 length=trace_length)
-        for name in benchmarks
-    ])
+    try:
+        sweep = SweepSpec(
+            base=RunSpec(
+                workload=workload_for(workload, benchmarks[0], trace_length),
+                machine=MachineSpec.from_config(config.all_real()),
+            ),
+            benchmarks=benchmarks,
+        )
+        units: list = list(sweep.expand())
+    except SpecError:
+        # configs outside the spec vocabulary fall back to raw WorkUnits
+        units = [
+            WorkUnit(benchmark=name, config=config.all_real(),
+                     length=trace_length)
+            for name in benchmarks
+        ]
+    sims, _ = run_units(units)
     rows = []
     for name, sim in zip(benchmarks, sims):
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         report = model.evaluate_trace(trace)
         rows.append(
             OverallRow(

@@ -21,6 +21,8 @@ from repro.experiments.common import (
     Claim,
     cached_trace,
     format_table,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.simulator.processor import DetailedSimulator
 from repro.telemetry.accountant import MeasuredCPIStack, render_side_by_side
@@ -137,6 +139,7 @@ def run(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
     measured: bool | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> StackResult:
     """Model CPI stacks, optionally next to measured ones.
 
@@ -151,7 +154,7 @@ def run(
     stacks = []
     measured_stacks = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         stacks.append(model.evaluate_trace(trace).stack())
         if measured:
             sim = DetailedSimulator(config, telemetry=True)

@@ -9,12 +9,13 @@ any change.
 
 from __future__ import annotations
 
+import inspect
 import logging
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.experiments.common import Claim
+from repro.experiments.common import Claim, WorkloadSpec
 
 _log = logging.getLogger(__name__)
 
@@ -82,8 +83,16 @@ def _title(module) -> str:
 def run_all(
     modules: Iterable | None = None,
     progress: Callable[[str], None] | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> Report:
-    """Execute ``modules`` (default: every registered experiment)."""
+    """Execute ``modules`` (default: every registered experiment).
+
+    ``workload`` is a :class:`repro.spec.WorkloadSpec` template applied
+    to every experiment that accepts one (its length and seed override
+    the experiment defaults; the benchmark axis stays per-experiment).
+    Experiments without a ``workload`` parameter — the trace-free ones —
+    run unchanged.
+    """
     if modules is None:
         from repro.experiments import ALL_EXPERIMENTS
 
@@ -93,8 +102,12 @@ def run_all(
         name = module.__name__.split(".")[-1]
         if progress:
             progress(name)
+        kwargs = {}
+        if (workload is not None
+                and "workload" in inspect.signature(module.run).parameters):
+            kwargs["workload"] = workload
         start = time.perf_counter()
-        result = module.run()
+        result = module.run(**kwargs)
         elapsed = time.perf_counter() - start
         _log.info("experiment %s finished in %.2fs", name, elapsed)
         outcomes.append(

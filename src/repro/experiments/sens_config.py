@@ -18,11 +18,14 @@ from repro.experiments.common import (
     BASELINE,
     DEFAULT_TRACE_LENGTH,
     Claim,
+    WorkloadSpec,
     cached_trace,
     format_table,
     mean,
+    workload_for,
 )
-from repro.runner import WorkUnit, run_units
+from repro.runner import run_units
+from repro.spec import MachineSpec, RunSpec, SweepSpec
 
 #: a diverse trio: mid-ILP, low-ILP/high-latency, memory-bound
 BENCHMARKS = ("gzip", "vpr", "mcf")
@@ -123,23 +126,33 @@ def run(
     depths: tuple[int, ...] = DEPTHS,
     widths: tuple[int, ...] = WIDTHS,
     windows: tuple[int, ...] = WINDOWS,
+    workload: WorkloadSpec | None = None,
 ) -> ConfigSweepResult:
-    grid = [
-        (depth, width, window)
-        for depth in depths for width in widths for window in windows
-    ]
+    if not benchmarks:
+        return ConfigSweepResult(points=())
+    sweep = SweepSpec(
+        base=RunSpec(
+            workload=workload_for(workload, benchmarks[0], trace_length),
+            machine=MachineSpec.from_config(BASELINE),
+        ),
+        benchmarks=benchmarks,
+        axes={
+            "machine.pipeline_depth": depths,
+            "machine.width": widths,
+            "machine.window_size": windows,
+        },
+    )
+    # rob_size rides the window axis (derived, so not a sweep axis)
     units = [
-        WorkUnit(
-            benchmark=name,
-            config=dataclasses.replace(
-                BASELINE, pipeline_depth=depth, width=width,
-                window_size=window,
-                rob_size=max(BASELINE.rob_size, 2 * window),
+        dataclasses.replace(
+            spec,
+            machine=dataclasses.replace(
+                spec.machine,
+                rob_size=max(BASELINE.rob_size,
+                             2 * spec.machine.window_size),
             ),
-            length=trace_length,
         )
-        for name in benchmarks
-        for depth, width, window in grid
+        for spec in sweep.expand()
     ]
     # every grid point shares its benchmark's trace and annotations (the
     # functional pass is config-independent along these axes), so the
@@ -150,7 +163,8 @@ def run(
     for unit_result in sims:
         unit = unit_result.unit
         cfg = unit.config
-        trace = cached_trace(unit.benchmark, trace_length)
+        trace = cached_trace(
+            workload_for(workload, unit.benchmark, trace_length))
         report = FirstOrderModel(cfg).evaluate_trace(trace)
         points.append(
             ConfigPoint(

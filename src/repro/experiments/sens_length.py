@@ -13,7 +13,12 @@ from dataclasses import dataclass
 
 from repro.config import ProcessorConfig
 from repro.core.model import FirstOrderModel
-from repro.experiments.common import BASELINE, Claim, format_table
+from repro.experiments.common import (
+    BASELINE,
+    Claim,
+    WorkloadSpec,
+    format_table,
+)
 from repro.frontend.collector import CollectorConfig, MissEventCollector
 from repro.simulator.processor import DetailedSimulator
 from repro.trace.synthetic import generate_trace
@@ -90,15 +95,17 @@ def run(
     benchmarks: tuple[str, ...] = BENCHMARKS,
     lengths: tuple[int, ...] = LENGTHS,
     config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
 ) -> LengthSweepResult:
     collector = MissEventCollector(
         CollectorConfig(hierarchy=config.hierarchy)
     )
     model = FirstOrderModel(config)
     rows = []
+    seed = workload.seed if workload is not None else None
     for name in benchmarks:
         for length in lengths:
-            trace = generate_trace(name, length)
+            trace = generate_trace(name, length, seed=seed)
             profile = collector.collect(trace)
             fit = fit_curve(measure_iw_curve(trace))
             report = model.evaluate_trace(trace)

@@ -26,6 +26,8 @@ from repro.experiments.common import (
     cached_trace,
     format_table,
     mean,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.simulator.processor import DetailedSimulator
 
@@ -110,10 +112,11 @@ def run(
     benchmarks: tuple[str, ...] = BENCHMARKS,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
 ) -> PredictorSweepResult:
     rows = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         for label, factory in PREDICTORS:
             cfg = dataclasses.replace(config, predictor_factory=factory)
             report = FirstOrderModel(cfg).evaluate_trace(trace)

@@ -21,6 +21,8 @@ from repro.experiments.common import (
     Claim,
     cached_trace,
     format_table,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.frontend.collector import CollectorConfig, MissEventCollector
 from repro.window.iw_simulator import measure_iw_curve
@@ -105,13 +107,14 @@ def run(
     benchmarks: tuple[str, ...] = tuple(PAPER_VALUES),
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
 ) -> PowerLawResult:
     rows = []
     collector = MissEventCollector(
         CollectorConfig(hierarchy=config.hierarchy)
     )
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         fit = fit_curve(measure_iw_curve(trace))
         profile = collector.collect(trace)
         latency = profile.effective_mean_latency(

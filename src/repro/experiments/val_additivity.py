@@ -24,6 +24,8 @@ from repro.experiments.common import (
     Claim,
     cached_trace,
     format_table,
+    WorkloadSpec,
+    workload_for,
 )
 from repro.simulator.processor import DetailedSimulator
 from repro.telemetry.accountant import MeasuredCPIStack, render_side_by_side
@@ -132,11 +134,12 @@ def run(
     benchmarks: tuple[str, ...] = BENCHMARK_ORDER,
     trace_length: int = DEFAULT_TRACE_LENGTH,
     config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
 ) -> AdditivityResult:
     model = FirstOrderModel(config)
     rows = []
     for name in benchmarks:
-        trace = cached_trace(name, trace_length)
+        trace = cached_trace(workload_for(workload, name, trace_length))
         model_stack = model.evaluate_trace(trace).stack()
         sim = DetailedSimulator(config, telemetry=True)
         sim.run(trace)

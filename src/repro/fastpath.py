@@ -4,14 +4,22 @@ Both the detailed simulator (:mod:`repro.simulator.processor`) and the
 functional miss-event collector (:mod:`repro.frontend.collector`) ship
 two interchangeable, bit-identical implementations: a *reference* kernel
 that transcribes the machine semantics directly, and a *fast* kernel
-optimized for throughput.  This module holds the shared engine registry
-and the environment-variable override so every component resolves the
-same default.
+optimized for throughput.  This module holds the shared engine registry;
+components receive their engine from an
+:class:`~repro.spec.specs.EngineSpec` (resolved by
+:func:`repro.spec.resolve.resolve_spec`, where ``REPRO_SIM_ENGINE`` is
+one explicit layer).
+
+Selecting the engine through the environment *alone* — constructing a
+simulator with no engine and relying on ``REPRO_SIM_ENGINE`` at the
+call site — still works for one release but emits a
+:class:`DeprecationWarning`; pass an ``EngineSpec`` (or the engine
+name) instead.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 
 #: recognised engine names; "fast" is the optimized kernel, "reference"
 #: the direct transcription the fast path is validated against
@@ -21,24 +29,39 @@ ENGINES = ("fast", "reference")
 def default_engine() -> str:
     """Engine used when a component does not name one explicitly.
 
-    Overridable via ``REPRO_SIM_ENGINE=reference`` (or ``fast``) — handy
-    for A/B timing and for bisecting any suspected fast-path divergence.
+    Reads ``REPRO_SIM_ENGINE`` through the :mod:`repro.spec.env`
+    registry.  Relying on this implicit fallback while the variable is
+    set is deprecated — resolve a spec instead.
     """
-    name = os.environ.get("REPRO_SIM_ENGINE", "").strip().lower()
-    if not name:
+    from repro.spec import env
+
+    name = env.sim_engine()
+    if name is None:
         return "fast"
     if name not in ENGINES:
         raise ValueError(
             f"REPRO_SIM_ENGINE={name!r} is not a known engine; "
             f"expected one of {ENGINES}"
         )
+    warnings.warn(
+        "selecting the simulation engine via REPRO_SIM_ENGINE alone is "
+        "deprecated; pass an EngineSpec (or engine=...) — the variable "
+        "still participates in resolve_spec()'s environment layer",
+        DeprecationWarning,
+        stacklevel=3,
+    )
     return name
 
 
-def resolve_engine(engine: str | None) -> str:
-    """Validate ``engine``, falling back to :func:`default_engine`."""
+def resolve_engine(engine) -> str:
+    """Validate an engine choice, falling back to :func:`default_engine`.
+
+    Accepts an engine name, an :class:`~repro.spec.specs.EngineSpec`, or
+    ``None`` (the deprecated implicit fallback).
+    """
     if engine is None:
         return default_engine()
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    return engine
+    name = getattr(engine, "engine", engine)
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    return name

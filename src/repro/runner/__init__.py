@@ -35,6 +35,7 @@ from repro.runner.pool import (
     UnitResult,
     WorkUnit,
     default_jobs,
+    execute_spec,
     execute_unit,
     run_units,
     set_default_jobs,
@@ -53,6 +54,7 @@ __all__ = [
     "cache_stats",
     "cached_artifact",
     "default_jobs",
+    "execute_spec",
     "execute_unit",
     "probe_artifact",
     "reset_cache_stats",

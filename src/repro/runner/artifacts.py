@@ -27,10 +27,19 @@ Environment
 ``REPRO_CACHE_DISABLE``
     any non-empty value bypasses the cache entirely.
 
-Both are read at call time, not import time.
+Both are read at call time, not import time, through the
+:mod:`repro.spec.env` registry.
 
 Keys embed a schema version: bump :data:`SCHEMA_VERSION` whenever the
 pickled payload layout changes and old entries simply stop matching.
+
+Key discipline
+--------------
+Since the spec refactor, recipe seeds are *resolved* before keying
+(``seed=None`` hashes as the benchmark profile's default seed, via
+:class:`repro.spec.WorkloadSpec`), so the two spellings of the default
+share one entry.  For one release, a probe that misses under the new
+key falls back to the pre-spec key shape and migrates any hit forward.
 """
 
 from __future__ import annotations
@@ -47,6 +56,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+from repro.spec import env as _env
 
 _log = logging.getLogger(__name__)
 
@@ -65,17 +76,12 @@ class UncacheableError(TypeError):
 
 def cache_enabled() -> bool:
     """Whether the on-disk cache is active (``REPRO_CACHE_DISABLE``)."""
-    return not os.environ.get("REPRO_CACHE_DISABLE")
+    return not _env.cache_disabled()
 
 
 def cache_root() -> Path:
     """Resolve the cache directory (``REPRO_CACHE_DIR`` wins)."""
-    override = os.environ.get("REPRO_CACHE_DIR")
-    if override:
-        return Path(override)
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = Path(xdg) if xdg else Path.home() / ".cache"
-    return base / "repro-firstorder"
+    return _env.cache_dir()
 
 
 # -- canonical recipe form --------------------------------------------------
@@ -301,6 +307,42 @@ def cached_artifact(kind: str, recipe: dict, compute):
     return obj
 
 
+def cached_artifact_compat(kind: str, recipe: dict, legacy_recipe: dict,
+                           compute):
+    """:func:`cached_artifact` with a one-release legacy-key fallback.
+
+    ``recipe`` is the spec-canonical (seed-resolved) shape; a miss under
+    its key probes ``legacy_recipe`` — the pre-spec shape — and migrates
+    any hit forward by re-storing it under the new key, so caches
+    populated before the spec refactor keep serving.
+    """
+    if not cache_enabled():
+        return compute()
+    try:
+        key = artifact_key(kind, recipe)
+    except UncacheableError:
+        _STATS.uncacheable += 1
+        return compute()
+    obj = _load(kind, key)
+    if obj is not _MISS:
+        _STATS._bump(_STATS.hits, kind)
+        return obj
+    try:
+        legacy_key = artifact_key(kind, legacy_recipe)
+    except UncacheableError:
+        legacy_key = None
+    if legacy_key is not None and legacy_key != key:
+        obj = _load(kind, legacy_key)
+        if obj is not _MISS:
+            _STATS._bump(_STATS.hits, kind)
+            _store(kind, key, obj)
+            return obj
+    _STATS._bump(_STATS.misses, kind)
+    obj = compute()
+    _store(kind, key, obj)
+    return obj
+
+
 # -- the concrete artifact kinds --------------------------------------------
 
 
@@ -308,14 +350,20 @@ def trace_artifact(benchmark: str, length: int, seed: int | None = None):
     """The synthetic trace for ``(benchmark, length, seed)``, disk-cached.
 
     ``seed=None`` uses the benchmark profile's own default seed — the
-    deterministic baseline every experiment shares — and is keyed as such.
+    deterministic baseline every experiment shares.  Keys carry the
+    *resolved* seed (via :class:`repro.spec.WorkloadSpec`), so the two
+    spellings of the default share one cache entry.
     """
+    from repro.spec.specs import WorkloadSpec
     from repro.trace.synthetic import generate_trace
 
-    return cached_artifact(
+    workload = WorkloadSpec(benchmark, length, seed)
+    resolved = workload.resolved_seed()
+    return cached_artifact_compat(
         "trace",
+        workload.canonical(),
         {"benchmark": benchmark, "length": length, "seed": seed},
-        lambda: generate_trace(benchmark, length, seed),
+        lambda: generate_trace(benchmark, length, resolved),
     )
 
 
@@ -336,6 +384,7 @@ def annotations_artifact(
     equivalence the test suite enforces), so either may serve both.
     """
     from repro.frontend.collector import CollectorConfig, MissEventCollector
+    from repro.spec.specs import WorkloadSpec
 
     def compute():
         collector = MissEventCollector(
@@ -349,16 +398,17 @@ def annotations_artifact(
         profile = collector.collect(trace, annotate=True)
         return profile.annotations
 
-    return cached_artifact(
+    machine_part = {
+        "hierarchy": config.hierarchy,
+        "predictor": config.predictor_factory,
+        "ideal_predictor": config.ideal_predictor,
+        "warmup_passes": warmup_passes,
+    }
+    workload = WorkloadSpec(benchmark, length, seed)
+    return cached_artifact_compat(
         "annotations",
-        {
-            "benchmark": benchmark,
-            "length": length,
-            "seed": seed,
-            "hierarchy": config.hierarchy,
-            "predictor": config.predictor_factory,
-            "ideal_predictor": config.ideal_predictor,
-            "warmup_passes": warmup_passes,
-        },
+        workload.canonical() | machine_part,
+        {"benchmark": benchmark, "length": length, "seed": seed}
+        | machine_part,
         compute,
     )

@@ -28,12 +28,12 @@ import json
 import os
 import platform
 import time
-from contextlib import contextmanager
 from pathlib import Path
 
 from repro.config import BASELINE
 from repro.runner import artifacts
 from repro.runner.pool import WorkUnit, run_units
+from repro.spec import env as _env
 
 #: the experiment suite's default dynamic trace length
 DEFAULT_TRACE_LENGTH = 30_000
@@ -54,17 +54,8 @@ def _best_of(runs: int, fn) -> float:
     return best
 
 
-@contextmanager
-def _cache_disabled():
-    prior = os.environ.get("REPRO_CACHE_DISABLE")
-    os.environ["REPRO_CACHE_DISABLE"] = "1"
-    try:
-        yield
-    finally:
-        if prior is None:
-            del os.environ["REPRO_CACHE_DISABLE"]
-        else:
-            os.environ["REPRO_CACHE_DISABLE"] = prior
+#: cold-timing scope: force the artifact cache off for the duration
+_cache_disabled = _env.cache_disabled_scope
 
 
 def _pipeline(benchmark: str, length: int, engine: str) -> None:

@@ -25,6 +25,14 @@ from dataclasses import dataclass, field
 from repro.config import BASELINE, ProcessorConfig
 from repro.runner import artifacts
 from repro.simulator.results import SimResult
+from repro.spec import env as _specenv
+from repro.spec.specs import (
+    EngineSpec,
+    MachineSpec,
+    RunSpec,
+    SpecError,
+    WorkloadSpec,
+)
 from repro.telemetry.metrics import metrics_registry
 
 _log = logging.getLogger(__name__)
@@ -75,6 +83,36 @@ class WorkUnit:
     instrument: bool = False
     engine: str | None = None
     tag: str = ""
+
+    @classmethod
+    def from_spec(cls, spec: RunSpec, tag: str = "") -> "WorkUnit":
+        """The work unit a :class:`RunSpec` describes."""
+        return cls(
+            benchmark=spec.workload.benchmark,
+            config=spec.machine.to_config(),
+            length=spec.workload.length,
+            seed=spec.workload.seed,
+            instrument=spec.engine.instrument,
+            engine=spec.engine.engine,
+            tag=tag,
+        )
+
+    def to_spec(self) -> RunSpec:
+        """This unit as a :class:`RunSpec`.
+
+        Raises :class:`~repro.spec.SpecError` when the unit's
+        configuration is not spec-expressible (e.g. a predictor factory
+        outside the spec registry); such units fall back to the generic
+        pre-spec cache keying.
+        """
+        return RunSpec(
+            workload=WorkloadSpec(self.benchmark, self.length, self.seed),
+            machine=MachineSpec.from_config(self.config),
+            engine=EngineSpec(
+                engine=self.engine if self.engine is not None else "fast",
+                instrument=self.instrument,
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -143,6 +181,13 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
     persistent cache; the detailed simulation itself is re-run unless
     ``reuse_result`` is set, in which case a previously stored
     :class:`SimResult` for the identical recipe is returned directly.
+
+    Results of spec-expressible units are keyed by
+    :meth:`RunSpec.content_key` — the same key the evaluation service
+    and in-process :func:`execute_spec` use — with a one-release probe
+    of the pre-spec key shape.  The engine is excluded from the key on
+    purpose: fast and reference engines are bit-identical (enforced by
+    the test suite).
     """
     from repro.simulator.processor import DetailedSimulator
 
@@ -157,17 +202,24 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
         )
         return sim.run(trace, annotations)
 
-    # the engine is excluded from the result recipe on purpose: fast and
-    # reference engines are bit-identical (enforced by the test suite)
-    recipe = {
+    legacy_recipe = {
         "benchmark": unit.benchmark,
         "length": unit.length,
         "seed": unit.seed,
         "config": unit.config,
         "instrument": unit.instrument,
     }
+    try:
+        recipe = unit.to_spec().result_recipe()
+    except SpecError:
+        # not spec-expressible: the generic dataclass keying still works
+        recipe = legacy_recipe
+        legacy_recipe = None
     if reuse_result:
-        return artifacts.cached_artifact("result", recipe, simulate)
+        if legacy_recipe is None:
+            return artifacts.cached_artifact("result", recipe, simulate)
+        return artifacts.cached_artifact_compat(
+            "result", recipe, legacy_recipe, simulate)
     result = simulate()
     if artifacts.cache_enabled():
         try:
@@ -179,13 +231,24 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
     return result
 
 
+def execute_spec(spec: RunSpec, reuse_result: bool = False) -> SimResult:
+    """Run one :class:`RunSpec` through the artifact cache.
+
+    The result is stored under ``spec.content_key()`` — identical to
+    what the parallel runner and the evaluation service compute for the
+    same spec, which is what makes "one spec, one key" hold across all
+    three consumers.
+    """
+    return execute_unit(WorkUnit.from_spec(spec), reuse_result=reuse_result)
+
+
 def _worker(args: tuple[WorkUnit, bool]) -> tuple[SimResult, float,
                                                   artifacts.CacheStats]:
     unit, reuse_result = args
     # chaos hook: REPRO_CHAOS_KILL_BENCH=<name> hard-kills the worker
     # that picks up that benchmark — how the crash-recovery tests (and
     # an operator staging a failure drill) exercise the abort path
-    if os.environ.get("REPRO_CHAOS_KILL_BENCH") == unit.benchmark:
+    if _specenv.chaos_kill_bench() == unit.benchmark:
         os._exit(1)
     before = artifacts.cache_stats().snapshot()
     start = time.perf_counter()
@@ -247,18 +310,23 @@ def _terminate_and_drain(
 
 
 def run_units(
-    units: list[WorkUnit] | tuple[WorkUnit, ...],
+    units: "list[WorkUnit | RunSpec] | tuple[WorkUnit | RunSpec, ...]",
     jobs: int | None = None,
     reuse_results: bool = False,
 ) -> tuple[list[UnitResult], RunnerStats]:
     """Execute ``units`` and return their results in input order.
 
-    ``jobs`` defaults to :func:`default_jobs`; with one job (or one
-    unit) everything runs in-process.  ``reuse_results`` additionally
-    serves stored :class:`SimResult` artifacts for unchanged recipes,
-    skipping the simulation itself.
+    ``units`` may mix :class:`WorkUnit` and :class:`RunSpec` items —
+    specs (e.g. a :class:`~repro.spec.SweepSpec` expansion) are
+    converted on entry.  ``jobs`` defaults to :func:`default_jobs`;
+    with one job (or one unit) everything runs in-process.
+    ``reuse_results`` additionally serves stored :class:`SimResult`
+    artifacts for unchanged recipes, skipping the simulation itself.
     """
-    units = list(units)
+    units = [
+        WorkUnit.from_spec(u) if isinstance(u, RunSpec) else u
+        for u in units
+    ]
     if jobs is None:
         jobs = default_jobs()
     jobs = max(1, min(jobs, len(units) or 1))

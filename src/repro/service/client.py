@@ -30,6 +30,28 @@ from repro.service import protocol
 from repro.service.protocol import ProtocolError
 
 
+def _spec_payload(op: str, params: dict) -> dict:
+    """Lift flat ``model``/``simulate`` kwargs into a spec payload.
+
+    The convenience wrappers keep their flat keyword signature but put
+    a canonical ``{"spec": ...}`` on the wire, so they never hit the
+    server's deprecated flat-params path.  Anything that fails local
+    validation is sent flat and unmodified — the server owns the
+    canonical error response.
+    """
+    from repro.service.evaluations import flat_params_to_spec
+
+    if "spec" in params:
+        return params
+    out = {k: v for k, v in params.items() if k == "chaos"}
+    flat = {k: v for k, v in params.items() if k != "chaos"}
+    try:
+        out["spec"] = flat_params_to_spec(op, flat).to_dict()
+    except ProtocolError:
+        return params
+    return out
+
+
 class ServiceError(RuntimeError):
     """An error response from the service; ``code`` is the wire code."""
 
@@ -123,10 +145,14 @@ class ServiceClient:
         return self.evaluate("metrics")["metrics"]
 
     def model(self, benchmark: str, **params) -> dict:
-        return self.evaluate("model", {"benchmark": benchmark, **params})
+        return self.evaluate(
+            "model", _spec_payload("model", {"benchmark": benchmark,
+                                             **params}))
 
     def simulate(self, benchmark: str, **params) -> dict:
-        return self.evaluate("simulate", {"benchmark": benchmark, **params})
+        return self.evaluate(
+            "simulate", _spec_payload("simulate", {"benchmark": benchmark,
+                                                   **params}))
 
     def compare(self, benchmarks: list[str] | None = None,
                 **params) -> dict:

@@ -9,12 +9,19 @@ entry points and returns a plain-JSON payload:
 * ``compare``    — model vs simulation for a benchmark list (Fig. 15)
 * ``experiment`` — any registered paper experiment, formatted
 
-Normalization (:func:`normalize_params`) fills defaults and rejects
-unknown fields *before* keying, so ``{"benchmark": "gzip"}`` and the
-fully spelled-out equivalent content-address identically
-(:func:`request_key` — the scheduler's dedup and persistent-cache key).
-Evaluations are deterministic pure functions of their normalized params;
-that is what makes coalescing and cache serving sound.
+``model`` and ``simulate`` requests carry a :class:`repro.spec.RunSpec`
+payload verbatim: ``{"spec": {...}}``.  Normalization
+(:func:`normalize_params`) parses and re-canonicalizes it — defaults
+filled, workload seed resolved — so ``{"spec": {"workload":
+{"benchmark": "gzip"}}}`` and the fully spelled-out equivalent
+content-address identically (:func:`request_key` — the scheduler's
+dedup and persistent-cache key), and a ``simulate`` stores its result
+under exactly ``RunSpec.content_key()``, the same artifact an
+in-process ``execute_spec`` run would produce or reuse.  The pre-spec
+flat form (``{"benchmark": ..., "width": ...}``) still normalizes for
+one release and emits a :class:`DeprecationWarning`.  Evaluations are
+deterministic pure functions of their normalized params; that is what
+makes coalescing and cache serving sound.
 
 :func:`run_batch` is the process-pool entry point: it executes a
 micro-batch of normalized requests, publishes each successful response
@@ -31,6 +38,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+import warnings
 
 from repro.service.protocol import ErrorCode, PROTOCOL_VERSION, ProtocolError
 
@@ -106,8 +114,65 @@ def build_config(params: dict):
         raise ProtocolError(f"invalid configuration: {exc}") from exc
 
 
+def flat_params_to_spec(op: str, params: dict):
+    """The :class:`repro.spec.RunSpec` a flat param dict describes.
+
+    This is the vocabulary the pre-spec wire format used — benchmark /
+    length / seed / config-override knobs / engine — validated with the
+    same checks and mapped onto the typed spec.  Shared by the
+    deprecation shim in :func:`normalize_params` and by
+    :class:`~repro.service.client.ServiceClient`'s convenience wrappers
+    (which build spec payloads client-side).
+    """
+    from repro.spec import EngineSpec, MachineSpec, RunSpec, WorkloadSpec
+
+    benchmark = _check_benchmark(params.get("benchmark"))
+    length = _check_length(params.get("length", DEFAULT_LENGTH))
+    seed = params.get("seed")
+    if seed is not None and (not isinstance(seed, int)
+                             or isinstance(seed, bool)):
+        raise ProtocolError("'seed' must be an integer")
+    machine = MachineSpec.from_config(build_config(params))
+    engine_name = "fast"
+    if op == "simulate":
+        engine = params.get("engine")
+        if engine is not None and engine not in ("reference", "fast"):
+            raise ProtocolError("'engine' must be 'reference' or 'fast'")
+        engine_name = engine or "fast"
+    return RunSpec(
+        workload=WorkloadSpec(benchmark=benchmark, length=length, seed=seed),
+        machine=machine,
+        engine=EngineSpec(engine=engine_name),
+    )
+
+
+def _parse_spec(payload):
+    from repro.spec import RunSpec, SpecError
+
+    try:
+        return RunSpec.from_dict(payload)
+    except SpecError as exc:
+        raise ProtocolError(f"invalid spec: {exc}") from exc
+
+
+def _resolve_workload_seed(spec):
+    """Pin ``seed: null`` to the profile's resolved seed before keying,
+    so the implicit and explicit spellings coalesce to one request."""
+    if spec.workload.seed is not None:
+        return spec
+    return dataclasses.replace(
+        spec,
+        workload=dataclasses.replace(
+            spec.workload, seed=spec.workload.resolved_seed()),
+    )
+
+
 def normalize_params(op: str, params: dict) -> dict:
     """Validate ``params`` for ``op`` and fill every default in.
+
+    ``model`` and ``simulate`` normalize to ``{"spec": <canonical
+    RunSpec dict>}`` (plus ``chaos`` if given) whether the caller sent a
+    spec payload or the deprecated flat form.
 
     Raises :class:`ProtocolError` (``unknown_op`` / ``bad_request``) so
     the server can answer without ever scheduling the request.
@@ -121,23 +186,24 @@ def normalize_params(op: str, params: dict) -> dict:
         out["chaos"] = _check_chaos(params["chaos"])
 
     if op in ("model", "simulate"):
-        known |= {"benchmark", "length", "seed", *CONFIG_FIELDS}
-        out["benchmark"] = _check_benchmark(params.get("benchmark"))
-        out["length"] = _check_length(params.get("length", DEFAULT_LENGTH))
-        seed = params.get("seed")
-        if seed is not None and (not isinstance(seed, int)
-                                 or isinstance(seed, bool)):
-            raise ProtocolError("'seed' must be an integer")
-        out["seed"] = seed
-        out.update(_config_overrides(params))
-        build_config(params)  # reject impossible configs up front
+        known |= {"benchmark", "length", "seed", "spec", *CONFIG_FIELDS}
         if op == "simulate":
             known.add("engine")
-            engine = params.get("engine")
-            if engine is not None and engine not in ("reference", "fast"):
+        if "spec" in params:
+            flat = sorted((set(params) & known) - {"chaos", "spec"})
+            if flat:
                 raise ProtocolError(
-                    "'engine' must be 'reference' or 'fast'")
-            out["engine"] = engine
+                    f"'spec' replaces the flat params; also got {flat}")
+            spec = _parse_spec(params["spec"])
+        else:
+            warnings.warn(
+                "flat model/simulate params are deprecated; send "
+                "{'spec': <RunSpec dict>} (see docs/CONFIGURATION.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            spec = flat_params_to_spec(op, params)
+        out["spec"] = _resolve_workload_seed(spec).to_dict()
     elif op == "compare":
         known |= {"benchmarks", "length"}
         benchmarks = params.get("benchmarks") or list(_benchmarks())
@@ -188,14 +254,18 @@ def request_key(op: str, normalized: dict) -> str | None:
 def _eval_model(params: dict) -> dict:
     from repro.core.model import FirstOrderModel
     from repro.runner import artifacts
+    from repro.spec import RunSpec
 
+    spec = RunSpec.from_dict(params["spec"])
+    workload = spec.workload
     trace = artifacts.trace_artifact(
-        params["benchmark"], params["length"], params["seed"])
-    report = FirstOrderModel(build_config(params)).evaluate_trace(trace)
+        workload.benchmark, workload.length, workload.seed)
+    report = FirstOrderModel(
+        spec.machine.to_config()).evaluate_trace(trace)
     ch = report.characteristic
     return {
-        "benchmark": params["benchmark"],
-        "length": params["length"],
+        "benchmark": workload.benchmark,
+        "length": workload.length,
         "cpi": report.cpi,
         "ipc": report.ipc,
         "cpi_steady": report.cpi_steady,
@@ -211,19 +281,14 @@ def _eval_model(params: dict) -> dict:
 
 
 def _eval_simulate(params: dict) -> dict:
-    from repro.runner.pool import WorkUnit, execute_unit
+    from repro.runner.pool import execute_spec
+    from repro.spec import RunSpec
 
-    unit = WorkUnit(
-        benchmark=params["benchmark"],
-        config=build_config(params),
-        length=params["length"],
-        seed=params["seed"],
-        engine=params["engine"],
-    )
-    result = execute_unit(unit, reuse_result=True)
+    spec = RunSpec.from_dict(params["spec"])
+    result = execute_spec(spec, reuse_result=True)
     return {
-        "benchmark": params["benchmark"],
-        "length": params["length"],
+        "benchmark": spec.workload.benchmark,
+        "length": spec.workload.length,
         "instructions": result.instructions,
         "cycles": result.cycles,
         "cpi": result.cpi,
@@ -236,13 +301,16 @@ def _eval_simulate(params: dict) -> dict:
 
 
 def _eval_compare(params: dict) -> dict:
+    from repro.spec import RunSpec, WorkloadSpec
+
     rows = []
     errors = []
     for benchmark in params["benchmarks"]:
-        sub = {"benchmark": benchmark, "length": params["length"],
-               "seed": None}
+        spec = _resolve_workload_seed(RunSpec(workload=WorkloadSpec(
+            benchmark=benchmark, length=params["length"])))
+        sub = {"spec": spec.to_dict()}
         model = _eval_model(sub)
-        sim = _eval_simulate(sub | {"engine": None})
+        sim = _eval_simulate(sub)
         error = (model["cpi"] - sim["cpi"]) / sim["cpi"]
         errors.append(abs(error))
         rows.append({"benchmark": benchmark, "model_cpi": model["cpi"],

@@ -78,19 +78,32 @@ class DetailedSimulator:
     """
 
     def __init__(self, config: ProcessorConfig | None = None,
-                 instrument: bool = True, engine: str | None = None,
-                 telemetry: "Telemetry | TelemetryConfig | bool | None" = None):
+                 instrument: bool = True, engine=None,
+                 telemetry=None):
         self.config = config or ProcessorConfig()
         self.instrument = instrument
+        #: ``engine`` accepts a name, an :class:`repro.spec.EngineSpec`,
+        #: or ``None`` (the deprecated ``REPRO_SIM_ENGINE`` fallback)
         self.engine = resolve_engine(engine)
         #: telemetry opt-in: ``None`` defers to ``REPRO_TELEMETRY``,
-        #: ``True``/a :class:`TelemetryConfig` collects with (those)
+        #: ``True``/a :class:`TelemetryConfig`/a
+        #: :class:`repro.spec.TelemetrySpec` collects with (those)
         #: defaults, a :class:`Telemetry` session collects into it,
         #: ``False`` disables regardless of the environment
         self.telemetry = telemetry
         #: the session of the most recent :meth:`run` (``None`` when
         #: telemetry was off); its ``report`` holds the measurements
         self.last_telemetry: Telemetry | None = None
+
+    @classmethod
+    def from_spec(cls, spec) -> "DetailedSimulator":
+        """The simulator a :class:`repro.spec.RunSpec` describes."""
+        return cls(
+            spec.machine.to_config(),
+            instrument=spec.engine.instrument,
+            engine=spec.engine,
+            telemetry=spec.telemetry,
+        )
 
     def _telemetry_session(self) -> Telemetry | None:
         """A fresh (or the caller's) session for one run, or ``None``."""
@@ -104,6 +117,9 @@ class DetailedSimulator:
             return Telemetry()
         if isinstance(t, Telemetry):
             return t
+        if hasattr(t, "to_config"):  # a repro.spec.TelemetrySpec
+            config = t.to_config()
+            return Telemetry(config) if config is not None else None
         return Telemetry(t)
 
     def annotate(self, trace: Trace, warmup_passes: int = 1) -> EventAnnotations:
@@ -393,8 +409,8 @@ def simulate(
     config: ProcessorConfig | None = None,
     annotations: EventAnnotations | None = None,
     instrument: bool = True,
-    engine: str | None = None,
-    telemetry: "Telemetry | TelemetryConfig | bool | None" = None,
+    engine=None,
+    telemetry=None,
 ) -> SimResult:
     """Convenience wrapper around :class:`DetailedSimulator`.
 

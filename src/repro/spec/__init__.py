@@ -1,0 +1,40 @@
+"""Unified run specifications: one typed, content-addressed description
+of a run, threaded through engines, experiments, runner, service and CLI.
+
+See docs/CONFIGURATION.md for the schema, the resolution precedence
+(defaults → spec file → environment → CLI flags) and the environment-
+variable registry (:mod:`repro.spec.env`).
+"""
+
+from repro.spec.specs import (
+    PREDICTORS,
+    SPEC_SCHEMA,
+    CacheSpec,
+    EngineSpec,
+    HierarchySpec,
+    MachineSpec,
+    RunSpec,
+    SpecError,
+    SweepSpec,
+    TelemetrySpec,
+    WorkloadSpec,
+    canonical_json,
+)
+from repro.spec.resolve import load_spec_file, resolve_spec
+
+__all__ = [
+    "PREDICTORS",
+    "SPEC_SCHEMA",
+    "CacheSpec",
+    "EngineSpec",
+    "HierarchySpec",
+    "MachineSpec",
+    "RunSpec",
+    "SpecError",
+    "SweepSpec",
+    "TelemetrySpec",
+    "WorkloadSpec",
+    "canonical_json",
+    "load_spec_file",
+    "resolve_spec",
+]

@@ -1,0 +1,184 @@
+"""The single home of ``REPRO_*`` environment-variable access.
+
+Every knob the package reads from the environment is declared in
+:data:`REGISTRY` and read through a typed accessor in this module —
+nothing else in ``src/repro`` touches ``os.environ`` for configuration
+(a lint-style test greps the tree and fails on new call sites).  That
+discipline is what makes :func:`repro.spec.resolve.resolve_spec`'s
+layering honest: the environment is one explicit resolution layer, not
+an ambient influence scattered through call sites.
+
+Variables are still read at *call* time, never import time, so tests and
+the CLI can monkeypatch them per run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+
+#: every environment variable the package reads, with the consuming
+#: subsystem and a one-line description (rendered in docs/CONFIGURATION.md)
+REGISTRY: dict[str, tuple[str, str]] = {
+    "REPRO_SPEC": (
+        "spec", "path of a RunSpec JSON file merged during resolution"),
+    "REPRO_SIM_ENGINE": (
+        "engine", "simulation engine: 'fast' (default) or 'reference'"),
+    "REPRO_CACHE_DIR": (
+        "cache", "artifact-cache root (default $XDG_CACHE_HOME/repro-firstorder)"),
+    "REPRO_CACHE_DISABLE": (
+        "cache", "any non-empty value bypasses the artifact cache"),
+    "REPRO_TELEMETRY": (
+        "telemetry", "non-empty and not '0' attaches telemetry to every run"),
+    "REPRO_TELEMETRY_INTERVAL": (
+        "telemetry", "timeline interval length in cycles (default 1000)"),
+    "REPRO_TELEMETRY_TRACE": (
+        "telemetry", "write the event trace to this JSONL path"),
+    "REPRO_TELEMETRY_CHROME": (
+        "telemetry", "write a Chrome trace_event file to this path"),
+    "REPRO_TELEMETRY_SAMPLE": (
+        "telemetry", "event-trace sampling rate in (0, 1] (default 1)"),
+    "REPRO_TELEMETRY_SEED": (
+        "telemetry", "event-trace sampling RNG seed (default 0)"),
+    "REPRO_CHAOS_KILL_BENCH": (
+        "chaos", "hard-kill the pool worker that picks up this benchmark"),
+}
+
+
+def _get(name: str) -> str | None:
+    assert name in REGISTRY or name == "XDG_CACHE_HOME", name
+    return os.environ.get(name)
+
+
+# -- spec layer --------------------------------------------------------------
+
+
+def spec_file() -> str | None:
+    """``REPRO_SPEC`` — spec file merged by :func:`resolve_spec`."""
+    return _get("REPRO_SPEC") or None
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def sim_engine() -> str | None:
+    """``REPRO_SIM_ENGINE`` normalized to lower case, or ``None``.
+
+    Validation (and the deprecation of env-*only* selection) lives with
+    the engine registry in :mod:`repro.fastpath`; this just reads.
+    """
+    name = (_get("REPRO_SIM_ENGINE") or "").strip().lower()
+    return name or None
+
+
+# -- artifact cache ----------------------------------------------------------
+
+
+def cache_disabled() -> bool:
+    """``REPRO_CACHE_DISABLE`` — truthy when the cache is bypassed."""
+    return bool(_get("REPRO_CACHE_DISABLE"))
+
+
+def cache_dir() -> Path:
+    """The artifact-cache root (``REPRO_CACHE_DIR`` wins)."""
+    override = _get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-firstorder"
+
+
+@contextlib.contextmanager
+def cache_disabled_scope():
+    """Temporarily force ``REPRO_CACHE_DISABLE=1`` (bench cold timings)."""
+    prior = os.environ.get("REPRO_CACHE_DISABLE")
+    os.environ["REPRO_CACHE_DISABLE"] = "1"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_CACHE_DISABLE"]
+        else:
+            os.environ["REPRO_CACHE_DISABLE"] = prior
+
+
+# -- telemetry ---------------------------------------------------------------
+
+
+def telemetry_flag() -> bool:
+    """``REPRO_TELEMETRY`` — enabled unless unset, empty or ``0``."""
+    flag = (_get("REPRO_TELEMETRY") or "").strip()
+    return bool(flag) and flag != "0"
+
+
+def telemetry_interval() -> int:
+    return int(_get("REPRO_TELEMETRY_INTERVAL") or "1000")
+
+
+def telemetry_trace_path() -> str | None:
+    return _get("REPRO_TELEMETRY_TRACE") or None
+
+
+def telemetry_chrome_path() -> str | None:
+    return _get("REPRO_TELEMETRY_CHROME") or None
+
+
+def telemetry_sample_rate() -> float:
+    return float(_get("REPRO_TELEMETRY_SAMPLE") or "1")
+
+
+def telemetry_seed() -> int:
+    return int(_get("REPRO_TELEMETRY_SEED") or "0")
+
+
+def telemetry_overrides() -> dict:
+    """The TelemetrySpec fields the environment explicitly sets.
+
+    Only variables actually present contribute, so spec-file and CLI
+    layers keep their values for everything the environment is silent
+    about (:func:`repro.spec.resolve.resolve_spec`'s precedence).
+    """
+    out: dict = {}
+    if _get("REPRO_TELEMETRY") is not None:
+        out["enabled"] = telemetry_flag()
+    if _get("REPRO_TELEMETRY_INTERVAL") is not None:
+        out["interval"] = telemetry_interval()
+    trace_path = telemetry_trace_path()
+    chrome_path = telemetry_chrome_path()
+    if trace_path:
+        out["trace_path"] = trace_path
+    if chrome_path:
+        out["chrome_path"] = chrome_path
+    if trace_path or chrome_path:
+        out["events"] = True
+    if _get("REPRO_TELEMETRY_SAMPLE") is not None:
+        out["sample_rate"] = telemetry_sample_rate()
+    if _get("REPRO_TELEMETRY_SEED") is not None:
+        out["seed"] = telemetry_seed()
+    return out
+
+
+# -- chaos -------------------------------------------------------------------
+
+
+def chaos_kill_bench() -> str | None:
+    """``REPRO_CHAOS_KILL_BENCH`` — the crash-drill benchmark, if any."""
+    return _get("REPRO_CHAOS_KILL_BENCH") or None
+
+
+# -- manifest echo -----------------------------------------------------------
+
+
+def repro_environment() -> dict[str, str]:
+    """Every set ``REPRO_*`` variable, for the run manifest.
+
+    Unregistered ``REPRO_*`` names are echoed too — a manifest should
+    record what was in the environment, not what we expected to be.
+    """
+    return {
+        name: os.environ[name]
+        for name in sorted(os.environ)
+        if name.startswith("REPRO_")
+    }

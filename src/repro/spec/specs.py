@@ -1,0 +1,632 @@
+"""Typed, frozen run specifications with canonical JSON and stable keys.
+
+The paper's methodology lives or dies on like-for-like comparison: the
+analytical model and the detailed simulator must be driven by the *same*
+machine description.  A :class:`RunSpec` makes that guarantee structural:
+one validated, serializable object names the machine
+(:class:`MachineSpec`), the workload (:class:`WorkloadSpec`), how to
+execute (:class:`EngineSpec`) and what to measure
+(:class:`TelemetrySpec`).  Its :meth:`RunSpec.content_key` is *the*
+artifact-cache key for the simulation result and the service's
+request-coalescing key, so an identical question asked in-process,
+through the parallel runner, or over the wire is answered — and cached —
+identically.
+
+Keying rules
+------------
+``content_key()`` covers exactly what can change the simulation result:
+the machine, the fully-resolved workload (``seed=None`` resolves to the
+benchmark profile's deterministic default *before* keying — the seed
+never aliases), and the ``instrument`` flag (it changes the payload).
+The engine is deliberately excluded — the fast and reference kernels are
+bit-identical (enforced by the equivalence suite) — and telemetry is
+excluded because it only observes (disabled telemetry is bit-identical,
+also enforced).
+
+:class:`SweepSpec` turns a parameter sweep into data: a base spec, a
+benchmark axis and dotted-path value axes expand deterministically into
+the grid of ``RunSpec``s that ``run_units`` (or a future sharded
+backend) executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.branch import (
+    Bimodal,
+    GShare,
+    IdealPredictor,
+    LocalHistory,
+    PessimalPredictor,
+    StaticPredictor,
+    Tournament,
+)
+from repro.config import ProcessorConfig
+from repro.isa.latency import DEFAULT_LATENCIES, LatencyTable
+from repro.isa.opclass import OpClass
+from repro.memory.config import CacheGeometry, HierarchyConfig
+
+#: bump when the canonical spec layout changes; part of every content key
+SPEC_SCHEMA = 1
+
+#: named direction predictors a spec can select
+PREDICTORS: dict[str, Callable] = {
+    "gshare": GShare,
+    "bimodal": Bimodal,
+    "static": StaticPredictor,
+    "ideal": IdealPredictor,
+    "pessimal": PessimalPredictor,
+    "local": LocalHistory,
+    "tournament": Tournament,
+}
+
+
+class SpecError(ValueError):
+    """A spec could not be validated, parsed, or derived."""
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _require_mapping(data: Any, what: str) -> dict:
+    if not isinstance(data, Mapping):
+        raise SpecError(f"{what} must be a JSON object, got "
+                        f"{type(data).__name__}")
+    return dict(data)
+
+
+def _check_fields(data: dict, cls: type, what: str) -> dict:
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise SpecError(f"unknown {what} field(s): {sorted(unknown)}; "
+                        f"expected a subset of {sorted(allowed)}")
+    return data
+
+
+def _construct(cls, data: dict, what: str):
+    try:
+        return cls(**data)
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SpecError):
+            raise
+        raise SpecError(f"invalid {what}: {exc}") from exc
+
+
+# -- machine -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of one cache, mirroring :class:`CacheGeometry`."""
+
+    size_bytes: int
+    associativity: int = 4
+    line_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        self.to_geometry()
+
+    def to_geometry(self) -> CacheGeometry:
+        try:
+            return CacheGeometry(self.size_bytes, self.associativity,
+                                 self.line_bytes)
+        except ValueError as exc:
+            raise SpecError(f"invalid cache geometry: {exc}") from exc
+
+    @classmethod
+    def from_geometry(cls, geometry: CacheGeometry) -> "CacheSpec":
+        return cls(size_bytes=geometry.size_bytes,
+                   associativity=geometry.associativity,
+                   line_bytes=geometry.line_bytes)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "CacheSpec":
+        return _construct(
+            cls, _check_fields(_require_mapping(data, "cache"), cls, "cache"),
+            "cache geometry")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """The two-level cache hierarchy, mirroring :class:`HierarchyConfig`."""
+
+    l1i: CacheSpec = field(default_factory=lambda: CacheSpec(4 * 1024))
+    l1d: CacheSpec = field(default_factory=lambda: CacheSpec(4 * 1024))
+    l2: CacheSpec = field(default_factory=lambda: CacheSpec(512 * 1024))
+    l2_latency: int = 8
+    memory_latency: int = 200
+    ideal_icache: bool = False
+    ideal_dcache: bool = False
+
+    def __post_init__(self) -> None:
+        self.to_config()
+
+    def to_config(self) -> HierarchyConfig:
+        try:
+            return HierarchyConfig(
+                l1i=self.l1i.to_geometry(),
+                l1d=self.l1d.to_geometry(),
+                l2=self.l2.to_geometry(),
+                l2_latency=self.l2_latency,
+                memory_latency=self.memory_latency,
+                ideal_icache=self.ideal_icache,
+                ideal_dcache=self.ideal_dcache,
+            )
+        except ValueError as exc:
+            raise SpecError(f"invalid hierarchy: {exc}") from exc
+
+    @classmethod
+    def from_config(cls, config: HierarchyConfig) -> "HierarchySpec":
+        return cls(
+            l1i=CacheSpec.from_geometry(config.l1i),
+            l1d=CacheSpec.from_geometry(config.l1d),
+            l2=CacheSpec.from_geometry(config.l2),
+            l2_latency=config.l2_latency,
+            memory_latency=config.memory_latency,
+            ideal_icache=config.ideal_icache,
+            ideal_dcache=config.ideal_dcache,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "HierarchySpec":
+        out = _check_fields(
+            _require_mapping(data, "hierarchy"), cls, "hierarchy")
+        for name in ("l1i", "l1d", "l2"):
+            if name in out:
+                out[name] = CacheSpec.from_dict(out[name])
+        return _construct(cls, out, "hierarchy")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The modeled machine, by value — a serializable
+    :class:`~repro.config.ProcessorConfig`.
+
+    ``predictor`` names an entry of :data:`PREDICTORS` (the paper
+    baseline is the 8K gShare); ``latencies`` maps lower-case opclass
+    names to cycle counts, defaulting to the package's SimpleScalar-
+    flavoured table.
+    """
+
+    pipeline_depth: int = 5
+    width: int = 4
+    window_size: int = 48
+    rob_size: int = 128
+    predictor: str = "gshare"
+    ideal_predictor: bool = False
+    hierarchy: HierarchySpec = field(default_factory=HierarchySpec)
+    latencies: Mapping[str, int] = field(
+        default_factory=lambda: {
+            c.name.lower(): l for c, l in DEFAULT_LATENCIES.items()
+        }
+    )
+
+    def __post_init__(self) -> None:
+        if self.predictor not in PREDICTORS:
+            raise SpecError(
+                f"unknown predictor {self.predictor!r}; one of "
+                + ", ".join(sorted(PREDICTORS))
+            )
+        object.__setattr__(self, "latencies", dict(self.latencies))
+        self.to_config()
+
+    def to_config(self) -> ProcessorConfig:
+        """The :class:`ProcessorConfig` this spec describes."""
+        try:
+            table = LatencyTable({
+                OpClass[name.upper()]: lat
+                for name, lat in self.latencies.items()
+            })
+        except KeyError as exc:
+            raise SpecError(f"unknown opclass in latencies: {exc}") from exc
+        except ValueError as exc:
+            raise SpecError(f"invalid latencies: {exc}") from exc
+        try:
+            return ProcessorConfig(
+                pipeline_depth=self.pipeline_depth,
+                width=self.width,
+                window_size=self.window_size,
+                rob_size=self.rob_size,
+                latencies=table,
+                hierarchy=self.hierarchy.to_config(),
+                predictor_factory=PREDICTORS[self.predictor],
+                ideal_predictor=self.ideal_predictor,
+            )
+        except ValueError as exc:
+            raise SpecError(f"invalid machine: {exc}") from exc
+
+    @classmethod
+    def from_config(cls, config: ProcessorConfig) -> "MachineSpec":
+        """Describe ``config`` as a spec.
+
+        Raises :class:`SpecError` when the configuration is not
+        expressible — e.g. a predictor factory outside
+        :data:`PREDICTORS` (a ``functools.partial``, a custom class).
+        Callers with such configs fall back to the generic dataclass
+        canonicalization of :mod:`repro.runner.artifacts`.
+        """
+        for name, factory in PREDICTORS.items():
+            if config.predictor_factory is factory:
+                predictor = name
+                break
+        else:
+            raise SpecError(
+                f"predictor factory {config.predictor_factory!r} has no "
+                "spec name; only registry predictors are spec-expressible"
+            )
+        return cls(
+            pipeline_depth=config.pipeline_depth,
+            width=config.width,
+            window_size=config.window_size,
+            rob_size=config.rob_size,
+            predictor=predictor,
+            ideal_predictor=config.ideal_predictor,
+            hierarchy=HierarchySpec.from_config(config.hierarchy),
+            latencies={
+                c.name.lower(): l for c, l in config.latencies.latencies.items()
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "MachineSpec":
+        out = _check_fields(_require_mapping(data, "machine"), cls, "machine")
+        if "hierarchy" in out:
+            out["hierarchy"] = HierarchySpec.from_dict(out["hierarchy"])
+        return _construct(cls, out, "machine")
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["latencies"] = dict(sorted(self.latencies.items()))
+        return out
+
+    def canonical(self) -> dict:
+        """The keying form: plain data, fully sorted."""
+        return self.to_dict()
+
+
+# -- workload ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark trace: profile name, dynamic length, RNG seed.
+
+    ``seed=None`` means the benchmark profile's own deterministic
+    default; :meth:`resolved_seed` makes that explicit, and the
+    canonical form always carries the resolved seed so ``seed=None`` and
+    the spelled-out default can never alias to different cache entries.
+    """
+
+    benchmark: str
+    length: int = 30_000
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.trace.profiles import BENCHMARK_ORDER
+
+        if self.benchmark not in BENCHMARK_ORDER:
+            raise SpecError(
+                f"unknown benchmark {self.benchmark!r}; one of "
+                + ", ".join(BENCHMARK_ORDER)
+            )
+        if (not isinstance(self.length, int)
+                or isinstance(self.length, bool) or self.length < 1):
+            raise SpecError("workload length must be a positive integer")
+        if self.seed is not None and (
+                not isinstance(self.seed, int) or isinstance(self.seed, bool)):
+            raise SpecError("workload seed must be an integer or null")
+
+    def resolved_seed(self) -> int:
+        """The effective RNG seed (profile default when ``seed=None``)."""
+        if self.seed is not None:
+            return self.seed
+        from repro.trace.profiles import get_profile
+
+        return get_profile(self.benchmark).seed
+
+    def with_benchmark(self, benchmark: str) -> "WorkloadSpec":
+        """This workload shape applied to another benchmark."""
+        return replace(self, benchmark=benchmark)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "WorkloadSpec":
+        return _construct(
+            cls,
+            _check_fields(_require_mapping(data, "workload"), cls, "workload"),
+            "workload")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def canonical(self) -> dict:
+        """The keying form — seed resolved, never ``None``."""
+        return {"benchmark": self.benchmark, "length": self.length,
+                "seed": self.resolved_seed()}
+
+
+# -- engine ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """How to execute: kernel choice and runner knobs.
+
+    Nothing here may change a simulation's *result* (the equivalence
+    suite enforces engine bit-identity), which is why no field of this
+    spec except ``instrument`` — which changes the payload shape —
+    participates in :meth:`RunSpec.content_key`.
+    """
+
+    engine: str = "fast"
+    instrument: bool = False
+    jobs: int | None = None
+    reuse_results: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.fastpath import ENGINES
+
+        if self.engine not in ENGINES:
+            raise SpecError(
+                f"unknown engine {self.engine!r}; one of {ENGINES}")
+        if self.jobs is not None and (
+                not isinstance(self.jobs, int) or self.jobs < 1):
+            raise SpecError("jobs must be a positive integer or null")
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "EngineSpec":
+        return _construct(
+            cls,
+            _check_fields(_require_mapping(data, "engine"), cls, "engine"),
+            "engine")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+# -- telemetry ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """What a run should measure, mirroring
+    :class:`repro.telemetry.session.TelemetryConfig`.
+
+    Telemetry only observes — disabled telemetry is zero-cost and
+    enabled telemetry is bit-identical (both enforced by tests) — so no
+    field participates in :meth:`RunSpec.content_key`.
+    """
+
+    enabled: bool = False
+    interval: int = 1000
+    timeline: bool = True
+    events: bool = False
+    trace_path: str | None = None
+    chrome_path: str | None = None
+    sample_rate: float = 1.0
+    seed: int = 0
+    event_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise SpecError("telemetry interval must be >= 1 cycle")
+        if not (0.0 < self.sample_rate <= 1.0):
+            raise SpecError("telemetry sample_rate must be in (0, 1]")
+
+    def to_config(self):
+        """A :class:`TelemetryConfig` when enabled, else ``None``."""
+        if not self.enabled:
+            return None
+        from repro.telemetry.session import TelemetryConfig
+
+        return TelemetryConfig(
+            interval=self.interval,
+            timeline=self.timeline,
+            events=self.events or bool(self.trace_path or self.chrome_path),
+            trace_path=self.trace_path,
+            chrome_path=self.chrome_path,
+            sample_rate=self.sample_rate,
+            seed=self.seed,
+            event_limit=self.event_limit,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TelemetrySpec":
+        return _construct(
+            cls,
+            _check_fields(
+                _require_mapping(data, "telemetry"), cls, "telemetry"),
+            "telemetry")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+# -- the run spec ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-described run: machine + workload + engine + telemetry."""
+
+    workload: WorkloadSpec
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_schema": SPEC_SCHEMA,
+            "machine": self.machine.to_dict(),
+            "workload": self.workload.to_dict(),
+            "engine": self.engine.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "RunSpec":
+        out = _require_mapping(data, "spec")
+        schema = out.pop("spec_schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise SpecError(
+                f"unsupported spec_schema {schema!r} (this release reads "
+                f"{SPEC_SCHEMA})"
+            )
+        unknown = set(out) - {"machine", "workload", "engine", "telemetry"}
+        if unknown:
+            raise SpecError(f"unknown spec section(s): {sorted(unknown)}")
+        if "workload" not in out:
+            raise SpecError("a spec requires a 'workload' section")
+        return cls(
+            workload=WorkloadSpec.from_dict(out["workload"]),
+            machine=MachineSpec.from_dict(out.get("machine", {})),
+            engine=EngineSpec.from_dict(out.get("engine", {})),
+            telemetry=TelemetrySpec.from_dict(out.get("telemetry", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- keying ----------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """Fully-resolved canonical form (workload seed resolved)."""
+        out = self.to_dict()
+        out["workload"] = self.workload.canonical()
+        return out
+
+    def result_recipe(self) -> dict:
+        """What the simulation *result* is a pure function of.
+
+        The machine, the resolved workload, and the ``instrument`` flag
+        (it changes the stored payload).  Engine and telemetry are
+        excluded — see the class docstrings for why that exclusion is
+        sound, and the equivalence suite for the tests that keep it so.
+        """
+        return {
+            "spec_schema": SPEC_SCHEMA,
+            "machine": self.machine.canonical(),
+            "workload": self.workload.canonical(),
+            "instrument": self.engine.instrument,
+        }
+
+    def content_key(self) -> str:
+        """The artifact-cache key of this run's simulation result.
+
+        This single key is shared by in-process execution
+        (``execute_spec``), the parallel runner, and the evaluation
+        service — one spec, one key, wherever it is evaluated.
+        """
+        from repro.runner.artifacts import artifact_key
+
+        return artifact_key("result", self.result_recipe())
+
+
+# -- sweeps ------------------------------------------------------------------
+
+
+def _set_dotted(spec: RunSpec, path: str, value: Any) -> RunSpec:
+    """Replace a dotted-path field, e.g. ``machine.window_size``."""
+    parts = path.split(".")
+    if len(parts) < 2 or parts[0] not in (
+            "machine", "workload", "engine", "telemetry"):
+        raise SpecError(
+            f"sweep axis {path!r} must start with a spec section "
+            "(machine/workload/engine/telemetry)"
+        )
+    # walk to the owner of the leaf field, then rebuild outward
+    objs = [spec]
+    for name in parts[:-1]:
+        obj = objs[-1]
+        if not hasattr(obj, name):
+            raise SpecError(f"sweep axis {path!r}: no field {name!r}")
+        objs.append(getattr(obj, name))
+    leaf = parts[-1]
+    if not dataclasses.is_dataclass(objs[-1]) or not hasattr(objs[-1], leaf):
+        raise SpecError(f"sweep axis {path!r}: no field {leaf!r}")
+    try:
+        rebuilt = replace(objs[-1], **{leaf: value})
+        for obj, name in zip(reversed(objs[:-1]), reversed(parts[:-1])):
+            rebuilt = replace(obj, **{name: rebuilt})
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SpecError):
+            raise
+        raise SpecError(f"sweep axis {path!r}={value!r}: {exc}") from exc
+    return rebuilt
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative parameter grid over a base :class:`RunSpec`.
+
+    ``benchmarks`` (outermost axis) swaps the workload benchmark;
+    ``axes`` maps dotted field paths (``"machine.window_size"``) to the
+    values to sweep.  :meth:`expand` yields the full cross product in
+    deterministic order: benchmarks first, then axes in insertion
+    order, each axis's values in the given order.
+    """
+
+    base: RunSpec
+    benchmarks: tuple = ()
+    axes: Mapping[str, tuple] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(
+            self, "axes", {k: tuple(v) for k, v in dict(self.axes).items()})
+        for path, values in self.axes.items():
+            if not values:
+                raise SpecError(f"sweep axis {path!r} has no values")
+            _set_dotted(self.base, path, values[0])  # validate the path
+
+    def expand(self) -> list[RunSpec]:
+        """The grid of :class:`RunSpec` points, in deterministic order."""
+        points = [self.base]
+        if self.benchmarks:
+            points = [
+                replace(p, workload=p.workload.with_benchmark(b))
+                for b in self.benchmarks
+                for p in points
+            ]
+        for path, values in self.axes.items():
+            points = [
+                _set_dotted(p, path, v) for p in points for v in values
+            ]
+        return points
+
+    def to_dict(self) -> dict:
+        return {
+            "base": self.base.to_dict(),
+            "benchmarks": list(self.benchmarks),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SweepSpec":
+        out = _check_fields(_require_mapping(data, "sweep"), cls, "sweep")
+        if "base" not in out:
+            raise SpecError("a sweep requires a 'base' spec")
+        out["base"] = RunSpec.from_dict(out["base"])
+        return _construct(cls, out, "sweep")

@@ -74,6 +74,7 @@ def build_manifest(
     *,
     command: str,
     config=None,
+    spec=None,
     seed: int | None = None,
     engine: str | None = None,
     wall_seconds: float | None = None,
@@ -82,31 +83,36 @@ def build_manifest(
 ) -> dict:
     """Assemble the manifest document for one run.
 
-    ``config`` may be any dataclass (typically a ``ProcessorConfig``);
-    ``cache_stats`` a ``repro.runner.artifacts.CacheStats``.  ``extra``
-    is merged in verbatim for command-specific fields.
+    ``spec`` is the fully-resolved :class:`repro.spec.RunSpec` the run
+    used — embedded verbatim (plus its ``content_key``) so the output
+    can be re-run from the manifest alone.  ``config`` may be any
+    dataclass (typically a ``ProcessorConfig``); ``cache_stats`` a
+    ``repro.runner.artifacts.CacheStats``.  ``extra`` is merged in
+    verbatim for command-specific fields.
     """
-    from repro.fastpath import default_engine
+    from repro.spec import env as specenv
 
+    if engine is None:
+        engine = spec.engine.engine if spec is not None else (
+            specenv.sim_engine() or "fast")
     manifest = {
         "schema": MANIFEST_SCHEMA,
         "command": command,
         "created_unix": time.time(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "git_describe": git_describe(),
-        "engine": engine if engine is not None else default_engine(),
+        "engine": engine,
         "seed": seed,
         "machine": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpus": os.cpu_count(),
         },
-        "environment": {
-            name: os.environ[name]
-            for name in sorted(os.environ)
-            if name.startswith(("REPRO_",))
-        },
+        "environment": specenv.repro_environment(),
     }
+    if spec is not None:
+        manifest["spec"] = spec.to_dict()
+        manifest["spec_content_key"] = spec.content_key()
     if config is not None:
         manifest["config"] = _jsonable(config)
     if wall_seconds is not None:

@@ -27,8 +27,9 @@ globally via the environment:
 from __future__ import annotations
 
 import logging
-import os
 from dataclasses import dataclass
+
+from repro.spec import env as _env
 
 from repro.telemetry.accountant import (
     CLS_BASE,
@@ -61,20 +62,21 @@ class TelemetryConfig:
         """The configuration selected by ``REPRO_TELEMETRY*``.
 
         Returns ``None`` when telemetry is not enabled (the variable is
-        unset, empty or ``0``).
+        unset, empty or ``0``).  Reads go through the
+        :mod:`repro.spec.env` registry; prefer resolving a
+        :class:`repro.spec.TelemetrySpec` where a full spec is in play.
         """
-        flag = os.environ.get("REPRO_TELEMETRY", "").strip()
-        if not flag or flag == "0":
+        if not _env.telemetry_flag():
             return None
-        trace_path = os.environ.get("REPRO_TELEMETRY_TRACE") or None
-        chrome_path = os.environ.get("REPRO_TELEMETRY_CHROME") or None
+        trace_path = _env.telemetry_trace_path()
+        chrome_path = _env.telemetry_chrome_path()
         return cls(
-            interval=int(os.environ.get("REPRO_TELEMETRY_INTERVAL", "1000")),
+            interval=_env.telemetry_interval(),
             events=bool(trace_path or chrome_path),
             trace_path=trace_path,
             chrome_path=chrome_path,
-            sample_rate=float(os.environ.get("REPRO_TELEMETRY_SAMPLE", "1")),
-            seed=int(os.environ.get("REPRO_TELEMETRY_SEED", "0")),
+            sample_rate=_env.telemetry_sample_rate(),
+            seed=_env.telemetry_seed(),
         )
 
 

@@ -41,9 +41,17 @@ class TestCommon:
         assert "1.500" in text and "gzip" in text
 
     def test_cached_trace_is_cached(self):
-        from repro.experiments.common import cached_trace
+        from repro.experiments.common import WorkloadSpec, cached_trace
 
-        assert cached_trace("gzip", 500) is cached_trace("gzip", 500)
+        workload = WorkloadSpec("gzip", length=500)
+        assert cached_trace(workload) is cached_trace(workload)
+
+    def test_cached_trace_legacy_form_shares_the_slot(self):
+        from repro.experiments.common import WorkloadSpec, cached_trace
+
+        spec_form = cached_trace(WorkloadSpec("gzip", length=500))
+        with pytest.deprecated_call():
+            assert cached_trace("gzip", 500) is spec_form
 
 
 class TestPureModelExperiments:

@@ -10,10 +10,35 @@ from repro.service.protocol import ErrorCode, ProtocolError
 
 class TestNormalize:
     def test_defaults_fill_in(self):
+        from repro.spec import WorkloadSpec
+
         normalized = evaluations.normalize_params(
             "model", {"benchmark": "gzip"})
-        assert normalized["length"] == evaluations.DEFAULT_LENGTH
-        assert normalized["seed"] is None
+        workload = normalized["spec"]["workload"]
+        assert workload["length"] == evaluations.DEFAULT_LENGTH
+        # seed: null is pinned to the profile seed before keying
+        assert workload["seed"] == WorkloadSpec("gzip").resolved_seed()
+
+    def test_spec_payload_keys_like_flat_params(self):
+        with pytest.deprecated_call():
+            flat = evaluations.normalize_params(
+                "simulate", {"benchmark": "gzip", "width": 8})
+        spec = evaluations.normalize_params(
+            "simulate", {"spec": flat["spec"]})
+        assert spec == flat
+        assert (evaluations.request_key("simulate", spec)
+                == evaluations.request_key("simulate", flat))
+
+    def test_spec_rejects_flat_companions(self):
+        normalized = evaluations.normalize_params(
+            "model", {"benchmark": "gzip"})
+        with pytest.raises(ProtocolError):
+            evaluations.normalize_params(
+                "model", {"spec": normalized["spec"], "length": 5})
+
+    def test_flat_params_emit_deprecation(self):
+        with pytest.deprecated_call():
+            evaluations.normalize_params("model", {"benchmark": "gzip"})
 
     def test_spelled_out_equals_defaulted(self):
         short = evaluations.normalize_params("model", {"benchmark": "gzip"})

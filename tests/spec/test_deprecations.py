@@ -1,0 +1,127 @@
+"""The one-release compatibility shims, each pinned by an explicit test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import cached_trace
+from repro.spec import WorkloadSpec
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(tmp_path, monkeypatch):
+    from repro.runner.artifacts import reset_cache_stats
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    reset_cache_stats()
+    yield
+    reset_cache_stats()
+
+
+class TestCachedTraceShim:
+    def test_legacy_positional_form_warns_and_matches(self):
+        spec_form = cached_trace(WorkloadSpec("gzip", length=600))
+        with pytest.deprecated_call():
+            legacy_form = cached_trace("gzip", 600)
+        assert legacy_form is spec_form  # same lru_cache slot
+
+    def test_seed_aliasing_is_gone(self):
+        # seed=None and the profile's explicit seed share one slot
+        resolved = WorkloadSpec("gzip").resolved_seed()
+        a = cached_trace(WorkloadSpec("gzip", length=600, seed=None))
+        b = cached_trace(WorkloadSpec("gzip", length=600, seed=resolved))
+        assert a is b
+
+    def test_spec_form_rejects_extra_scalars(self):
+        with pytest.raises(TypeError):
+            cached_trace(WorkloadSpec("gzip"), 600)
+
+
+class TestEngineEnvShim:
+    def test_env_only_selection_warns_but_works(self, monkeypatch):
+        from repro.fastpath import default_engine
+
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        with pytest.deprecated_call():
+            assert default_engine() == "reference"
+
+    def test_unset_env_is_silent(self, monkeypatch):
+        import warnings
+
+        from repro.fastpath import default_engine
+
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_engine() == "fast"
+
+    def test_invalid_env_value_still_raises(self, monkeypatch):
+        from repro.fastpath import default_engine
+
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+        with pytest.raises(ValueError):
+            default_engine()
+
+    def test_engine_spec_selection_is_silent(self, monkeypatch):
+        import warnings
+
+        from repro.fastpath import resolve_engine
+        from repro.spec import EngineSpec
+
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_engine(EngineSpec(engine="fast")) == "fast"
+
+
+class TestServiceParamsShim:
+    def test_flat_params_warn_and_normalize_like_spec(self):
+        from repro.service import evaluations
+
+        with pytest.deprecated_call():
+            flat = evaluations.normalize_params(
+                "model", {"benchmark": "gzip", "length": 2_000})
+        spec_sent = evaluations.normalize_params(
+            "model", {"spec": flat["spec"]})
+        assert spec_sent == flat
+
+
+class TestLegacyCacheKeys:
+    def test_legacy_keyed_artifact_migrates_forward(self):
+        from repro.runner import artifacts
+
+        legacy_recipe = {"benchmark": "gzip", "length": 600, "seed": None}
+        new_recipe = WorkloadSpec("gzip", length=600).canonical()
+        legacy_key = artifacts.artifact_key("trace", legacy_recipe)
+        new_key = artifacts.artifact_key("trace", new_recipe)
+        assert legacy_key != new_key
+
+        # a cache populated by the previous release holds the legacy key
+        artifacts.store_artifact("trace", legacy_key, "payload")
+        value = artifacts.cached_artifact_compat(
+            "trace", new_recipe, legacy_recipe,
+            lambda: pytest.fail("legacy hit must not recompute"))
+        assert value == "payload"
+        # and the hit migrated the artifact under the new key
+        found, migrated = artifacts.probe_artifact("trace", new_key)
+        assert found and migrated == "payload"
+
+    def test_trace_artifact_serves_pre_spec_caches(self):
+        from repro.runner import artifacts
+
+        legacy_key = artifacts.artifact_key(
+            "trace", {"benchmark": "gzip", "length": 600, "seed": None})
+        trace = artifacts.trace_artifact("gzip", 600, None)
+        artifacts.reset_cache_stats()
+        # wipe the new-format entry, keep only a legacy-format one
+        new_key = artifacts.artifact_key(
+            "trace", WorkloadSpec("gzip", length=600).canonical())
+        store = artifacts.cache_root() / "trace"
+        for path in store.rglob(f"{new_key}*"):
+            path.unlink()
+        artifacts.store_artifact("trace", legacy_key, trace)
+        again = artifacts.trace_artifact("gzip", 600, None)
+        stats = artifacts.cache_stats()
+        assert stats.hits.get("trace") == 1  # served, not regenerated
+        assert len(again) == len(trace)
