@@ -10,6 +10,9 @@ writing any code:
 * ``transient``           — the Figure-8 misprediction transient, plotted
 * ``experiment <name>``   — run any paper experiment (``fig15``, ``tab01`` …)
 * ``report [-o FILE]``    — run every experiment, emit a markdown report
+* ``explore <bench>``     — surrogate-guided design-space search over
+  ``--axis`` grids to a detailed-sim-verified Pareto frontier, with
+  budgets (``--budget``, ``--wall-clock``) and ``--resume``
 * ``bench [-o FILE]``     — time the simulation kernels and the baseline
   sweep (reference vs fast engines, cold vs warm artifact cache) and
   write ``BENCH_perf.json``
@@ -280,6 +283,131 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str):
+    """One ``--axis path=v1,v2,...`` flag into ``(path, values)``."""
+    import json
+
+    path, sep, raw = text.partition("=")
+    if not sep or not path or not raw:
+        raise SystemExit(
+            f"bad --axis {text!r}; expected "
+            "section.field=value,value,... (e.g. machine.window_size=16,32)")
+    values = []
+    for item in raw.split(","):
+        try:
+            values.append(json.loads(item))
+        except json.JSONDecodeError:
+            values.append(item)
+    return path, tuple(values)
+
+
+def _resolved_search(args: argparse.Namespace):
+    """The :class:`repro.explore.SearchSpec` this invocation describes.
+
+    ``--search file.json`` supplies the whole search; otherwise the base
+    comes from the usual spec resolution (defaults < spec file < env <
+    flags) and the axes from ``--axis``.  Explicit strategy/budget flags
+    override the file either way.
+    """
+    import json
+
+    from repro.explore import BudgetSpec, SearchSpec
+    from repro.spec import SpecError
+
+    overrides = {
+        name: getattr(args, name)
+        for name in ("strategy", "seed", "samples", "top_k", "margin")
+        if getattr(args, name) is not None
+    }
+    budget = {}
+    if args.budget is not None:
+        budget["max_detailed"] = args.budget
+    if args.wall_clock is not None:
+        budget["max_seconds"] = args.wall_clock
+
+    if args.search:
+        with open(args.search) as fh:
+            data = json.load(fh)
+        search = SearchSpec.from_dict(data)
+        if args.axis:
+            raise SystemExit("--axis cannot amend a --search file")
+        if budget:
+            overrides["budget"] = BudgetSpec(
+                **{**search.budget.to_dict(), **budget})
+        if overrides:
+            import dataclasses
+
+            search = dataclasses.replace(search, **overrides)
+        return search
+
+    if not args.benchmark:
+        raise SystemExit("explore needs a benchmark (or --search FILE)")
+    if not args.axis:
+        raise SystemExit(
+            "explore needs at least one --axis (or --search FILE)")
+    base = _resolved_spec(args, benchmark=args.benchmark)
+    axes = dict(_parse_axis(text) for text in args.axis)
+    try:
+        return SearchSpec(base=base, axes=axes,
+                          budget=BudgetSpec(**budget), **overrides)
+    except SpecError as exc:
+        raise SystemExit(f"invalid search: {exc}") from exc
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.explore import ExploreInterrupted, JournalError, run_search
+    from repro.runner import artifacts
+    from repro.telemetry.manifest import build_manifest, write_manifest
+
+    search = _resolved_search(args)
+    if getattr(args, "dump_spec", False):
+        print(json.dumps(search.to_dict(), indent=2, sort_keys=True))
+        return 0
+    journal = args.journal
+    if journal is None and artifacts.cache_enabled():
+        journal = str(artifacts.cache_root() / "explore"
+                      / f"{search.content_key()}.jsonl")
+    start = time.perf_counter()
+    try:
+        result = run_search(
+            search, journal_path=journal, resume=args.resume,
+            jobs=args.jobs,
+            progress=lambda msg: print(f"explore: {msg}", file=sys.stderr),
+        )
+    except JournalError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    except ExploreInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print("rerun with --resume to finish from the journal",
+              file=sys.stderr)
+        return 3
+    elapsed = time.perf_counter() - start
+    print(result.format())
+    if args.output:
+        parent = os.path.dirname(args.output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+        write_manifest(args.output, build_manifest(
+            command="explore",
+            config=search.base.machine.to_config(),
+            spec=search.base,
+            wall_seconds=elapsed,
+            cache_stats=artifacts.cache_stats(),
+            extra={"search": search.to_dict(),
+                   "search_key": search.content_key(),
+                   "journal": journal},
+        ))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     import time
 
@@ -422,6 +550,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
             print("experiment needs a name", file=sys.stderr)
             return 2
         params = {"name": args.target[0]}
+    elif args.op == "explore":
+        if not args.target:
+            print("explore needs a SearchSpec JSON path", file=sys.stderr)
+            return 2
+        with open(args.target[0]) as fh:
+            params = {"search": json.load(fh)}
     try:
         with ServiceClient(args.host, args.port,
                            timeout=args.timeout) as client:
@@ -455,6 +589,15 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(result["output"])
         for check in result["checks"]:
             print(check["text"])
+    elif args.op == "explore":
+        print(f"{result['candidates']} candidates, "
+              f"{len(result['promotions'])} promoted "
+              f"({result['promoted_fraction']:.0%}); frontier:")
+        for point in result["frontier"]:
+            values = " ".join(f"{path.split('.')[-1]}={value}"
+                              for path, value in point["values"].items())
+            print(f"  cost {point['cost']:7.1f}  IPC "
+                  f"{point['ipc']:6.3f}  {values}")
     else:
         print(json.dumps(result, indent=2, sort_keys=True))
     if meta:
@@ -556,6 +699,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
+        "explore",
+        help="surrogate-guided design-space search to a Pareto frontier",
+    )
+    p.add_argument("benchmark", nargs="?", choices=BENCHMARK_ORDER,
+                   help="workload benchmark (omit with --search)")
+    p.add_argument("--length", type=int, default=None,
+                   help="dynamic trace length (default 30000)")
+    p.add_argument("--axis", "-a", action="append", default=None,
+                   metavar="PATH=V1,V2,...",
+                   help="one design axis, e.g. machine.window_size=16,32,64 "
+                        "(repeatable)")
+    p.add_argument("--search", default=None, metavar="PATH",
+                   help="load the whole SearchSpec from this JSON file")
+    p.add_argument("--strategy", choices=("grid", "random", "halving"),
+                   default=None,
+                   help="candidate-scoring strategy (default grid)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="strategy RNG seed (default 0)")
+    p.add_argument("--samples", type=int, default=None,
+                   help="candidates scored by the random strategy")
+    p.add_argument("--top-k", type=int, default=None, dest="top_k",
+                   help="extra best-by-surrogate promotions (default 1)")
+    p.add_argument("--margin", type=float, default=None,
+                   help="surrogate slack band kept Pareto-alive "
+                        "(default 0.05)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="max detailed-simulation promotions")
+    p.add_argument("--wall-clock", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget for the whole search")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="checkpoint journal (default: derived from the "
+                        "search key under the artifact cache)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted search from its journal")
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker processes for promoted simulations")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the result JSON (plus run manifest) here")
+    add_spec(p)
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
         "bench",
         help="time the simulation kernels and the baseline sweep",
     )
@@ -618,9 +804,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("op",
                    choices=("model", "simulate", "compare", "experiment",
-                            "ping", "metrics"))
+                            "explore", "ping", "metrics"))
     p.add_argument("target", nargs="*",
-                   help="benchmark name(s) or experiment name")
+                   help="benchmark name(s), experiment name, or a "
+                        "SearchSpec JSON path (explore)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7333)
     p.add_argument("--length", type=int, default=None)

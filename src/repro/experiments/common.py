@@ -11,7 +11,6 @@ qualitative claims evaluated against the measured data.
 from __future__ import annotations
 
 import functools
-import warnings
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -37,11 +36,7 @@ def _cached_trace_resolved(benchmark: str, length: int, seed: int) -> Trace:
     return trace_artifact(benchmark, length, seed)
 
 
-def cached_trace(
-    workload: WorkloadSpec | str,
-    length: int | None = None,
-    seed: int | None = None,
-) -> Trace:
+def cached_trace(workload: WorkloadSpec) -> Trace:
     """The trace a :class:`~repro.spec.WorkloadSpec` names, cached twice
     over.
 
@@ -51,25 +46,11 @@ def cached_trace(
     workers) skip generation entirely.  A ``seed`` of ``None`` in the
     workload resolves to the benchmark profile's deterministic default
     before either cache is consulted.
-
-    The pre-spec signature ``cached_trace(benchmark, length, seed)``
-    still works for one release and emits a :class:`DeprecationWarning`.
     """
     if not isinstance(workload, WorkloadSpec):
-        warnings.warn(
-            "cached_trace(benchmark, length, seed) is deprecated; pass a "
-            "repro.spec.WorkloadSpec",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        workload = WorkloadSpec(
-            benchmark=workload,
-            length=length if length is not None else DEFAULT_TRACE_LENGTH,
-            seed=seed,
-        )
-    elif length is not None or seed is not None:
         raise TypeError(
-            "cached_trace(WorkloadSpec) takes no length/seed arguments"
+            "cached_trace takes a repro.spec.WorkloadSpec (the positional "
+            "benchmark/length/seed form was removed)"
         )
     return _cached_trace_resolved(
         workload.benchmark, workload.length, workload.resolved_seed()

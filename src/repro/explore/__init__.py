@@ -1,0 +1,62 @@
+"""Surrogate-guided design-space exploration.
+
+The first-order model's reason to exist (the paper's §1 pitch) is that
+it is accurate enough to *replace* detailed simulation for architecture
+studies.  This package operationalizes that: a
+:class:`~repro.explore.space.SearchSpec` names a design space over
+:class:`~repro.spec.RunSpec` axes, a seeded deterministic strategy
+(:mod:`~repro.explore.strategies`) ranks candidates with the analytical
+surrogate (:mod:`~repro.explore.surrogate`), only the Pareto-candidate /
+top-k configs are promoted to detailed simulation, and the result is a
+detailed-sim-verified Pareto frontier (:mod:`~repro.explore.frontier`)
+with surrogate-vs-detailed error tracked per promotion
+(:mod:`~repro.explore.report`).  Budgets bound the spend, and a JSONL
+journal (:mod:`~repro.explore.checkpoint`) makes any interrupted search
+resume bit-identically.
+
+Entry points: :func:`run_search` here, ``repro explore`` on the command
+line, and the evaluation service's ``explore`` op.  See
+docs/EXPLORATION.md.
+"""
+
+from repro.explore.checkpoint import Journal, JournalError
+from repro.explore.engine import ExploreInterrupted, run_search
+from repro.explore.frontier import (
+    FrontierPoint,
+    dominates,
+    frontiers_equal,
+    near_frontier,
+    pareto_frontier,
+)
+from repro.explore.report import ExploreResult, Promotion
+from repro.explore.space import (
+    STRATEGIES,
+    BudgetSpec,
+    Candidate,
+    SearchSpec,
+    design_cost,
+)
+from repro.explore.strategies import score_candidates, select_promotions
+from repro.explore.surrogate import Surrogate
+
+__all__ = [
+    "BudgetSpec",
+    "Candidate",
+    "ExploreInterrupted",
+    "ExploreResult",
+    "FrontierPoint",
+    "Journal",
+    "JournalError",
+    "Promotion",
+    "STRATEGIES",
+    "SearchSpec",
+    "Surrogate",
+    "design_cost",
+    "dominates",
+    "frontiers_equal",
+    "near_frontier",
+    "pareto_frontier",
+    "run_search",
+    "score_candidates",
+    "select_promotions",
+]

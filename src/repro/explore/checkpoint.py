@@ -1,0 +1,130 @@
+"""Journal-based checkpoint/resume for interrupted searches.
+
+Every completed evaluation — surrogate scores per rung, detailed
+simulation results — is appended to a JSONL journal as soon as it
+exists, each line flushed, so a search killed at any instant loses at
+most the evaluation in flight.  Resuming replays the journal: already-
+recorded evaluations are served from it verbatim (exact floats — JSON
+round-trips IEEE doubles losslessly), the strategy re-derives every
+*decision* deterministically from the :class:`~repro.explore.space.
+SearchSpec`, and only the missing work runs, against the same artifact
+cache.  The net effect is the bit-identical frontier an uninterrupted
+run would have produced.
+
+The journal header pins the search's content key; resuming against a
+journal written by a *different* search is refused rather than silently
+blended.  A torn final line (the crash happened mid-write) is ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: journal line format version (the "v" of the header line)
+JOURNAL_SCHEMA = 1
+
+
+class JournalError(RuntimeError):
+    """The journal cannot serve this search (mismatched key, bad
+    header, or an unwritable path)."""
+
+
+class Journal:
+    """Append-only evaluation log for one search.
+
+    ``path=None`` keeps the journal in memory only — same bookkeeping,
+    no persistence (the evaluation service uses this: its durability is
+    the artifact cache).  With ``resume=False`` an existing file is
+    overwritten; with ``resume=True`` it is replayed, provided its
+    header matches ``search_key``.
+    """
+
+    def __init__(self, path: str | Path | None, search_key: str,
+                 resume: bool = False):
+        self.path = Path(path) if path is not None else None
+        self.search_key = search_key
+        self.surrogate: dict[tuple[int, int], float] = {}
+        self.detailed: dict[int, dict] = {}
+        self.resumed = False
+        self._fh = None
+        if self.path is not None and resume and self.path.exists():
+            self._replay()
+            self.resumed = bool(self.surrogate or self.detailed)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        elif self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._append({"event": "search", "v": JOURNAL_SCHEMA,
+                          "search_key": self.search_key})
+
+    # -- replay ----------------------------------------------------------
+
+    def _replay(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise JournalError(f"journal {self.path} is empty")
+        for lineno, line in enumerate(lines):
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    break  # torn tail: the interrupted write
+                raise JournalError(
+                    f"journal {self.path} is corrupt at line {lineno + 1}")
+            self._absorb(lineno, event)
+
+    def _absorb(self, lineno: int, event: dict) -> None:
+        kind = event.get("event")
+        if lineno == 0:
+            if kind != "search" or event.get("v") != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"journal {self.path} has no valid header line")
+            if event.get("search_key") != self.search_key:
+                raise JournalError(
+                    f"journal {self.path} belongs to a different search "
+                    f"({event.get('search_key', '?')[:12]}… vs "
+                    f"{self.search_key[:12]}…)")
+            return
+        if kind == "surrogate":
+            self.surrogate[(event["rung"], event["index"])] = event["ipc"]
+        elif kind == "detailed":
+            self.detailed[event["index"]] = event["result"]
+        # "finished" and unknown events carry no replay state: the
+        # result is recomputed from the evaluations, deterministically
+
+    # -- recording -------------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def record_surrogate(self, rung: int, index: int, ipc: float) -> None:
+        self.surrogate[(rung, index)] = ipc
+        self._append({"event": "surrogate", "rung": rung, "index": index,
+                      "ipc": ipc})
+
+    def record_detailed(self, index: int, result: dict) -> None:
+        self.detailed[index] = result
+        self._append({"event": "detailed", "index": index,
+                      "result": result})
+
+    def record_finished(self, summary: dict) -> None:
+        self._append({"event": "finished", "summary": summary})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["JOURNAL_SCHEMA", "Journal", "JournalError"]

@@ -1,0 +1,105 @@
+"""Pareto machinery: dominance, frontiers, and the surrogate slack band.
+
+A design point is plotted as (cost, IPC) — cost exact (a pure function
+of the machine spec, :func:`repro.explore.space.design_cost`), IPC either
+surrogate-predicted or detailed-measured.  Because cost is *exact*, the
+only way the surrogate can evict a true frontier point is by over-ranking
+a same-or-cheaper rival's IPC; :func:`near_frontier` therefore keeps
+every point within a relative IPC ``margin`` of slack-dominance alive,
+so a surrogate whose config-to-config error spread stays under the
+margin provably preserves the detailed frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One evaluated design point: grid index, axis values, cost, IPC."""
+
+    index: int
+    values: tuple  # ((axis-path, value), ...) in axis order
+    cost: float
+    ipc: float
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "values": dict(self.values),
+            "cost": self.cost,
+            "ipc": self.ipc,
+        }
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """Pareto dominance: ``a`` is no worse on both axes, better on one."""
+    return (a.cost <= b.cost and a.ipc >= b.ipc
+            and (a.cost < b.cost or a.ipc > b.ipc))
+
+
+def pareto_frontier(
+    points: Iterable[FrontierPoint],
+) -> list[FrontierPoint]:
+    """The non-dominated subset, sorted by (cost, -ipc, index).
+
+    Exact (cost, ipc) ties are all kept — neither dominates the other —
+    and the sort keeps the output deterministic regardless of input
+    order.
+    """
+    pts = list(points)
+    front = [p for p in pts if not any(dominates(q, p) for q in pts)]
+    return sorted(front, key=lambda p: (p.cost, -p.ipc, p.index))
+
+
+def _slack_dominates(q: FrontierPoint, p: FrontierPoint,
+                     margin: float) -> bool:
+    """Whether ``q`` beats ``p`` by more than the trust ``margin``.
+
+    ``q`` must be no more expensive and ahead on IPC by the full
+    relative margin; exact (cost, ipc) ties fall to the lower index so
+    duplicates cannot eliminate each other symmetrically.
+    """
+    if q.index == p.index or q.cost > p.cost:
+        return False
+    if q.ipc < p.ipc * (1.0 + margin):
+        return False
+    if q.cost < p.cost or q.ipc > p.ipc:
+        return True
+    return q.index < p.index
+
+
+def near_frontier(
+    points: Sequence[FrontierPoint], margin: float,
+) -> list[FrontierPoint]:
+    """Points surviving slack-dominance — the frontier plus its margin
+    band, sorted like :func:`pareto_frontier`.
+
+    With ``margin=0`` this is exactly the Pareto frontier (ties kept,
+    lowest index on exact duplicates).  A positive margin widens the
+    band: a point is only discarded when some no-more-expensive rival
+    out-predicts it by more than ``margin`` *relative* IPC, which is the
+    eviction the surrogate must never get wrong.
+    """
+    kept = [
+        p for p in points
+        if not any(_slack_dominates(q, p, margin) for q in points)
+    ]
+    return sorted(kept, key=lambda p: (p.cost, -p.ipc, p.index))
+
+
+def frontiers_equal(a: Sequence[FrontierPoint],
+                    b: Sequence[FrontierPoint]) -> bool:
+    """Bit-identical frontier comparison (exact floats, same order)."""
+    return [p.to_dict() for p in a] == [p.to_dict() for p in b]
+
+
+__all__ = [
+    "FrontierPoint",
+    "dominates",
+    "frontiers_equal",
+    "near_frontier",
+    "pareto_frontier",
+]

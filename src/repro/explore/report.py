@@ -1,0 +1,156 @@
+"""Search results: the verified frontier, promotions, and error tracking.
+
+:class:`ExploreResult` is the one object a search returns — JSON-clean
+via :meth:`~ExploreResult.to_dict` (the CLI's ``-o`` payload and the
+service's response body) and human-readable via
+:meth:`~ExploreResult.format`.  Per-promotion surrogate-vs-detailed
+relative error is first-class: it is the observable that justifies (or
+indicts) the surrogate, exactly the paper's Figure-15 comparison turned
+into a running health check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.explore.frontier import FrontierPoint
+from repro.explore.space import SearchSpec
+
+
+@dataclass(frozen=True)
+class Promotion:
+    """One candidate promoted to detailed simulation.
+
+    ``ipc``/``error`` are ``None`` when the budget ran out before this
+    promotion's simulation happened; the error is relative,
+    ``(surrogate - detailed) / detailed``.
+    """
+
+    index: int
+    values: tuple  # ((axis-path, value), ...) in axis order
+    cost: float
+    surrogate_ipc: float
+    ipc: float | None = None
+    error: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "values": dict(self.values),
+            "cost": self.cost,
+            "surrogate_ipc": self.surrogate_ipc,
+            "ipc": self.ipc,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ExploreResult:
+    """Everything one search produced."""
+
+    search: SearchSpec
+    candidates: int                 #: size of the full design grid
+    scored: int                     #: candidates the strategy scored
+    promotions: list[Promotion] = field(default_factory=list)
+    frontier: list[FrontierPoint] = field(default_factory=list)
+    detailed_used: int = 0          #: detailed results consumed (incl. replayed)
+    executed: int = 0               #: detailed simulations run this invocation
+    surrogate_evals: int = 0        #: surrogate calls this invocation
+    surrogate_seconds: float = 0.0  #: wall-clock spent in the surrogate
+    wall_seconds: float = 0.0
+    budget_exhausted: bool = False
+    resumed: bool = False
+    journal_path: str | None = None
+
+    @property
+    def promoted_fraction(self) -> float:
+        """Detailed-simulator invocations over grid size — the headline
+        saving (acceptance bar: ≤ 0.40 while matching the exhaustive
+        frontier)."""
+        if not self.candidates:
+            return 0.0
+        return len(self.promotions) / self.candidates
+
+    def errors(self) -> list[float]:
+        return [abs(p.error) for p in self.promotions
+                if p.error is not None]
+
+    @property
+    def mean_abs_error(self) -> float:
+        errors = self.errors()
+        return sum(errors) / len(errors) if errors else 0.0
+
+    @property
+    def worst_abs_error(self) -> float:
+        errors = self.errors()
+        return max(errors) if errors else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "search": self.search.to_dict(),
+            "search_key": self.search.content_key(),
+            "candidates": self.candidates,
+            "scored": self.scored,
+            "promotions": [p.to_dict() for p in self.promotions],
+            "promoted_fraction": self.promoted_fraction,
+            "frontier": [p.to_dict() for p in self.frontier],
+            "detailed_used": self.detailed_used,
+            "executed": self.executed,
+            "surrogate_evals": self.surrogate_evals,
+            "surrogate_seconds": self.surrogate_seconds,
+            "mean_abs_error": self.mean_abs_error,
+            "worst_abs_error": self.worst_abs_error,
+            "wall_seconds": self.wall_seconds,
+            "budget_exhausted": self.budget_exhausted,
+            "resumed": self.resumed,
+        }
+
+    def format(self) -> str:
+        """Render the search outcome as text (tables + ASCII frontier)."""
+        from repro.experiments.common import format_table
+        from repro.util.ascii_plot import line_plot
+
+        search = self.search
+        lines = [
+            f"search over {self.candidates} candidates "
+            f"({', '.join(search.axes)}) — strategy {search.strategy}, "
+            f"workload {search.base.workload.benchmark}"
+            f"/{search.base.workload.length}",
+            f"surrogate scored {self.scored}, promoted "
+            f"{len(self.promotions)} ({self.promoted_fraction:.0%}) to "
+            f"detailed simulation in {self.wall_seconds:.2f}s"
+            + (" [resumed]" if self.resumed else "")
+            + (" [budget exhausted]" if self.budget_exhausted else ""),
+        ]
+        on_frontier = {p.index for p in self.frontier}
+        rows = []
+        for p in self.promotions:
+            rows.append((
+                " ".join(f"{path.split('.')[-1]}={value}"
+                         for path, value in p.values),
+                p.cost,
+                p.surrogate_ipc,
+                p.ipc if p.ipc is not None else "-",
+                f"{p.error:+.1%}" if p.error is not None else "-",
+                "*" if p.index in on_frontier else "",
+            ))
+        lines.append("")
+        lines.append(format_table(
+            ("config", "cost", "model IPC", "sim IPC", "error", "front"),
+            rows))
+        if self.promotions and self.errors():
+            lines.append(
+                f"surrogate |error|: mean {self.mean_abs_error:.1%}, "
+                f"worst {self.worst_abs_error:.1%}")
+        if len(self.frontier) >= 2:
+            lines.append("")
+            lines.append(line_plot(
+                {"frontier": ([p.cost for p in self.frontier],
+                              [p.ipc for p in self.frontier])},
+                title="Pareto frontier (detailed-sim verified)",
+                x_label="design cost", y_label="IPC",
+            ))
+        return "\n".join(lines)
+
+
+__all__ = ["ExploreResult", "Promotion"]

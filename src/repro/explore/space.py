@@ -1,0 +1,262 @@
+"""Search-space definition: what design points an exploration covers.
+
+A :class:`SearchSpec` is to exploration what :class:`repro.spec.RunSpec`
+is to a single run — one typed, serializable object naming the *question*
+a search answers: a base spec, the dotted-path axes that span the design
+space (reusing :class:`repro.spec.SweepSpec`'s axis vocabulary), the
+strategy and its seed, the promotion knobs (``top_k``, ``margin``) and
+the evaluation :class:`BudgetSpec`.  :meth:`SearchSpec.content_key`
+content-addresses the whole question, which is what lets the evaluation
+service coalesce identical searches in flight and the journal refuse to
+resume a *different* search.
+
+The frontier trades predicted performance (IPC, maximized) against
+:func:`design_cost` (minimized) — a deliberately transparent first-order
+area proxy over the axes the paper sweeps: the issue window's CAM
+dominates, the ROB is cheap SRAM, issue width multiplies ports, and
+pipeline depth adds latches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.spec.specs import (
+    RunSpec,
+    SpecError,
+    SweepSpec,
+    _set_dotted,
+)
+
+#: bump when the canonical search layout changes; part of every search key
+SEARCH_SCHEMA = 1
+
+#: deterministic seeded strategies (implemented in
+#: :mod:`repro.explore.strategies`)
+STRATEGIES = ("grid", "random", "halving")
+
+
+def design_cost(machine) -> float:
+    """First-order hardware cost of a :class:`~repro.spec.MachineSpec`.
+
+    ``window + rob/4 + 8*width + 2*depth``: the out-of-order window's
+    full-CAM entries cost 1 each, ROB entries are plain SRAM (¼), each
+    issue port multiplies wakeup/select and register-file porting (8),
+    and every pipeline stage adds a rank of latches (2).  The absolute
+    scale is arbitrary; only the *ordering* matters to a Pareto
+    frontier, and the ordering is the textbook one — bigger windows,
+    wider issue and deeper pipes all cost more.
+    """
+    return float(
+        machine.window_size
+        + machine.rob_size / 4.0
+        + 8.0 * machine.width
+        + 2.0 * machine.pipeline_depth
+    )
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """Explicit evaluation budget for one search.
+
+    ``max_detailed`` caps how many candidate configs may be promoted to
+    detailed simulation; ``max_seconds`` bounds the search wall-clock
+    (checked between evaluation batches — a best-effort bound, and one
+    that makes the outcome machine-dependent, so budget-exhausted runs
+    are flagged in the result).  ``None`` means unlimited.
+    """
+
+    max_detailed: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_detailed is not None and (
+                not isinstance(self.max_detailed, int)
+                or isinstance(self.max_detailed, bool)
+                or self.max_detailed < 1):
+            raise SpecError("budget max_detailed must be a positive "
+                            "integer or null")
+        if self.max_seconds is not None and (
+                not isinstance(self.max_seconds, (int, float))
+                or isinstance(self.max_seconds, bool)
+                or self.max_seconds <= 0):
+            raise SpecError("budget max_seconds must be a positive "
+                            "number or null")
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "BudgetSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError("budget must be a JSON object")
+        unknown = set(data) - {"max_detailed", "max_seconds"}
+        if unknown:
+            raise SpecError(f"unknown budget field(s): {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One design point of the space: its grid index, the axis values
+    that define it, the fully-built :class:`RunSpec`, and its cost."""
+
+    index: int
+    values: tuple  # ((axis-path, value), ...) in axis order
+    spec: RunSpec
+    cost: float
+
+    def values_dict(self) -> dict:
+        return dict(self.values)
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """One fully-described design-space search.
+
+    ``axes`` maps dotted spec paths (``"machine.window_size"``) to the
+    values to explore — the same vocabulary as
+    :class:`~repro.spec.SweepSpec`, which is what :meth:`sweep` returns.
+    The workload is fixed (the base spec's); the search varies the
+    machine and ranks candidates by surrogate IPC against
+    :func:`design_cost`.
+    """
+
+    base: RunSpec
+    axes: Mapping[str, tuple] = field(default_factory=dict)
+    strategy: str = "grid"
+    seed: int = 0
+    samples: int | None = None   #: candidates scored by ``random``
+    top_k: int = 1               #: extra best-by-surrogate promotions
+    margin: float = 0.05         #: surrogate slack band kept Pareto-alive
+    budget: BudgetSpec = field(default_factory=BudgetSpec)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "axes", {k: tuple(v) for k, v in dict(self.axes).items()})
+        if not self.axes:
+            raise SpecError("a search requires at least one axis")
+        for path, values in self.axes.items():
+            if not values:
+                raise SpecError(f"search axis {path!r} has no values")
+            if len(set(values)) != len(values):
+                raise SpecError(f"search axis {path!r} has duplicate values")
+            for value in values:  # validate every grid coordinate early
+                _set_dotted(self.base, path, value)
+        if self.strategy not in STRATEGIES:
+            raise SpecError(f"unknown strategy {self.strategy!r}; one of "
+                            + ", ".join(STRATEGIES))
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise SpecError("search seed must be an integer")
+        if self.samples is not None and (
+                not isinstance(self.samples, int)
+                or isinstance(self.samples, bool) or self.samples < 1):
+            raise SpecError("samples must be a positive integer or null")
+        if not isinstance(self.top_k, int) or isinstance(self.top_k, bool) \
+                or self.top_k < 0:
+            raise SpecError("top_k must be a non-negative integer")
+        if not isinstance(self.margin, (int, float)) \
+                or isinstance(self.margin, bool) or self.margin < 0:
+            raise SpecError("margin must be a non-negative number")
+
+    # -- the grid --------------------------------------------------------
+
+    def sweep(self) -> SweepSpec:
+        """The space as a plain :class:`~repro.spec.SweepSpec`."""
+        return SweepSpec(base=self.base, axes=self.axes)
+
+    def candidates(self) -> list[Candidate]:
+        """Every design point, in :meth:`SweepSpec.expand` order.
+
+        The order is deterministic — axes in insertion order, each
+        axis's values in the given order, the last axis varying fastest
+        — and the candidate ``index`` is its position in that order,
+        which is the identity the journal records.
+        """
+        specs = self.sweep().expand()
+        combos = itertools.product(*(
+            [(path, v) for v in values]
+            for path, values in self.axes.items()
+        ))
+        return [
+            Candidate(index=i, values=tuple(combo), spec=spec,
+                      cost=design_cost(spec.machine))
+            for i, (combo, spec) in enumerate(zip(combos, specs))
+        ]
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "search_schema": SEARCH_SCHEMA,
+            "base": self.base.to_dict(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "samples": self.samples,
+            "top_k": self.top_k,
+            "margin": self.margin,
+            "budget": self.budget.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SearchSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError("search must be a JSON object")
+        out = dict(data)
+        schema = out.pop("search_schema", SEARCH_SCHEMA)
+        if schema != SEARCH_SCHEMA:
+            raise SpecError(
+                f"unsupported search_schema {schema!r} (this release "
+                f"reads {SEARCH_SCHEMA})")
+        allowed = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(out) - allowed
+        if unknown:
+            raise SpecError(f"unknown search field(s): {sorted(unknown)}")
+        if "base" not in out:
+            raise SpecError("a search requires a 'base' spec")
+        out["base"] = RunSpec.from_dict(out["base"])
+        if "budget" in out:
+            out["budget"] = BudgetSpec.from_dict(out["budget"])
+        try:
+            return cls(**out)
+        except TypeError as exc:
+            raise SpecError(f"invalid search: {exc}") from exc
+
+    # -- keying ----------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """The keying form: the base reduced to its result recipe (the
+        engine cannot change any answer), workload seed resolved, plus
+        every knob that can change what the search reports."""
+        return {
+            "search_schema": SEARCH_SCHEMA,
+            "base": self.base.result_recipe(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "samples": self.samples,
+            "top_k": self.top_k,
+            "margin": self.margin,
+            "budget": self.budget.to_dict(),
+        }
+
+    def content_key(self) -> str:
+        """Content-address of the search question — the service's
+        coalescing key and the journal's identity check."""
+        from repro.runner.artifacts import artifact_key
+
+        return artifact_key("search", self.canonical())
+
+
+__all__ = [
+    "SEARCH_SCHEMA",
+    "STRATEGIES",
+    "BudgetSpec",
+    "Candidate",
+    "SearchSpec",
+    "design_cost",
+]

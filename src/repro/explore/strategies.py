@@ -1,0 +1,155 @@
+"""Deterministic seeded search strategies and promotion selection.
+
+A strategy decides which candidates get a surrogate score (and at what
+fidelity); promotion selection then decides which scored candidates earn
+a detailed simulation.  Everything here is a pure function of the
+:class:`~repro.explore.space.SearchSpec` — including its ``seed`` — plus
+the surrogate's (deterministic) answers, which is what makes journal
+replay reproduce the same decisions bit-identically.
+
+Strategies
+----------
+``grid``
+    score every candidate at full fidelity — exhaustive surrogate sweep.
+``random``
+    score a seeded sample of ``samples`` candidates (default: all, at
+    which point it degenerates to ``grid`` with a shuffled visit order).
+``halving``
+    successive halving on surrogate score with trace length as the
+    fidelity axis: every candidate is scored on a quarter-length trace,
+    survivors (the margin band around the rung's Pareto frontier, plus
+    the rung's ``top_k``) graduate to half length, then full length.
+
+Promotion
+---------
+The surrogate's (cost, IPC) Pareto frontier, then its ``margin`` band,
+then the ``top_k`` best-by-IPC remainder — in that deterministic
+priority order, truncated to ``budget.max_detailed``.  Cost is exact,
+so a true frontier point can only be lost if the surrogate over-ranks a
+cheaper rival by more than ``margin`` relative IPC; the margin band is
+sized to the model's config-to-config error spread, not its absolute
+bias.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.explore.checkpoint import Journal
+from repro.explore.frontier import (
+    FrontierPoint,
+    near_frontier,
+    pareto_frontier,
+)
+from repro.explore.space import Candidate, SearchSpec
+from repro.explore.surrogate import Surrogate
+
+
+def _score_rung(
+    rung: int,
+    indices: Sequence[int],
+    length: int | None,
+    candidates: Sequence[Candidate],
+    surrogate: Surrogate,
+    journal: Journal,
+) -> dict[int, float]:
+    """Score ``indices`` at one fidelity, journal-first."""
+    scores: dict[int, float] = {}
+    for index in indices:
+        cached = journal.surrogate.get((rung, index))
+        if cached is not None:
+            scores[index] = cached
+            continue
+        ipc = surrogate.ipc(candidates[index].spec, length=length)
+        journal.record_surrogate(rung, index, ipc)
+        scores[index] = ipc
+    return scores
+
+
+def _points(candidates: Sequence[Candidate],
+            scores: dict[int, float]) -> list[FrontierPoint]:
+    return [
+        FrontierPoint(index=i, values=candidates[i].values,
+                      cost=candidates[i].cost, ipc=ipc)
+        for i, ipc in scores.items()
+    ]
+
+
+def _top_k(scores: dict[int, float], k: int,
+           exclude: set[int] = frozenset()) -> list[int]:
+    """The ``k`` best-scored indices (ties to the lower index)."""
+    ranked = sorted(scores, key=lambda i: (-scores[i], i))
+    return [i for i in ranked if i not in exclude][:k]
+
+
+def _halving_lengths(full: int) -> list[int]:
+    """Fidelity schedule: quarter, half, full trace length (deduped)."""
+    lengths = []
+    for frac in (4, 2, 1):
+        length = max(1, full // frac)
+        if length not in lengths:
+            lengths.append(length)
+    return lengths
+
+
+def score_candidates(
+    search: SearchSpec,
+    candidates: Sequence[Candidate],
+    surrogate: Surrogate,
+    journal: Journal,
+) -> dict[int, float]:
+    """Run ``search.strategy``; return full-fidelity surrogate IPC by
+    candidate index (only for the candidates the strategy considered)."""
+    every = list(range(len(candidates)))
+    if search.strategy == "grid":
+        return _score_rung(0, every, None, candidates, surrogate, journal)
+
+    if search.strategy == "random":
+        count = len(every) if search.samples is None \
+            else min(search.samples, len(every))
+        rng = random.Random(search.seed)
+        chosen = sorted(rng.sample(every, count))
+        return _score_rung(0, chosen, None, candidates, surrogate, journal)
+
+    # successive halving: trace length is the fidelity axis
+    lengths = _halving_lengths(search.base.workload.length)
+    survivors = every
+    scores: dict[int, float] = {}
+    for rung, length in enumerate(lengths):
+        final = rung == len(lengths) - 1
+        scores = _score_rung(rung, survivors, None if final else length,
+                             candidates, surrogate, journal)
+        if final:
+            break
+        points = _points(candidates, scores)
+        keep = {p.index for p in near_frontier(points, search.margin)}
+        keep.update(_top_k(scores, search.top_k))
+        survivors = sorted(keep)
+    return scores
+
+
+def select_promotions(
+    search: SearchSpec,
+    candidates: Sequence[Candidate],
+    scores: dict[int, float],
+) -> list[int]:
+    """The candidate indices worth a detailed simulation, in
+    deterministic priority order (the engine applies the budget cap, so
+    a truncation is visible as ``budget_exhausted`` in the result)."""
+    points = _points(candidates, scores)
+    exact = pareto_frontier(points)
+    band = near_frontier(points, search.margin)
+    promoted: list[int] = [p.index for p in exact]
+    chosen = set(promoted)
+    for p in sorted(band, key=lambda p: (-p.ipc, p.index)):
+        if p.index not in chosen:
+            promoted.append(p.index)
+            chosen.add(p.index)
+    for index in _top_k(scores, search.top_k, exclude=chosen):
+        promoted.append(index)
+        chosen.add(index)
+    return promoted
+
+
+__all__ = ["score_candidates", "select_promotions"]

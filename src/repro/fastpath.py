@@ -8,18 +8,12 @@ optimized for throughput.  This module holds the shared engine registry;
 components receive their engine from an
 :class:`~repro.spec.specs.EngineSpec` (resolved by
 :func:`repro.spec.resolve.resolve_spec`, where ``REPRO_SIM_ENGINE`` is
-one explicit layer).
-
-Selecting the engine through the environment *alone* — constructing a
-simulator with no engine and relying on ``REPRO_SIM_ENGINE`` at the
-call site — still works for one release but emits a
-:class:`DeprecationWarning`; pass an ``EngineSpec`` (or the engine
-name) instead.
+one explicit layer).  Constructing a component with no engine falls
+back to ``REPRO_SIM_ENGINE`` (then ``"fast"``) silently — the variable
+is just another configuration layer.
 """
 
 from __future__ import annotations
-
-import warnings
 
 #: recognised engine names; "fast" is the optimized kernel, "reference"
 #: the direct transcription the fast path is validated against
@@ -30,8 +24,7 @@ def default_engine() -> str:
     """Engine used when a component does not name one explicitly.
 
     Reads ``REPRO_SIM_ENGINE`` through the :mod:`repro.spec.env`
-    registry.  Relying on this implicit fallback while the variable is
-    set is deprecated — resolve a spec instead.
+    registry, defaulting to ``"fast"`` when unset.
     """
     from repro.spec import env
 
@@ -43,13 +36,6 @@ def default_engine() -> str:
             f"REPRO_SIM_ENGINE={name!r} is not a known engine; "
             f"expected one of {ENGINES}"
         )
-    warnings.warn(
-        "selecting the simulation engine via REPRO_SIM_ENGINE alone is "
-        "deprecated; pass an EngineSpec (or engine=...) — the variable "
-        "still participates in resolve_spec()'s environment layer",
-        DeprecationWarning,
-        stacklevel=3,
-    )
     return name
 
 
@@ -57,7 +43,7 @@ def resolve_engine(engine) -> str:
     """Validate an engine choice, falling back to :func:`default_engine`.
 
     Accepts an engine name, an :class:`~repro.spec.specs.EngineSpec`, or
-    ``None`` (the deprecated implicit fallback).
+    ``None`` (the implicit environment/default fallback).
     """
     if engine is None:
         return default_engine()

@@ -35,11 +35,10 @@ pickled payload layout changes and old entries simply stop matching.
 
 Key discipline
 --------------
-Since the spec refactor, recipe seeds are *resolved* before keying
-(``seed=None`` hashes as the benchmark profile's default seed, via
+Recipe seeds are *resolved* before keying (``seed=None`` hashes as the
+benchmark profile's default seed, via
 :class:`repro.spec.WorkloadSpec`), so the two spellings of the default
-share one entry.  For one release, a probe that misses under the new
-key falls back to the pre-spec key shape and migrates any hit forward.
+share one entry.
 """
 
 from __future__ import annotations
@@ -307,42 +306,6 @@ def cached_artifact(kind: str, recipe: dict, compute):
     return obj
 
 
-def cached_artifact_compat(kind: str, recipe: dict, legacy_recipe: dict,
-                           compute):
-    """:func:`cached_artifact` with a one-release legacy-key fallback.
-
-    ``recipe`` is the spec-canonical (seed-resolved) shape; a miss under
-    its key probes ``legacy_recipe`` — the pre-spec shape — and migrates
-    any hit forward by re-storing it under the new key, so caches
-    populated before the spec refactor keep serving.
-    """
-    if not cache_enabled():
-        return compute()
-    try:
-        key = artifact_key(kind, recipe)
-    except UncacheableError:
-        _STATS.uncacheable += 1
-        return compute()
-    obj = _load(kind, key)
-    if obj is not _MISS:
-        _STATS._bump(_STATS.hits, kind)
-        return obj
-    try:
-        legacy_key = artifact_key(kind, legacy_recipe)
-    except UncacheableError:
-        legacy_key = None
-    if legacy_key is not None and legacy_key != key:
-        obj = _load(kind, legacy_key)
-        if obj is not _MISS:
-            _STATS._bump(_STATS.hits, kind)
-            _store(kind, key, obj)
-            return obj
-    _STATS._bump(_STATS.misses, kind)
-    obj = compute()
-    _store(kind, key, obj)
-    return obj
-
-
 # -- the concrete artifact kinds --------------------------------------------
 
 
@@ -359,10 +322,9 @@ def trace_artifact(benchmark: str, length: int, seed: int | None = None):
 
     workload = WorkloadSpec(benchmark, length, seed)
     resolved = workload.resolved_seed()
-    return cached_artifact_compat(
+    return cached_artifact(
         "trace",
         workload.canonical(),
-        {"benchmark": benchmark, "length": length, "seed": seed},
         lambda: generate_trace(benchmark, length, resolved),
     )
 
@@ -405,10 +367,8 @@ def annotations_artifact(
         "warmup_passes": warmup_passes,
     }
     workload = WorkloadSpec(benchmark, length, seed)
-    return cached_artifact_compat(
+    return cached_artifact(
         "annotations",
         workload.canonical() | machine_part,
-        {"benchmark": benchmark, "length": length, "seed": seed}
-        | machine_part,
         compute,
     )

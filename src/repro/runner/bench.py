@@ -39,8 +39,9 @@ from repro.spec import env as _env
 DEFAULT_TRACE_LENGTH = 30_000
 
 #: schema of the emitted JSON document (2 added the ``telemetry``
-#: overhead section; 3 added the ``service`` scenario)
-BENCH_SCHEMA = 3
+#: overhead section; 3 added the ``service`` scenario; 4 added the
+#: ``explore`` scenario)
+BENCH_SCHEMA = 4
 
 
 def _best_of(runs: int, fn) -> float:
@@ -256,8 +257,9 @@ def bench_service(benchmarks, length: int, jobs, progress=None) -> dict:
             op, benchmark = item
             with ServiceClient(bg.host, bg.port) as client:
                 start = time.perf_counter()
-                client.evaluate(op, {"benchmark": benchmark,
-                                     "length": length})
+                # the wrappers build spec payloads — the only form the
+                # server accepts
+                getattr(client, op)(benchmark, length=length)
                 elapsed = time.perf_counter() - start
             with lock:
                 latencies.append(elapsed)
@@ -289,6 +291,72 @@ def bench_service(benchmarks, length: int, jobs, progress=None) -> dict:
     }
 
 
+def bench_explore(length: int, jobs, progress=None) -> dict:
+    """Economics of surrogate-guided search (:mod:`repro.explore`).
+
+    Runs one three-axis search (18 candidates) twice — cold, then warm —
+    and records what design-space exploration actually buys: the
+    surrogate-vs-detailed per-evaluation cost ratio, the fraction of the
+    grid that needed a detailed simulation at all, and the end-to-end
+    search wall-clock against the exhaustive detailed sweep it replaces.
+    """
+    from repro.explore import BudgetSpec, SearchSpec, run_search
+    from repro.spec import RunSpec, WorkloadSpec
+
+    if progress:
+        progress("explore: surrogate-guided search vs exhaustive sweep")
+    search = SearchSpec(
+        base=RunSpec(workload=WorkloadSpec("gzip", length=length)),
+        axes={
+            "machine.window_size": (16, 32, 48),
+            "machine.pipeline_depth": (3, 5, 9),
+            "machine.width": (2, 4),
+        },
+        budget=BudgetSpec(),
+    )
+    candidates = search.candidates()
+
+    start = time.perf_counter()
+    cold = run_search(search, jobs=jobs)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_search(search, jobs=jobs)
+    warm_s = time.perf_counter() - start
+
+    # exhaustive detailed sweep over the same grid — what the search
+    # replaces (cached: the promoted fraction is already in the cache,
+    # so time the whole grid uncached-style via fresh unit execution)
+    units = [WorkUnit.from_spec(c.spec, tag=str(c.index))
+             for c in candidates]
+    start = time.perf_counter()
+    run_units(units, jobs=jobs)  # recomputes every detailed sim
+    exhaustive_s = time.perf_counter() - start
+
+    surrogate_mean_s = (cold.surrogate_seconds / cold.surrogate_evals
+                        if cold.surrogate_evals else 0.0)
+    # per-candidate detailed cost from the exhaustive sweep, which
+    # recomputes every simulation regardless of the artifact cache
+    detailed_mean_s = exhaustive_s / len(candidates)
+    return {
+        "candidates": cold.candidates,
+        "surrogate_evals": cold.surrogate_evals,
+        "detailed_runs": cold.executed,
+        "promoted_fraction": cold.promoted_fraction,
+        "frontier_points": len(cold.frontier),
+        "surrogate_mean_s": surrogate_mean_s,
+        "detailed_mean_s": detailed_mean_s,
+        "cost_ratio": (detailed_mean_s / surrogate_mean_s
+                       if surrogate_mean_s else 0.0),
+        "search_cold_s": cold_s,
+        "search_warm_s": warm_s,
+        "exhaustive_s": exhaustive_s,
+        "search_speedup": exhaustive_s / cold_s if cold_s else 0.0,
+        "mean_abs_error": cold.mean_abs_error,
+        "worst_abs_error": cold.worst_abs_error,
+        "warm_executed": warm.executed,
+    }
+
+
 def run_bench(
     length: int = DEFAULT_TRACE_LENGTH,
     runs: int = 3,
@@ -305,6 +373,7 @@ def run_bench(
     sweep = bench_sweep(benchmarks, length, runs, jobs, progress)
     telemetry = bench_telemetry(benchmarks, length, runs, progress)
     service = bench_service(benchmarks, length, jobs, progress)
+    explore = bench_explore(length, jobs, progress)
 
     def total(field: str) -> float:
         return sum(row[field] for row in per_bench.values())
@@ -338,6 +407,7 @@ def run_bench(
         "sweep": sweep,
         "telemetry": telemetry,
         "service": service,
+        "explore": explore,
     }
 
 
@@ -396,6 +466,21 @@ def format_bench(doc: dict) -> str:
             f"{service['cache_hit_ratio']:.0%} served without a worker "
             f"({served['cache']} cache, {served['inflight']} coalesced, "
             f"{served['computed']} computed)",
+        ]
+    explore = doc.get("explore")
+    if explore:  # absent before schema 4
+        lines += [
+            "",
+            f"explore, {explore['candidates']}-candidate search: "
+            f"{explore['detailed_runs']} detailed sims "
+            f"({explore['promoted_fraction']:.0%} of the grid), "
+            f"surrogate {explore['surrogate_mean_s'] * 1e3:.1f}ms vs "
+            f"detailed {explore['detailed_mean_s'] * 1e3:.1f}ms per eval "
+            f"({explore['cost_ratio']:.0f}x); search "
+            f"{explore['search_cold_s']:.3f}s vs exhaustive "
+            f"{explore['exhaustive_s']:.3f}s "
+            f"({explore['search_speedup']:.2f}x), warm repeat "
+            f"{explore['search_warm_s']:.3f}s",
         ]
     return "\n".join(lines)
 

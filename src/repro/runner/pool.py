@@ -184,10 +184,9 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
 
     Results of spec-expressible units are keyed by
     :meth:`RunSpec.content_key` — the same key the evaluation service
-    and in-process :func:`execute_spec` use — with a one-release probe
-    of the pre-spec key shape.  The engine is excluded from the key on
-    purpose: fast and reference engines are bit-identical (enforced by
-    the test suite).
+    and in-process :func:`execute_spec` use.  The engine is excluded
+    from the key on purpose: fast and reference engines are
+    bit-identical (enforced by the test suite).
     """
     from repro.simulator.processor import DetailedSimulator
 
@@ -202,24 +201,19 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
         )
         return sim.run(trace, annotations)
 
-    legacy_recipe = {
-        "benchmark": unit.benchmark,
-        "length": unit.length,
-        "seed": unit.seed,
-        "config": unit.config,
-        "instrument": unit.instrument,
-    }
     try:
         recipe = unit.to_spec().result_recipe()
     except SpecError:
         # not spec-expressible: the generic dataclass keying still works
-        recipe = legacy_recipe
-        legacy_recipe = None
+        recipe = {
+            "benchmark": unit.benchmark,
+            "length": unit.length,
+            "seed": unit.seed,
+            "config": unit.config,
+            "instrument": unit.instrument,
+        }
     if reuse_result:
-        if legacy_recipe is None:
-            return artifacts.cached_artifact("result", recipe, simulate)
-        return artifacts.cached_artifact_compat(
-            "result", recipe, legacy_recipe, simulate)
+        return artifacts.cached_artifact("result", recipe, simulate)
     result = simulate()
     if artifacts.cache_enabled():
         try:

@@ -34,10 +34,9 @@ def _spec_payload(op: str, params: dict) -> dict:
     """Lift flat ``model``/``simulate`` kwargs into a spec payload.
 
     The convenience wrappers keep their flat keyword signature but put
-    a canonical ``{"spec": ...}`` on the wire, so they never hit the
-    server's deprecated flat-params path.  Anything that fails local
-    validation is sent flat and unmodified — the server owns the
-    canonical error response.
+    a canonical ``{"spec": ...}`` on the wire — the only form the
+    server accepts.  Anything that fails local validation is sent flat
+    and unmodified — the server owns the canonical error response.
     """
     from repro.service.evaluations import flat_params_to_spec
 
@@ -162,6 +161,17 @@ class ServiceClient:
 
     def experiment(self, name: str, timeout: float | None = None) -> dict:
         return self.evaluate("experiment", {"name": name}, timeout=timeout)
+
+    def explore(self, search, timeout: float | None = None) -> dict:
+        """Run a design-space search (:mod:`repro.explore`) server-side.
+
+        ``search`` is a :class:`repro.explore.SearchSpec` or its dict
+        form; identical searches coalesce by search content-key.
+        """
+        if hasattr(search, "to_dict"):
+            search = search.to_dict()
+        return self.evaluate("explore", {"search": search},
+                             timeout=timeout)
 
 
 __all__ = ["ProtocolError", "ServiceClient", "ServiceError"]

@@ -8,20 +8,26 @@ entry points and returns a plain-JSON payload:
   :func:`repro.runner.pool.execute_unit`
 * ``compare``    — model vs simulation for a benchmark list (Fig. 15)
 * ``experiment`` — any registered paper experiment, formatted
+* ``explore``    — a surrogate-guided design-space search
+  (:func:`repro.explore.run_search`)
 
 ``model`` and ``simulate`` requests carry a :class:`repro.spec.RunSpec`
-payload verbatim: ``{"spec": {...}}``.  Normalization
+payload: ``{"spec": {...}}``.  Normalization
 (:func:`normalize_params`) parses and re-canonicalizes it — defaults
 filled, workload seed resolved — so ``{"spec": {"workload":
 {"benchmark": "gzip"}}}`` and the fully spelled-out equivalent
 content-address identically (:func:`request_key` — the scheduler's
 dedup and persistent-cache key), and a ``simulate`` stores its result
 under exactly ``RunSpec.content_key()``, the same artifact an
-in-process ``execute_spec`` run would produce or reuse.  The pre-spec
-flat form (``{"benchmark": ..., "width": ...}``) still normalizes for
-one release and emits a :class:`DeprecationWarning`.  Evaluations are
-deterministic pure functions of their normalized params; that is what
-makes coalescing and cache serving sound.
+in-process ``execute_spec`` run would produce or reuse.  ``explore``
+requests carry ``{"search": {...}}`` (a
+:class:`repro.explore.SearchSpec`); their base spec is additionally
+stripped of everything outside
+:meth:`~repro.spec.RunSpec.result_recipe`, so two searches that differ
+only in engine or telemetry — which cannot change any answer — coalesce
+by search content-key.  Evaluations are deterministic pure functions of
+their normalized params; that is what makes coalescing and cache
+serving sound.
 
 :func:`run_batch` is the process-pool entry point: it executes a
 micro-batch of normalized requests, publishes each successful response
@@ -38,7 +44,6 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-import warnings
 
 from repro.service.protocol import ErrorCode, PROTOCOL_VERSION, ProtocolError
 
@@ -49,7 +54,7 @@ CONFIG_FIELDS = ("pipeline_depth", "width", "window_size", "rob_size")
 DEFAULT_LENGTH = 30_000
 
 #: ops the scheduler will run on the pool
-OPS = ("model", "simulate", "compare", "experiment")
+OPS = ("model", "simulate", "compare", "experiment", "explore")
 
 
 def _benchmarks() -> tuple[str, ...]:
@@ -119,13 +124,20 @@ def flat_params_to_spec(op: str, params: dict):
 
     This is the vocabulary the pre-spec wire format used — benchmark /
     length / seed / config-override knobs / engine — validated with the
-    same checks and mapped onto the typed spec.  Shared by the
-    deprecation shim in :func:`normalize_params` and by
-    :class:`~repro.service.client.ServiceClient`'s convenience wrappers
-    (which build spec payloads client-side).
+    same checks and mapped onto the typed spec.  Used by
+    :class:`~repro.service.client.ServiceClient`'s convenience wrappers,
+    which keep their flat keyword signature but build spec payloads
+    client-side (the server itself accepts only ``{"spec": ...}``).
     """
     from repro.spec import EngineSpec, MachineSpec, RunSpec, WorkloadSpec
 
+    known = {"benchmark", "length", "seed"} | set(CONFIG_FIELDS)
+    if op == "simulate":
+        known |= {"engine"}
+    unknown = set(params) - known
+    if unknown:
+        raise ProtocolError(
+            f"unknown parameter(s) for {op!r}: {sorted(unknown)}")
     benchmark = _check_benchmark(params.get("benchmark"))
     length = _check_length(params.get("length", DEFAULT_LENGTH))
     seed = params.get("seed")
@@ -167,12 +179,44 @@ def _resolve_workload_seed(spec):
     )
 
 
+def _normalize_search(params: dict) -> dict:
+    """Canonicalize an ``explore`` request's search payload.
+
+    The base spec is reduced to the parts that can change an answer —
+    machine, seed-resolved workload, the ``instrument`` flag — with
+    engine and telemetry reset to defaults.  Two searches that differ
+    only in those result-neutral sections therefore normalize (and so
+    coalesce and cache) identically: the wire-level twin of
+    :meth:`repro.explore.SearchSpec.content_key`.
+    """
+    from repro.explore import SearchSpec
+    from repro.spec import EngineSpec, RunSpec, SpecError, TelemetrySpec
+
+    if "search" not in params:
+        raise ProtocolError(
+            "'explore' requires a 'search' object: "
+            "{'search': <SearchSpec dict>} (see docs/EXPLORATION.md)")
+    try:
+        search = SearchSpec.from_dict(params["search"])
+        base = _resolve_workload_seed(search.base)
+        base = RunSpec(
+            workload=base.workload,
+            machine=base.machine,
+            engine=EngineSpec(instrument=base.engine.instrument),
+            telemetry=TelemetrySpec(),
+        )
+        search = dataclasses.replace(search, base=base)
+    except SpecError as exc:
+        raise ProtocolError(f"invalid search: {exc}") from exc
+    return search.to_dict()
+
+
 def normalize_params(op: str, params: dict) -> dict:
     """Validate ``params`` for ``op`` and fill every default in.
 
     ``model`` and ``simulate`` normalize to ``{"spec": <canonical
-    RunSpec dict>}`` (plus ``chaos`` if given) whether the caller sent a
-    spec payload or the deprecated flat form.
+    RunSpec dict>}`` (plus ``chaos`` if given); ``explore`` normalizes
+    to ``{"search": <canonical SearchSpec dict>}``.
 
     Raises :class:`ProtocolError` (``unknown_op`` / ``bad_request``) so
     the server can answer without ever scheduling the request.
@@ -186,24 +230,16 @@ def normalize_params(op: str, params: dict) -> dict:
         out["chaos"] = _check_chaos(params["chaos"])
 
     if op in ("model", "simulate"):
-        known |= {"benchmark", "length", "seed", "spec", *CONFIG_FIELDS}
-        if op == "simulate":
-            known.add("engine")
-        if "spec" in params:
-            flat = sorted((set(params) & known) - {"chaos", "spec"})
-            if flat:
-                raise ProtocolError(
-                    f"'spec' replaces the flat params; also got {flat}")
-            spec = _parse_spec(params["spec"])
-        else:
-            warnings.warn(
-                "flat model/simulate params are deprecated; send "
-                "{'spec': <RunSpec dict>} (see docs/CONFIGURATION.md)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            spec = flat_params_to_spec(op, params)
+        known |= {"spec"}
+        if "spec" not in params:
+            raise ProtocolError(
+                f"{op!r} requires a 'spec' object: "
+                "{'spec': <RunSpec dict>} (see docs/CONFIGURATION.md)")
+        spec = _parse_spec(params["spec"])
         out["spec"] = _resolve_workload_seed(spec).to_dict()
+    elif op == "explore":
+        known |= {"search"}
+        out["search"] = _normalize_search(params)
     elif op == "compare":
         known |= {"benchmarks", "length"}
         benchmarks = params.get("benchmarks") or list(_benchmarks())
@@ -338,11 +374,23 @@ def _eval_experiment(params: dict) -> dict:
     }
 
 
+def _eval_explore(params: dict) -> dict:
+    from repro.explore import SearchSpec, run_search
+
+    search = SearchSpec.from_dict(params["search"])
+    # one job and no journal inside a pool worker: the worker *is* the
+    # parallelism, and durability is the artifact cache plus the keyed
+    # response cache — a repeat of the same search replays from both
+    result = run_search(search, journal_path=None, jobs=1)
+    return result.to_dict()
+
+
 _EVALUATORS = {
     "model": _eval_model,
     "simulate": _eval_simulate,
     "compare": _eval_compare,
     "experiment": _eval_experiment,
+    "explore": _eval_explore,
 }
 
 

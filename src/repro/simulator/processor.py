@@ -83,7 +83,7 @@ class DetailedSimulator:
         self.config = config or ProcessorConfig()
         self.instrument = instrument
         #: ``engine`` accepts a name, an :class:`repro.spec.EngineSpec`,
-        #: or ``None`` (the deprecated ``REPRO_SIM_ENGINE`` fallback)
+        #: or ``None`` (the ``REPRO_SIM_ENGINE``-then-``fast`` fallback)
         self.engine = resolve_engine(engine)
         #: telemetry opt-in: ``None`` defers to ``REPRO_TELEMETRY``,
         #: ``True``/a :class:`TelemetryConfig`/a

@@ -43,6 +43,9 @@ REGISTRY: dict[str, tuple[str, str]] = {
         "telemetry", "event-trace sampling RNG seed (default 0)"),
     "REPRO_CHAOS_KILL_BENCH": (
         "chaos", "hard-kill the pool worker that picks up this benchmark"),
+    "REPRO_EXPLORE_KILL_AFTER": (
+        "chaos", "hard-exit an explore search after this many newly "
+                 "recorded detailed results (checkpoint/resume drills)"),
 }
 
 
@@ -65,8 +68,8 @@ def spec_file() -> str | None:
 def sim_engine() -> str | None:
     """``REPRO_SIM_ENGINE`` normalized to lower case, or ``None``.
 
-    Validation (and the deprecation of env-*only* selection) lives with
-    the engine registry in :mod:`repro.fastpath`; this just reads.
+    Validation lives with the engine registry in
+    :mod:`repro.fastpath`; this just reads.
     """
     name = (_get("REPRO_SIM_ENGINE") or "").strip().lower()
     return name or None
@@ -166,6 +169,13 @@ def telemetry_overrides() -> dict:
 def chaos_kill_bench() -> str | None:
     """``REPRO_CHAOS_KILL_BENCH`` — the crash-drill benchmark, if any."""
     return _get("REPRO_CHAOS_KILL_BENCH") or None
+
+
+def explore_kill_after() -> int | None:
+    """``REPRO_EXPLORE_KILL_AFTER`` — detailed results before the
+    explore engine hard-exits (``None`` disables the drill)."""
+    raw = (_get("REPRO_EXPLORE_KILL_AFTER") or "").strip()
+    return int(raw) if raw else None
 
 
 # -- manifest echo -----------------------------------------------------------

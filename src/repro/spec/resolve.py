@@ -47,9 +47,9 @@ def _deep_merge(base: dict, overlay: Mapping[str, Any]) -> dict:
 def _env_layer() -> dict:
     """What the ``REPRO_*`` environment contributes to resolution.
 
-    This is the registry-blessed read path — unlike legacy env-*only*
-    engine selection deep inside call sites (deprecated), consuming the
-    environment as an explicit resolution layer does not warn.
+    This is the registry-blessed read path: the environment is one
+    explicit resolution layer, consulted here rather than deep inside
+    call sites.
     """
     layer: dict = {}
     engine = env.sim_engine()

@@ -46,12 +46,11 @@ class TestCommon:
         workload = WorkloadSpec("gzip", length=500)
         assert cached_trace(workload) is cached_trace(workload)
 
-    def test_cached_trace_legacy_form_shares_the_slot(self):
-        from repro.experiments.common import WorkloadSpec, cached_trace
+    def test_cached_trace_legacy_form_is_rejected(self):
+        from repro.experiments.common import cached_trace
 
-        spec_form = cached_trace(WorkloadSpec("gzip", length=500))
-        with pytest.deprecated_call():
-            assert cached_trace("gzip", 500) is spec_form
+        with pytest.raises(TypeError):
+            cached_trace("gzip", 500)
 
 
 class TestPureModelExperiments:

@@ -1,0 +1,170 @@
+"""Journal durability and the kill/resume bit-identity guarantee."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.explore import Journal, JournalError, SearchSpec, run_search
+from repro.spec import RunSpec, WorkloadSpec
+
+KEY = "a" * 64
+
+
+def small_search():
+    return SearchSpec(
+        base=RunSpec(workload=WorkloadSpec("gzip", length=2_000)),
+        axes={"machine.window_size": (16, 32), "machine.width": (2, 4)},
+    )
+
+
+class TestInMemory:
+    def test_no_persistence(self):
+        journal = Journal(None, KEY)
+        journal.record_surrogate(0, 3, 1.25)
+        journal.record_detailed(3, {"ipc": 1.0})
+        assert journal.path is None and not journal.resumed
+        assert journal.surrogate[(0, 3)] == 1.25
+        assert journal.detailed[3] == {"ipc": 1.0}
+
+
+class TestFileJournal:
+    def test_round_trips_exact_floats(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        awkward = 0.1 + 0.2  # not representable prettily
+        with Journal(path, KEY) as journal:
+            journal.record_surrogate(0, 1, awkward)
+            journal.record_detailed(1, {"ipc": 1 / 3, "cycles": 7})
+            journal.record_finished({"frontier": []})
+        resumed = Journal(path, KEY, resume=True)
+        assert resumed.resumed
+        assert resumed.surrogate[(0, 1)] == awkward
+        assert resumed.detailed[1] == {"ipc": 1 / 3, "cycles": 7}
+        resumed.close()
+
+    def test_header_line_pins_the_search(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Journal(path, KEY).close()
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"event": "search", "v": 1, "search_key": KEY}
+
+    def test_refuses_a_different_search(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Journal(path, KEY).close()
+        with pytest.raises(JournalError, match="different search"):
+            Journal(path, "b" * 64, resume=True)
+
+    def test_refuses_missing_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event":"surrogate","rung":0,"index":0,'
+                        '"ipc":1.0}\n')
+        with pytest.raises(JournalError, match="header"):
+            Journal(path, KEY, resume=True)
+
+    def test_refuses_empty_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalError, match="empty"):
+            Journal(path, KEY, resume=True)
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, KEY) as journal:
+            journal.record_surrogate(0, 0, 1.5)
+        with open(path, "a") as fh:
+            fh.write('{"event":"detailed","index":0,"resu')  # mid-crash
+        resumed = Journal(path, KEY, resume=True)
+        assert resumed.surrogate == {(0, 0): 1.5}
+        assert resumed.detailed == {}
+        resumed.close()
+
+    def test_corrupt_interior_line_is_an_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, KEY) as journal:
+            journal.record_surrogate(0, 0, 1.5)
+        text = path.read_text().splitlines()
+        text.insert(1, "not json")
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            Journal(path, KEY, resume=True)
+
+    def test_without_resume_overwrites(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, KEY) as journal:
+            journal.record_surrogate(0, 0, 1.5)
+        fresh = Journal(path, KEY)
+        assert fresh.surrogate == {} and not fresh.resumed
+        fresh.close()
+
+    def test_resume_of_absent_journal_starts_fresh(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path, KEY, resume=True)
+        assert not journal.resumed
+        journal.close()
+        assert path.exists()  # header written for the next resume
+
+    def test_appends_survive_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, KEY) as journal:
+            journal.record_surrogate(0, 0, 1.0)
+        with Journal(path, KEY, resume=True) as journal:
+            journal.record_surrogate(0, 1, 2.0)
+        final = Journal(path, KEY, resume=True)
+        assert final.surrogate == {(0, 0): 1.0, (0, 1): 2.0}
+        final.close()
+
+
+SCRIPT = """\
+import json, sys
+from repro.explore import SearchSpec, run_search
+from repro.spec import RunSpec, WorkloadSpec
+
+search = SearchSpec(
+    base=RunSpec(workload=WorkloadSpec("gzip", length=2_000)),
+    axes={"machine.window_size": (16, 32), "machine.width": (2, 4)},
+)
+result = run_search(search, journal_path=sys.argv[1],
+                    resume="--resume" in sys.argv)
+print(json.dumps(result.to_dict()))
+"""
+
+
+class TestKillResume:
+    def test_killed_search_resumes_bit_identically(self, tmp_path):
+        """The CI smoke scenario, in-suite: hard-kill after the first
+        detailed result, resume, and match an uninterrupted run's
+        frontier and promotions exactly."""
+        journal = str(tmp_path / "search.jsonl")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in (os.path.join(os.getcwd(), "src"),
+                         env.get("PYTHONPATH")) if p])
+
+        killed = subprocess.run(
+            [sys.executable, "-c", SCRIPT, journal],
+            env={**env, "REPRO_EXPLORE_KILL_AFTER": "1"},
+            capture_output=True, text=True, timeout=120)
+        assert killed.returncode == 1, killed.stderr
+
+        partial = [json.loads(line)
+                   for line in open(journal, encoding="utf-8")]
+        detailed = [e for e in partial if e["event"] == "detailed"]
+        assert len(detailed) == 1  # exactly one result before the kill
+        assert not any(e["event"] == "finished" for e in partial)
+
+        resumed_proc = subprocess.run(
+            [sys.executable, "-c", SCRIPT, journal, "--resume"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert resumed_proc.returncode == 0, resumed_proc.stderr
+        resumed = json.loads(resumed_proc.stdout)
+        assert resumed["resumed"] is True
+
+        reference = run_search(small_search(), journal_path=None)
+        ref = reference.to_dict()
+        assert resumed["frontier"] == ref["frontier"]
+        assert resumed["promotions"] == ref["promotions"]
+        assert resumed["search_key"] == ref["search_key"]
+        # the resumed run re-ran only what the kill interrupted
+        assert resumed["executed"] < ref["detailed_used"]

@@ -1,0 +1,143 @@
+"""``repro explore`` on the command line."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import _parse_axis, build_parser, main
+
+
+class TestParser:
+    def test_explore_args(self):
+        args = build_parser().parse_args(
+            ["explore", "gzip", "-a", "machine.window_size=16,32",
+             "--axis", "machine.width=2,4", "--strategy", "random",
+             "--seed", "7", "--samples", "3", "--top-k", "2",
+             "--margin", "0.1", "--budget", "5", "--wall-clock", "30",
+             "--jobs", "2", "-o", "out.json"])
+        assert args.benchmark == "gzip"
+        assert args.axis == ["machine.window_size=16,32",
+                             "machine.width=2,4"]
+        assert args.strategy == "random" and args.seed == 7
+        assert args.samples == 3 and args.top_k == 2
+        assert args.margin == 0.1
+        assert args.budget == 5 and args.wall_clock == 30.0
+        assert args.jobs == 2 and args.output == "out.json"
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["explore", "gzip", "-a", "machine.width=2,4",
+                 "--strategy", "annealing"])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "spec2017"])
+
+    def test_submit_accepts_explore(self):
+        args = build_parser().parse_args(
+            ["submit", "explore", "search.json"])
+        assert args.op == "explore" and args.target == ["search.json"]
+
+
+class TestParseAxis:
+    def test_json_values(self):
+        assert _parse_axis("machine.window_size=16,32") \
+            == ("machine.window_size", (16, 32))
+
+    def test_non_numeric_values_stay_strings(self):
+        assert _parse_axis("machine.predictor=gshare,bimodal") \
+            == ("machine.predictor", ("gshare", "bimodal"))
+
+    @pytest.mark.parametrize("bad", ["machine.width", "=2,4",
+                                     "machine.width="])
+    def test_malformed_axis_rejected(self, bad):
+        with pytest.raises(SystemExit):
+            _parse_axis(bad)
+
+
+class TestCommand:
+    ARGS = ["explore", "gzip", "--length", "2000",
+            "-a", "machine.window_size=16,32", "-a", "machine.width=2,4"]
+
+    def test_needs_an_axis(self):
+        with pytest.raises(SystemExit, match="--axis"):
+            main(["explore", "gzip"])
+
+    def test_needs_a_benchmark(self):
+        with pytest.raises(SystemExit, match="benchmark"):
+            main(["explore", "-a", "machine.width=2,4"])
+
+    def test_dump_spec_shows_the_search_without_running(self, capsys):
+        assert main(self.ARGS + ["--dump-spec"]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert dumped["axes"] == {"machine.window_size": [16, 32],
+                                  "machine.width": [2, 4]}
+        assert dumped["base"]["workload"]["length"] == 2000
+
+    def test_end_to_end_with_output_and_manifest(self, tmp_path, capsys):
+        out = tmp_path / "search" / "result.json"
+        assert main(self.ARGS + ["-o", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "4 candidates" in rendered
+
+        payload = json.loads(out.read_text())
+        assert payload["candidates"] == 4
+        assert payload["frontier"]
+
+        manifest = json.loads(
+            (out.parent / "run_manifest.json").read_text())
+        assert manifest["command"] == "explore"
+        assert manifest["search_key"] == payload["search_key"]
+        assert manifest["search"] == payload["search"]
+
+    def test_search_file_round_trips_dump_spec(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--dump-spec"]) == 0
+        search_file = tmp_path / "search.json"
+        search_file.write_text(capsys.readouterr().out)
+
+        assert main(["explore", "--search", str(search_file),
+                     "--dump-spec"]) == 0
+        assert json.loads(capsys.readouterr().out) \
+            == json.loads(search_file.read_text())
+
+    def test_search_file_refuses_extra_axes(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--dump-spec"]) == 0
+        search_file = tmp_path / "search.json"
+        search_file.write_text(capsys.readouterr().out)
+        with pytest.raises(SystemExit, match="--axis"):
+            main(["explore", "--search", str(search_file),
+                  "-a", "machine.rob_size=64,128"])
+
+    def test_budget_flag_overrides_search_file(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--dump-spec"]) == 0
+        search_file = tmp_path / "search.json"
+        search_file.write_text(capsys.readouterr().out)
+
+        assert main(["explore", "--search", str(search_file),
+                     "--budget", "1", "--dump-spec"]) == 0
+        amended = json.loads(capsys.readouterr().out)
+        assert amended["budget"]["max_detailed"] == 1
+
+    def test_default_journal_lives_under_the_cache(self, tmp_path):
+        from repro.runner import artifacts
+
+        out = tmp_path / "result.json"
+        assert main(self.ARGS + ["-o", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        journal = (artifacts.cache_root() / "explore"
+                   / f"{payload['search_key']}.jsonl")
+        assert journal.is_file()
+
+    def test_resume_flag_replays_the_journal(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        assert main(self.ARGS + ["-o", str(out)]) == 0
+        first = json.loads(out.read_text())
+
+        assert main(self.ARGS + ["--resume", "-o", str(out)]) == 0
+        again = json.loads(out.read_text())
+        assert again["resumed"] is True
+        assert again["executed"] == 0
+        assert again["frontier"] == first["frontier"]
+        assert again["promotions"] == first["promotions"]

@@ -1,0 +1,116 @@
+"""Pareto machinery: dominance, frontiers, and the margin band."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.explore import (
+    FrontierPoint,
+    dominates,
+    frontiers_equal,
+    near_frontier,
+    pareto_frontier,
+)
+
+
+def pt(index, cost, ipc):
+    return FrontierPoint(index=index, values=(), cost=cost, ipc=ipc)
+
+
+class TestDominates:
+    def test_strictly_better_on_both(self):
+        assert dominates(pt(0, 10, 2.0), pt(1, 20, 1.0))
+
+    def test_better_on_one_equal_on_other(self):
+        assert dominates(pt(0, 10, 2.0), pt(1, 10, 1.0))
+        assert dominates(pt(0, 10, 2.0), pt(1, 20, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(pt(0, 10, 2.0), pt(1, 10, 2.0))
+
+    def test_trade_off_is_incomparable(self):
+        cheap_slow, dear_fast = pt(0, 10, 1.0), pt(1, 20, 2.0)
+        assert not dominates(cheap_slow, dear_fast)
+        assert not dominates(dear_fast, cheap_slow)
+
+
+class TestParetoFrontier:
+    def test_drops_dominated(self):
+        points = [pt(0, 10, 1.0), pt(1, 20, 2.0), pt(2, 20, 1.5)]
+        assert [p.index for p in pareto_frontier(points)] == [0, 1]
+
+    def test_keeps_exact_ties(self):
+        points = [pt(0, 10, 1.0), pt(1, 10, 1.0)]
+        assert [p.index for p in pareto_frontier(points)] == [0, 1]
+
+    def test_sorted_by_cost_then_ipc_then_index(self):
+        points = [pt(2, 30, 3.0), pt(0, 10, 1.0), pt(1, 20, 2.0)]
+        assert [p.index for p in pareto_frontier(points)] == [0, 1, 2]
+
+    def test_order_independent_of_input_order(self):
+        points = [pt(i, 10 * (i + 1), 0.5 * (i + 1)) for i in range(5)]
+        assert pareto_frontier(points) == pareto_frontier(points[::-1])
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    @given(st.lists(st.tuples(
+        st.floats(1, 100, allow_nan=False),
+        st.floats(0.1, 8, allow_nan=False)), max_size=12))
+    def test_frontier_points_are_mutually_incomparable(self, raw):
+        points = [pt(i, c, ipc) for i, (c, ipc) in enumerate(raw)]
+        front = pareto_frontier(points)
+        assert all(not dominates(a, b)
+                   for a in front for b in front if a is not b)
+        # and every dropped point is dominated by some survivor
+        dropped = [p for p in points if p not in front]
+        assert all(any(dominates(f, p) for f in front) for p in dropped)
+
+
+class TestNearFrontier:
+    def test_zero_margin_is_the_frontier(self):
+        points = [pt(0, 10, 1.0), pt(1, 20, 2.0), pt(2, 20, 1.5)]
+        assert near_frontier(points, 0.0) == pareto_frontier(points)
+
+    def test_zero_margin_keeps_lowest_index_duplicate(self):
+        # exact duplicates cannot eliminate each other symmetrically
+        points = [pt(3, 10, 1.0), pt(1, 10, 1.0)]
+        assert [p.index for p in near_frontier(points, 0.0)] == [1]
+
+    def test_margin_keeps_the_band_alive(self):
+        # index 2 is dominated, but only by 4% relative IPC — inside a
+        # 5% trust margin it must survive promotion
+        points = [pt(0, 10, 1.0), pt(1, 20, 2.0), pt(2, 20, 1.93)]
+        assert [p.index for p in near_frontier(points, 0.05)] == [0, 1, 2]
+
+    def test_margin_still_evicts_clear_losers(self):
+        points = [pt(0, 10, 1.0), pt(1, 20, 2.0), pt(2, 20, 1.5)]
+        assert [p.index for p in near_frontier(points, 0.05)] == [0, 1]
+
+    def test_wider_margin_never_keeps_fewer(self):
+        points = [pt(i, 10 + i, 2.0 - 0.1 * i) for i in range(6)]
+        narrow = {p.index for p in near_frontier(points, 0.01)}
+        wide = {p.index for p in near_frontier(points, 0.5)}
+        assert narrow <= wide
+
+    def test_band_always_contains_the_frontier(self):
+        points = [pt(0, 10, 1.0), pt(1, 15, 1.2), pt(2, 20, 2.0),
+                  pt(3, 20, 1.99), pt(4, 25, 1.0)]
+        front = {p.index for p in pareto_frontier(points)}
+        band = {p.index for p in near_frontier(points, 0.1)}
+        assert front <= band
+
+
+class TestFrontiersEqual:
+    def test_equal(self):
+        a = [pt(0, 10, 1.0), pt(1, 20, 2.0)]
+        b = [pt(0, 10, 1.0), pt(1, 20, 2.0)]
+        assert frontiers_equal(a, b)
+
+    @pytest.mark.parametrize("other", [
+        [pt(0, 10, 1.0)],                                  # missing point
+        [pt(1, 20, 2.0), pt(0, 10, 1.0)],                  # reordered
+        [pt(0, 10, 1.0), pt(1, 20, 2.0 + 1e-15)],          # one ulp off
+    ])
+    def test_not_equal(self, other):
+        a = [pt(0, 10, 1.0), pt(1, 20, 2.0)]
+        assert not frontiers_equal(a, other)

@@ -1,0 +1,161 @@
+"""Strategies and promotion selection: deterministic, journal-first."""
+
+import pytest
+
+from repro.explore import (
+    Journal,
+    SearchSpec,
+    score_candidates,
+    select_promotions,
+)
+from repro.spec import RunSpec, WorkloadSpec
+
+BASE = RunSpec(workload=WorkloadSpec("gzip", length=2_000))
+AXES = {"machine.window_size": (16, 32), "machine.width": (2, 4)}
+
+
+class FakeSurrogate:
+    """Deterministic stand-in: IPC is a pure function of the machine."""
+
+    def __init__(self):
+        self.evaluations = 0
+        self.calls = []
+
+    def ipc(self, spec, length=None):
+        self.evaluations += 1
+        self.calls.append((spec.machine.window_size,
+                           spec.machine.width, length))
+        return spec.machine.width + spec.machine.window_size / 100.0
+
+
+def search(**kwargs):
+    return SearchSpec(base=BASE, axes=AXES, **kwargs)
+
+
+def run(spec, surrogate=None, journal=None):
+    surrogate = surrogate if surrogate is not None else FakeSurrogate()
+    journal = journal if journal is not None \
+        else Journal(None, spec.content_key())
+    scores = score_candidates(spec, spec.candidates(), surrogate, journal)
+    return scores, surrogate, journal
+
+
+class TestGrid:
+    def test_scores_every_candidate_at_full_fidelity(self):
+        scores, surrogate, _ = run(search())
+        assert sorted(scores) == [0, 1, 2, 3]
+        assert surrogate.evaluations == 4
+        assert all(length is None for *_, length in surrogate.calls)
+
+    def test_journal_first(self):
+        spec = search()
+        journal = Journal(None, spec.content_key())
+        for index in range(4):
+            journal.record_surrogate(0, index, 9.0 + index)
+        scores, surrogate, _ = run(spec, journal=journal)
+        assert surrogate.evaluations == 0
+        assert scores == {i: 9.0 + i for i in range(4)}
+
+    def test_partial_journal_scores_only_the_gap(self):
+        spec = search()
+        journal = Journal(None, spec.content_key())
+        journal.record_surrogate(0, 1, 9.0)
+        scores, surrogate, _ = run(spec, journal=journal)
+        assert surrogate.evaluations == 3
+        assert scores[1] == 9.0
+
+
+class TestRandom:
+    def test_samples_bound_the_scored_set(self):
+        scores, surrogate, _ = run(search(strategy="random", samples=2))
+        assert len(scores) == 2
+        assert surrogate.evaluations == 2
+
+    def test_same_seed_same_sample(self):
+        a, *_ = run(search(strategy="random", samples=2, seed=3))
+        b, *_ = run(search(strategy="random", samples=2, seed=3))
+        assert a == b
+
+    def test_seed_changes_the_sample(self):
+        samples = {
+            frozenset(run(search(strategy="random", samples=2,
+                                 seed=seed))[0])
+            for seed in range(8)
+        }
+        assert len(samples) > 1
+
+    def test_no_samples_degenerates_to_grid(self):
+        scores, *_ = run(search(strategy="random", seed=1))
+        grid, *_ = run(search())
+        assert scores == grid
+
+
+class TestHalving:
+    def test_fidelity_schedule(self):
+        scores, surrogate, journal = run(search(strategy="halving"))
+        lengths = [length for *_, length in surrogate.calls]
+        # rung 0: everyone at quarter length
+        assert lengths[:4] == [500] * 4
+        # last rung is full fidelity
+        assert lengths[-1] is None
+        rungs = {rung for rung, _ in journal.surrogate}
+        assert rungs == {0, 1, 2}
+
+    def test_survivors_shrink_and_final_scores_cover_them(self):
+        scores, surrogate, journal = run(search(strategy="halving"))
+        rung0 = {i for rung, i in journal.surrogate if rung == 0}
+        final = {i for rung, i in journal.surrogate if rung == 2}
+        assert rung0 == {0, 1, 2, 3}
+        # candidate 2 (window 32, width 2) is margin-band-dominated by
+        # candidate 1 at equal cost and never graduates
+        assert final == {0, 1, 3}
+        assert set(scores) == final
+
+    def test_replay_recomputes_no_scores(self):
+        spec = search(strategy="halving")
+        _, _, journal = run(spec)
+        replayed = Journal(None, spec.content_key())
+        replayed.surrogate = dict(journal.surrogate)
+        scores, surrogate, _ = run(spec, journal=replayed)
+        assert surrogate.evaluations == 0
+        assert set(scores) == {0, 1, 3}
+
+
+class TestSelectPromotions:
+    # grid costs: idx0 (w16,wd2)=74, idx1 (w16,wd4)=90,
+    #             idx2 (w32,wd2)=90, idx3 (w32,wd4)=106
+
+    def test_frontier_then_band_then_top_k(self):
+        spec = search(margin=0.05, top_k=0)
+        scores = {0: 1.0, 1: 2.0, 2: 1.99, 3: 2.5}
+        # exact frontier [0, 1, 3]; idx2 is inside the 5% band of idx1
+        assert select_promotions(spec, spec.candidates(), scores) \
+            == [0, 1, 3, 2]
+
+    def test_clear_losers_stay_unpromoted(self):
+        spec = search(margin=0.05, top_k=0)
+        scores = {0: 1.0, 1: 2.0, 2: 1.5, 3: 2.5}
+        assert select_promotions(spec, spec.candidates(), scores) \
+            == [0, 1, 3]
+
+    def test_top_k_rescues_best_remainder(self):
+        spec = search(margin=0.0, top_k=1)
+        scores = {0: 1.0, 1: 2.0, 2: 1.5, 3: 2.5}
+        assert select_promotions(spec, spec.candidates(), scores) \
+            == [0, 1, 3, 2]
+
+    def test_no_duplicates(self):
+        spec = search(margin=0.5, top_k=4)
+        scores = {0: 1.0, 1: 2.0, 2: 1.99, 3: 2.5}
+        promoted = select_promotions(spec, spec.candidates(), scores)
+        assert len(promoted) == len(set(promoted)) == 4
+
+    def test_deterministic(self):
+        spec = search(margin=0.05, top_k=2)
+        scores = {0: 1.0, 1: 2.0, 2: 1.99, 3: 2.5}
+        first = select_promotions(spec, spec.candidates(), scores)
+        assert all(
+            select_promotions(spec, spec.candidates(), dict(scores))
+            == first
+            for _ in range(3)
+        )

@@ -271,3 +271,60 @@ class TestExtendedModel:
 
         ext = ExtendedFirstOrderModel(BASELINE).evaluate_trace(gzip_trace)
         assert ext.ipc == pytest.approx(1.0 / ext.cpi)
+
+
+class TestNumericPins:
+    """Regression pins: exact values on the deterministic test traces.
+
+    These freeze each extension's arithmetic, not just its shape — a
+    change to any of them must be deliberate (and must update the pin).
+    Traces are seeded and the computations involve no accumulated
+    floating-point reassociation, so equality is tight (``rel=1e-12``).
+    """
+
+    def test_tlb_pins(self, mcf_trace):
+        cfg = TLBConfig(entries=8, miss_penalty=30)
+        profile = collect_tlb_misses(mcf_trace, cfg)
+        assert profile.miss_count == 766
+        assert tlb_cpi(profile, rob_size=128, config=cfg) == pytest.approx(
+            0.225, rel=1e-12)
+
+    def test_branch_burst_pins(self, gzip_profile, branch_model):
+        stats = measure_bursts(gzip_profile, window=64)
+        assert stats.mean_burst_size == pytest.approx(
+            1.9655172413793103, rel=1e-12)
+        assert stats.bracket_share() == pytest.approx(
+            0.5087719298245614, rel=1e-12)
+        assert burst_aware_branch_cpi(
+            gzip_profile, branch_model) == pytest.approx(
+                0.1074758801070016, rel=1e-12)
+
+    def test_fetch_buffer_pins(self):
+        from repro.trace.synthetic import generate_trace
+
+        profile = collect_events(generate_trace("perl", 4_000))
+        pinned = {0: 0.15, 8: 0.075, 16: 0.0}
+        for entries, expected in pinned.items():
+            cpi = icache_cpi_with_buffer(profile, FetchBuffer(entries),
+                                         8, 200, 2.0)
+            assert cpi == pytest.approx(expected, rel=1e-12, abs=1e-15)
+
+    def test_limited_fu_pins(self, gzip_trace):
+        from repro.config import BASELINE
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+
+        pool = FunctionalUnitPool(counts={"ialu": 1, "mem": 1})
+        limited = ExtendedFirstOrderModel(
+            BASELINE, fu_pool=pool).evaluate_trace(gzip_trace)
+        assert limited.base.cpi_steady == pytest.approx(0.5, rel=1e-12)
+        assert limited.cpi == pytest.approx(
+            0.5731763116454505, rel=1e-12)
+
+    def test_extended_model_tlb_pins(self, mcf_trace):
+        from repro.config import BASELINE
+        from repro.extensions.extended_model import ExtendedFirstOrderModel
+
+        ext = ExtendedFirstOrderModel(
+            BASELINE, tlb=TLBConfig(entries=4)).evaluate_trace(mcf_trace)
+        assert ext.cpi_tlb == pytest.approx(0.2325, rel=1e-12)
+        assert ext.cpi == pytest.approx(0.6352371270581091, rel=1e-12)

@@ -8,41 +8,49 @@ from repro.service import evaluations
 from repro.service.protocol import ErrorCode, ProtocolError
 
 
+def norm(op, params):
+    """Normalize flat test params the way the client does: build the
+    spec payload locally (``flat_params_to_spec``) and send only that —
+    the server no longer accepts the flat form."""
+    if op in ("model", "simulate"):
+        chaos = {k: v for k, v in params.items() if k == "chaos"}
+        flat = {k: v for k, v in params.items() if k != "chaos"}
+        return evaluations.normalize_params(
+            op, {"spec": evaluations.flat_params_to_spec(op, flat).to_dict(),
+                 **chaos})
+    return evaluations.normalize_params(op, params)
+
+
 class TestNormalize:
     def test_defaults_fill_in(self):
         from repro.spec import WorkloadSpec
 
-        normalized = evaluations.normalize_params(
-            "model", {"benchmark": "gzip"})
+        normalized = norm("model", {"benchmark": "gzip"})
         workload = normalized["spec"]["workload"]
         assert workload["length"] == evaluations.DEFAULT_LENGTH
         # seed: null is pinned to the profile seed before keying
         assert workload["seed"] == WorkloadSpec("gzip").resolved_seed()
 
-    def test_spec_payload_keys_like_flat_params(self):
-        with pytest.deprecated_call():
-            flat = evaluations.normalize_params(
-                "simulate", {"benchmark": "gzip", "width": 8})
-        spec = evaluations.normalize_params(
-            "simulate", {"spec": flat["spec"]})
-        assert spec == flat
-        assert (evaluations.request_key("simulate", spec)
-                == evaluations.request_key("simulate", flat))
+    def test_normalization_is_idempotent(self):
+        sent = norm("simulate", {"benchmark": "gzip", "width": 8})
+        again = evaluations.normalize_params("simulate", sent)
+        assert again == sent
+        assert (evaluations.request_key("simulate", again)
+                == evaluations.request_key("simulate", sent))
 
     def test_spec_rejects_flat_companions(self):
-        normalized = evaluations.normalize_params(
-            "model", {"benchmark": "gzip"})
+        normalized = norm("model", {"benchmark": "gzip"})
         with pytest.raises(ProtocolError):
             evaluations.normalize_params(
                 "model", {"spec": normalized["spec"], "length": 5})
 
-    def test_flat_params_emit_deprecation(self):
-        with pytest.deprecated_call():
+    def test_flat_params_are_rejected(self):
+        with pytest.raises(ProtocolError, match="'spec'"):
             evaluations.normalize_params("model", {"benchmark": "gzip"})
 
     def test_spelled_out_equals_defaulted(self):
-        short = evaluations.normalize_params("model", {"benchmark": "gzip"})
-        long = evaluations.normalize_params("model", {
+        short = norm("model", {"benchmark": "gzip"})
+        long = norm("model", {
             "benchmark": "gzip", "length": evaluations.DEFAULT_LENGTH,
             "seed": None,
         })
@@ -50,18 +58,17 @@ class TestNormalize:
                 == evaluations.request_key("model", long))
 
     def test_different_questions_key_differently(self):
-        a = evaluations.normalize_params("model", {"benchmark": "gzip"})
-        b = evaluations.normalize_params("model", {"benchmark": "mcf"})
-        c = evaluations.normalize_params("simulate", {"benchmark": "gzip"})
+        a = norm("model", {"benchmark": "gzip"})
+        b = norm("model", {"benchmark": "mcf"})
+        c = norm("simulate", {"benchmark": "gzip"})
         keys = {evaluations.request_key("model", a),
                 evaluations.request_key("model", b),
                 evaluations.request_key("simulate", c)}
         assert len(keys) == 3
 
     def test_config_overrides_change_the_key(self):
-        base = evaluations.normalize_params("model", {"benchmark": "gzip"})
-        wide = evaluations.normalize_params(
-            "model", {"benchmark": "gzip", "width": 8})
+        base = norm("model", {"benchmark": "gzip"})
+        wide = norm("model", {"benchmark": "gzip", "width": 8})
         assert (evaluations.request_key("model", base)
                 != evaluations.request_key("model", wide))
 
@@ -87,7 +94,7 @@ class TestNormalize:
     ])
     def test_bad_params_rejected(self, op, params):
         with pytest.raises(ProtocolError):
-            evaluations.normalize_params(op, params)
+            norm(op, params)
 
     def test_experiment_short_name_normalizes_to_full(self):
         normalized = evaluations.normalize_params(
@@ -97,8 +104,7 @@ class TestNormalize:
 
 class TestEvaluate:
     def test_model_payload(self):
-        params = evaluations.normalize_params(
-            "model", {"benchmark": "gzip", "length": 2000})
+        params = norm("model", {"benchmark": "gzip", "length": 2000})
         payload = evaluations.evaluate("model", params)
         assert payload["cpi"] == pytest.approx(
             payload["cpi_steady"] + payload["cpi_branch"]
@@ -108,8 +114,7 @@ class TestEvaluate:
     def test_simulate_matches_in_process_execution(self):
         from repro.runner.pool import WorkUnit, execute_unit
 
-        params = evaluations.normalize_params(
-            "simulate", {"benchmark": "gzip", "length": 2000})
+        params = norm("simulate", {"benchmark": "gzip", "length": 2000})
         payload = evaluations.evaluate("simulate", params)
         direct = execute_unit(WorkUnit(benchmark="gzip", length=2000))
         assert payload["cycles"] == direct.cycles
@@ -117,11 +122,11 @@ class TestEvaluate:
         assert payload["cpi"] == direct.cpi  # bit-identical, not approx
 
     def test_simulate_with_config_overrides(self):
-        cramped = evaluations.evaluate("simulate", evaluations.normalize_params(
+        cramped = evaluations.evaluate("simulate", norm(
             "simulate",
             {"benchmark": "gzip", "length": 2000,
              "window_size": 8, "rob_size": 16}))
-        base = evaluations.evaluate("simulate", evaluations.normalize_params(
+        base = evaluations.evaluate("simulate", norm(
             "simulate", {"benchmark": "gzip", "length": 2000}))
         assert cramped["cycles"] > base["cycles"]
 
@@ -132,8 +137,7 @@ class TestEvaluate:
         assert payload["worst_abs_error"] >= payload["mean_abs_error"] / 2
 
     def test_run_batch_isolates_failures(self):
-        good = evaluations.normalize_params(
-            "model", {"benchmark": "gzip", "length": 2000})
+        good = norm("model", {"benchmark": "gzip", "length": 2000})
         outcomes = evaluations.run_batch([
             ("model", good, None),
             ("model", {"benchmark": "gzip", "length": -3, "seed": None},
@@ -146,8 +150,7 @@ class TestEvaluate:
     def test_run_batch_publishes_keyed_responses(self):
         from repro.runner import artifacts
 
-        params = evaluations.normalize_params(
-            "model", {"benchmark": "gzip", "length": 2000})
+        params = norm("model", {"benchmark": "gzip", "length": 2000})
         key = evaluations.request_key("model", params)
         found, _ = artifacts.probe_artifact("response", key)
         assert not found

@@ -27,6 +27,13 @@ from repro.service import (
 LENGTH = 2_000
 
 
+def _wire(op, params):
+    """Flat test params -> the spec payload the server accepts."""
+    from repro.service.client import _spec_payload
+
+    return _spec_payload(op, params)
+
+
 def _http(service, method: str, path: str, body: bytes | None = None):
     conn = http.client.HTTPConnection(service.host, service.port, timeout=30)
     conn.request(method, path, body=body)
@@ -81,10 +88,12 @@ class TestCorrectness:
 
     def test_repeat_query_served_from_persistent_cache(self, service):
         with ServiceClient(service.host, service.port) as client:
-            first = client.request("simulate",
-                                   {"benchmark": "vpr", "length": LENGTH})
-            again = client.request("simulate",
-                                   {"benchmark": "vpr", "length": LENGTH})
+            first = client.request(
+                "simulate",
+                _wire("simulate", {"benchmark": "vpr", "length": LENGTH}))
+            again = client.request(
+                "simulate",
+                _wire("simulate", {"benchmark": "vpr", "length": LENGTH}))
         assert first["meta"]["served_from"] == "computed"
         assert again["meta"]["served_from"] == "cache"
         assert again["result"] == first["result"]
@@ -103,8 +112,8 @@ class TestDedup:
     def test_identical_concurrent_requests_compute_once(self, service):
         from repro.telemetry.metrics import metrics_registry
 
-        params = {"benchmark": "mcf", "length": LENGTH,
-                  "chaos": {"sleep": 0.4}}
+        params = _wire("simulate", {"benchmark": "mcf", "length": LENGTH,
+                                    "chaos": {"sleep": 0.4}})
         responses = []
         lock = threading.Lock()
 
@@ -138,8 +147,9 @@ class TestBackpressure:
             lock = threading.Lock()
 
             def hit(seed):
-                params = {"benchmark": "gzip", "length": LENGTH,
-                          "seed": seed, "chaos": {"sleep": 0.4}}
+                params = _wire("simulate", {
+                    "benchmark": "gzip", "length": LENGTH,
+                    "seed": seed, "chaos": {"sleep": 0.4}})
                 with ServiceClient(service.host, service.port) as client:
                     response = client.request("simulate", params)
                 with lock:
@@ -164,8 +174,8 @@ class TestWorkerCrash:
         from repro.telemetry.metrics import metrics_registry
 
         flag = tmp_path / "killed-once"
-        params = {"benchmark": "vortex", "length": LENGTH,
-                  "chaos": {"kill_once": str(flag)}}
+        params = _wire("simulate", {"benchmark": "vortex", "length": LENGTH,
+                                    "chaos": {"kill_once": str(flag)}})
         with ServiceClient(service.host, service.port) as client:
             response = client.request("simulate", params)
         assert response["ok"], response
@@ -181,8 +191,9 @@ class TestWorkerCrash:
         config = SchedulerConfig(workers=1, retries=1,
                                  retry_backoff_s=0.01)
         with BackgroundServer(config=config) as service:
-            params = {"benchmark": "gzip", "length": LENGTH,
-                      "chaos": {"kill": True}}  # dies on every attempt
+            params = _wire("simulate", {
+                "benchmark": "gzip", "length": LENGTH,
+                "chaos": {"kill": True}})  # dies on every attempt
             with ServiceClient(service.host, service.port) as client:
                 response = client.request("simulate", params)
         assert not response["ok"]
@@ -192,8 +203,8 @@ class TestWorkerCrash:
 
 class TestTimeouts:
     def test_slow_request_times_out(self, service):
-        params = {"benchmark": "gzip", "length": LENGTH,
-                  "chaos": {"sleep": 5.0}}
+        params = _wire("simulate", {"benchmark": "gzip", "length": LENGTH,
+                                    "chaos": {"sleep": 5.0}})
         with ServiceClient(service.host, service.port) as client:
             response = client.request("simulate", params, timeout=0.2)
         assert not response["ok"]
@@ -221,7 +232,8 @@ class TestHTTP:
 
     def test_eval_over_http(self, service):
         frame = {"op": "model",
-                 "params": {"benchmark": "gzip", "length": LENGTH}}
+                 "params": _wire("model",
+                                 {"benchmark": "gzip", "length": LENGTH})}
         response, body = _http(service, "POST", "/v1/eval",
                                json.dumps(frame).encode())
         doc = json.loads(body)
@@ -258,10 +270,12 @@ class TestProtocolOverTheWire:
 
     def test_interleaved_ids_route_to_their_requests(self, service):
         with ServiceClient(service.host, service.port) as client:
-            a = client.request("model",
-                               {"benchmark": "gzip", "length": LENGTH})
-            b = client.request("model",
-                               {"benchmark": "mcf", "length": LENGTH})
+            a = client.request(
+                "model",
+                _wire("model", {"benchmark": "gzip", "length": LENGTH}))
+            b = client.request(
+                "model",
+                _wire("model", {"benchmark": "mcf", "length": LENGTH}))
         assert a["result"]["benchmark"] == "gzip"
         assert b["result"]["benchmark"] == "mcf"
 

@@ -1,4 +1,9 @@
-"""The one-release compatibility shims, each pinned by an explicit test."""
+"""The PR-4 compatibility shims are gone; these tests pin the removals.
+
+Each class documents one retired shim and asserts the post-removal
+contract: legacy spellings fail loudly (no silent misbehaviour), and
+the behaviours the shims were bridging toward are the only ones left.
+"""
 
 from __future__ import annotations
 
@@ -19,12 +24,12 @@ def fresh_cache(tmp_path, monkeypatch):
     reset_cache_stats()
 
 
-class TestCachedTraceShim:
-    def test_legacy_positional_form_warns_and_matches(self):
-        spec_form = cached_trace(WorkloadSpec("gzip", length=600))
-        with pytest.deprecated_call():
-            legacy_form = cached_trace("gzip", 600)
-        assert legacy_form is spec_form  # same lru_cache slot
+class TestCachedTraceSpecOnly:
+    def test_legacy_positional_form_is_rejected(self):
+        with pytest.raises(TypeError):
+            cached_trace("gzip", 600)
+        with pytest.raises(TypeError, match="WorkloadSpec"):
+            cached_trace("gzip")
 
     def test_seed_aliasing_is_gone(self):
         # seed=None and the profile's explicit seed share one slot
@@ -38,12 +43,15 @@ class TestCachedTraceShim:
             cached_trace(WorkloadSpec("gzip"), 600)
 
 
-class TestEngineEnvShim:
-    def test_env_only_selection_warns_but_works(self, monkeypatch):
+class TestEngineEnvSelection:
+    def test_env_selection_is_silent(self, monkeypatch):
+        import warnings
+
         from repro.fastpath import default_engine
 
         monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
-        with pytest.deprecated_call():
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             assert default_engine() == "reference"
 
     def test_unset_env_is_silent(self, monkeypatch):
@@ -75,53 +83,47 @@ class TestEngineEnvShim:
             assert resolve_engine(EngineSpec(engine="fast")) == "fast"
 
 
-class TestServiceParamsShim:
-    def test_flat_params_warn_and_normalize_like_spec(self):
+class TestServiceSpecOnlyParams:
+    def test_flat_model_params_are_rejected(self):
+        from repro.service import evaluations
+        from repro.service.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError, match="'spec'"):
+            evaluations.normalize_params(
+                "model", {"benchmark": "gzip", "length": 2_000})
+
+    def test_spec_params_normalize(self):
         from repro.service import evaluations
 
-        with pytest.deprecated_call():
-            flat = evaluations.normalize_params(
-                "model", {"benchmark": "gzip", "length": 2_000})
-        spec_sent = evaluations.normalize_params(
-            "model", {"spec": flat["spec"]})
-        assert spec_sent == flat
+        spec = evaluations.flat_params_to_spec(
+            "model", {"benchmark": "gzip", "length": 2_000})
+        sent = evaluations.normalize_params("model", {"spec": spec.to_dict()})
+        assert sent["spec"]["workload"]["benchmark"] == "gzip"
 
 
-class TestLegacyCacheKeys:
-    def test_legacy_keyed_artifact_migrates_forward(self):
+class TestSpecOnlyCacheKeys:
+    def test_compat_probe_is_gone(self):
         from repro.runner import artifacts
 
-        legacy_recipe = {"benchmark": "gzip", "length": 600, "seed": None}
-        new_recipe = WorkloadSpec("gzip", length=600).canonical()
-        legacy_key = artifacts.artifact_key("trace", legacy_recipe)
-        new_key = artifacts.artifact_key("trace", new_recipe)
-        assert legacy_key != new_key
+        assert not hasattr(artifacts, "cached_artifact_compat")
 
-        # a cache populated by the previous release holds the legacy key
-        artifacts.store_artifact("trace", legacy_key, "payload")
-        value = artifacts.cached_artifact_compat(
-            "trace", new_recipe, legacy_recipe,
-            lambda: pytest.fail("legacy hit must not recompute"))
-        assert value == "payload"
-        # and the hit migrated the artifact under the new key
-        found, migrated = artifacts.probe_artifact("trace", new_key)
-        assert found and migrated == "payload"
-
-    def test_trace_artifact_serves_pre_spec_caches(self):
+    def test_trace_artifact_uses_canonical_key_only(self):
         from repro.runner import artifacts
 
-        legacy_key = artifacts.artifact_key(
-            "trace", {"benchmark": "gzip", "length": 600, "seed": None})
         trace = artifacts.trace_artifact("gzip", 600, None)
-        artifacts.reset_cache_stats()
-        # wipe the new-format entry, keep only a legacy-format one
         new_key = artifacts.artifact_key(
             "trace", WorkloadSpec("gzip", length=600).canonical())
-        store = artifacts.cache_root() / "trace"
-        for path in store.rglob(f"{new_key}*"):
+        found, stored = artifacts.probe_artifact("trace", new_key)
+        assert found and len(stored) == len(trace)
+
+        # a legacy-shaped entry is never probed: wipe the canonical one
+        # and the artifact is regenerated, not served from the old key
+        legacy_key = artifacts.artifact_key(
+            "trace", {"benchmark": "gzip", "length": 600, "seed": None})
+        artifacts.store_artifact("trace", legacy_key, "stale-payload")
+        for path in (artifacts.cache_root() / "trace").rglob(f"{new_key}*"):
             path.unlink()
-        artifacts.store_artifact("trace", legacy_key, trace)
+        artifacts.reset_cache_stats()
         again = artifacts.trace_artifact("gzip", 600, None)
-        stats = artifacts.cache_stats()
-        assert stats.hits.get("trace") == 1  # served, not regenerated
+        assert artifacts.cache_stats().misses.get("trace") == 1
         assert len(again) == len(trace)

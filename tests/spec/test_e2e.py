@@ -76,14 +76,17 @@ def test_engines_share_the_spec_and_the_result():
                 spec, engine=EngineSpec(engine="reference")).content_key())
 
 
-def test_service_flat_and_spec_requests_coalesce_to_one_key():
+def test_service_spec_variants_coalesce_to_one_key():
     from repro.service import evaluations
 
     spec = RunSpec(workload=WorkloadSpec("gzip", length=LENGTH))
-    with pytest.deprecated_call():
-        flat = evaluations.normalize_params(
+    partial = {"workload": {"benchmark": "gzip", "length": LENGTH}}
+    sent = evaluations.normalize_params("simulate", {"spec": spec.to_dict()})
+    sent_partial = evaluations.normalize_params("simulate", {"spec": partial})
+    # a partial spec and the same spec with defaults spelled out are the
+    # same request — and the only accepted form is {"spec": ...}
+    assert (evaluations.request_key("simulate", sent)
+            == evaluations.request_key("simulate", sent_partial))
+    with pytest.raises(Exception):
+        evaluations.normalize_params(
             "simulate", {"benchmark": "gzip", "length": LENGTH})
-    spec_sent = evaluations.normalize_params(
-        "simulate", {"spec": spec.to_dict()})
-    assert (evaluations.request_key("simulate", flat)
-            == evaluations.request_key("simulate", spec_sent))

@@ -21,15 +21,15 @@ PACKAGES = [
     "repro.frontend", "repro.window", "repro.core", "repro.simulator",
     "repro.experiments", "repro.extensions", "repro.statsim",
     "repro.telemetry", "repro.util", "repro.runner", "repro.service",
-    "repro.spec",
+    "repro.spec", "repro.explore",
 ]
 
 
 class TestDocumentsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/MODEL.md",
-        "docs/CONFIGURATION.md", "examples/baseline_spec.json",
-        "LICENSE", "pyproject.toml",
+        "docs/CONFIGURATION.md", "docs/EXPLORATION.md",
+        "examples/baseline_spec.json", "LICENSE", "pyproject.toml",
     ])
     def test_document_present_and_nonempty(self, name):
         path = REPO / name
