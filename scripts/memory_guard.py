@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI guard: streaming pipeline peak memory is O(chunk), not O(trace).
+
+Runs the functional frontend and the detailed engine over a long trace
+through the chunked streaming substrate (``docs/TRACE.md``) and asserts,
+via :mod:`tracemalloc`, that peak Python allocation stays a small
+multiple of one chunk's payload footprint — orders of magnitude below
+what materializing the whole trace would cost.  This is the property
+that makes 10^7-instruction workloads routine; the guard fails loudly
+if anyone reintroduces a whole-trace materialization on the streaming
+path.
+
+Usage::
+
+    PYTHONPATH=src python scripts/memory_guard.py [--length N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import tracemalloc
+
+from repro.config import BASELINE
+from repro.simulator.streaming import simulate_stream
+from repro.trace.chunks import TraceChunkStream, chunk_layout
+from repro.trace.profiles import get_profile
+from repro.trace.vectorgen import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkedTraceGenerator,
+    stream_chunks,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=1_000_000)
+    parser.add_argument("--benchmark", default="gzip")
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
+    parser.add_argument(
+        "--budget-chunks", type=float, default=40.0,
+        help="allowed peak allocation, in chunk-payload multiples "
+             "(the engine stages each chunk as Python lists, so the "
+             "constant is well above the compact payload bytes)",
+    )
+    parser.add_argument(
+        "--growth-limit", type=float, default=1.25,
+        help="allowed peak growth between the short and the full run; "
+             "an O(trace) allocation would grow ~4x",
+    )
+    args = parser.parse_args(argv)
+
+    # one chunk's payload footprint, measured rather than assumed
+    probe = next(iter(
+        ChunkedTraceGenerator(get_profile(args.benchmark))
+        .chunks(args.chunk_size, chunk_size=args.chunk_size)
+    ))
+    chunk_bytes = chunk_layout(probe)["payload_bytes"]
+
+    def run(length):
+        # a cache-independent stream: every pass regenerates, so the
+        # guard exercises generation + functional pass + detailed
+        # engine — the full streaming pipeline, nothing served from mmap
+        stream = TraceChunkStream(
+            lambda: stream_chunks(args.benchmark, length,
+                                  chunk_size=args.chunk_size),
+            name=args.benchmark, length=length, chunk_size=args.chunk_size,
+        )
+        tracemalloc.start()
+        result = simulate_stream(stream, BASELINE, instrument=False)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return result, peak
+
+    # O(chunk) means peak is flat in trace length: measure at a quarter
+    # of the target length and at the full length, and require both an
+    # absolute ceiling and (the sharper check) near-zero growth
+    short_length = max(args.length // 4, 2 * args.chunk_size)
+    _, short_peak = run(short_length)
+    result, peak = run(args.length)
+    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    budget = args.budget_chunks * chunk_bytes
+    growth = peak / short_peak
+    print(f"instructions     {args.length:,} "
+          f"(short run: {short_length:,})")
+    print(f"chunk payload    {chunk_bytes / 2**20:.2f} MiB "
+          f"({args.chunk_size:,} instructions)")
+    print(f"peak allocation  {peak / 2**20:.2f} MiB "
+          f"({peak / chunk_bytes:.1f} chunk footprints); "
+          f"short run {short_peak / 2**20:.2f} MiB")
+    print(f"peak growth      {growth:.2f}x over a "
+          f"{args.length / short_length:.1f}x longer trace "
+          f"(limit {args.growth_limit:g}x)")
+    print(f"budget           {budget / 2**20:.2f} MiB "
+          f"({args.budget_chunks:g} chunks)")
+    print(f"process max RSS  {rss_kib / 2**10:.1f} MiB")
+    print(f"cycles           {result.cycles:,}  "
+          f"CPI {result.cycles / args.length:.3f}")
+
+    if peak > budget:
+        print("FAIL: streaming peak exceeds the O(chunk) budget",
+              file=sys.stderr)
+        return 1
+    if growth > args.growth_limit:
+        print("FAIL: peak grows with trace length — an O(trace) "
+              "allocation is back on the streaming path",
+              file=sys.stderr)
+        return 1
+    print("OK: peak memory is O(chunk)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,15 +143,36 @@ def cmd_model(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    engine_overrides: dict = {"instrument": True}
+    if getattr(args, "stream", False):
+        engine_overrides["stream"] = True
+    if getattr(args, "chunk_size", None) is not None:
+        engine_overrides["chunk_size"] = args.chunk_size
     spec = _resolved_spec(args, benchmark=args.benchmark,
-                          extra={"engine": {"instrument": True}})
+                          extra={"engine": engine_overrides})
     if _maybe_dump_spec(args, spec):
         return 0
     workload = spec.workload
-    trace = generate_trace(workload.benchmark, workload.length,
-                           workload.seed)
-    sim = DetailedSimulator.from_spec(spec)
-    result = sim.run(trace)
+    if spec.engine.stream:
+        from repro.runner import artifacts
+        from repro.simulator.processor import resolve_telemetry
+        from repro.simulator.streaming import simulate_stream
+        from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+        stream = artifacts.trace_chunk_stream(
+            workload.benchmark, workload.length, workload.seed,
+            chunk_size=spec.engine.chunk_size or DEFAULT_CHUNK_SIZE)
+        tele = resolve_telemetry(spec.telemetry)
+        result = simulate_stream(
+            stream, spec.machine.to_config(),
+            instrument=spec.engine.instrument,
+            telemetry=tele if tele is not None else False)
+    else:
+        trace = generate_trace(workload.benchmark, workload.length,
+                               workload.seed)
+        sim = DetailedSimulator.from_spec(spec)
+        result = sim.run(trace)
+        tele = sim.last_telemetry  # set when REPRO_TELEMETRY was
     print(f"{args.benchmark}: {result.instructions} instructions in "
           f"{result.cycles} cycles — CPI {result.cpi:.3f} "
           f"(IPC {result.ipc:.2f})")
@@ -162,9 +183,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if instr is not None:
         frac = instr.fraction_of_cycles_at_issue(spec.machine.width)
         print(f"  cycles at full issue width: {frac:.1%}")
-    if sim.last_telemetry is not None:  # REPRO_TELEMETRY was set
+    if tele is not None:
         print()
-        print(sim.last_telemetry.report.stack.render())
+        print(tele.report.stack.render())
     return 0
 
 
@@ -505,6 +526,63 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.isa.opclass import OpClass
+    from repro.runner import artifacts
+    from repro.trace.chunks import chunk_content_key
+    from repro.trace.trace import _COLUMNS
+    from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+    cs = args.chunk_size or DEFAULT_CHUNK_SIZE
+    stream = artifacts.trace_chunk_stream(
+        args.benchmark, args.length, args.seed, chunk_size=cs)
+    n = len(stream)
+    class_counts = np.zeros(len(OpClass), dtype=np.int64)
+    keys: list[str] = []
+    sizes: list[int] = []
+    mem_bytes = 0
+    for chunk in stream:
+        keys.append(chunk_content_key(chunk))
+        sizes.append(len(chunk))
+        class_counts += np.bincount(chunk.opclass.astype(np.int64),
+                                    minlength=len(OpClass))
+        mem_bytes += sum(getattr(chunk, col).nbytes for col, _ in _COLUMNS)
+
+    per_instr = sum(np.dtype(d).itemsize for _, d in _COLUMNS)
+    print(f"{stream.name}: {n} instructions, chunk size "
+          f"{stream.chunk_size} ({stream.num_chunks} chunks)")
+    print(f"  columns ({per_instr} B/instruction): "
+          + " ".join(f"{col}:{np.dtype(dtype).name}"
+                     for col, dtype in _COLUMNS))
+    print(f"  column bytes: {mem_bytes / 1e6:.1f} MB total; one "
+          f"{stream.chunk_size}-instruction chunk resident at a time = "
+          f"{min(stream.chunk_size, n) * per_instr / 1e6:.1f} MB peak")
+    print("  mix: " + ", ".join(
+        f"{OpClass(c).name.lower()} {class_counts[c] / n:.1%}"
+        for c in range(len(OpClass)) if class_counts[c]))
+    if artifacts.cache_enabled():
+        stored = 0
+        on_disk = 0
+        for key in set(keys):
+            path = artifacts.chunk_payload_path(key)
+            if path.exists():
+                stored += 1
+                on_disk += path.stat().st_size
+        dedup = len(keys) - len(set(keys))
+        shared = f", {dedup} chunk(s) deduplicated" if dedup else ""
+        print(f"  chunk cache: {stored}/{len(set(keys))} payloads on disk, "
+              f"{on_disk / 1e6:.1f} MB under "
+              f"{artifacts.cache_root() / 'chunks'} (mmap-served{shared})")
+    else:
+        print("  chunk cache: disabled — chunks regenerate on every pass")
+    print(f"  {'chunk':>5s} {'instructions':>12s}  content key")
+    for i, (key, size) in enumerate(zip(keys, sizes)):
+        print(f"  {i:5d} {size:12d}  {key}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import SchedulerConfig, serve
 
@@ -663,6 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_spec(p)
     p.add_argument("--engine", choices=("fast", "reference"), default=None,
                    help="simulation engine (default: spec/env, else fast)")
+    p.add_argument("--stream", action="store_true",
+                   help="run the O(chunk)-memory streaming pipeline "
+                        "(bit-identical results at any workload length)")
+    p.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
+                   help="streaming chunk granularity in instructions "
+                        "(default 65536)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="model vs simulation CPI table")
@@ -780,6 +864,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the registry as JSON instead of text")
     add_spec(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "trace-info",
+        help="inspect a workload's chunked trace substrate "
+             "(see docs/TRACE.md)",
+    )
+    add_bench(p)
+    p.add_argument("--seed", type=int, default=None,
+                   help="trace RNG seed (default: the profile's)")
+    p.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
+                   help="chunk granularity in instructions (default 65536)")
+    p.set_defaults(func=cmd_trace_info)
 
     p = sub.add_parser(
         "serve",

@@ -65,9 +65,17 @@ class PassTallies:
 
 
 class FastPassPlan:
-    """Trace- and config-dependent precomputation shared by all passes."""
+    """Trace- and config-dependent precomputation shared by all passes.
 
-    def __init__(self, trace: Trace, config: "CollectorConfig"):
+    ``prev_line`` supports chunk-at-a-time streaming: for any chunk but
+    the first of a pass, it carries the previous chunk's last fetch line
+    so the boundary transition is computed exactly as the reference pass
+    would across the seam.  ``None`` (the default) is the start-of-pass
+    sentinel — the first instruction always opens a new fetch line.
+    """
+
+    def __init__(self, trace: Trace, config: "CollectorConfig",
+                 prev_line: int | None = None):
         hier = config.hierarchy
         n = len(trace)
         pc = trace.pc
@@ -76,9 +84,14 @@ class FastPassPlan:
 
         lines = pc // hier.l1i.line_bytes
         tr = np.empty(n, dtype=bool)
-        tr[0] = True  # the per-pass last_line sentinel always misses here
+        if prev_line is None:
+            tr[0] = True  # the per-pass last_line sentinel always misses
+        else:
+            tr[0] = bool(lines[0] != prev_line)
         np.not_equal(lines[1:], lines[:-1], out=tr[1:])
         self.n_transitions = int(tr.sum())
+        #: last fetch line of this chunk — the next chunk's ``prev_line``
+        self.last_line = int(lines[-1])
 
         is_load = op == int(OpClass.LOAD)
         is_store = op == int(OpClass.STORE)

@@ -316,17 +316,183 @@ def trace_artifact(benchmark: str, length: int, seed: int | None = None):
     deterministic baseline every experiment shares.  Keys carry the
     *resolved* seed (via :class:`repro.spec.WorkloadSpec`), so the two
     spellings of the default share one cache entry.
+
+    Misses route through the chunk store: the trace is generated (or
+    mmap-served) chunk-wise by :func:`trace_chunk_stream` — publishing
+    the content-addressed payloads as a side effect, so a later
+    streaming run of the same workload mmaps them — and materialized
+    for this whole-trace contract.  Generation is the vectorized
+    chunked generator, byte-identical to the original scalar generator
+    (an equivalence the test suite enforces per profile).
     """
     from repro.spec.specs import WorkloadSpec
-    from repro.trace.synthetic import generate_trace
 
     workload = WorkloadSpec(benchmark, length, seed)
     resolved = workload.resolved_seed()
     return cached_artifact(
         "trace",
         workload.canonical(),
-        lambda: generate_trace(benchmark, length, resolved),
+        lambda: trace_chunk_stream(benchmark, length, resolved).materialize(),
     )
+
+
+# -- the chunk store ---------------------------------------------------------
+#
+# Long traces are cached *chunk-wise*: each chunk is one mmap-able
+# ``.rtc`` container stored under its own content hash, and a tiny
+# manifest (a normal pickled artifact of kind ``trace_chunks``) maps a
+# workload recipe to its ordered chunk keys.  Because payloads are
+# content-addressed, byte-identical chunks deduplicate across recipes
+# (e.g. the same workload requested under two chunk-compatible recipes).
+# Note that *different lengths do not share prefix chunks*: the seed
+# generator sizes its address pools from the total length, so the
+# instruction stream itself differs from the first chunk on — see
+# docs/TRACE.md.
+
+
+def chunk_payload_path(key: str) -> Path:
+    """On-disk location of a content-addressed chunk payload."""
+    return cache_root() / "chunks" / key[:2] / f"{key}.rtc"
+
+
+def _manifest_recipe(workload, chunk_size: int) -> dict:
+    return workload.canonical() | {"chunk_size": int(chunk_size)}
+
+
+def trace_chunk_manifest(benchmark: str, length: int | None = None,
+                         seed: int | None = None,
+                         chunk_size: int | None = None):
+    """The stored chunk manifest for a workload, or ``None``.
+
+    The manifest is a dict with ``name``, ``length``, ``chunk_size``,
+    ``keys`` (ordered content keys) and ``sizes`` (instructions per
+    chunk); it never contains trace bytes.
+    """
+    from repro.spec.specs import WorkloadSpec
+    from repro.trace.profiles import get_profile
+    from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+    profile = get_profile(benchmark)
+    n = profile.default_length if length is None else int(length)
+    cs = DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
+    workload = WorkloadSpec(benchmark, n, seed)
+    key = artifact_key("trace_chunks", _manifest_recipe(workload, cs))
+    found, manifest = probe_artifact("trace_chunks", key)
+    return manifest if found else None
+
+
+def trace_chunk_stream(benchmark: str, length: int | None = None,
+                       seed: int | None = None,
+                       chunk_size: int | None = None,
+                       mmap: bool = True):
+    """A cached :class:`~repro.trace.chunks.TraceChunkStream`.
+
+    First use generates the trace chunk-by-chunk (O(chunk) peak memory),
+    publishing each chunk as a content-addressed container plus one
+    manifest.  Later uses mmap the stored chunks — no generation and no
+    materialized copy.  A corrupted or torn chunk is detected on read;
+    the stream transparently regenerates from the start of the stream,
+    re-publishes the damaged payloads, and keeps yielding — consumers
+    never observe the corruption.
+    """
+    from repro.spec.specs import WorkloadSpec
+    from repro.trace.chunks import TraceChunkStream
+    from repro.trace.profiles import get_profile
+    from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+    profile = get_profile(benchmark)
+    n = profile.default_length if length is None else int(length)
+    cs = DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
+    if cs <= 0:
+        raise ValueError("chunk_size must be positive")
+    workload = WorkloadSpec(benchmark, n, seed)
+    resolved = workload.resolved_seed()
+
+    def generate():
+        from repro.trace.vectorgen import ChunkedTraceGenerator
+
+        gen = ChunkedTraceGenerator(profile)
+        return gen.chunks(length=n, seed=resolved, chunk_size=cs)
+
+    def source():
+        if not cache_enabled():
+            yield from generate()
+            return
+        try:
+            manifest_key = artifact_key(
+                "trace_chunks", _manifest_recipe(workload, cs))
+        except UncacheableError:
+            _STATS.uncacheable += 1
+            yield from generate()
+            return
+        manifest = _load("trace_chunks", manifest_key)
+        if manifest is not _MISS:
+            _STATS._bump(_STATS.hits, "trace_chunks")
+            yield from _serve_chunks(manifest, benchmark, generate, mmap)
+            return
+        _STATS._bump(_STATS.misses, "trace_chunks")
+        keys: list[str] = []
+        sizes: list[int] = []
+        for chunk in generate():
+            keys.append(_publish_chunk(chunk))
+            sizes.append(len(chunk))
+            yield chunk
+        _store("trace_chunks", manifest_key, {
+            "name": benchmark, "length": n, "chunk_size": cs,
+            "keys": keys, "sizes": sizes,
+        })
+
+    return TraceChunkStream(source, name=benchmark, length=n, chunk_size=cs)
+
+
+def _publish_chunk(chunk, force: bool = False) -> str:
+    """Store one chunk container under its content key (idempotent).
+
+    ``force`` overwrites an existing payload — used when recovering
+    from a corrupt container, whose path is its (stale) content key.
+    """
+    from repro.trace.chunks import chunk_content_key, write_chunk
+
+    key = chunk_content_key(chunk)
+    path = chunk_payload_path(key)
+    if force or not path.exists():
+        try:
+            write_chunk(path, chunk)
+        except OSError as exc:
+            _log.warning("could not store chunk %s: %s", key, exc)
+            _STATS.errors += 1
+    return key
+
+
+def _serve_chunks(manifest: dict, name: str, generate, mmap: bool):
+    """Yield a manifest's chunks from disk, regenerating through any
+    corrupted/torn payload."""
+    from repro.trace.chunks import ChunkCorruptError, read_chunk
+
+    keys = manifest["keys"]
+    failed_at: int | None = None
+    for idx, key in enumerate(keys):
+        try:
+            chunk = read_chunk(chunk_payload_path(key), name=name, mmap=mmap)
+            if len(chunk) != manifest["sizes"][idx]:
+                raise ChunkCorruptError(
+                    f"chunk {key}: {len(chunk)} != {manifest['sizes'][idx]}"
+                )
+        except ChunkCorruptError as exc:
+            _log.warning("chunk cache: %s; regenerating stream", exc)
+            _STATS.errors += 1
+            failed_at = idx
+            break
+        yield chunk
+    if failed_at is None:
+        return
+    # replay the generator from the top (sequential state), discard the
+    # chunks already served, republish and serve the rest
+    for idx, chunk in enumerate(generate()):
+        if idx < failed_at:
+            continue
+        _publish_chunk(chunk, force=True)
+        yield chunk
 
 
 def annotations_artifact(

@@ -40,8 +40,10 @@ DEFAULT_TRACE_LENGTH = 30_000
 
 #: schema of the emitted JSON document (2 added the ``telemetry``
 #: overhead section; 3 added the ``service`` scenario; 4 added the
-#: ``explore`` scenario)
-BENCH_SCHEMA = 4
+#: ``explore`` scenario; 5 added per-benchmark generation throughput —
+#: ``gen_fast_s``/``gen_mi_s``, vectorized vs the scalar ``gen_s`` —
+#: and the ``trace`` streaming-substrate scenario)
+BENCH_SCHEMA = 5
 
 
 def _best_of(runs: int, fn) -> float:
@@ -60,11 +62,21 @@ _cache_disabled = _env.cache_disabled_scope
 
 
 def _pipeline(benchmark: str, length: int, engine: str) -> None:
-    """One seed-style end-to-end run: generate, annotate, simulate."""
-    from repro.simulator.processor import DetailedSimulator
-    from repro.trace.synthetic import generate_trace
+    """One seed-style end-to-end run: generate, annotate, simulate.
 
-    trace = generate_trace(benchmark, length)
+    The fast pipeline generates through the vectorized chunked core —
+    the generator the optimized stack actually uses — while the
+    reference pipeline keeps the seed's scalar generator.
+    """
+    from repro.simulator.processor import DetailedSimulator
+    from repro.trace.profiles import get_profile
+    from repro.trace.synthetic import generate_trace
+    from repro.trace.vectorgen import ChunkedTraceGenerator
+
+    if engine == "fast":
+        trace = ChunkedTraceGenerator(get_profile(benchmark)).generate(length)
+    else:
+        trace = generate_trace(benchmark, length)
     sim = DetailedSimulator(BASELINE, engine=engine)
     sim.run(trace)
 
@@ -75,7 +87,9 @@ def bench_kernels(
     """Per-benchmark, per-phase best-of-N timings for both kernels."""
     from repro.frontend.collector import CollectorConfig, MissEventCollector
     from repro.simulator.processor import DetailedSimulator
+    from repro.trace.profiles import get_profile
     from repro.trace.synthetic import generate_trace
+    from repro.trace.vectorgen import ChunkedTraceGenerator
 
     collector_cfg = CollectorConfig(
         hierarchy=BASELINE.hierarchy,
@@ -96,10 +110,14 @@ def bench_kernels(
             for engine in ("reference", "fast")
         }
         result = sims["fast"].run(trace, annotations)
+        chunked = ChunkedTraceGenerator(get_profile(name))
         row = {
             "cycles": result.cycles,
             "gen_s": _best_of(runs, lambda: generate_trace(name, length)),
+            "gen_fast_s": _best_of(runs, lambda: chunked.generate(length)),
         }
+        row["gen_mi_s"] = length / 1e6 / row["gen_fast_s"]
+        row["gen_speedup"] = row["gen_s"] / row["gen_fast_s"]
         for engine in ("reference", "fast"):
             coll = MissEventCollector(collector_cfg, engine=engine)
             row[f"functional_{engine}_s"] = _best_of(
@@ -357,6 +375,100 @@ def bench_explore(length: int, jobs, progress=None) -> dict:
     }
 
 
+def bench_trace(benchmarks, length: int, runs: int, progress=None) -> dict:
+    """The chunked streaming trace substrate, end to end (schema 5).
+
+    One benchmark, one long trace, four numbers: scalar reference
+    generation throughput (measured at a capped length — the scalar
+    loop is the reason the cap exists), cold vectorized chunked
+    generation, warm mmap delivery out of the content-addressed chunk
+    cache, and a streaming detailed simulation whose peak memory stays
+    O(chunk).  The scenario length scales with ``length`` so ``--quick``
+    CI invocations stay cheap; at the default length it is the
+    10^6-instruction scenario the committed BENCH_perf.json records.
+    """
+    import numpy as np
+
+    from repro.simulator.streaming import simulate_stream
+    from repro.trace.profiles import get_profile
+    from repro.trace.synthetic import SyntheticTraceGenerator
+    from repro.trace.trace import _COLUMNS
+    from repro.trace.vectorgen import (
+        DEFAULT_CHUNK_SIZE,
+        ChunkedTraceGenerator,
+    )
+
+    benchmark = benchmarks[0]
+    profile = get_profile(benchmark)
+    stream_length = (1_000_000 if length >= DEFAULT_TRACE_LENGTH
+                     else max(8 * length, 2 * DEFAULT_CHUNK_SIZE))
+    ref_length = min(stream_length, 200_000)
+    mi = stream_length / 1e6
+
+    if progress:
+        progress(f"trace: scalar reference generation "
+                 f"({ref_length:,} instructions)")
+    ref_s = _best_of(
+        runs, lambda: SyntheticTraceGenerator(profile).generate(ref_length)
+    )
+
+    if progress:
+        progress(f"trace: cold chunked generation "
+                 f"({stream_length:,} instructions)")
+    gen = ChunkedTraceGenerator(profile)
+
+    def cold():
+        for _ in gen.chunks(stream_length):
+            pass
+
+    cold_s = _best_of(runs, cold)
+
+    if progress:
+        progress("trace: warm delivery from the chunk cache")
+    stream = artifacts.trace_chunk_stream(
+        benchmark, stream_length, chunk_size=DEFAULT_CHUNK_SIZE
+    )
+    for _ in stream:  # prime: publishes every chunk (or no-op if disabled)
+        pass
+
+    def drain():
+        # touch every payload byte so mmap delivery actually pages the
+        # data in — otherwise lazily-mapped columns make this a no-op
+        for chunk in stream:
+            for col, _ in _COLUMNS:
+                np.asarray(getattr(chunk, col)).view(np.uint8).sum()
+
+    warm_s = _best_of(runs, drain)
+
+    if progress:
+        progress("trace: streaming detailed simulation, end to end")
+    start = time.perf_counter()
+    result = simulate_stream(stream, BASELINE, instrument=False)
+    stream_sim_s = time.perf_counter() - start
+
+    ref_mi_s = ref_length / 1e6 / ref_s
+    cold_mi_s = mi / cold_s
+    warm_mi_s = mi / warm_s
+    return {
+        "benchmark": benchmark,
+        "stream_length": stream_length,
+        "reference_length": ref_length,
+        "chunk_size": DEFAULT_CHUNK_SIZE,
+        "cache_enabled": artifacts.cache_enabled(),
+        "gen_reference_s": ref_s,
+        "gen_reference_mi_s": ref_mi_s,
+        "gen_cold_s": cold_s,
+        "gen_cold_mi_s": cold_mi_s,
+        "gen_cold_speedup": cold_mi_s / ref_mi_s,
+        "delivery_warm_s": warm_s,
+        "delivery_warm_mi_s": warm_mi_s,
+        "delivery_warm_speedup": warm_mi_s / ref_mi_s,
+        "stream_sim_s": stream_sim_s,
+        "stream_sim_mi_s": mi / stream_sim_s,
+        "stream_cycles": result.cycles,
+    }
+
+
 def run_bench(
     length: int = DEFAULT_TRACE_LENGTH,
     runs: int = 3,
@@ -374,15 +486,20 @@ def run_bench(
     telemetry = bench_telemetry(benchmarks, length, runs, progress)
     service = bench_service(benchmarks, length, jobs, progress)
     explore = bench_explore(length, jobs, progress)
+    trace = bench_trace(benchmarks, length, runs, progress)
 
     def total(field: str) -> float:
         return sum(row[field] for row in per_bench.values())
 
     aggregate = {
         f: total(f)
-        for f in ("gen_s", "functional_reference_s", "functional_fast_s",
-                  "sim_reference_s", "sim_fast_s")
+        for f in ("gen_s", "gen_fast_s", "functional_reference_s",
+                  "functional_fast_s", "sim_reference_s", "sim_fast_s")
     }
+    aggregate["gen_speedup"] = aggregate["gen_s"] / aggregate["gen_fast_s"]
+    aggregate["gen_mi_s"] = (
+        len(per_bench) * length / 1e6 / aggregate["gen_fast_s"]
+    )
     aggregate["functional_speedup"] = (
         aggregate["functional_reference_s"] / aggregate["functional_fast_s"]
     )
@@ -408,6 +525,7 @@ def run_bench(
         "telemetry": telemetry,
         "service": service,
         "explore": explore,
+        "trace": trace,
     }
 
 
@@ -416,20 +534,33 @@ def format_bench(doc: dict) -> str:
     agg = doc["aggregate"]
     sweep = doc["sweep"]
     lines = [
-        f"{'bench':10s} {'gen':>7s} {'func ref':>9s} {'func fast':>10s} "
-        f"{'sim ref':>8s} {'sim fast':>9s} {'f-spd':>6s} {'s-spd':>6s}",
+        f"{'bench':10s} {'gen':>7s} {'gen fast':>9s} {'func ref':>9s} "
+        f"{'func fast':>10s} {'sim ref':>8s} {'sim fast':>9s} "
+        f"{'g-spd':>6s} {'f-spd':>6s} {'s-spd':>6s}",
     ]
     for name, row in doc["benchmarks"].items():
+        gen_fast = row.get("gen_fast_s")  # absent before schema 5
         lines.append(
             f"{name:10s} {row['gen_s']:7.3f} "
-            f"{row['functional_reference_s']:9.3f} "
+            + (f"{gen_fast:9.3f} " if gen_fast is not None else f"{'-':>9s} ")
+            + f"{row['functional_reference_s']:9.3f} "
             f"{row['functional_fast_s']:10.3f} "
             f"{row['sim_reference_s']:8.3f} {row['sim_fast_s']:9.3f} "
-            f"{row['functional_speedup']:5.1f}x "
+            + (f"{row['gen_speedup']:5.1f}x "
+               if gen_fast is not None else f"{'-':>6s} ")
+            + f"{row['functional_speedup']:5.1f}x "
             f"{row['sim_speedup']:5.1f}x"
         )
     lines += [
         "",
+    ]
+    if "gen_fast_s" in agg:  # schema 5+
+        lines += [
+            f"generation:      {agg['gen_s']:.3f}s -> "
+            f"{agg['gen_fast_s']:.3f}s ({agg['gen_speedup']:.2f}x, "
+            f"{agg['gen_mi_s']:.2f} MI/s)",
+        ]
+    lines += [
         f"functional pass: {agg['functional_reference_s']:.3f}s -> "
         f"{agg['functional_fast_s']:.3f}s "
         f"({agg['functional_speedup']:.2f}x)",
@@ -481,6 +612,21 @@ def format_bench(doc: dict) -> str:
             f"{explore['exhaustive_s']:.3f}s "
             f"({explore['search_speedup']:.2f}x), warm repeat "
             f"{explore['search_warm_s']:.3f}s",
+        ]
+    trace = doc.get("trace")
+    if trace:  # absent before schema 5
+        lines += [
+            "",
+            f"trace substrate ({trace['benchmark']}, "
+            f"{trace['stream_length']:,} instructions, chunk "
+            f"{trace['chunk_size']}): scalar gen "
+            f"{trace['gen_reference_mi_s']:.2f} MI/s -> chunked cold "
+            f"{trace['gen_cold_mi_s']:.2f} MI/s "
+            f"({trace['gen_cold_speedup']:.1f}x), warm mmap delivery "
+            f"{trace['delivery_warm_mi_s']:.1f} MI/s "
+            f"({trace['delivery_warm_speedup']:.0f}x); streaming "
+            f"detailed sim end-to-end {trace['stream_sim_s']:.3f}s "
+            f"({trace['stream_sim_mi_s']:.2f} MI/s, O(chunk) memory)",
         ]
     return "\n".join(lines)
 

@@ -231,9 +231,49 @@ def execute_spec(spec: RunSpec, reuse_result: bool = False) -> SimResult:
     The result is stored under ``spec.content_key()`` — identical to
     what the parallel runner and the evaluation service compute for the
     same spec, which is what makes "one spec, one key" hold across all
-    three consumers.
+    three consumers.  A spec with ``engine.stream`` set runs the
+    O(chunk)-memory streaming pipeline instead of materializing the
+    trace; results (and cache keys) are identical either way.
     """
+    if spec.engine.stream:
+        return _execute_spec_streaming(spec, reuse_result=reuse_result)
     return execute_unit(WorkUnit.from_spec(spec), reuse_result=reuse_result)
+
+
+def _execute_spec_streaming(spec: RunSpec, reuse_result: bool = False
+                            ) -> SimResult:
+    """Streaming execution of one spec: trace chunks are generated (or
+    mmapped from the chunk cache), functionally annotated, and simulated
+    chunk-at-a-time — peak memory stays O(chunk) at any workload length.
+    """
+    from repro.simulator.streaming import simulate_stream
+    from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+    workload = spec.workload
+
+    def compute() -> SimResult:
+        stream = artifacts.trace_chunk_stream(
+            workload.benchmark, workload.length, workload.seed,
+            chunk_size=spec.engine.chunk_size or DEFAULT_CHUNK_SIZE,
+        )
+        return simulate_stream(
+            stream, spec.machine.to_config(),
+            instrument=spec.engine.instrument,
+            telemetry=spec.telemetry,
+        )
+
+    recipe = spec.result_recipe()
+    if reuse_result:
+        return artifacts.cached_artifact("result", recipe, compute)
+    result = compute()
+    if artifacts.cache_enabled():
+        try:
+            key = artifacts.artifact_key("result", recipe)
+        except artifacts.UncacheableError:
+            artifacts.cache_stats().uncacheable += 1
+        else:
+            artifacts._store("result", key, result)
+    return result
 
 
 def _worker(args: tuple[WorkUnit, bool]) -> tuple[SimResult, float,

@@ -66,6 +66,30 @@ import numpy as np
 _log = logging.getLogger(__name__)
 
 
+def resolve_telemetry(t) -> Telemetry | None:
+    """Resolve a telemetry opt-in value to a session (or ``None``).
+
+    ``None`` defers to ``REPRO_TELEMETRY``; ``False`` disables;
+    ``True``/a :class:`TelemetryConfig`/a :class:`repro.spec.TelemetrySpec`
+    collects with (those) defaults; a :class:`Telemetry` session collects
+    into it.  Shared by :class:`DetailedSimulator` and the streaming
+    engine (:mod:`repro.simulator.streaming`).
+    """
+    if t is None:
+        config = TelemetryConfig.from_env()
+        return Telemetry(config) if config is not None else None
+    if t is False:
+        return None
+    if t is True:
+        return Telemetry()
+    if isinstance(t, Telemetry):
+        return t
+    if hasattr(t, "to_config"):  # a repro.spec.TelemetrySpec
+        config = t.to_config()
+        return Telemetry(config) if config is not None else None
+    return Telemetry(t)
+
+
 class DetailedSimulator:
     """Cycle-level simulator configured by a :class:`ProcessorConfig`.
 
@@ -107,20 +131,7 @@ class DetailedSimulator:
 
     def _telemetry_session(self) -> Telemetry | None:
         """A fresh (or the caller's) session for one run, or ``None``."""
-        t = self.telemetry
-        if t is None:
-            config = TelemetryConfig.from_env()
-            return Telemetry(config) if config is not None else None
-        if t is False:
-            return None
-        if t is True:
-            return Telemetry()
-        if isinstance(t, Telemetry):
-            return t
-        if hasattr(t, "to_config"):  # a repro.spec.TelemetrySpec
-            config = t.to_config()
-            return Telemetry(config) if config is not None else None
-        return Telemetry(t)
+        return resolve_telemetry(self.telemetry)
 
     def annotate(self, trace: Trace, warmup_passes: int = 1) -> EventAnnotations:
         """Run the functional pass that resolves this configuration's

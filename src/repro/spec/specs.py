@@ -374,6 +374,13 @@ class EngineSpec:
     instrument: bool = False
     jobs: int | None = None
     reuse_results: bool = False
+    #: run the O(chunk)-memory streaming pipeline (chunked trace
+    #: delivery -> streaming functional pass -> streaming detailed
+    #: engine); bit-identical to the in-memory path for every chunk size
+    stream: bool = False
+    #: chunk granularity for ``stream`` runs (``None`` = the substrate
+    #: default, :data:`repro.trace.vectorgen.DEFAULT_CHUNK_SIZE`)
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         from repro.fastpath import ENGINES
@@ -384,6 +391,13 @@ class EngineSpec:
         if self.jobs is not None and (
                 not isinstance(self.jobs, int) or self.jobs < 1):
             raise SpecError("jobs must be a positive integer or null")
+        if self.stream and self.engine != "fast":
+            raise SpecError(
+                "the streaming pipeline is built on the fast kernels; "
+                "engine must be 'fast' when stream is set")
+        if self.chunk_size is not None and (
+                not isinstance(self.chunk_size, int) or self.chunk_size < 1):
+            raise SpecError("chunk_size must be a positive integer or null")
 
     @classmethod
     def from_dict(cls, data: Any) -> "EngineSpec":

@@ -87,6 +87,74 @@ def analyze_trace(
     )
 
 
+class StreamingTraceAnalyzer:
+    """Chunk-at-a-time :func:`analyze_trace` with O(chunk) peak memory.
+
+    Feed every chunk of a stream (in order) through :meth:`update`, then
+    :meth:`finalize`.  Produces exactly the statistics
+    :func:`analyze_trace` computes on the concatenated trace: the
+    internal :class:`~repro.trace.trace.StreamingRenamer` carries the
+    register producer map across chunk boundaries, so dependence
+    distances that span chunks are counted identically.
+    """
+
+    def __init__(self, latency_table: LatencyTable | None = None,
+                 histogram_bins: int = 64) -> None:
+        from repro.trace.trace import StreamingRenamer
+
+        self._table = latency_table or LatencyTable()
+        self._bins = histogram_bins
+        self._renamer = StreamingRenamer()
+        self._n = 0
+        self._class_counts = np.zeros(len(OpClass), dtype=np.int64)
+        self._dist_sum = 0
+        self._dist_count = 0
+        self._hist = np.zeros(histogram_bins + 1, dtype=np.int64)
+
+    def update(self, chunk: Trace) -> None:
+        """Fold one chunk into the running statistics."""
+        base = self._n
+        deps = self._renamer.rename_chunk(chunk)
+        idx = np.arange(base, base + len(chunk), dtype=np.int64)
+        for dep in (deps.dep1, deps.dep2):
+            present = dep >= 0
+            d = idx[present] - dep[present]
+            self._dist_sum += int(d.sum())
+            self._dist_count += int(d.size)
+            self._hist += np.bincount(
+                np.minimum(d, self._bins), minlength=self._bins + 1
+            )
+        self._class_counts += np.bincount(
+            chunk.opclass.astype(np.int64), minlength=len(OpClass)
+        )
+        self._n += len(chunk)
+
+    def finalize(self) -> TraceStatistics:
+        """The statistics of everything folded in so far."""
+        n = self._n
+        if n == 0:
+            raise ValueError("cannot analyze an empty stream")
+        counts = self._class_counts
+        mix = {
+            OpClass(c): counts[c] / n
+            for c in range(len(OpClass)) if counts[c]
+        }
+        if self._dist_count:
+            mean_dist = self._dist_sum / self._dist_count
+        else:
+            mean_dist = float("inf")
+        return TraceStatistics(
+            length=n,
+            mix=mix,
+            mean_latency=self._table.mean_latency(mix),
+            branch_fraction=float(counts[int(OpClass.BRANCH)] / n),
+            load_fraction=float(counts[int(OpClass.LOAD)] / n),
+            store_fraction=float(counts[int(OpClass.STORE)] / n),
+            mean_dependence_distance=mean_dist,
+            dependence_distance_histogram=self._hist[1:].copy(),
+        )
+
+
 def event_distances(event_indices: np.ndarray) -> np.ndarray:
     """Distances (in dynamic instructions) between consecutive events.
 

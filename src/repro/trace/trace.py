@@ -223,6 +223,65 @@ class Trace:
             )
 
 
+class StreamingRenamer:
+    """Chunk-at-a-time register renaming with cross-chunk carry.
+
+    Feeding the chunks of a stream through :meth:`rename_chunk` in order
+    produces exactly the dependences :func:`_rename` computes on the
+    concatenated trace: the producer map persists across chunk
+    boundaries, so a source operand whose producer lives in an earlier
+    chunk resolves to that producer's *global* trace index.  Peak memory
+    is O(chunk) plus the register file.
+    """
+
+    def __init__(self) -> None:
+        self._prod: list[int] = []
+        self._writes = [
+            writes_register(OpClass(c)) for c in range(len(OpClass))
+        ]
+        self._next = 0
+
+    @property
+    def position(self) -> int:
+        """Global index of the next instruction to be renamed."""
+        return self._next
+
+    def rename_chunk(self, chunk: "Trace") -> Dependences:
+        """Dependences of ``chunk`` (producer indices are global)."""
+        n = len(chunk)
+        base = self._next
+        hi = 1 + max(
+            int(chunk.dst.max(initial=NO_REG)),
+            int(chunk.src1.max(initial=NO_REG)),
+            int(chunk.src2.max(initial=NO_REG)),
+        )
+        prod = self._prod
+        if hi > len(prod):
+            prod.extend([-1] * (hi - len(prod)))
+        d1 = [-1] * n
+        d2 = [-1] * n
+        dst_list = chunk.dst.tolist()
+        src1_list = chunk.src1.tolist()
+        src2_list = chunk.src2.tolist()
+        op_list = chunk.opclass.tolist()
+        writes = self._writes
+        for k in range(n):
+            s1 = src1_list[k]
+            if s1 != NO_REG:
+                d1[k] = prod[s1]
+            s2 = src2_list[k]
+            if s2 != NO_REG:
+                d2[k] = prod[s2]
+            d = dst_list[k]
+            if d != NO_REG and writes[op_list[k]]:
+                prod[d] = base + k
+        self._next = base + n
+        return Dependences(
+            dep1=np.array(d1, dtype=np.int64),
+            dep2=np.array(d2, dtype=np.int64),
+        )
+
+
 def _rename(
     dst: np.ndarray, src1: np.ndarray, src2: np.ndarray, opclass: np.ndarray
 ) -> Dependences:

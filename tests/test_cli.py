@@ -61,6 +61,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cycles" in out and "mispredictions" in out
 
+    def test_simulate_stream_matches_in_memory(self, capsys):
+        assert main(["simulate", "vpr", "--length", "3000"]) == 0
+        ref = capsys.readouterr().out
+        assert main(["simulate", "vpr", "--length", "3000",
+                     "--stream", "--chunk-size", "700"]) == 0
+        assert capsys.readouterr().out == ref
+
+    def test_trace_info(self, capsys):
+        assert main(["trace-info", "gzip", "--length", "3000",
+                     "--chunk-size", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "3000 instructions" in out and "chunk size 1024" in out
+        assert "content key" in out and "mix:" in out
+
     def test_compare_subset(self, capsys):
         assert main(["compare", "gzip", "--length", "3000"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""The ``.rtc`` chunk container and the content-addressed chunk cache.
+
+Round-trips (buffered and mmapped), content addressing, and — most
+importantly — corruption tolerance: a torn or overwritten payload must
+never surface to a consumer; the stream detects it, regenerates, and
+republishes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runner import artifacts
+from repro.trace.chunks import (
+    ChunkCorruptError,
+    TraceChunkStream,
+    chunk_content_key,
+    read_chunk,
+    verify_chunk,
+    write_chunk,
+)
+from repro.trace.profiles import get_profile
+from repro.trace.trace import _COLUMNS
+from repro.trace.vectorgen import ChunkedTraceGenerator
+
+
+@pytest.fixture()
+def private_cache(tmp_path, monkeypatch):
+    """An isolated cache dir — these tests corrupt payloads on disk."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _chunk(n=1500, benchmark="gzip"):
+    return ChunkedTraceGenerator(get_profile(benchmark)).generate(n)
+
+
+def _assert_identical(got, ref):
+    for col, _ in _COLUMNS:
+        assert np.array_equal(np.asarray(getattr(got, col)),
+                              np.asarray(getattr(ref, col))), col
+
+
+class TestContainer:
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_round_trip(self, tmp_path, mmap):
+        ref = _chunk()
+        path = tmp_path / "c.rtc"
+        write_chunk(path, ref)
+        got = read_chunk(path, name=ref.name, mmap=mmap)
+        _assert_identical(got, ref)
+        assert verify_chunk(path, chunk_content_key(ref))
+
+    def test_mmap_read_is_zero_copy(self, tmp_path):
+        ref = _chunk()
+        path = tmp_path / "c.rtc"
+        write_chunk(path, ref)
+        got = read_chunk(path, mmap=True)
+        base = got.pc
+        while isinstance(base, np.ndarray) and not isinstance(base, np.memmap):
+            base = base.base
+        assert isinstance(base, np.memmap)
+
+    def test_content_key_ignores_name_and_tracks_bytes(self):
+        a = _chunk(800)
+        b = _chunk(800)
+        assert chunk_content_key(a) == chunk_content_key(b)
+        c = _chunk(801)
+        assert chunk_content_key(a) != chunk_content_key(c)
+
+    @pytest.mark.parametrize("mutilate", [
+        lambda raw: b"XXXX" + raw[4:],          # wrong magic
+        lambda raw: raw[:100],                  # torn write
+        lambda raw: raw[:-50],                  # truncated payload
+        lambda raw: b"",                        # empty file
+        lambda raw: raw[:8] + b"{]" + raw[10:], # header not JSON
+    ])
+    def test_every_defect_raises_chunk_corrupt(self, tmp_path, mutilate):
+        ref = _chunk(600)
+        path = tmp_path / "c.rtc"
+        write_chunk(path, ref)
+        path.write_bytes(mutilate(path.read_bytes()))
+        with pytest.raises(ChunkCorruptError):
+            read_chunk(path, mmap=False)
+
+
+class TestChunkCache:
+    def test_miss_then_mmap_hit_are_identical(self, private_cache):
+        ref = _chunk(9_000)
+        stream = artifacts.trace_chunk_stream("gzip", 9_000, chunk_size=2048)
+        _assert_identical(stream.materialize(), ref)   # miss: generates
+        _assert_identical(stream.materialize(), ref)   # hit: mmaps
+        manifest = artifacts.trace_chunk_manifest("gzip", 9_000,
+                                                  chunk_size=2048)
+        assert manifest is not None
+        assert sum(manifest["sizes"]) == 9_000
+        assert len(manifest["keys"]) == stream.num_chunks
+        for key in manifest["keys"]:
+            assert artifacts.chunk_payload_path(key).exists()
+
+    def test_torn_chunk_is_recovered_and_republished(self, private_cache):
+        ref = _chunk(9_000)
+        stream = artifacts.trace_chunk_stream("gzip", 9_000, chunk_size=2048)
+        stream.materialize()
+        manifest = artifacts.trace_chunk_manifest("gzip", 9_000,
+                                                  chunk_size=2048)
+        victim = artifacts.chunk_payload_path(manifest["keys"][2])
+        victim.write_bytes(victim.read_bytes()[:100])
+        errors_before = artifacts.cache_stats().errors
+        # the consumer never sees the damage...
+        _assert_identical(stream.materialize(), ref)
+        assert artifacts.cache_stats().errors > errors_before
+        # ...and the payload was rewritten in place, so the next pass is
+        # a clean mmap hit again
+        assert verify_chunk(victim, manifest["keys"][2])
+        _assert_identical(stream.materialize(), ref)
+
+    def test_cache_disabled_streams_straight_from_generator(
+            self, private_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        ref = _chunk(5_000)
+        stream = artifacts.trace_chunk_stream("gzip", 5_000, chunk_size=1024)
+        _assert_identical(stream.materialize(), ref)
+        assert artifacts.trace_chunk_manifest("gzip", 5_000,
+                                              chunk_size=1024) is None
+
+    def test_stream_rejects_wrong_length_source(self):
+        parts = list(ChunkedTraceGenerator(get_profile("gzip"))
+                     .chunks(2_000, chunk_size=512))
+        short = TraceChunkStream(lambda: iter(parts[:-1]), name="gzip",
+                                 length=2_000, chunk_size=512)
+        with pytest.raises(ChunkCorruptError):
+            list(short)
+
+    def test_trace_artifact_miss_populates_chunk_store(self, private_cache):
+        trace = artifacts.trace_artifact("vortex", 6_000)
+        manifest = artifacts.trace_chunk_manifest("vortex", 6_000)
+        assert manifest is not None
+        assert sum(manifest["sizes"]) == len(trace) == 6_000

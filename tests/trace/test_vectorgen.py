@@ -1,0 +1,75 @@
+"""Vectorized chunked generation: byte-identity and chunk invariance.
+
+The chunked generator is only allowed to be *fast* — every emitted
+column must be byte-identical to the original scalar generator, for
+every profile, at any chunk size.  These are the acceptance tests of
+that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.profiles import BENCHMARK_ORDER, get_profile
+from repro.trace.synthetic import SyntheticTraceGenerator
+from repro.trace.trace import _COLUMNS
+from repro.trace.vectorgen import (
+    ChunkedTraceGenerator,
+    concat_traces,
+)
+
+
+def assert_traces_identical(got, ref, label=""):
+    assert len(got) == len(ref), label
+    for col, _ in _COLUMNS:
+        assert np.array_equal(
+            np.asarray(getattr(got, col)), np.asarray(getattr(ref, col))
+        ), f"{label}: column {col!r} differs"
+
+
+@pytest.mark.parametrize("bench", BENCHMARK_ORDER)
+def test_byte_identical_to_scalar_generator(bench):
+    profile = get_profile(bench)
+    ref = SyntheticTraceGenerator(profile).generate(5_000)
+    got = ChunkedTraceGenerator(profile).generate(5_000)
+    assert_traces_identical(got, ref, bench)
+
+
+def test_byte_identical_at_longer_length_and_explicit_seed():
+    profile = get_profile("mcf")
+    ref = SyntheticTraceGenerator(profile).generate(20_000, seed=123)
+    got = ChunkedTraceGenerator(profile).generate(20_000, seed=123)
+    assert_traces_identical(got, ref, "mcf@20k")
+
+
+@pytest.mark.parametrize("chunk_size", [64, 1009, 1 << 14, 12_000])
+def test_chunk_size_invariance(chunk_size):
+    """Chunks concatenate byte-identically regardless of granularity.
+
+    Chunk size is a delivery knob, never a semantic one: {tiny, prime,
+    power-of-two, whole-trace} granularities all reassemble into the
+    same bytes.
+    """
+    profile = get_profile("gzip")
+    n = 12_000
+    ref = SyntheticTraceGenerator(profile).generate(n)
+    parts = list(
+        ChunkedTraceGenerator(profile).chunks(n, chunk_size=chunk_size)
+    )
+    assert all(len(p) == chunk_size for p in parts[:-1])
+    assert sum(len(p) for p in parts) == n
+    assert_traces_identical(concat_traces(parts, name=ref.name), ref,
+                            f"chunk_size={chunk_size}")
+
+
+def test_generator_is_deterministic_per_seed():
+    profile = get_profile("vpr")
+    a = ChunkedTraceGenerator(profile).generate(3_000, seed=9)
+    b = ChunkedTraceGenerator(profile).generate(3_000, seed=9)
+    c = ChunkedTraceGenerator(profile).generate(3_000, seed=10)
+    assert_traces_identical(a, b, "same seed")
+    assert any(
+        not np.array_equal(getattr(a, col), getattr(c, col))
+        for col, _ in _COLUMNS
+    )
