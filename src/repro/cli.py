@@ -16,8 +16,13 @@ writing any code:
 * ``bench [-o FILE]``     — time the simulation kernels and the baseline
   sweep (reference vs fast engines, cold vs warm artifact cache) and
   write ``BENCH_perf.json``
+* ``profile <bench>``     — run one simulation with wall-clock span
+  tracing on and print the per-stage breakdown (self/total time,
+  cache-hit attribution, critical path); ``--jsonl``/``--chrome``
+  export the span tree (see docs/OBSERVABILITY.md)
 * ``timeline <bench>``    — interval IPC/occupancy sparklines and the
-  measured CPI stack of one simulation
+  measured CPI stack of one simulation; ``--stream --max-rows N``
+  holds a bounded multi-resolution timeline at any workload length
 * ``stats [bench...]``    — run a sweep and dump the runner/cache
   metrics registry
 * ``serve``               — start the evaluation service (``repro.service``)
@@ -116,6 +121,34 @@ def _spec_file_selected(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "spec", None) or specenv.spec_file())
 
 
+def _obs_begin(spec) -> bool:
+    """Start span collection when the resolved spec enables obs."""
+    if not spec.obs.enabled:
+        return False
+    from repro.obs import spans as _spans
+
+    _spans.enable(True)
+    return True
+
+
+def _obs_finish(spec, spans: list | None = None) -> list:
+    """Drain collected spans and write the spec's configured exports."""
+    from repro.obs import spans as _spans
+    from repro.obs import write_chrome, write_jsonl
+
+    if spans is None:
+        spans = _spans.drain()
+    if not spans:
+        return spans
+    if spec.obs.trace_path:
+        write_jsonl(spans, spec.obs.trace_path)
+        print(f"wrote {spec.obs.trace_path}", file=sys.stderr)
+    if spec.obs.chrome_path:
+        write_chrome(spans, spec.obs.chrome_path)
+        print(f"wrote {spec.obs.chrome_path}", file=sys.stderr)
+    return spans
+
+
 def cmd_model(args: argparse.Namespace) -> int:
     spec = _resolved_spec(args, benchmark=args.benchmark)
     if _maybe_dump_spec(args, spec):
@@ -152,27 +185,42 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                           extra={"engine": engine_overrides})
     if _maybe_dump_spec(args, spec):
         return 0
+    collecting = _obs_begin(spec)
     workload = spec.workload
-    if spec.engine.stream:
-        from repro.runner import artifacts
-        from repro.simulator.processor import resolve_telemetry
-        from repro.simulator.streaming import simulate_stream
-        from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+    # span() is the shared no-op unless _obs_begin just enabled
+    # collection, so the uninstrumented path stays span-free
+    from repro.obs import spans as _spans
 
-        stream = artifacts.trace_chunk_stream(
-            workload.benchmark, workload.length, workload.seed,
-            chunk_size=spec.engine.chunk_size or DEFAULT_CHUNK_SIZE)
-        tele = resolve_telemetry(spec.telemetry)
-        result = simulate_stream(
-            stream, spec.machine.to_config(),
-            instrument=spec.engine.instrument,
-            telemetry=tele if tele is not None else False)
-    else:
-        trace = generate_trace(workload.benchmark, workload.length,
-                               workload.seed)
-        sim = DetailedSimulator.from_spec(spec)
-        result = sim.run(trace)
-        tele = sim.last_telemetry  # set when REPRO_TELEMETRY was
+    with _spans.span("simulate", workload=workload.benchmark,
+                     length=workload.length):
+        if spec.engine.stream:
+            from repro.runner import artifacts
+            from repro.simulator.processor import resolve_telemetry
+            from repro.simulator.streaming import simulate_stream
+            from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+            stream = artifacts.trace_chunk_stream(
+                workload.benchmark, workload.length, workload.seed,
+                chunk_size=spec.engine.chunk_size or DEFAULT_CHUNK_SIZE)
+            tele = resolve_telemetry(spec.telemetry)
+            result = simulate_stream(
+                stream, spec.machine.to_config(),
+                instrument=spec.engine.instrument,
+                telemetry=tele if tele is not None else False)
+        else:
+            with _spans.span("trace.generate",
+                             workload=workload.benchmark,
+                             length=workload.length):
+                trace = generate_trace(workload.benchmark,
+                                       workload.length, workload.seed)
+            sim = DetailedSimulator.from_spec(spec)
+            with _spans.span("sim.detailed",
+                             benchmark=workload.benchmark,
+                             length=workload.length):
+                result = sim.run(trace)
+            tele = sim.last_telemetry  # set when REPRO_TELEMETRY was
+    if collecting:
+        _obs_finish(spec)
     print(f"{args.benchmark}: {result.instructions} instructions in "
           f"{result.cycles} cycles — CPI {result.cpi:.3f} "
           f"(IPC {result.ipc:.2f})")
@@ -299,6 +347,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             spec=spec,
             wall_seconds=elapsed,
             cache_stats=artifacts.cache_stats(),
+            wallclock={"total_s": elapsed,
+                       "phases": doc.get("section_seconds", {})},
             extra={"trace_length": length, "runs": runs},
         ))
     return 0
@@ -445,14 +495,32 @@ def cmd_report(args: argparse.Namespace) -> int:
         spec = _resolved_spec(args)
         if _maybe_dump_spec(args, spec):
             return 0
+    # with an output file the manifest gains a wallclock section, so
+    # collect spans for the duration of the run to attribute the time
+    collecting = False
+    if args.output:
+        from repro.obs import spans as _spans
+
+        collecting = True
+        _spans.enable(True)
+        _spans.reset()
     start = time.perf_counter()
-    report = run_all(
-        progress=lambda name: print(f"running {name} ..."),
-        workload=spec.workload if spec is not None else None,
-    )
+    if collecting:
+        with _spans.span("report"):
+            report = run_all(
+                progress=lambda name: print(f"running {name} ..."),
+                workload=spec.workload if spec is not None else None,
+            )
+    else:
+        report = run_all(
+            progress=lambda name: print(f"running {name} ..."),
+            workload=spec.workload if spec is not None else None,
+        )
     elapsed = time.perf_counter() - start
     text = report.to_markdown()
     if args.output:
+        from repro.obs import wallclock_summary
+
         parent = os.path.dirname(args.output)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -465,6 +533,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             spec=spec,
             wall_seconds=elapsed,
             cache_stats=artifacts.cache_stats(),
+            wallclock=wallclock_summary(_spans.drain()),
         ))
     else:
         print(text)
@@ -479,23 +548,47 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     telemetry_overrides: dict = {"enabled": True, "timeline": True}
     if args.interval is not None:
         telemetry_overrides["interval"] = args.interval
-    spec = _resolved_spec(args, benchmark=args.benchmark,
-                          extra={"telemetry": telemetry_overrides})
+    if args.max_rows is not None:
+        telemetry_overrides["max_timeline_rows"] = args.max_rows
+    extra: dict = {"telemetry": telemetry_overrides}
+    engine_overrides: dict = {}
+    if getattr(args, "stream", False):
+        engine_overrides["stream"] = True
+    if getattr(args, "chunk_size", None) is not None:
+        engine_overrides["chunk_size"] = args.chunk_size
+    if engine_overrides:
+        extra["engine"] = engine_overrides
+    spec = _resolved_spec(args, benchmark=args.benchmark, extra=extra)
     if _maybe_dump_spec(args, spec):
         return 0
     workload = spec.workload
-    trace = generate_trace(workload.benchmark, workload.length,
-                           workload.seed)
     tconfig = spec.telemetry.to_config()
     tele = Telemetry(tconfig)
-    sim = DetailedSimulator(spec.machine.to_config(), telemetry=tele)
-    result = sim.run(trace)
+    if spec.engine.stream:
+        from repro.runner import artifacts
+        from repro.simulator.streaming import simulate_stream
+        from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+        stream = artifacts.trace_chunk_stream(
+            workload.benchmark, workload.length, workload.seed,
+            chunk_size=spec.engine.chunk_size or DEFAULT_CHUNK_SIZE)
+        result = simulate_stream(stream, spec.machine.to_config(),
+                                 telemetry=tele)
+    else:
+        trace = generate_trace(workload.benchmark, workload.length,
+                               workload.seed)
+        sim = DetailedSimulator(spec.machine.to_config(), telemetry=tele)
+        result = sim.run(trace)
     report = tele.report
+    timeline = report.timeline
+    # the rollup recorder may have coarsened past the configured
+    # interval; the finalized timeline reports the effective one
     print(f"{args.benchmark}: CPI {result.cpi:.3f} over {result.cycles} "
-          f"cycles ({report.timeline.intervals} intervals of "
-          f"{tconfig.interval} cycles)")
+          f"cycles ({timeline.intervals} intervals of "
+          f"{timeline.interval} cycles)")
+    print(f"timeline rows: {timeline.intervals}")
     print()
-    print(report.timeline.render())
+    print(timeline.render())
     print()
     print(report.stack.render())
     return 0
@@ -507,7 +600,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro.telemetry.metrics import metrics_registry
 
     benchmarks = args.benchmarks or list(BENCHMARK_ORDER)
-    spec = _resolved_spec(args, benchmark=benchmarks[0])
+    engine_overrides: dict = {}
+    if getattr(args, "stream", False):
+        engine_overrides["stream"] = True
+    if getattr(args, "chunk_size", None) is not None:
+        engine_overrides["chunk_size"] = args.chunk_size
+    spec = _resolved_spec(
+        args, benchmark=benchmarks[0],
+        extra={"engine": engine_overrides} if engine_overrides else None)
     if _maybe_dump_spec(args, spec):
         return 0
     units = SweepSpec(base=spec, benchmarks=benchmarks).expand()
@@ -523,6 +623,44 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(reg.to_json())
     else:
         print(reg.render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import format_profile, spans as _spans
+    from repro.runner.pool import execute_spec
+
+    engine_overrides: dict = {"instrument": True}
+    if getattr(args, "stream", False):
+        engine_overrides["stream"] = True
+    if getattr(args, "chunk_size", None) is not None:
+        engine_overrides["chunk_size"] = args.chunk_size
+    spec = _resolved_spec(args, benchmark=args.benchmark,
+                          extra={"engine": engine_overrides,
+                                 "obs": {"enabled": True}})
+    if _maybe_dump_spec(args, spec):
+        return 0
+    _spans.enable(True)
+    _spans.reset()
+    workload = spec.workload
+    with _spans.span("profile", workload=workload.benchmark,
+                     length=workload.length):
+        result = execute_spec(spec, reuse_result=True)
+    spans = _obs_finish(spec)
+    print(f"{args.benchmark}: CPI {result.cpi:.3f} over "
+          f"{result.cycles} cycles")
+    print()
+    print(format_profile(spans))
+    if args.jsonl:
+        from repro.obs import write_jsonl
+
+        write_jsonl(spans, args.jsonl)
+        print(f"wrote {args.jsonl}")
+    if args.chrome:
+        from repro.obs import write_chrome
+
+        write_chrome(spans, args.chrome)
+        print(f"wrote {args.chrome}")
     return 0
 
 
@@ -591,6 +729,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         batch_max=args.batch_max,
         request_timeout_s=args.timeout,
+        slow_request_s=args.slow_request,
     )
     serve(
         args.host, args.port, config,
@@ -843,6 +982,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
+        "profile",
+        help="run one simulation with wall-clock span tracing "
+             "(see docs/OBSERVABILITY.md)",
+    )
+    add_bench(p)
+    add_spec(p)
+    p.add_argument("--engine", choices=("fast", "reference"), default=None,
+                   help="simulation engine (default: spec/env, else fast)")
+    p.add_argument("--stream", action="store_true",
+                   help="profile the O(chunk)-memory streaming pipeline")
+    p.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
+                   help="streaming chunk granularity in instructions")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="write the span tree as JSON lines")
+    p.add_argument("--chrome", default=None, metavar="PATH",
+                   help="write a chrome://tracing / Perfetto trace")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
         "timeline",
         help="interval IPC/occupancy sparklines for one simulation",
     )
@@ -850,6 +1008,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_spec(p)
     p.add_argument("--interval", type=int, default=None,
                    help="interval length in cycles (default 1000)")
+    p.add_argument("--max-rows", type=int, default=None, dest="max_rows",
+                   help="bound the stored timeline rows; intervals merge "
+                        "pairwise (power-of-two coarsening) past the bound")
+    p.add_argument("--stream", action="store_true",
+                   help="run the O(chunk)-memory streaming pipeline")
+    p.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
+                   help="streaming chunk granularity in instructions "
+                        "(default 65536)")
     p.set_defaults(func=cmd_timeline)
 
     p = sub.add_parser(
@@ -862,6 +1028,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", "-j", type=int, default=None)
     p.add_argument("--json", action="store_true",
                    help="emit the registry as JSON instead of text")
+    p.add_argument("--stream", action="store_true",
+                   help="run the sweep through the streaming pipeline")
+    p.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
+                   help="streaming chunk granularity in instructions "
+                        "(default 65536)")
     add_spec(p)
     p.set_defaults(func=cmd_stats)
 
@@ -892,6 +1063,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max requests per worker micro-batch (default 8)")
     p.add_argument("--timeout", type=float, default=120.0,
                    help="default per-request deadline in seconds")
+    p.add_argument("--slow-request", type=float, default=None,
+                   dest="slow_request", metavar="SECONDS",
+                   help="log computed requests slower than this at "
+                        "WARNING with their latency breakdown")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -27,6 +27,7 @@ import numpy as np
 from repro.frontend.collector import CollectorConfig
 from repro.frontend.events import EventAnnotations, MissEventProfile
 from repro.frontend.fastpass import FastPassPlan, run_fast_pass
+from repro.obs import spans as _spans
 from repro.memory.hierarchy import CacheHierarchy
 from repro.trace.analysis import StreamingTraceAnalyzer
 from repro.trace.trace import Trace
@@ -77,13 +78,15 @@ class StreamingCollector:
         hierarchy = CacheHierarchy(cfg.hierarchy)
         predictor = cfg.predictor_factory()
 
-        for _ in range(max(0, cfg.warmup_passes)):
-            last_line: int | None = None
-            for chunk in stream:
-                plan = FastPassPlan(chunk, cfg, prev_line=last_line)
-                run_fast_pass(plan, chunk, cfg, hierarchy, predictor,
-                              record=False)
-                last_line = plan.last_line
+        for warmup in range(max(0, cfg.warmup_passes)):
+            with _spans.span("frontend.warmup", workload=stream.name,
+                             warmup_pass=warmup):
+                last_line: int | None = None
+                for chunk in stream:
+                    plan = FastPassPlan(chunk, cfg, prev_line=last_line)
+                    run_fast_pass(plan, chunk, cfg, hierarchy, predictor,
+                                  record=False)
+                    last_line = plan.last_line
 
         analyzer = StreamingTraceAnalyzer()
         branch_count = 0

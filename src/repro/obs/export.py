@@ -1,0 +1,245 @@
+"""Span-tree analysis and export: profiles, Chrome traces, manifests.
+
+Consumes the flat span dicts collected by :mod:`repro.obs.spans` and
+turns them into the artifacts users actually look at:
+
+* :func:`build_tree` — index spans into parent/child structure (several
+  roots are fine; a drained collector may hold multiple traces);
+* :func:`profile_rows` / :func:`format_profile` — the per-stage
+  wall-clock breakdown behind ``repro profile``: call count, total and
+  *self* time (total minus direct children), and cache-hit attribution
+  pulled from span attributes;
+* :func:`critical_path` — the chain of most-expensive descendants from
+  the root, i.e. where an optimisation pays off first;
+* :func:`wallclock_summary` — per-phase seconds from the span-tree root,
+  embedded in ``run_manifest.json``;
+* :func:`to_event_trace` / :func:`write_chrome` / :func:`write_jsonl` —
+  exports reusing :class:`~repro.telemetry.events.EventTrace`, with one
+  Chrome pid-lane per operating-system process that contributed spans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..telemetry.events import EventTrace
+
+__all__ = [
+    "build_tree",
+    "critical_path",
+    "format_profile",
+    "profile_rows",
+    "read_jsonl_spans",
+    "to_event_trace",
+    "wallclock_summary",
+    "write_chrome",
+    "write_jsonl",
+]
+
+
+def build_tree(spans: list[dict]) -> tuple[list[dict], dict[str, list[dict]]]:
+    """Index spans into ``(roots, children-by-span-id)``.
+
+    A span whose parent is missing from the set (e.g. exported from a
+    worker whose parent lives in another file) is treated as a root, so
+    partial traces still render.
+    """
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: s["start_unix"])
+    roots.sort(key=lambda s: s["start_unix"])
+    return roots, children
+
+
+def _self_seconds(span: dict, children: dict[str, list[dict]]) -> float:
+    child_total = sum(
+        c["duration_s"] for c in children.get(span["span_id"], ())
+    )
+    return max(0.0, span["duration_s"] - child_total)
+
+
+def profile_rows(spans: list[dict]) -> list[dict]:
+    """Aggregate spans by name into per-stage profile rows.
+
+    Each row carries ``name``, ``count``, ``total_s``, ``self_s`` and
+    cache attribution (``hits``/``misses`` summed from boolean ``hit``
+    attributes).  Rows are ordered by descending self time.
+    """
+    _, children = build_tree(spans)
+    rows: dict[str, dict] = {}
+    for s in spans:
+        row = rows.setdefault(
+            s["name"],
+            {
+                "name": s["name"],
+                "count": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+                "hits": 0,
+                "misses": 0,
+            },
+        )
+        row["count"] += 1
+        row["total_s"] += s["duration_s"]
+        row["self_s"] += _self_seconds(s, children)
+        hit = s.get("attrs", {}).get("hit")
+        if hit is True:
+            row["hits"] += 1
+        elif hit is False:
+            row["misses"] += 1
+    return sorted(rows.values(), key=lambda r: -r["self_s"])
+
+
+def critical_path(spans: list[dict]) -> list[dict]:
+    """The chain of most-expensive descendants from the first root."""
+    roots, children = build_tree(spans)
+    if not roots:
+        return []
+    path = [max(roots, key=lambda s: s["duration_s"])]
+    while True:
+        kids = children.get(path[-1]["span_id"])
+        if not kids:
+            return path
+        path.append(max(kids, key=lambda s: s["duration_s"]))
+
+
+def wallclock_summary(spans: list[dict]) -> dict:
+    """Per-phase seconds from the span-tree root, for run manifests.
+
+    Returns ``{"total_s": ..., "phases": {name: seconds}}`` where the
+    phases are the root's direct children aggregated by name (plus the
+    root's own self time under ``"(self)"`` when it is non-trivial).
+    """
+    roots, children = build_tree(spans)
+    if not roots:
+        return {"total_s": 0.0, "phases": {}}
+    root = max(roots, key=lambda s: s["duration_s"])
+    phases: dict[str, float] = {}
+    for child in children.get(root["span_id"], ()):
+        phases[child["name"]] = round(
+            phases.get(child["name"], 0.0) + child["duration_s"], 6
+        )
+    self_s = _self_seconds(root, children)
+    if self_s > 1e-6:
+        phases["(self)"] = round(self_s, 6)
+    return {"total_s": round(root["duration_s"], 6), "phases": phases}
+
+
+def format_profile(spans: list[dict], width: int = 72) -> str:
+    """Render the ``repro profile`` report as plain text."""
+    if not spans:
+        return "no spans collected (is observability enabled?)\n"
+    rows = profile_rows(spans)
+    total = sum(r["self_s"] for r in rows) or 1.0
+    name_w = max(len(r["name"]) for r in rows)
+    name_w = max(name_w, len("stage"))
+    lines = [
+        f"{'stage':<{name_w}}  {'count':>5}  {'total s':>9}  "
+        f"{'self s':>9}  {'self %':>6}  cache",
+        "-" * (name_w + 42),
+    ]
+    for r in rows:
+        cache = ""
+        if r["hits"] or r["misses"]:
+            cache = f"{r['hits']} hit / {r['misses']} miss"
+        lines.append(
+            f"{r['name']:<{name_w}}  {r['count']:>5}  "
+            f"{r['total_s']:>9.4f}  {r['self_s']:>9.4f}  "
+            f"{100.0 * r['self_s'] / total:>5.1f}%  {cache}"
+        )
+    path = critical_path(spans)
+    lines.append("")
+    lines.append("critical path:")
+    for depth, s in enumerate(path):
+        lines.append(
+            f"  {'  ' * depth}{s['name']}  {s['duration_s']:.4f}s"
+            + (f"  [pid {s['pid']}]" if depth else "")
+        )
+    roots, _ = build_tree(spans)
+    pids = sorted({s["pid"] for s in spans})
+    lines.append("")
+    lines.append(
+        f"{len(spans)} spans, {len(roots)} root(s), "
+        f"{len(pids)} process(es): {pids}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+# -- exports ---------------------------------------------------------------
+
+
+def to_event_trace(spans: list[dict]) -> EventTrace:
+    """Convert spans into an :class:`EventTrace` with per-pid lanes.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the document loads into Perfetto with real wall-clock proportions.
+    """
+    trace = EventTrace()
+    trace.time_unit = "1 ts = 1 us wall-clock"
+    if not spans:
+        return trace
+    t0 = min(s["start_unix"] for s in spans)
+    root_pid = min(
+        (s for s in spans if s.get("parent_id") is None),
+        key=lambda s: s["start_unix"],
+        default=spans[0],
+    )["pid"]
+    for pid in {s["pid"] for s in spans}:
+        trace.process_names[pid] = (
+            f"repro main (pid {pid})" if pid == root_pid
+            else f"repro worker (pid {pid})"
+        )
+    for s in sorted(spans, key=lambda s: s["start_unix"]):
+        attrs = {
+            k: v for k, v in s.get("attrs", {}).items()
+            if isinstance(v, (str, int, float, bool)) or v is None
+        }
+        attrs["trace_id"] = s["trace_id"]
+        attrs["span_id"] = s["span_id"]
+        if s.get("parent_id"):
+            attrs["parent_id"] = s["parent_id"]
+        trace.emit(
+            s["name"],
+            "span",
+            ts=int((s["start_unix"] - t0) * 1e6),
+            dur=max(1, int(s["duration_s"] * 1e6)),
+            pid=s["pid"],
+            **attrs,
+        )
+    return trace
+
+
+def write_chrome(spans: list[dict], path: str | Path) -> Path:
+    """Write spans as a Chrome ``trace_event`` document."""
+    return to_event_trace(spans).write_chrome(path)
+
+
+def write_jsonl(spans: list[dict], path: str | Path) -> Path:
+    """Write raw span records, one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = "".join(
+        json.dumps(s, sort_keys=True, separators=(",", ":")) + "\n"
+        for s in sorted(spans, key=lambda s: s["start_unix"])
+    )
+    path.write_text(text)
+    return path
+
+
+def read_jsonl_spans(path: str | Path) -> list[dict]:
+    """Load span records written by :func:`write_jsonl`."""
+    spans = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans

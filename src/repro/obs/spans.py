@@ -1,0 +1,228 @@
+"""Process-wide span collection for wall-clock tracing.
+
+A *span* is one timed region of work: it records a ``trace_id`` shared by
+every span in a logical operation, its own ``span_id``, the ``parent_id``
+of the span that was live when it opened, the owning ``pid``, an epoch
+start time, a monotonic duration, and a dict of structured attributes
+(``content_key``, cache hit/miss, chunk index, ...).
+
+The API is deliberately tiny:
+
+* :func:`span` opens a span as a context manager.  While collection is
+  disabled it returns a single shared no-op object, so instrumented code
+  pays only one module-global read per call site — zero allocation, zero
+  timing, bit-identical behaviour.
+* :func:`current_context` serializes the live span into a plain dict that
+  survives pickling (process pool) and JSON (service wire protocol).
+* :func:`attach` re-parents subsequent spans under such a payload, on
+  either side of a process or socket boundary.
+* :func:`drain` / :func:`add_spans` move finished spans between
+  processes: a pool worker drains its local collector and returns the
+  spans with its result; the parent folds them back in.
+
+Spans live in one process-global collector guarded by a lock; the *live*
+span is tracked with a :class:`contextvars.ContextVar` so concurrent
+asyncio tasks and threads each see their own parent chain.  Every span
+finish also feeds an ``obs.<name>.seconds`` histogram in the shared
+:class:`~repro.telemetry.metrics.MetricsRegistry`, which flows to the
+service's Prometheus ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from ..telemetry.metrics import metrics_registry
+
+__all__ = [
+    "NOOP_SPAN",
+    "add_spans",
+    "attach",
+    "current_context",
+    "drain",
+    "enable",
+    "enabled",
+    "is_remote",
+    "new_trace_id",
+    "reset",
+    "span",
+]
+
+_CTX: ContextVar[tuple[str, str] | None] = ContextVar(
+    "repro_obs_ctx", default=None
+)
+
+_lock = threading.Lock()
+_spans: list[dict] = []
+_enabled = False
+
+
+def enabled() -> bool:
+    """Whether spans are currently being collected in this process."""
+    return _enabled
+
+
+def enable(on: bool = True) -> None:
+    """Turn span collection on or off for this process."""
+    global _enabled
+    _enabled = bool(on)
+
+
+def reset() -> None:
+    """Drop every collected span.
+
+    Freshly-forked pool workers call this before re-rooting so spans
+    inherited from the parent's collector are not reported twice.
+    """
+    with _lock:
+        _spans.clear()
+
+
+def drain() -> list[dict]:
+    """Return all finished spans and clear the collector."""
+    with _lock:
+        out = list(_spans)
+        _spans.clear()
+    return out
+
+
+def add_spans(spans) -> None:
+    """Fold spans drained from another process into this collector."""
+    if not spans:
+        return
+    with _lock:
+        _spans.extend(spans)
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while collection is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span; append-on-exit keeps the hot path allocation-light."""
+
+    __slots__ = ("_name", "_attrs", "_token", "_t0", "record")
+
+    def __init__(self, name: str, attrs: dict):
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self):
+        ctx = _CTX.get()
+        if ctx is None:
+            trace_id: str = new_trace_id()
+            parent_id: str | None = None
+        else:
+            trace_id, parent_id = ctx
+        self.record = {
+            "trace_id": trace_id,
+            "span_id": _new_span_id(),
+            "parent_id": parent_id,
+            "name": self._name,
+            "pid": os.getpid(),
+            "start_unix": time.time(),
+            "duration_s": 0.0,
+            "attrs": self._attrs,
+        }
+        self._token = _CTX.set((trace_id, self.record["span_id"]))
+        self._t0 = time.perf_counter()
+        return self
+
+    def set(self, **attrs) -> None:
+        self.record["attrs"].update(attrs)
+
+    def __exit__(self, exc_type, exc, tb):
+        duration = time.perf_counter() - self._t0
+        _CTX.reset(self._token)
+        self.record["duration_s"] = duration
+        if exc_type is not None:
+            self.record["attrs"]["error"] = exc_type.__name__
+        with _lock:
+            _spans.append(self.record)
+        metrics_registry().histogram(
+            "obs." + self._name + ".seconds"
+        ).observe(duration)
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name`` with initial attributes ``attrs``.
+
+    Returns the shared :data:`NOOP_SPAN` when collection is disabled, so
+    the off path costs a single global read and no allocation.
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return _Span(name, attrs)
+
+
+def current_context() -> dict | None:
+    """Serialize the live span for transport to another process.
+
+    The payload is a plain dict (pickles and JSON-encodes) carrying the
+    trace id, the live span id, and this process's pid.  The pid lets
+    the receiver tell an in-process call (same pid: spans already land
+    in the live collector) from a genuine remote one (different pid:
+    reset, re-root, drain and ship spans back).  Returns ``None`` when
+    collection is off or no span is live.
+    """
+    if not _enabled:
+        return None
+    ctx = _CTX.get()
+    if ctx is None:
+        return None
+    return {"trace_id": ctx[0], "span_id": ctx[1], "pid": os.getpid()}
+
+
+def is_remote(ctx) -> bool:
+    """Whether a context payload originated in a different process."""
+    return bool(ctx) and ctx.get("pid") != os.getpid()
+
+
+@contextmanager
+def attach(ctx):
+    """Parent subsequent spans under a serialized context payload.
+
+    ``None`` payloads make this a no-op, so callers can pass whatever
+    arrived over the wire.  A non-``None`` payload implies the sender
+    had collection enabled, so it is switched on here too — pool
+    children and service workers inherit the decision without needing
+    their own configuration.
+    """
+    if not ctx:
+        yield
+        return
+    if not _enabled:
+        enable(True)
+    token = _CTX.set((ctx["trace_id"], ctx["span_id"]))
+    try:
+        yield
+    finally:
+        _CTX.reset(token)

@@ -56,6 +56,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import spans as _spans
 from repro.spec import env as _env
 
 _log = logging.getLogger(__name__)
@@ -265,11 +266,14 @@ def probe_artifact(kind: str, key: str) -> tuple[bool, object]:
     """
     if not cache_enabled():
         return False, None
-    obj = _load(kind, key)
-    if obj is _MISS:
-        return False, None
-    _STATS._bump(_STATS.hits, kind)
-    return True, obj
+    with _spans.span("cache.probe", kind=kind, content_key=key) as sp:
+        obj = _load(kind, key)
+        if obj is _MISS:
+            sp.set(hit=False)
+            return False, None
+        _STATS._bump(_STATS.hits, kind)
+        sp.set(hit=True)
+        return True, obj
 
 
 def store_artifact(kind: str, key: str, obj) -> None:
@@ -296,14 +300,17 @@ def cached_artifact(kind: str, recipe: dict, compute):
     except UncacheableError:
         _STATS.uncacheable += 1
         return compute()
-    obj = _load(kind, key)
-    if obj is not _MISS:
-        _STATS._bump(_STATS.hits, kind)
+    with _spans.span("artifact." + kind, content_key=key) as sp:
+        obj = _load(kind, key)
+        if obj is not _MISS:
+            _STATS._bump(_STATS.hits, kind)
+            sp.set(hit=True)
+            return obj
+        _STATS._bump(_STATS.misses, kind)
+        sp.set(hit=False)
+        obj = compute()
+        _store(kind, key, obj)
         return obj
-    _STATS._bump(_STATS.misses, kind)
-    obj = compute()
-    _store(kind, key, obj)
-    return obj
 
 
 # -- the concrete artifact kinds --------------------------------------------
@@ -412,7 +419,10 @@ def trace_chunk_stream(benchmark: str, length: int | None = None,
         from repro.trace.vectorgen import ChunkedTraceGenerator
 
         gen = ChunkedTraceGenerator(profile)
-        return gen.chunks(length=n, seed=resolved, chunk_size=cs)
+        chunks = gen.chunks(length=n, seed=resolved, chunk_size=cs)
+        if not _spans.enabled():
+            return chunks
+        return _spanned_generation(chunks, benchmark)
 
     def source():
         if not cache_enabled():
@@ -445,6 +455,19 @@ def trace_chunk_stream(benchmark: str, length: int | None = None,
     return TraceChunkStream(source, name=benchmark, length=n, chunk_size=cs)
 
 
+def _spanned_generation(chunks, benchmark: str):
+    """Wrap a chunk generator so each chunk's generation is one span."""
+    idx = 0
+    while True:
+        with _spans.span("trace.generate", benchmark=benchmark,
+                         chunk=idx):
+            chunk = next(chunks, None)
+        if chunk is None:
+            return
+        yield chunk
+        idx += 1
+
+
 def _publish_chunk(chunk, force: bool = False) -> str:
     """Store one chunk container under its content key (idempotent).
 
@@ -456,11 +479,12 @@ def _publish_chunk(chunk, force: bool = False) -> str:
     key = chunk_content_key(chunk)
     path = chunk_payload_path(key)
     if force or not path.exists():
-        try:
-            write_chunk(path, chunk)
-        except OSError as exc:
-            _log.warning("could not store chunk %s: %s", key, exc)
-            _STATS.errors += 1
+        with _spans.span("chunk.store", content_key=key):
+            try:
+                write_chunk(path, chunk)
+            except OSError as exc:
+                _log.warning("could not store chunk %s: %s", key, exc)
+                _STATS.errors += 1
     return key
 
 
@@ -473,11 +497,15 @@ def _serve_chunks(manifest: dict, name: str, generate, mmap: bool):
     failed_at: int | None = None
     for idx, key in enumerate(keys):
         try:
-            chunk = read_chunk(chunk_payload_path(key), name=name, mmap=mmap)
-            if len(chunk) != manifest["sizes"][idx]:
-                raise ChunkCorruptError(
-                    f"chunk {key}: {len(chunk)} != {manifest['sizes'][idx]}"
-                )
+            with _spans.span("chunk.read", content_key=key, chunk=idx,
+                             hit=True):
+                chunk = read_chunk(chunk_payload_path(key), name=name,
+                                   mmap=mmap)
+                if len(chunk) != manifest["sizes"][idx]:
+                    raise ChunkCorruptError(
+                        f"chunk {key}: {len(chunk)} != "
+                        f"{manifest['sizes'][idx]}"
+                    )
         except ChunkCorruptError as exc:
             _log.warning("chunk cache: %s; regenerating stream", exc)
             _STATS.errors += 1
@@ -523,7 +551,9 @@ def annotations_artifact(
                 ideal_predictor=config.ideal_predictor,
             )
         )
-        profile = collector.collect(trace, annotate=True)
+        with _spans.span("sim.functional", benchmark=benchmark,
+                         length=length):
+            profile = collector.collect(trace, annotate=True)
         return profile.annotations
 
     machine_part = {

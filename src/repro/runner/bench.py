@@ -42,8 +42,9 @@ DEFAULT_TRACE_LENGTH = 30_000
 #: overhead section; 3 added the ``service`` scenario; 4 added the
 #: ``explore`` scenario; 5 added per-benchmark generation throughput —
 #: ``gen_fast_s``/``gen_mi_s``, vectorized vs the scalar ``gen_s`` —
-#: and the ``trace`` streaming-substrate scenario)
-BENCH_SCHEMA = 5
+#: and the ``trace`` streaming-substrate scenario; 6 added the ``obs``
+#: span-tracing overhead section and per-section ``section_seconds``)
+BENCH_SCHEMA = 6
 
 
 def _best_of(runs: int, fn) -> float:
@@ -231,6 +232,59 @@ def bench_telemetry(benchmarks, length: int, runs: int, progress=None) -> dict:
         "sim_off_s": off_s,
         "sim_on_s": on_s,
         "overhead": on_s / off_s - 1.0,
+        "bit_identical": identical,
+    }
+
+
+def bench_obs(benchmarks, length: int, runs: int, progress=None) -> dict:
+    """Cost of wall-clock span tracing (:mod:`repro.obs`, schema 6).
+
+    Times the warm cached execute path — the per-call span density is
+    highest there (probe, artifact load, no long simulation to hide
+    behind) — with collection off vs on, and checks the bit-identity
+    the "zero overhead when disabled" claim rests on: results are
+    equal either way.
+    """
+    from repro.obs import spans as _spans
+    from repro.runner.pool import execute_spec
+    from repro.spec import RunSpec, WorkloadSpec
+
+    was_enabled = _spans.enabled()
+    off_s = on_s = 0.0
+    identical = True
+    spans_seen = 0
+    for name in benchmarks:
+        if progress:
+            progress(f"obs overhead: {name}")
+        spec = RunSpec(workload=WorkloadSpec(benchmark=name, length=length))
+        execute_spec(spec, reuse_result=True)  # prime the cache
+        _spans.enable(False)
+        off = execute_spec(spec, reuse_result=True)
+        off_s += _best_of(
+            runs, lambda: execute_spec(spec, reuse_result=True))
+        _spans.enable(True)
+        _spans.reset()
+        on = execute_spec(spec, reuse_result=True)
+        spans_seen += len(_spans.drain())
+        on_s += _best_of(
+            runs, lambda: execute_spec(spec, reuse_result=True))
+        _spans.reset()
+        _spans.enable(False)
+        identical = identical and (
+            off.cycles == on.cycles
+            and off.instructions == on.instructions
+            and off.misprediction_count == on.misprediction_count
+            and off.icache_short_count == on.icache_short_count
+            and off.icache_long_count == on.icache_long_count
+            and off.dcache_long_count == on.dcache_long_count
+        )
+    _spans.enable(was_enabled)
+    return {
+        "pipeline_off_s": off_s,
+        "pipeline_on_s": on_s,
+        "overhead": (on_s / off_s - 1.0) if off_s else 0.0,
+        "spans_per_run": (spans_seen / len(benchmarks)
+                          if benchmarks else 0.0),
         "bit_identical": identical,
     }
 
@@ -481,12 +535,28 @@ def run_bench(
 
     if benchmarks is None:
         benchmarks = list(BENCHMARK_ORDER)
-    per_bench = bench_kernels(benchmarks, length, runs, progress)
-    sweep = bench_sweep(benchmarks, length, runs, jobs, progress)
-    telemetry = bench_telemetry(benchmarks, length, runs, progress)
-    service = bench_service(benchmarks, length, jobs, progress)
-    explore = bench_explore(length, jobs, progress)
-    trace = bench_trace(benchmarks, length, runs, progress)
+    section_seconds: dict[str, float] = {}
+
+    def timed(name: str, fn):
+        start = time.perf_counter()
+        out = fn()
+        section_seconds[name] = time.perf_counter() - start
+        return out
+
+    per_bench = timed("kernels", lambda: bench_kernels(
+        benchmarks, length, runs, progress))
+    sweep = timed("sweep", lambda: bench_sweep(
+        benchmarks, length, runs, jobs, progress))
+    telemetry = timed("telemetry", lambda: bench_telemetry(
+        benchmarks, length, runs, progress))
+    obs = timed("obs", lambda: bench_obs(
+        benchmarks, length, runs, progress))
+    service = timed("service", lambda: bench_service(
+        benchmarks, length, jobs, progress))
+    explore = timed("explore", lambda: bench_explore(
+        length, jobs, progress))
+    trace = timed("trace", lambda: bench_trace(
+        benchmarks, length, runs, progress))
 
     def total(field: str) -> float:
         return sum(row[field] for row in per_bench.values())
@@ -523,9 +593,11 @@ def run_bench(
         "aggregate": aggregate,
         "sweep": sweep,
         "telemetry": telemetry,
+        "obs": obs,
         "service": service,
         "explore": explore,
         "trace": trace,
+        "section_seconds": section_seconds,
     }
 
 
@@ -585,6 +657,16 @@ def format_bench(doc: dict) -> str:
             f"{tele['sim_off_s']:.3f}s off -> {tele['sim_on_s']:.3f}s on "
             f"({tele['overhead']:+.1%}); disabled-telemetry results "
             f"identical: {tele['bit_identical']}",
+        ]
+    obs = doc.get("obs")
+    if obs:  # absent before schema 6
+        lines += [
+            "",
+            f"span tracing overhead (warm cached path): "
+            f"{obs['pipeline_off_s']:.3f}s off -> "
+            f"{obs['pipeline_on_s']:.3f}s on ({obs['overhead']:+.1%}, "
+            f"{obs['spans_per_run']:.0f} spans/run); disabled-tracing "
+            f"results identical: {obs['bit_identical']}",
         ]
     service = doc.get("service")
     if service:  # absent before schema 3

@@ -20,9 +20,10 @@ import os
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.config import BASELINE, ProcessorConfig
+from repro.obs import spans as _spans
 from repro.runner import artifacts
 from repro.simulator.results import SimResult
 from repro.spec import env as _specenv
@@ -74,6 +75,11 @@ class WorkUnit:
         engine: simulation engine override (``None`` = session default).
         tag: free-form label carried through to the result, so sweep
             code can recover which axis point a unit was.
+        stream: run the O(chunk)-memory streaming pipeline.
+        chunk_size: chunk granularity for ``stream`` units.
+        obs: serialized span context (:func:`repro.obs.current_context`)
+            this unit's spans re-root under; never part of the spec or
+            any cache key.
     """
 
     benchmark: str
@@ -83,6 +89,9 @@ class WorkUnit:
     instrument: bool = False
     engine: str | None = None
     tag: str = ""
+    stream: bool = False
+    chunk_size: int | None = None
+    obs: dict | None = None
 
     @classmethod
     def from_spec(cls, spec: RunSpec, tag: str = "") -> "WorkUnit":
@@ -95,6 +104,8 @@ class WorkUnit:
             instrument=spec.engine.instrument,
             engine=spec.engine.engine,
             tag=tag,
+            stream=spec.engine.stream,
+            chunk_size=spec.engine.chunk_size,
         )
 
     def to_spec(self) -> RunSpec:
@@ -111,6 +122,8 @@ class WorkUnit:
             engine=EngineSpec(
                 engine=self.engine if self.engine is not None else "fast",
                 instrument=self.instrument,
+                stream=self.stream,
+                chunk_size=self.chunk_size,
             ),
         )
 
@@ -190,6 +203,10 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
     """
     from repro.simulator.processor import DetailedSimulator
 
+    if unit.stream:
+        return _execute_spec_streaming(unit.to_spec(),
+                                       reuse_result=reuse_result)
+
     trace = artifacts.trace_artifact(unit.benchmark, unit.length, unit.seed)
 
     def simulate() -> SimResult:
@@ -199,7 +216,9 @@ def execute_unit(unit: WorkUnit, reuse_result: bool = False) -> SimResult:
         sim = DetailedSimulator(
             unit.config, instrument=unit.instrument, engine=unit.engine
         )
-        return sim.run(trace, annotations)
+        with _spans.span("sim.detailed", benchmark=unit.benchmark,
+                         length=unit.length):
+            return sim.run(trace, annotations)
 
     try:
         recipe = unit.to_spec().result_recipe()
@@ -256,11 +275,15 @@ def _execute_spec_streaming(spec: RunSpec, reuse_result: bool = False
             workload.benchmark, workload.length, workload.seed,
             chunk_size=spec.engine.chunk_size or DEFAULT_CHUNK_SIZE,
         )
-        return simulate_stream(
-            stream, spec.machine.to_config(),
-            instrument=spec.engine.instrument,
-            telemetry=spec.telemetry,
-        )
+        with _spans.span("sim.stream", benchmark=workload.benchmark,
+                         length=workload.length,
+                         chunk_size=spec.engine.chunk_size
+                         or DEFAULT_CHUNK_SIZE):
+            return simulate_stream(
+                stream, spec.machine.to_config(),
+                instrument=spec.engine.instrument,
+                telemetry=spec.telemetry,
+            )
 
     recipe = spec.result_recipe()
     if reuse_result:
@@ -277,16 +300,26 @@ def _execute_spec_streaming(spec: RunSpec, reuse_result: bool = False
 
 
 def _worker(args: tuple[WorkUnit, bool]) -> tuple[SimResult, float,
-                                                  artifacts.CacheStats]:
+                                                  artifacts.CacheStats,
+                                                  list]:
     unit, reuse_result = args
     # chaos hook: REPRO_CHAOS_KILL_BENCH=<name> hard-kills the worker
     # that picks up that benchmark — how the crash-recovery tests (and
     # an operator staging a failure drill) exercise the abort path
     if _specenv.chaos_kill_bench() == unit.benchmark:
         os._exit(1)
+    # a unit carrying span context from another pid runs in a fresh (or
+    # fork-inherited) pool child: drop inherited spans, re-root under
+    # the parent's context, and ship everything collected here back
+    remote = _spans.is_remote(unit.obs)
+    if remote:
+        _spans.reset()
     before = artifacts.cache_stats().snapshot()
     start = time.perf_counter()
-    result = execute_unit(unit, reuse_result)
+    with _spans.attach(unit.obs):
+        with _spans.span("runner.unit", benchmark=unit.benchmark,
+                         tag=unit.tag):
+            result = execute_unit(unit, reuse_result)
     elapsed = time.perf_counter() - start
     after = artifacts.cache_stats().snapshot()
     delta = artifacts.CacheStats()
@@ -302,7 +335,7 @@ def _worker(args: tuple[WorkUnit, bool]) -> tuple[SimResult, float,
                 del counter[kind]
     delta.errors -= before.errors
     delta.uncacheable -= before.uncacheable
-    return result, elapsed, delta
+    return result, elapsed, delta, _spans.drain() if remote else []
 
 
 def _terminate_and_drain(
@@ -331,7 +364,8 @@ def _terminate_and_drain(
     pending = []
     for unit, f in zip(units, futures):
         if f.done() and not f.cancelled() and f.exception() is None:
-            result, elapsed, _ = f.result()
+            result, elapsed, _, unit_spans = f.result()
+            _spans.add_spans(unit_spans)
             completed.append(
                 UnitResult(unit=unit, result=result, seconds=elapsed))
         else:
@@ -361,6 +395,12 @@ def run_units(
         WorkUnit.from_spec(u) if isinstance(u, RunSpec) else u
         for u in units
     ]
+    obs_ctx = _spans.current_context()
+    if obs_ctx is not None:
+        units = [
+            replace(u, obs=obs_ctx) if u.obs is None else u
+            for u in units
+        ]
     if jobs is None:
         jobs = default_jobs()
     jobs = max(1, min(jobs, len(units) or 1))
@@ -368,7 +408,7 @@ def run_units(
 
     stats = RunnerStats(units=len(units), jobs=jobs)
     start = time.perf_counter()
-    outcomes: list[tuple[SimResult, float, artifacts.CacheStats]]
+    outcomes: list[tuple[SimResult, float, artifacts.CacheStats, list]]
     if jobs == 1:
         outcomes = []
         try:
@@ -395,8 +435,9 @@ def run_units(
         pool.shutdown()
     stats.seconds = time.perf_counter() - start
     results = []
-    for unit, (result, elapsed, delta) in zip(units, outcomes):
+    for unit, (result, elapsed, delta, unit_spans) in zip(units, outcomes):
         stats.cache.merge(delta)
+        _spans.add_spans(unit_spans)
         results.append(UnitResult(unit=unit, result=result, seconds=elapsed))
     _publish_metrics(results, stats)
     _log.info("runner: %s", stats.summary())

@@ -26,6 +26,7 @@ import itertools
 import socket
 import threading
 
+from repro.obs import spans as _spans
 from repro.service import protocol
 from repro.service.protocol import ProtocolError
 
@@ -106,10 +107,15 @@ class ServiceClient:
         ``{"ok": ..., ...}`` object, metadata included)."""
         self.connect()
         rid = str(next(self._ids))
-        frame = protocol.make_request(op, params, id=rid, timeout=timeout)
-        with self._lock:
-            self._sock.sendall(protocol.encode_frame(frame))
-            return self._read_until(rid)
+        # with span collection on, the request carries the live span
+        # context so the server's spans join this client's trace
+        with _spans.span("client.request", op=op, request_id=rid):
+            frame = protocol.make_request(
+                op, params, id=rid, timeout=timeout,
+                trace=_spans.current_context())
+            with self._lock:
+                self._sock.sendall(protocol.encode_frame(frame))
+                return self._read_until(rid)
 
     def _read_until(self, rid: str) -> dict:
         # responses may interleave when the connection is shared; stash

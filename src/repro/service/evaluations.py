@@ -417,30 +417,43 @@ def evaluate(op: str, normalized: dict) -> dict:
     return _EVALUATORS[op](normalized)
 
 
-def run_batch(items: list[tuple[str, dict, str | None]]) -> list[dict]:
+def run_batch(items: list[tuple]) -> list[dict]:
     """Process-pool entry point: evaluate a micro-batch of requests.
 
-    ``items`` are ``(op, normalized_params, key)`` triples.  Every item
-    gets an outcome dict (``{"ok": True, "result": ...}`` or
-    ``{"ok": False, "code": ..., "message": ...}``); an item that raises
-    does not disturb its batch-mates.  Successful keyed responses are
-    published to the persistent artifact cache here, in the worker, so
-    the server process never touches pickle payloads.
+    ``items`` are ``(op, normalized_params, key)`` triples, optionally
+    extended with a serialized span context
+    (:func:`repro.obs.current_context`) as a fourth element — when
+    present, this worker re-roots its wall-clock spans under the
+    caller's trace and ships them home in the outcome's ``"spans"``
+    list.  Every item gets an outcome dict (``{"ok": True, "result":
+    ...}`` or ``{"ok": False, "code": ..., "message": ...}``); an item
+    that raises does not disturb its batch-mates.  Successful keyed
+    responses are published to the persistent artifact cache here, in
+    the worker, so the server process never touches pickle payloads.
     """
+    from repro.obs import spans as _spans
     from repro.runner import artifacts
 
     outcomes: list[dict] = []
-    for op, params, key in items:
+    for item in items:
+        op, params, key, obs = item if len(item) == 4 else (*item, None)
+        remote = _spans.is_remote(obs)
+        if remote:
+            _spans.reset()  # drop spans forked in from the parent
         try:
-            payload = evaluate(op, params)
+            with _spans.attach(obs), \
+                    _spans.span("service.evaluate", op=op):
+                payload = evaluate(op, params)
         except ProtocolError as exc:
-            outcomes.append({"ok": False, "code": exc.code,
-                             "message": str(exc)})
+            outcome = {"ok": False, "code": exc.code, "message": str(exc)}
         except Exception as exc:  # noqa: BLE001 - isolate batch-mates
-            outcomes.append({"ok": False, "code": ErrorCode.INTERNAL,
-                             "message": f"{type(exc).__name__}: {exc}"})
+            outcome = {"ok": False, "code": ErrorCode.INTERNAL,
+                       "message": f"{type(exc).__name__}: {exc}"}
         else:
             if key is not None and artifacts.cache_enabled():
                 artifacts.store_artifact("response", key, payload)
-            outcomes.append({"ok": True, "result": payload})
+            outcome = {"ok": True, "result": payload}
+        if remote:
+            outcome["spans"] = _spans.drain()
+        outcomes.append(outcome)
     return outcomes

@@ -75,6 +75,9 @@ class Request:
     params: dict = field(default_factory=dict)
     id: str = ""
     timeout: float | None = None
+    #: serialized span context (:func:`repro.obs.current_context`) the
+    #: server re-roots its spans under — one connected trace per submit
+    trace: dict | None = None
 
 
 def encode_frame(obj: dict) -> bytes:
@@ -123,19 +126,26 @@ def parse_request(frame: dict) -> Request:
         if not isinstance(timeout, (int, float)) or timeout <= 0:
             raise ProtocolError("'timeout' must be a positive number")
         timeout = float(timeout)
-    unknown = set(frame) - {"v", "id", "op", "params", "timeout"}
+    trace = frame.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        raise ProtocolError("'trace' must be an object")
+    unknown = set(frame) - {"v", "id", "op", "params", "timeout", "trace"}
     if unknown:
         raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
-    return Request(op=op, params=params, id=str(rid), timeout=timeout)
+    return Request(op=op, params=params, id=str(rid), timeout=timeout,
+                   trace=trace)
 
 
 def make_request(op: str, params: dict | None = None, id: str = "",
-                 timeout: float | None = None) -> dict:
+                 timeout: float | None = None,
+                 trace: dict | None = None) -> dict:
     """Build a request frame (the client side of :func:`parse_request`)."""
     frame: dict = {"v": PROTOCOL_VERSION, "id": id, "op": op,
                    "params": params or {}}
     if timeout is not None:
         frame["timeout"] = timeout
+    if trace is not None:
+        frame["trace"] = trace
     return frame
 
 

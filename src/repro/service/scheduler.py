@@ -35,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
+from repro.obs import spans as _spans
 from repro.service import evaluations
 from repro.service.protocol import ErrorCode, ProtocolError
 from repro.telemetry.metrics import metrics_registry
@@ -71,6 +72,9 @@ class SchedulerConfig:
         request_timeout_s: default per-request deadline.
         retries: attempts after a worker crash (0 = fail immediately).
         retry_backoff_s: first backoff; doubles per attempt.
+        slow_request_s: computed requests slower than this (queue wait
+            plus compute) are logged at WARNING with their latency
+            breakdown; ``None`` disables the slow-request log.
     """
 
     workers: int | None = None
@@ -80,6 +84,7 @@ class SchedulerConfig:
     request_timeout_s: float = 120.0
     retries: int = 2
     retry_backoff_s: float = 0.05
+    slow_request_s: float | None = None
 
 
 @dataclass
@@ -89,6 +94,11 @@ class _Entry:
     key: str | None
     future: asyncio.Future
     attempts: int = 0
+    #: serialized span context captured at submit; pool workers re-root
+    #: their spans under it (runtime-only, never part of the cache key)
+    obs: dict | None = None
+    #: loop time the entry entered the queue (slow-request accounting)
+    enqueued: float = 0.0
 
 
 class Scheduler:
@@ -174,7 +184,8 @@ class Scheduler:
                 "requests); retry later"
             )
         entry = _Entry(op=op, params=normalized, key=key,
-                       future=loop.create_future())
+                       future=loop.create_future(),
+                       obs=_spans.current_context(), enqueued=start)
         self._pending += 1
         self._metrics.gauge("service.queue_depth").set(self._pending)
         if key is not None:
@@ -244,7 +255,8 @@ class Scheduler:
             await self._run_batch(batch)
 
     async def _run_batch(self, batch: list[_Entry]) -> None:
-        items = [(e.op, e.params, e.key) for e in batch]
+        items = [(e.op, e.params, e.key, e.obs) for e in batch]
+        started = asyncio.get_running_loop().time()
         backoff = self.config.retry_backoff_s
         outcomes = None
         for attempt in range(self.config.retries + 1):
@@ -268,12 +280,18 @@ class Scheduler:
                     self._metrics.counter("service.retries").inc()
                     await asyncio.sleep(backoff)
                     backoff *= 2
+        finished = asyncio.get_running_loop().time()
         for entry, outcome in zip(
                 batch,
                 outcomes if outcomes is not None else [None] * len(batch)):
             self._pending -= 1
             if entry.key is not None:
                 self._inflight.pop(entry.key, None)
+            if outcome is not None:
+                # spans the worker collected while re-rooted under this
+                # entry's trace context come home with the outcome
+                _spans.add_spans(outcome.pop("spans", None) or [])
+            self._log_if_slow(entry, started, finished)
             if entry.future.done():  # e.g. loop shutdown cancelled it
                 continue
             if outcome is None:
@@ -290,6 +308,23 @@ class Scheduler:
                 entry.future.set_exception(
                     EvalFailed(outcome["code"], outcome["message"]))
         self._metrics.gauge("service.queue_depth").set(self._pending)
+
+    def _log_if_slow(self, entry: _Entry, started: float,
+                     finished: float) -> None:
+        """Surface computed requests that blew the latency budget."""
+        threshold = self.config.slow_request_s
+        if threshold is None:
+            return
+        total = finished - entry.enqueued
+        if total < threshold:
+            return
+        self._metrics.counter("service.slow_requests").inc()
+        _log.warning(
+            "slow request: op=%s key=%s total=%.3fs "
+            "(queue_wait=%.3fs compute=%.3fs, threshold %.3fs)",
+            entry.op, entry.key or "-", total,
+            max(0.0, started - entry.enqueued), finished - started,
+            threshold)
 
 
 __all__ = [

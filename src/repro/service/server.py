@@ -28,6 +28,7 @@ import json
 import logging
 import threading
 
+from repro.obs import spans as _spans
 from repro.service import protocol
 from repro.service.protocol import ErrorCode, ProtocolError
 from repro.service.scheduler import (
@@ -184,6 +185,14 @@ class ServiceServer:
         if request.op == "metrics":
             return ({"metrics": metrics_registry().to_dict()},
                     {"served_from": "server"})
+        if request.trace is not None and _spans.enabled():
+            # re-root under the client's span so client, scheduler and
+            # pool worker form one connected trace per submit
+            with _spans.attach(request.trace), \
+                    _spans.span("service.request", op=request.op,
+                                request_id=request.id):
+                return await self.scheduler.submit(
+                    request.op, request.params, timeout=request.timeout)
         return await self.scheduler.submit(
             request.op, request.params, timeout=request.timeout)
 

@@ -38,6 +38,7 @@ from heapq import heappop, heappush
 import numpy as np
 
 from repro.config import ProcessorConfig
+from repro.obs import spans as _spans
 from repro.simulator.results import Instrumentation, SimResult
 from repro.telemetry.accountant import (
     CLS_BASE,
@@ -648,10 +649,13 @@ def simulate_stream(
     ))
     tele = resolve_telemetry(telemetry)
     feed = collector.iter_annotated(stream, annotate=True)
-    result = run_fast_stream(feed, n, cfg, name=stream.name,
-                             instrument=instrument, telemetry=tele)
-    for _ in feed:  # drain the tail so the collector finalizes its profile
-        pass
+    with _spans.span("sim.stream.engine", workload=stream.name,
+                     instructions=n):
+        result = run_fast_stream(feed, n, cfg, name=stream.name,
+                                 instrument=instrument, telemetry=tele)
+        for _ in feed:  # drain the tail; the collector finalizes its profile
+            pass
     if tele is not None:
-        tele.finish(stream.name, result.instructions, result.cycles)
+        with _spans.span("telemetry.finish", workload=stream.name):
+            tele.finish(stream.name, result.instructions, result.cycles)
     return result

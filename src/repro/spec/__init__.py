@@ -13,6 +13,7 @@ from repro.spec.specs import (
     EngineSpec,
     HierarchySpec,
     MachineSpec,
+    ObsSpec,
     RunSpec,
     SpecError,
     SweepSpec,
@@ -29,6 +30,7 @@ __all__ = [
     "EngineSpec",
     "HierarchySpec",
     "MachineSpec",
+    "ObsSpec",
     "RunSpec",
     "SpecError",
     "SweepSpec",

@@ -41,6 +41,12 @@ REGISTRY: dict[str, tuple[str, str]] = {
         "telemetry", "event-trace sampling rate in (0, 1] (default 1)"),
     "REPRO_TELEMETRY_SEED": (
         "telemetry", "event-trace sampling RNG seed (default 0)"),
+    "REPRO_OBS": (
+        "obs", "non-empty and not '0' collects wall-clock spans"),
+    "REPRO_OBS_TRACE": (
+        "obs", "write collected spans to this JSONL path after a run"),
+    "REPRO_OBS_CHROME": (
+        "obs", "write collected spans as a Chrome trace_event file"),
     "REPRO_CHAOS_KILL_BENCH": (
         "chaos", "hard-kill the pool worker that picks up this benchmark"),
     "REPRO_EXPLORE_KILL_AFTER": (
@@ -160,6 +166,43 @@ def telemetry_overrides() -> dict:
         out["sample_rate"] = telemetry_sample_rate()
     if _get("REPRO_TELEMETRY_SEED") is not None:
         out["seed"] = telemetry_seed()
+    return out
+
+
+# -- observability -----------------------------------------------------------
+
+
+def obs_flag() -> bool:
+    """``REPRO_OBS`` — enabled unless unset, empty or ``0``."""
+    flag = (_get("REPRO_OBS") or "").strip()
+    return bool(flag) and flag != "0"
+
+
+def obs_trace_path() -> str | None:
+    return _get("REPRO_OBS_TRACE") or None
+
+
+def obs_chrome_path() -> str | None:
+    return _get("REPRO_OBS_CHROME") or None
+
+
+def obs_overrides() -> dict:
+    """The ObsSpec fields the environment explicitly sets.
+
+    Mirrors :func:`telemetry_overrides`: only variables actually present
+    contribute, and an export path implies collection.
+    """
+    out: dict = {}
+    if _get("REPRO_OBS") is not None:
+        out["enabled"] = obs_flag()
+    trace_path = obs_trace_path()
+    chrome_path = obs_chrome_path()
+    if trace_path:
+        out["trace_path"] = trace_path
+    if chrome_path:
+        out["chrome_path"] = chrome_path
+    if (trace_path or chrome_path) and "enabled" not in out:
+        out["enabled"] = True
     return out
 
 

@@ -58,6 +58,9 @@ def _env_layer() -> dict:
     telemetry = env.telemetry_overrides()
     if telemetry:
         layer["telemetry"] = telemetry
+    obs = env.obs_overrides()
+    if obs:
+        layer["obs"] = obs
     return layer
 
 

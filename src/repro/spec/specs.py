@@ -432,12 +432,21 @@ class TelemetrySpec:
     sample_rate: float = 1.0
     seed: int = 0
     event_limit: int | None = None
+    #: cap timeline storage with the hierarchical rollup recorder
+    #: (``None`` keeps the unbounded in-memory timeline)
+    max_timeline_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.interval < 1:
             raise SpecError("telemetry interval must be >= 1 cycle")
         if not (0.0 < self.sample_rate <= 1.0):
             raise SpecError("telemetry sample_rate must be in (0, 1]")
+        if self.max_timeline_rows is not None and (
+                not isinstance(self.max_timeline_rows, int)
+                or isinstance(self.max_timeline_rows, bool)
+                or self.max_timeline_rows < 2):
+            raise SpecError("max_timeline_rows must be an integer >= 2 "
+                            "or null")
 
     def to_config(self):
         """A :class:`TelemetryConfig` when enabled, else ``None``."""
@@ -454,6 +463,7 @@ class TelemetrySpec:
             sample_rate=self.sample_rate,
             seed=self.seed,
             event_limit=self.event_limit,
+            max_timeline_rows=self.max_timeline_rows,
         )
 
     @classmethod
@@ -463,6 +473,37 @@ class TelemetrySpec:
             _check_fields(
                 _require_mapping(data, "telemetry"), cls, "telemetry"),
             "telemetry")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+# -- observability -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """Wall-clock span collection knobs, mirroring :mod:`repro.obs`.
+
+    Spans time the host machine, never the simulated one, and the
+    collection sites never touch simulation state — obs off is
+    zero-overhead and obs on is bit-identical (both enforced by the
+    equivalence suite) — so no field participates in
+    :meth:`RunSpec.content_key`.
+    """
+
+    enabled: bool = False
+    #: write drained spans as JSONL here after the run
+    trace_path: str | None = None
+    #: write drained spans as a Chrome ``trace_event`` document here
+    chrome_path: str | None = None
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ObsSpec":
+        return _construct(
+            cls,
+            _check_fields(_require_mapping(data, "obs"), cls, "obs"),
+            "obs")
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -479,6 +520,7 @@ class RunSpec:
     machine: MachineSpec = field(default_factory=MachineSpec)
     engine: EngineSpec = field(default_factory=EngineSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    obs: ObsSpec = field(default_factory=ObsSpec)
 
     # -- serialization ---------------------------------------------------
 
@@ -489,6 +531,7 @@ class RunSpec:
             "workload": self.workload.to_dict(),
             "engine": self.engine.to_dict(),
             "telemetry": self.telemetry.to_dict(),
+            "obs": self.obs.to_dict(),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -503,7 +546,8 @@ class RunSpec:
                 f"unsupported spec_schema {schema!r} (this release reads "
                 f"{SPEC_SCHEMA})"
             )
-        unknown = set(out) - {"machine", "workload", "engine", "telemetry"}
+        unknown = set(out) - {
+            "machine", "workload", "engine", "telemetry", "obs"}
         if unknown:
             raise SpecError(f"unknown spec section(s): {sorted(unknown)}")
         if "workload" not in out:
@@ -513,6 +557,7 @@ class RunSpec:
             machine=MachineSpec.from_dict(out.get("machine", {})),
             engine=EngineSpec.from_dict(out.get("engine", {})),
             telemetry=TelemetrySpec.from_dict(out.get("telemetry", {})),
+            obs=ObsSpec.from_dict(out.get("obs", {})),
         )
 
     @classmethod
@@ -565,10 +610,10 @@ def _set_dotted(spec: RunSpec, path: str, value: Any) -> RunSpec:
     """Replace a dotted-path field, e.g. ``machine.window_size``."""
     parts = path.split(".")
     if len(parts) < 2 or parts[0] not in (
-            "machine", "workload", "engine", "telemetry"):
+            "machine", "workload", "engine", "telemetry", "obs"):
         raise SpecError(
             f"sweep axis {path!r} must start with a spec section "
-            "(machine/workload/engine/telemetry)"
+            "(machine/workload/engine/telemetry/obs)"
         )
     # walk to the owner of the leaf field, then rebuild outward
     objs = [spec]

@@ -11,6 +11,8 @@ artifact:
   sum to the simulated CPI exactly;
 * :mod:`repro.telemetry.timeline` — interval IPC/occupancy/miss-rate
   series with ASCII sparkline rendering (``repro timeline``);
+* :mod:`repro.telemetry.rollup` — the fixed-memory hierarchical rollup
+  recorder that keeps streamed timelines to ``O(log n)`` rows;
 * :mod:`repro.telemetry.events` — structured JSONL and Chrome
   ``trace_event`` traces for ``chrome://tracing`` / Perfetto, with
   deterministic sampling;
@@ -62,6 +64,7 @@ from repro.telemetry.session import (
     telemetry_enabled,
     telemetry_from_env,
 )
+from repro.telemetry.rollup import RollupTimelineRecorder
 from repro.telemetry.timeline import IntervalTimeline, TimelineRecorder
 
 __all__ = [
@@ -94,5 +97,6 @@ __all__ = [
     "telemetry_enabled",
     "telemetry_from_env",
     "IntervalTimeline",
+    "RollupTimelineRecorder",
     "TimelineRecorder",
 ]

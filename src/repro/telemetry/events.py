@@ -23,8 +23,9 @@ import random
 from pathlib import Path
 from typing import Iterable
 
-#: event categories, each mapped to its own Chrome-trace thread lane
-CATEGORIES = ("frontend", "backend", "memory", "stall")
+#: event categories, each mapped to its own Chrome-trace thread lane;
+#: ``span`` carries wall-clock spans from :mod:`repro.obs`
+CATEGORIES = ("frontend", "backend", "memory", "stall", "span")
 
 _TIDS = {cat: tid for tid, cat in enumerate(CATEGORIES)}
 
@@ -58,6 +59,11 @@ class EventTrace:
         self.events: list[dict] = []
         self.emitted = 0    #: events offered (before sampling/limit)
         self.dropped = 0    #: events lost to sampling or the limit
+        #: optional ``{pid: display name}`` overrides for Chrome output;
+        #: pids absent from the map fall back to a generic label
+        self.process_names: dict[int, str] = {}
+        #: what one ``ts`` unit means, recorded in ``otherData``
+        self.time_unit = "1 ts = 1 cycle"
         self._rng = random.Random(seed)
 
     def emit(
@@ -66,9 +72,14 @@ class EventTrace:
         cat: str,
         ts: int,
         dur: int | None = None,
+        pid: int | None = None,
         **args,
     ) -> None:
-        """Record one event at cycle ``ts`` (span events carry ``dur``)."""
+        """Record one event at cycle ``ts`` (span events carry ``dur``).
+
+        ``pid`` assigns the event to a Chrome process lane; events
+        without one land in the default lane 0.
+        """
         if cat not in _TIDS:
             raise ValueError(f"unknown category {cat!r}; "
                              f"expected one of {CATEGORIES}")
@@ -87,6 +98,8 @@ class EventTrace:
         }
         if dur is not None:
             event["dur"] = int(dur)
+        if pid is not None:
+            event["pid"] = int(pid)
         if args:
             event["args"] = args
         self.events.append(event)
@@ -116,30 +129,47 @@ class EventTrace:
 
     def to_chrome(self) -> dict:
         """The ``chrome://tracing`` / Perfetto JSON document."""
-        trace_events: list[dict] = [
-            {
+        pids = sorted(
+            {e.get("pid", 0) for e in self.events}
+            | {0}
+            | set(self.process_names)
+        )
+        trace_events: list[dict] = []
+        for pid in pids:
+            default = _PROCESS_NAME if pid == 0 else f"repro pid {pid}"
+            trace_events.append({
                 "name": "process_name",
                 "ph": "M",
-                "pid": 0,
+                "pid": pid,
                 "tid": 0,
-                "args": {"name": _PROCESS_NAME},
-            }
-        ]
-        for cat, tid in _TIDS.items():
-            trace_events.append({
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": tid,
-                "args": {"name": cat},
+                "args": {"name": self.process_names.get(pid, default)},
             })
+            cats = (
+                _TIDS.items()
+                if pid == 0
+                else sorted(
+                    (c, _TIDS[c])
+                    for c in {
+                        e["cat"] for e in self.events
+                        if e.get("pid", 0) == pid
+                    }
+                )
+            )
+            for cat, tid in cats:
+                trace_events.append({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": cat},
+                })
         for e in self.sorted_events():
             out = {
                 "name": e["name"],
                 "cat": e["cat"],
                 "ph": e["ph"],
                 "ts": float(e["ts"]),
-                "pid": 0,
+                "pid": e.get("pid", 0),
                 "tid": _TIDS[e["cat"]],
             }
             if e["ph"] == "X":
@@ -157,7 +187,7 @@ class EventTrace:
                 "dropped": self.dropped,
                 "sample_rate": self.sample_rate,
                 "seed": self.seed,
-                "time_unit": "1 ts = 1 cycle",
+                "time_unit": self.time_unit,
             },
         }
 
@@ -181,9 +211,14 @@ def read_jsonl(path: str | Path) -> list[dict]:
 def merge_traces(traces: Iterable[EventTrace]) -> EventTrace:
     """Combine several traces (e.g. per-shard) into one, re-sorted."""
     merged = EventTrace()
+    first = True
     for t in traces:
         merged.events.extend(t.events)
         merged.emitted += t.emitted
         merged.dropped += t.dropped
+        merged.process_names.update(t.process_names)
+        if first:
+            merged.time_unit = t.time_unit
+            first = False
     merged.events.sort(key=lambda e: e["ts"])
     return merged

@@ -79,6 +79,7 @@ def build_manifest(
     engine: str | None = None,
     wall_seconds: float | None = None,
     cache_stats=None,
+    wallclock: dict | None = None,
     extra: dict | None = None,
 ) -> dict:
     """Assemble the manifest document for one run.
@@ -87,8 +88,10 @@ def build_manifest(
     used — embedded verbatim (plus its ``content_key``) so the output
     can be re-run from the manifest alone.  ``config`` may be any
     dataclass (typically a ``ProcessorConfig``); ``cache_stats`` a
-    ``repro.runner.artifacts.CacheStats``.  ``extra`` is merged in
-    verbatim for command-specific fields.
+    ``repro.runner.artifacts.CacheStats``.  ``wallclock`` is a
+    per-phase breakdown of the run's wall-clock — typically
+    :func:`repro.obs.wallclock_summary` over the run's span tree.
+    ``extra`` is merged in verbatim for command-specific fields.
     """
     from repro.spec import env as specenv
 
@@ -117,6 +120,8 @@ def build_manifest(
         manifest["config"] = _jsonable(config)
     if wall_seconds is not None:
         manifest["wall_seconds"] = wall_seconds
+    if wallclock is not None:
+        manifest["wallclock"] = _jsonable(wallclock)
     if cache_stats is not None:
         manifest["cache"] = {
             "hits": dict(cache_stats.hits),

@@ -37,6 +37,7 @@ from repro.telemetry.accountant import (
     MeasuredCPIStack,
 )
 from repro.telemetry.events import EventTrace
+from repro.telemetry.rollup import RollupTimelineRecorder
 from repro.telemetry.timeline import IntervalTimeline, TimelineRecorder
 
 _log = logging.getLogger(__name__)
@@ -56,6 +57,8 @@ class TelemetryConfig:
     sample_rate: float = 1.0
     seed: int = 0
     event_limit: int | None = None
+    #: cap timeline storage via hierarchical rollup (``None`` = unbounded)
+    max_timeline_rows: int | None = None
 
     @classmethod
     def from_env(cls) -> "TelemetryConfig | None":
@@ -112,10 +115,15 @@ class Telemetry:
     def __init__(self, config: TelemetryConfig | None = None):
         self.config = config or TelemetryConfig()
         self.counts = [0] * _CLASS_COUNT
-        self.recorder = (
-            TimelineRecorder(self.config.interval)
-            if self.config.timeline else None
-        )
+        if not self.config.timeline:
+            self.recorder = None
+        elif self.config.max_timeline_rows is not None:
+            self.recorder = RollupTimelineRecorder(
+                self.config.interval,
+                max_rows=self.config.max_timeline_rows,
+            )
+        else:
+            self.recorder = TimelineRecorder(self.config.interval)
         self.events = (
             EventTrace(
                 sample_rate=self.config.sample_rate,

@@ -1,0 +1,30 @@
+"""Shared fixtures: pristine span state and an isolated cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import spans as _spans
+from repro.runner.artifacts import reset_cache_stats
+from repro.telemetry.metrics import reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state(tmp_path, monkeypatch):
+    """Every test starts and ends with collection off and empty.
+
+    Span state is process-global, so a leaked enable() would silently
+    change the behaviour (and cost) of every later test in the run.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    _spans.enable(False)
+    _spans.reset()
+    reset_cache_stats()
+    reset_metrics()
+    yield
+    _spans.enable(False)
+    _spans.reset()
+    reset_cache_stats()
+    reset_metrics()

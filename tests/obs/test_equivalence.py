@@ -1,0 +1,63 @@
+"""Observability must be free when off and invisible when on.
+
+The acceptance bar from the issue: with tracing disabled the span API
+degrades to a shared no-op (no allocation, no collection), and enabling
+it must not perturb a single architectural count — spans wrap the
+pipeline, they never steer it.
+"""
+
+from __future__ import annotations
+
+from repro.obs import spans as _spans
+from repro.obs.spans import NOOP_SPAN, span
+from repro.runner.pool import execute_spec
+from repro.spec import RunSpec, WorkloadSpec
+
+LENGTH = 4000
+
+#: every architectural quantity a run produces; wall-clock fields like
+#: ``seconds`` are deliberately absent
+RESULT_FIELDS = (
+    "cycles",
+    "instructions",
+    "misprediction_count",
+    "icache_short_count",
+    "icache_long_count",
+    "dcache_long_count",
+)
+
+
+def _run(benchmark="gzip"):
+    spec = RunSpec(workload=WorkloadSpec(benchmark=benchmark, length=LENGTH))
+    return execute_spec(spec, reuse_result=False)
+
+
+class TestDisabledIsFree:
+    def test_span_is_the_shared_noop_object(self):
+        assert span("sim.detailed", benchmark="gzip") is NOOP_SPAN
+
+    def test_a_full_run_collects_nothing(self):
+        _run()
+        assert _spans.drain() == []
+        assert _spans.current_context() is None
+
+
+class TestEnabledIsInvisible:
+    def test_results_bit_identical_with_tracing_on(self):
+        off = _run()
+        _spans.enable(True)
+        _spans.reset()
+        with span("test.root"):
+            on = _run()
+        collected = _spans.drain()
+        assert collected, "tracing was on but no spans were recorded"
+        for field in RESULT_FIELDS:
+            assert getattr(off, field) == getattr(on, field), field
+
+    def test_cached_replay_also_identical(self):
+        first = _run()
+        _spans.enable(True)
+        spec = RunSpec(workload=WorkloadSpec(benchmark="gzip", length=LENGTH))
+        replay = execute_spec(spec, reuse_result=True)
+        for field in RESULT_FIELDS:
+            assert getattr(first, field) == getattr(replay, field), field

@@ -1,0 +1,139 @@
+"""Span-tree analysis and export: profiles, Chrome lanes, JSONL."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    build_tree,
+    critical_path,
+    format_profile,
+    profile_rows,
+    read_jsonl_spans,
+    to_event_trace,
+    wallclock_summary,
+    write_chrome,
+    write_jsonl,
+)
+
+MAIN_PID = 1000
+WORKER_PID = 2000
+
+
+def mk(name, span_id, parent=None, start=0.0, dur=1.0, pid=MAIN_PID,
+       trace="trace-1", **attrs):
+    return {
+        "trace_id": trace,
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "pid": pid,
+        "start_unix": start,
+        "duration_s": dur,
+        "attrs": attrs,
+    }
+
+
+def sample_tree():
+    """root(10s) -> [generate(6s, miss), probe(2s, hit, worker pid)]."""
+    return [
+        mk("root", "r", start=0.0, dur=10.0),
+        mk("generate", "g", parent="r", start=0.5, dur=6.0, hit=False),
+        mk("probe", "p", parent="r", start=7.0, dur=2.0,
+           pid=WORKER_PID, hit=True),
+        mk("inner", "i", parent="g", start=1.0, dur=1.5),
+    ]
+
+
+class TestTree:
+    def test_build_tree_indexes_parents_and_children(self):
+        roots, children = build_tree(sample_tree())
+        assert [s["span_id"] for s in roots] == ["r"]
+        assert [c["span_id"] for c in children["r"]] == ["g", "p"]
+        assert [c["span_id"] for c in children["g"]] == ["i"]
+
+    def test_orphan_parent_becomes_a_root(self):
+        spans = [mk("stranded", "s", parent="not-here")]
+        roots, _ = build_tree(spans)
+        assert [s["span_id"] for s in roots] == ["s"]
+
+    def test_profile_rows_self_time_and_cache_attribution(self):
+        rows = {r["name"]: r for r in profile_rows(sample_tree())}
+        # root: 10 total - (6 + 2) children = 2 self
+        assert rows["root"]["self_s"] == 2.0
+        # generate: 6 total - 1.5 child = 4.5 self (ordered first)
+        assert rows["generate"]["self_s"] == 4.5
+        assert rows["generate"]["misses"] == 1
+        assert rows["probe"]["hits"] == 1
+        ordered = profile_rows(sample_tree())
+        assert ordered[0]["name"] == "generate"
+
+    def test_critical_path_descends_most_expensive_children(self):
+        path = [s["name"] for s in critical_path(sample_tree())]
+        assert path == ["root", "generate", "inner"]
+
+    def test_critical_path_empty_without_spans(self):
+        assert critical_path([]) == []
+
+    def test_wallclock_summary_aggregates_roots_children(self):
+        summary = wallclock_summary(sample_tree())
+        assert summary["total_s"] == 10.0
+        assert summary["phases"]["generate"] == 6.0
+        assert summary["phases"]["probe"] == 2.0
+        assert summary["phases"]["(self)"] == 2.0
+
+    def test_wallclock_summary_empty(self):
+        assert wallclock_summary([]) == {"total_s": 0.0, "phases": {}}
+
+    def test_format_profile_mentions_stages_and_processes(self):
+        text = format_profile(sample_tree())
+        assert "generate" in text and "critical path" in text
+        assert "2 process(es)" in text
+        assert "1 hit / 1 miss" not in text  # hits live on separate rows
+
+
+class TestChromeExport:
+    def test_per_pid_process_lanes(self):
+        trace = to_event_trace(sample_tree())
+        assert trace.process_names[MAIN_PID].startswith("repro main")
+        assert trace.process_names[WORKER_PID].startswith("repro worker")
+        doc = trace.to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        named = {e["pid"]: e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert f"repro main (pid {MAIN_PID})" == named[MAIN_PID]
+        assert f"repro worker (pid {WORKER_PID})" == named[WORKER_PID]
+
+    def test_events_keep_ids_and_relative_microseconds(self):
+        doc = to_event_trace(sample_tree()).to_chrome()
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["root"]["ts"] == 0.0
+        assert by_name["probe"]["ts"] == 7.0 * 1e6
+        assert by_name["probe"]["pid"] == WORKER_PID
+        assert by_name["probe"]["args"]["parent_id"] == "r"
+        assert by_name["probe"]["args"]["span_id"] == "p"
+        assert by_name["root"]["dur"] == 10.0 * 1e6
+
+    def test_time_unit_recorded(self):
+        doc = to_event_trace(sample_tree()).to_chrome()
+        assert doc["otherData"]["time_unit"] == "1 ts = 1 us wall-clock"
+
+    def test_write_chrome_loads_back(self, tmp_path):
+        path = write_chrome(sample_tree(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) > len(sample_tree())
+
+
+class TestJsonl:
+    def test_round_trip_preserves_records(self, tmp_path):
+        spans = sample_tree()
+        path = write_jsonl(spans, tmp_path / "spans.jsonl")
+        loaded = read_jsonl_spans(path)
+        assert sorted(loaded, key=lambda s: s["span_id"]) == sorted(
+            spans, key=lambda s: s["span_id"])
+
+    def test_lines_ordered_by_start(self, tmp_path):
+        path = write_jsonl(sample_tree(), tmp_path / "spans.jsonl")
+        starts = [s["start_unix"] for s in read_jsonl_spans(path)]
+        assert starts == sorted(starts)

@@ -1,0 +1,54 @@
+"""The slow-request WARNING log and its companion counter."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.service import BackgroundServer, SchedulerConfig, ServiceClient
+from repro.telemetry.metrics import metrics_registry
+
+LENGTH = 2_000
+
+
+def _config(threshold):
+    return SchedulerConfig(workers=1, queue_limit=16,
+                           request_timeout_s=60.0,
+                           retries=2, retry_backoff_s=0.05,
+                           slow_request_s=threshold)
+
+
+class TestSlowRequestLog:
+    def test_warning_carries_op_key_and_latency_breakdown(self, caplog):
+        # threshold 0.0 flags every computed request — the check is
+        # "total >= threshold", so zero is the always-log setting
+        with BackgroundServer(config=_config(0.0)) as bg:
+            with ServiceClient(bg.host, bg.port) as client:
+                with caplog.at_level(logging.WARNING,
+                                     logger="repro.service.scheduler"):
+                    client.simulate("gzip", length=LENGTH)
+        slow = [r for r in caplog.records
+                if "slow request" in r.getMessage()]
+        assert slow, "no slow-request warning was emitted"
+        message = slow[0].getMessage()
+        assert "op=simulate" in message
+        assert "queue_wait=" in message and "compute=" in message
+        assert metrics_registry().counter("service.slow_requests").value >= 1
+
+    def test_disabled_by_default(self, caplog):
+        with BackgroundServer(config=_config(None)) as bg:
+            with ServiceClient(bg.host, bg.port) as client:
+                with caplog.at_level(logging.WARNING,
+                                     logger="repro.service.scheduler"):
+                    client.simulate("gzip", length=LENGTH)
+        assert not [r for r in caplog.records
+                    if "slow request" in r.getMessage()]
+        assert metrics_registry().counter("service.slow_requests").value == 0
+
+    def test_fast_requests_below_threshold_stay_quiet(self, caplog):
+        with BackgroundServer(config=_config(3600.0)) as bg:
+            with ServiceClient(bg.host, bg.port) as client:
+                with caplog.at_level(logging.WARNING,
+                                     logger="repro.service.scheduler"):
+                    client.simulate("gzip", length=LENGTH)
+        assert not [r for r in caplog.records
+                    if "slow request" in r.getMessage()]

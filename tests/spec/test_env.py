@@ -88,3 +88,31 @@ class TestAccessors:
         echoed = env.repro_environment()
         assert echoed["REPRO_TELEMETRY"] == "1"
         assert all(k.startswith("REPRO_") for k in echoed)
+
+
+class TestObsOverrides:
+    def _clear(self, monkeypatch):
+        for name in env.REGISTRY:
+            if name.startswith("REPRO_OBS"):
+                monkeypatch.delenv(name, raising=False)
+
+    def test_only_reflect_set_variables(self, monkeypatch):
+        self._clear(monkeypatch)
+        assert env.obs_overrides() == {}
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert env.obs_overrides() == {"enabled": True}
+
+    def test_export_path_implies_collection(self, monkeypatch):
+        self._clear(monkeypatch)
+        monkeypatch.setenv("REPRO_OBS_CHROME", "/tmp/spans.json")
+        overrides = env.obs_overrides()
+        assert overrides["enabled"] is True
+        assert overrides["chrome_path"] == "/tmp/spans.json"
+
+    def test_explicit_zero_beats_the_implied_enable(self, monkeypatch):
+        self._clear(monkeypatch)
+        monkeypatch.setenv("REPRO_OBS", "0")
+        monkeypatch.setenv("REPRO_OBS_TRACE", "/tmp/spans.jsonl")
+        overrides = env.obs_overrides()
+        assert overrides["enabled"] is False
+        assert overrides["trace_path"] == "/tmp/spans.jsonl"

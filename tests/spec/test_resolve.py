@@ -110,3 +110,20 @@ class TestSpecFile:
         spec = resolve_spec(path=example, use_env=False)
         assert spec.workload.benchmark == "gzip"
         assert spec.machine.width == 4
+
+
+class TestObsLayer:
+    def test_env_obs_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_TRACE", "/tmp/spans.jsonl")
+        spec = resolve_spec(overrides={"workload": {"benchmark": "gzip"}})
+        assert spec.obs.enabled
+        assert spec.obs.trace_path == "/tmp/spans.jsonl"
+
+    def test_overrides_beat_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        spec = resolve_spec(overrides={
+            "workload": {"benchmark": "gzip"},
+            "obs": {"enabled": False},
+        })
+        assert not spec.obs.enabled

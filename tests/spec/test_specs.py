@@ -12,6 +12,7 @@ from repro.config import BASELINE, ProcessorConfig
 from repro.spec import (
     EngineSpec,
     MachineSpec,
+    ObsSpec,
     PREDICTORS,
     RunSpec,
     SpecError,
@@ -79,7 +80,7 @@ class TestRoundTrip:
         doc = json.loads(RunSpec(workload=WorkloadSpec("vpr")).to_json())
         assert doc["spec_schema"] == 1
         assert set(doc) == {"spec_schema", "workload", "machine",
-                            "engine", "telemetry"}
+                            "engine", "telemetry", "obs"}
 
 
 class TestGoldenKey:
@@ -119,6 +120,37 @@ class TestGoldenKey:
         instr = dataclasses.replace(
             base, engine=EngineSpec(instrument=True))
         assert instr.content_key() != base.content_key()
+
+
+class TestObsSpec:
+    def test_defaults_are_off_and_pathless(self):
+        obs = ObsSpec()
+        assert not obs.enabled
+        assert obs.trace_path is None and obs.chrome_path is None
+
+    def test_round_trips_through_dicts(self):
+        obs = ObsSpec(enabled=True, trace_path="spans.jsonl",
+                      chrome_path="trace.json")
+        assert ObsSpec.from_dict(obs.to_dict()) == obs
+
+    def test_run_spec_round_trips_the_obs_section(self):
+        spec = RunSpec(workload=WorkloadSpec("gzip"),
+                       obs=ObsSpec(enabled=True))
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.obs == spec.obs
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="obs"):
+            ObsSpec.from_dict({"enabled": True, "verbosity": 9})
+
+    def test_obs_never_moves_the_content_key(self):
+        # spans observe the host, not the simulation: enabling them
+        # must not fragment the artifact cache
+        base = RunSpec(workload=WorkloadSpec("gzip"))
+        traced = dataclasses.replace(
+            base, obs=ObsSpec(enabled=True, trace_path="x.jsonl"))
+        assert traced.content_key() == base.content_key()
+        assert traced.result_recipe() == base.result_recipe()
 
 
 class TestValidation:

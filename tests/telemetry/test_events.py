@@ -137,3 +137,56 @@ class TestMerge:
         assert merged.dropped == a.dropped + b.dropped
         ts = [e["ts"] for e in merged.events]
         assert ts == sorted(ts)
+
+
+class TestMultiProcessLanes:
+    """Span events from several OS processes keep their pid lanes."""
+
+    def two_pid_traces(self):
+        main = EventTrace()
+        main.process_names[100] = "repro main (pid 100)"
+        main.time_unit = "1 ts = 1 us wall-clock"
+        main.emit("profile", "span", 0, dur=50, pid=100, span_id="r")
+        worker = EventTrace()
+        worker.process_names[200] = "repro worker (pid 200)"
+        worker.emit("runner.unit", "span", 10, dur=20, pid=200,
+                    span_id="u", parent_id="r")
+        return main, worker
+
+    def test_merge_preserves_pids_and_process_names(self):
+        main, worker = self.two_pid_traces()
+        merged = merge_traces([main, worker])
+        assert {e["pid"] for e in merged.events} == {100, 200}
+        assert merged.process_names == {
+            100: "repro main (pid 100)",
+            200: "repro worker (pid 200)",
+        }
+        assert merged.time_unit == "1 ts = 1 us wall-clock"
+
+    def test_chrome_document_has_a_lane_per_process(self):
+        merged = merge_traces(self.two_pid_traces())
+        doc = merged.to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["pid"]: e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert names[100] == "repro main (pid 100)"
+        assert names[200] == "repro worker (pid 200)"
+        span_lanes = [e for e in meta if e["name"] == "thread_name"
+                      and e["args"]["name"] == "span"]
+        assert {e["pid"] for e in span_lanes} >= {100, 200}
+
+    def test_chrome_events_stay_in_their_process(self):
+        merged = merge_traces(self.two_pid_traces())
+        events = [e for e in merged.to_chrome()["traceEvents"]
+                  if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["profile"]["pid"] == 100
+        assert by_name["runner.unit"]["pid"] == 200
+        assert by_name["runner.unit"]["args"]["parent_id"] == "r"
+
+    def test_jsonl_round_trip_keeps_the_pid(self, tmp_path):
+        main, worker = self.two_pid_traces()
+        merged = merge_traces([main, worker])
+        loaded = read_jsonl(merged.write_jsonl(tmp_path / "t.jsonl"))
+        assert [e["pid"] for e in loaded] == [100, 200]
+        assert loaded == merged.sorted_events()

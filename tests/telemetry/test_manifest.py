@@ -59,3 +59,14 @@ class TestWrite:
         path = write_manifest(tmp_path, build_manifest(command="bench"))
         assert path.parent == tmp_path
         assert path.name == "run_manifest.json"
+
+
+class TestWallclock:
+    def test_wallclock_section_embeds_verbatim(self):
+        summary = {"total_s": 1.25,
+                   "phases": {"trace.generate": 0.8, "(self)": 0.45}}
+        doc = build_manifest(command="report", wallclock=summary)
+        assert doc["wallclock"] == summary
+
+    def test_absent_unless_provided(self):
+        assert "wallclock" not in build_manifest(command="report")

@@ -44,6 +44,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["model", "spec2017"])
 
+    def test_profile_args(self):
+        args = build_parser().parse_args(
+            ["profile", "gzip", "--length", "2000", "--stream",
+             "--chunk-size", "4096", "--jsonl", "spans.jsonl",
+             "--chrome", "trace.json"])
+        assert args.benchmark == "gzip" and args.stream
+        assert args.chunk_size == 4096
+        assert args.jsonl == "spans.jsonl" and args.chrome == "trace.json"
+
+    def test_timeline_stream_args(self):
+        args = build_parser().parse_args(
+            ["timeline", "gzip", "--stream", "--chunk-size", "8192",
+             "--max-rows", "32"])
+        assert args.stream and args.chunk_size == 8192
+        assert args.max_rows == 32
+
+    def test_serve_slow_request_arg(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--slow-request", "1.5"])
+        assert args.slow_request == 1.5
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -108,6 +129,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "timeline:" in out and "measured CPI" in out
         assert "IPC" in out
+
+    def test_timeline_stream_bounds_rows(self, capsys):
+        assert main(["timeline", "gzip", "--length", "40000",
+                     "--stream", "--chunk-size", "16384",
+                     "--max-rows", "8"]) == 0
+        out = capsys.readouterr().out
+        rows_line = next(line for line in out.splitlines()
+                         if line.startswith("timeline rows:"))
+        assert int(rows_line.split(":")[1]) <= 8
+
+    def test_profile(self, capsys, tmp_path):
+        from repro.obs import spans as _spans
+
+        jsonl = tmp_path / "spans.jsonl"
+        try:
+            assert main(["profile", "gzip", "--length", "2000",
+                         "--jsonl", str(jsonl)]) == 0
+        finally:
+            # ``repro profile`` enables process-global collection and
+            # relies on process exit to drop it; tests must not
+            _spans.enable(False)
+            _spans.reset()
+        out = capsys.readouterr().out
+        assert "critical path" in out and "stage" in out
+        assert jsonl.is_file() and jsonl.stat().st_size > 0
 
     def test_stats(self, capsys):
         assert main(["stats", "gzip", "--length", "3000", "-j", "1"]) == 0

@@ -21,7 +21,7 @@ PACKAGES = [
     "repro.frontend", "repro.window", "repro.core", "repro.simulator",
     "repro.experiments", "repro.extensions", "repro.statsim",
     "repro.telemetry", "repro.util", "repro.runner", "repro.service",
-    "repro.spec", "repro.explore",
+    "repro.spec", "repro.explore", "repro.obs",
 ]
 
 
