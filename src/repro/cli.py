@@ -630,6 +630,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import format_profile, spans as _spans
     from repro.runner.pool import execute_spec
 
+    if args.from_jsonl:
+        from repro.obs import read_jsonl_spans
+
+        spans = read_jsonl_spans(args.from_jsonl)
+        print(format_profile(spans))
+        return 0
+    if args.benchmark is None:
+        print("profile needs a benchmark (or --from-jsonl PATH)",
+              file=sys.stderr)
+        return 2
     engine_overrides: dict = {"instrument": True}
     if getattr(args, "stream", False):
         engine_overrides["stream"] = True
@@ -731,15 +741,130 @@ def cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.timeout,
         slow_request_s=args.slow_request,
     )
-    serve(
-        args.host, args.port, config,
-        ready=lambda server: print(
-            f"repro service listening on {server.host}:{server.port} "
-            f"(queue limit {config.queue_limit}, "
+    peer = None
+    if args.peer:
+        from repro.fleet.peers import install_peer
+
+        peer = install_peer(args.peer)
+
+    def ready(server) -> None:
+        # the ready line carries the *bound* address — with --port 0 the
+        # kernel picks the port, and spawners parse it from here
+        node = f" as node {args.node_id}" if args.node_id else ""
+        print(
+            f"repro service listening on {server.host}:{server.port}"
+            f"{node} (queue limit {config.queue_limit}, "
             f"workers {config.workers or 'auto'}); Ctrl-C drains and stops",
             flush=True,
-        ),
-    )
+        )
+
+    try:
+        serve(args.host, args.port, config, ready=ready,
+              node_id=args.node_id)
+    finally:
+        if peer is not None:
+            peer.close()
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import FleetSpec, route, spawn_node
+
+    nodes = []
+    spawned = []
+    try:
+        if args.spawn:
+            import tempfile
+
+            base = args.cache_dir or tempfile.mkdtemp(prefix="repro-fleet-")
+            for i in range(args.spawn):
+                node_id = f"n{i + 1}"
+                proc = spawn_node(
+                    node_id, os.path.join(base, f"cache-{node_id}"),
+                    workers=args.workers, queue_limit=args.queue_limit)
+                spawned.append(proc)
+                nodes.append(proc.address)
+                print(f"node {node_id} up at {proc.address} "
+                      f"(pid {proc.pid})", flush=True)
+        nodes.extend(args.node or [])
+        if not nodes:
+            print("route needs --node HOST:PORT (repeatable) or --spawn N",
+                  file=sys.stderr)
+            return 2
+        spec = FleetSpec(
+            nodes=tuple(nodes), replication=args.replication,
+            hash_seed=args.seed, vnodes=args.vnodes,
+            peek=not args.no_peek)
+
+        def ready(router) -> None:
+            print(f"repro router listening on {router.host}:{router.port} "
+                  f"over {len(spec.nodes)} node(s); Ctrl-C stops",
+                  flush=True)
+            if args.state:
+                doc = {
+                    "router": {"host": router.host, "port": router.port},
+                    "nodes": [
+                        {"node_id": p.node_id, "address": p.address,
+                         "pid": p.pid, "cache_dir": p.cache_dir}
+                        for p in spawned
+                    ] or [{"address": a} for a in spec.nodes],
+                }
+                with open(args.state, "w") as fh:
+                    json.dump(doc, fh, indent=2, sort_keys=True)
+                print(f"wrote {args.state}", flush=True)
+
+        route(spec, args.host, args.port, ready=ready)
+        return 0
+    finally:
+        for proc in spawned:
+            try:
+                proc.stop()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                proc.process.kill()
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    import http.client
+    import json
+
+    conn = http.client.HTTPConnection(args.host, args.port,
+                                      timeout=args.timeout)
+    try:
+        conn.request("GET", "/fleet")
+        response = conn.getresponse()
+        body = response.read()
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach router at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 3
+    finally:
+        conn.close()
+    if response.status != 200:
+        print(f"router answered {response.status}: "
+              f"{body.decode(errors='replace').strip()}", file=sys.stderr)
+        return 1
+    doc = json.loads(body)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    router = doc["router"]
+    print(f"router {router['host']}:{router['port']} "
+          f"(v{router['version']}, protocol {router['protocol']})")
+    print(f"nodes: {doc['healthy']}/{len(doc['nodes'])} healthy "
+          f"(replication {doc['spec']['replication']}, "
+          f"seed {doc['spec']['hash_seed']})")
+    for node in doc["nodes"]:
+        state = "up" if node["healthy"] else "DOWN"
+        name = node["node_id"] or "-"
+        extra = f"  [{node['last_error']}]" if node["last_error"] else ""
+        print(f"  {node['address']:21s} {name:8s} {state:4s} "
+              f"inflight {node['inflight']}{extra}")
+    counters = doc["counters"]
+    print("traffic: " + ", ".join(
+        f"{name.split('.', 1)[1]} {counters[name]}"
+        for name in sorted(counters)))
     return 0
 
 
@@ -748,6 +873,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
     from repro.service import ServiceClient
 
+    host, port = args.host, args.port
+    if args.router:
+        rhost, _, rport = args.router.rpartition(":")
+        host, port = rhost or "127.0.0.1", int(rport)
     params: dict = {}
     if args.op in ("model", "simulate"):
         if not args.target:
@@ -774,12 +903,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
         with open(args.target[0]) as fh:
             params = {"search": json.load(fh)}
     try:
-        with ServiceClient(args.host, args.port,
-                           timeout=args.timeout) as client:
+        with ServiceClient(host, port, timeout=args.timeout) as client:
             response = client.request(args.op, params or None,
                                       timeout=args.timeout)
     except ConnectionError as exc:
-        print(f"cannot reach service at {args.host}:{args.port}: {exc}",
+        print(f"cannot reach service at {host}:{port}: {exc}",
               file=sys.stderr)
         return 3
     if args.json:
@@ -818,7 +946,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     else:
         print(json.dumps(result, indent=2, sort_keys=True))
     if meta:
-        print(f"[served from {meta.get('served_from')} in "
+        node = f" by {meta['node']}" if meta.get("node") else ""
+        print(f"[served from {meta.get('served_from')}{node} in "
               f"{meta.get('seconds', 0):.3f}s]", file=sys.stderr)
     if args.op == "experiment" and not result.get("passed", True):
         return 1
@@ -986,7 +1115,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one simulation with wall-clock span tracing "
              "(see docs/OBSERVABILITY.md)",
     )
-    add_bench(p)
+    p.add_argument("benchmark", nargs="?", choices=BENCHMARK_ORDER,
+                   help="workload benchmark (omit with --from-jsonl)")
+    p.add_argument("--length", type=int, default=None,
+                   help="dynamic trace length (default 30000)")
+    p.add_argument("--from-jsonl", default=None, dest="from_jsonl",
+                   metavar="PATH",
+                   help="render the profile from a span JSONL file "
+                        "instead of running (router hops and service "
+                        "stages show as their own rows)")
     add_spec(p)
     p.add_argument("--engine", choices=("fast", "reference"), default=None,
                    help="simulation engine (default: spec/env, else fast)")
@@ -1067,7 +1204,61 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="slow_request", metavar="SECONDS",
                    help="log computed requests slower than this at "
                         "WARNING with their latency breakdown")
+    p.add_argument("--node-id", default=None, dest="node_id",
+                   help="fleet identity label: stamps response metadata, "
+                        "span attrs and the 'node' Prometheus label")
+    p.add_argument("--peer", default=None, metavar="HOST:PORT",
+                   help="probe this sibling's cache ('peek') before "
+                        "computing a missed response, and replicate hits "
+                        "locally (see docs/FLEET.md)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "route",
+        help="start a consistent-hash fleet router (see docs/FLEET.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7400,
+                   help="router TCP port (0 picks a free one; "
+                        "default 7400)")
+    p.add_argument("--node", action="append", default=None,
+                   metavar="HOST:PORT",
+                   help="one worker node to route onto (repeatable)")
+    p.add_argument("--spawn", type=int, default=0, metavar="N",
+                   help="spawn N local 'repro serve' nodes on ephemeral "
+                        "ports with private caches")
+    p.add_argument("--replication", type=int, default=2,
+                   help="replica targets per key: failover and peek "
+                        "candidates (default 2)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="hash-ring seed (default 0)")
+    p.add_argument("--vnodes", type=int, default=64,
+                   help="virtual nodes per member (default 64)")
+    p.add_argument("--no-peek", action="store_true", dest="no_peek",
+                   help="skip the cross-node cache peek before forwards")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool processes per spawned node")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="admission bound per spawned node (default 64)")
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   metavar="PATH",
+                   help="base directory for spawned nodes' private "
+                        "caches (default: a temp dir)")
+    p.add_argument("--state", default=None, metavar="PATH",
+                   help="write router address + node pids as JSON once "
+                        "ready (lets harnesses find and kill nodes)")
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser(
+        "fleet-status",
+        help="show a running router's topology, health and counters",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7400)
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw /fleet document")
+    p.set_defaults(func=cmd_fleet_status)
 
     p = sub.add_parser(
         "submit",
@@ -1081,6 +1272,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "SearchSpec JSON path (explore)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7333)
+    p.add_argument("--router", default=None, metavar="HOST:PORT",
+                   help="submit via a fleet router instead of a node "
+                        "(shorthand for its --host/--port)")
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--timeout", type=float, default=120.0)
     p.add_argument("--json", action="store_true",

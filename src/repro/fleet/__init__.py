@@ -1,0 +1,49 @@
+"""repro.fleet — horizontal scaling for the evaluation service.
+
+The PR-3 service is one asyncio process with one pool and one artifact
+cache.  This package scales it out while keeping every answer
+bit-identical to an in-process run:
+
+* :mod:`repro.fleet.ring` — consistent hashing with virtual nodes,
+  bounded-load placement and deterministic rebalance.  Requests shard
+  by :meth:`repro.spec.RunSpec.content_key` (via the service's
+  ``request_key``), so each node's cache stays hot for its shard.
+* :mod:`repro.fleet.client` — :class:`AsyncServiceClient`, an asyncio
+  client with connection pooling and request pipelining (many frames in
+  flight per connection, demuxed by request id).
+* :mod:`repro.fleet.router` — the front door (``repro route``): speaks
+  the service's exact newline-JSON/HTTP protocol, peeks ring targets'
+  caches before forwarding, replicates responses toward the key's
+  owner, health-checks nodes and fails requests over when one dies
+  mid-flight (safe — evaluations are idempotent by content key).
+* :mod:`repro.fleet.nodes` — subprocess node management: spawn
+  ``repro serve --port 0`` workers with isolated caches, parse their
+  ready lines, and :class:`LocalFleet`, the all-in-one harness the
+  bench, the CI smoke job and the failover tests drive.
+* :mod:`repro.fleet.peers` — ``repro serve --peer``: a node-level
+  remote cache-probe hook so even routerless nodes can serve keys a
+  sibling already computed.
+* :mod:`repro.fleet.bench` — the ``bench fleet`` scenario: heavy-tail
+  request mix, hot-key skew, a mid-run node kill, rps/p50/p99/hit-ratio
+  vs node count.
+
+See docs/FLEET.md for topology, key-affinity and failover semantics.
+"""
+
+from repro.fleet.client import AsyncServiceClient
+from repro.fleet.nodes import LocalFleet, NodeProc, spawn_node
+from repro.fleet.ring import HashRing
+from repro.fleet.router import BackgroundRouter, FleetRouter, route
+from repro.spec.fleet import FleetSpec
+
+__all__ = [
+    "AsyncServiceClient",
+    "BackgroundRouter",
+    "FleetRouter",
+    "FleetSpec",
+    "HashRing",
+    "LocalFleet",
+    "NodeProc",
+    "route",
+    "spawn_node",
+]

@@ -1,0 +1,170 @@
+"""``bench fleet``: routed throughput, key affinity, failover under fire.
+
+The scenario is the fleet's reason to exist, compressed: a heavy-tail
+request mix (a few hot keys asked again and again, a tail of cold
+one-off keys) pushed through a router at two fleet sizes.  Hot keys are
+warmed untimed first, so the timed batches measure steady-state shard
+affinity — every hot repeat should land in some node's cache — while
+the cold tail measures compute scaling.  A third, untimed chaos replay
+SIGKILLs one node of the three mid-batch and must finish with zero
+failed requests.
+
+Every request carries a small fixed ``chaos.sleep`` service time, so
+the workload is latency-bound, not CPU-bound: on a single-core host
+(CI) three 1-worker nodes still genuinely serve ~3x the rps of one,
+because sleeps overlap across node processes where compute cannot.
+The sleep rides the spec's chaos param — part of the content key, so
+every repeat is a legitimate cache hit of its own key.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+#: fixed per-compute service time (seconds) — the latency the fleet hides
+SERVICE_TIME_S = 0.08
+
+#: hot keys x repeats each, plus distinct cold keys
+HOT_KEYS = 6
+HOT_REPEATS = 5
+COLD_KEYS = 20
+
+
+def _payload(length: int, seed: int) -> dict:
+    from repro.service.client import _spec_payload
+
+    return _spec_payload("model", {
+        "benchmark": "gzip", "length": length, "seed": seed,
+        "chaos": {"sleep": SERVICE_TIME_S}})
+
+
+def _workload(length: int) -> list[dict]:
+    """The deterministic mixed batch every fleet size replays."""
+    requests = [_payload(length, seed)
+                for seed in range(HOT_KEYS) for _ in range(HOT_REPEATS)]
+    requests += [_payload(length, seed)
+                 for seed in range(100, 100 + COLD_KEYS)]
+    random.Random(0).shuffle(requests)
+    return requests
+
+
+def _drive(fleet, requests: list[dict], kill_index: int | None = None,
+           kill_after: int = 0, clients: int = 8) -> dict:
+    """Replay ``requests`` through ``fleet``'s router; with ``kill_index``
+    set, SIGKILL that node once ``kill_after`` requests have completed —
+    deterministically mid-batch, however fast the batch runs."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import ServiceClient
+
+    outcomes: list[tuple[bool, str, float]] = []
+    lock = threading.Lock()
+    kill_pending = kill_index is not None
+
+    def one(params: dict) -> None:
+        nonlocal kill_pending
+        with ServiceClient(fleet.host, fleet.port, timeout=120) as client:
+            start = time.perf_counter()
+            response = client.request("model",
+                                      json.loads(json.dumps(params)))
+            elapsed = time.perf_counter() - start
+        with lock:
+            outcomes.append((bool(response.get("ok")),
+                             (response.get("meta") or {}).get(
+                                 "served_from", ""),
+                             elapsed))
+            fire = kill_pending and len(outcomes) >= kill_after
+            if fire:
+                kill_pending = False
+        if fire:  # off-thread: the kill must not stall this client
+            threading.Thread(target=fleet.kill_node, args=(kill_index,),
+                             daemon=True).start()
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        list(pool.map(one, requests))
+    wall = time.perf_counter() - start
+
+    latencies = sorted(t for _, _, t in outcomes)
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1,
+                             round(q * (len(latencies) - 1)))]
+
+    warm = sum(1 for ok, served, _ in outcomes
+               if ok and served in ("cache", "peek", "inflight"))
+    return {
+        "requests": len(requests),
+        "failed": sum(1 for ok, _, _ in outcomes if not ok),
+        "seconds": wall,
+        "rps": len(requests) / wall,
+        "p50_ms": pct(0.50) * 1e3,
+        "p99_ms": pct(0.99) * 1e3,
+        "warm_hit_ratio": warm / len(requests),
+    }
+
+
+def _warm_hot_keys(fleet, length: int) -> None:
+    """Compute each hot key once, untimed, onto its owning shard."""
+    from repro.service import ServiceClient
+
+    with ServiceClient(fleet.host, fleet.port, timeout=120) as client:
+        for seed in range(HOT_KEYS):
+            client.request("model", _payload(length, seed))
+
+
+def bench_fleet(length: int, progress=None) -> dict:
+    """One-node vs three-node routed fleets over the same mixed batch,
+    then a chaos replay that loses a node to SIGKILL mid-run."""
+    import tempfile
+
+    from repro.fleet.nodes import LocalFleet
+
+    requests = _workload(length)
+    total = len(requests)
+
+    if progress:
+        progress("fleet: 1 node, mixed heavy-tail batch")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as base:
+        with LocalFleet(1, base, workers=1, queue_limit=total) as fleet:
+            _warm_hot_keys(fleet, length)
+            one_node = _drive(fleet, requests)
+
+    if progress:
+        progress("fleet: 3 nodes, same batch, then SIGKILL one mid-replay")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as base:
+        with LocalFleet(3, base, workers=1, queue_limit=total) as fleet:
+            _warm_hot_keys(fleet, length)
+            three_node = _drive(fleet, requests)
+            # chaos replay on the now-warm fleet: a fifth of the way in,
+            # in-flight requests are spread across all three nodes
+            chaos = _drive(fleet, requests, kill_index=2,
+                           kill_after=total // 5)
+            status = fleet.router.fleet_status()
+
+    return {
+        "workload": {
+            "hot_keys": HOT_KEYS, "hot_repeats": HOT_REPEATS,
+            "cold_keys": COLD_KEYS,
+            "distinct_keys": HOT_KEYS + COLD_KEYS,
+            "service_time_ms": SERVICE_TIME_S * 1e3,
+        },
+        "one_node": one_node,
+        "three_node": three_node,
+        "rps_scaling": three_node["rps"] / one_node["rps"],
+        "chaos": {
+            "requests": chaos["requests"],
+            "failed": chaos["failed"],
+            "seconds": chaos["seconds"],
+            "failover": status["counters"]["router.failover"],
+            "survivors": status["healthy"],
+        },
+        "replicated": status["counters"]["router.replicated"],
+        "peek_hits": status["counters"]["router.peek_hit"],
+    }
+
+
+__all__ = ["bench_fleet"]

@@ -1,0 +1,170 @@
+"""AsyncServiceClient — pooled, pipelined asyncio access to one node.
+
+The blocking :class:`~repro.service.client.ServiceClient` is the right
+tool for scripts; the router needs something it can drive from inside
+an event loop with many requests in flight per node.  This client keeps
+a small pool of TCP connections to one service, pipelines frames on
+each (requests go out as they arrive; a per-connection reader task
+demuxes responses to their waiting futures by request id), and
+re-dials lazily after a connection drops.
+
+Connection loss fails every request in flight on that connection with
+:class:`ConnectionError` — the router turns that into failover, which
+is safe because evaluations are idempotent by content key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.service import protocol
+
+
+class _Connection:
+    """One pipelined TCP connection: writer lock + id-keyed futures."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._pending: dict[str, asyncio.Future] = {}
+        self._closed = False
+        self._task = asyncio.ensure_future(self._read_loop())
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    async def request(self, frame: dict, rid: str,
+                      timeout: float | None) -> dict:
+        if self._closed:
+            raise ConnectionError("connection is closed")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(protocol.encode_frame(frame))
+                await self._writer.drain()
+            if timeout is not None:
+                return await asyncio.wait_for(future, timeout)
+            return await future
+        finally:
+            self._pending.pop(rid, None)
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ConnectionError("connection closed")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = protocol.decode_frame(line)
+                future = self._pending.get(str(response.get("id", "")))
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionResetError, OSError, ValueError,
+                protocol.ProtocolError) as exc:
+            error = ConnectionError(f"connection lost: {exc}")
+        except asyncio.CancelledError:
+            error = ConnectionError("client closed")
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+            self._writer.close()
+
+    async def close(self) -> None:
+        self._task.cancel()
+        try:
+            await self._task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+class AsyncServiceClient:
+    """Pooled asyncio client for one service node.
+
+    ``pool`` bounds the number of concurrent TCP connections; requests
+    are pipelined onto the least-loaded live connection, so one slow
+    compute does not head-of-line-block a cache hit (the server answers
+    out of order and frames are demuxed by id).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 120.0,
+                 pool: int = 2):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.pool = max(1, int(pool))
+        self._conns: list[_Connection] = []
+        self._ids = itertools.count(1)
+        self._dial_lock = asyncio.Lock()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def _connection(self) -> _Connection:
+        self._conns = [c for c in self._conns if c.alive]
+        if len(self._conns) < self.pool:
+            async with self._dial_lock:
+                self._conns = [c for c in self._conns if c.alive]
+                if len(self._conns) < self.pool:
+                    reader, writer = await asyncio.open_connection(
+                        self.host, self.port,
+                        limit=protocol.MAX_FRAME_BYTES)
+                    self._conns.append(_Connection(reader, writer))
+        return min(self._conns, key=lambda c: c.inflight)
+
+    async def request(self, op: str, params: dict | None = None,
+                      timeout: float | None = None,
+                      trace: dict | None = None) -> dict:
+        """Send one request; return the full response frame."""
+        rid = str(next(self._ids))
+        frame = protocol.make_request(op, params, id=rid,
+                                      timeout=timeout, trace=trace)
+        conn = await self._connection()
+        deadline = timeout if timeout is not None else self.timeout
+        return await conn.request(frame, rid, deadline)
+
+    async def evaluate(self, op: str, params: dict | None = None,
+                       timeout: float | None = None,
+                       trace: dict | None = None) -> dict:
+        """Send one request; return ``result`` or raise ServiceError."""
+        from repro.service.client import ServiceError
+
+        response = await self.request(op, params, timeout, trace)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(error.get("code", "internal"),
+                               error.get("message", "unknown error"))
+        return response["result"]
+
+    async def ping(self) -> dict:
+        return await self.evaluate("ping")
+
+    async def close(self) -> None:
+        conns, self._conns = self._conns, []
+        for conn in conns:
+            await conn.close()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+__all__ = ["AsyncServiceClient"]

@@ -1,0 +1,101 @@
+"""Node-level cache peering: serve keys a sibling already computed.
+
+The router peeks caches *from above*; this module wires the same idea
+in at the node, below the scheduler.  ``repro serve --peer HOST:PORT``
+installs a :func:`repro.runner.artifacts.set_remote_probe` hook, so
+when this node's scheduler misses its local response cache it asks the
+peer's ``peek`` op before scheduling a compute — and replicates a hit
+into the local store.  The peer answers from *its* disk only
+(``remote=False`` inside the ``peek`` handler), so two nodes peering at
+each other can never probe in a loop.
+
+The probe runs on the serving node's event-loop thread, so it must stay
+cheap: one pooled blocking connection with a short timeout, and a
+circuit breaker that stops asking a peer that just failed for
+``retry_s`` seconds instead of stalling every request on a dead host.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+
+from repro.service.client import ServiceClient
+from repro.telemetry.metrics import metrics_registry
+
+_log = logging.getLogger(__name__)
+
+
+class PeerCache:
+    """A remote-probe hook backed by one peer service's ``peek`` op."""
+
+    def __init__(self, host: str, port: int, timeout: float = 2.0,
+                 retry_s: float = 5.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry_s = retry_s
+        self._client: ServiceClient | None = None
+        self._lock = threading.Lock()
+        self._down_until = 0.0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __call__(self, kind: str, key: str) -> tuple[bool, object]:
+        """The :func:`~repro.runner.artifacts.set_remote_probe` hook."""
+        if kind != "response":  # only wire-keyed responses travel
+            return False, None
+        if time.monotonic() < self._down_until:
+            return False, None
+        metrics = metrics_registry()
+        with self._lock:
+            try:
+                if self._client is None:
+                    self._client = ServiceClient(
+                        self.host, self.port, timeout=self.timeout)
+                    self._client.connect()
+                result = self._client.peek(key)
+            except Exception as exc:  # noqa: BLE001 - a dead peer is a miss
+                self._drop(f"{type(exc).__name__}: {exc}")
+                metrics.counter("service.peer_error").inc()
+                return False, None
+        if result.get("found"):
+            metrics.counter("service.peer_hit").inc()
+            return True, result["result"]
+        metrics.counter("service.peer_miss").inc()
+        return False, None
+
+    def _drop(self, why: str) -> None:
+        _log.warning("peer %s unavailable (%s); backing off %.1fs",
+                     self.address, why, self.retry_s)
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self._down_until = time.monotonic() + self.retry_s
+
+    def close(self) -> None:
+        with self._lock:
+            if self._client is not None:
+                self._client.close()
+                self._client = None
+
+
+def install_peer(address: str, timeout: float = 2.0) -> PeerCache:
+    """Point this process's artifact cache at a peer (``--peer``).
+
+    Returns the installed :class:`PeerCache`; the previous hook (if
+    any) is replaced.
+    """
+    from repro.runner import artifacts
+
+    host, _, port = address.rpartition(":")
+    peer = PeerCache(host or "127.0.0.1", int(port), timeout=timeout)
+    artifacts.set_remote_probe(peer)
+    _log.info("peer cache installed: %s", peer.address)
+    return peer
+
+
+__all__ = ["PeerCache", "install_peer"]

@@ -1,0 +1,132 @@
+"""Consistent hashing with virtual nodes and bounded-load placement.
+
+The router's placement problem: map a request's content key onto one of
+N nodes so that (a) the same key always lands on the same node — that
+node's artifact cache stays hot for its shard — and (b) membership
+changes move as few keys as possible.  A classic consistent-hash ring
+solves both: every node projects ``vnodes`` points onto a 64-bit circle
+(points depend only on ``(seed, node, index)``, so any process that
+knows the member list rebuilds the identical ring), and a key is owned
+by the first node point at or clockwise-after the key's own hash.
+Adding or removing one node moves only the arcs adjacent to its points
+— in expectation ``K/N`` of K keys, the bound the fleet tests assert.
+
+``targets(key, n)`` walks clockwise collecting *distinct* nodes: the
+owner first, then the failover/replication siblings, in an order every
+router instance derives identically.  ``pick`` adds bounded-load
+placement (Mirrokni et al.'s consistent hashing with bounded loads):
+walk the same target order but skip nodes whose outstanding load
+exceeds ``factor`` times the fleet mean, so one hot key cannot bury its
+owner while siblings idle.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit point for ``text`` (first 8 bytes of SHA-256)."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over ``host:port`` node names.
+
+    Construction is deterministic in ``(nodes, seed, vnodes)`` — node
+    order does not matter.  Membership changes return new rings
+    (:meth:`with_node` / :meth:`without_node`) so callers can diff
+    placements.
+    """
+
+    def __init__(self, nodes: Iterable[str], seed: int = 0,
+                 vnodes: int = 64):
+        self.seed = int(seed)
+        self.vnodes = int(vnodes)
+        self.nodes: tuple[str, ...] = tuple(sorted(set(nodes)))
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        points: list[tuple[int, str]] = []
+        for node in self.nodes:
+            for i in range(self.vnodes):
+                points.append((_hash64(f"{self.seed}:{node}:{i}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+    def key_point(self, key: str) -> int:
+        """Where ``key`` lands on the circle (seed-salted)."""
+        return _hash64(f"{self.seed}:key:{key}")
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` — first point clockwise of the key."""
+        if not self.nodes:
+            raise ValueError("empty ring")
+        idx = bisect.bisect_right(self._points, self.key_point(key))
+        if idx == len(self._points):
+            idx = 0  # wrap past twelve o'clock
+        return self._owners[idx]
+
+    def targets(self, key: str, n: int) -> list[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``.
+
+        ``targets(key, 1)[0] == owner(key)``; the rest are the failover
+        and replication siblings, in deterministic preference order.
+        """
+        if not self.nodes:
+            raise ValueError("empty ring")
+        n = min(n, len(self.nodes))
+        start = bisect.bisect_right(self._points, self.key_point(key))
+        out: list[str] = []
+        for step in range(len(self._points)):
+            node = self._owners[(start + step) % len(self._points)]
+            if node not in out:
+                out.append(node)
+                if len(out) == n:
+                    break
+        return out
+
+    def pick(self, key: str, loads: Mapping[str, int],
+             factor: float = 1.25, n: int | None = None) -> str:
+        """Bounded-load choice among ``targets(key, n)``.
+
+        Walks the target order and returns the first node whose current
+        outstanding load (``loads``, missing = 0) stays at or under
+        ``factor`` times the fleet mean; when every candidate is over
+        the bound — a burst saturating the whole replica set — the
+        least-loaded candidate wins, keeping placement total.
+        """
+        candidates = self.targets(key, n if n is not None else len(self))
+        mean = sum(loads.get(node, 0) for node in self.nodes) / len(self)
+        bound = factor * max(mean, 1.0)
+        for node in candidates:
+            if loads.get(node, 0) <= bound:
+                return node
+        return min(candidates, key=lambda node: loads.get(node, 0))
+
+    # -- membership ------------------------------------------------------
+
+    def with_node(self, node: str) -> "HashRing":
+        """A new ring with ``node`` joined."""
+        return HashRing([*self.nodes, node], self.seed, self.vnodes)
+
+    def without_node(self, node: str) -> "HashRing":
+        """A new ring with ``node`` departed."""
+        return HashRing([n for n in self.nodes if n != node],
+                        self.seed, self.vnodes)
+
+    def placement(self, keys: Sequence[str]) -> dict[str, str]:
+        """``{key: owner}`` for a batch of keys (rebalance diffing)."""
+        return {key: self.owner(key) for key in keys}
+
+
+__all__ = ["HashRing"]

@@ -1,0 +1,659 @@
+"""The fleet front door: consistent-hash routing with failover.
+
+``repro route`` runs one of these in front of N ``repro serve`` nodes.
+It speaks the service's exact protocol — the same newline-JSON frames
+and the same HTTP mapping — so every existing client works unchanged;
+the only visible difference is extra response metadata naming the node
+that answered.
+
+Request lifecycle
+-----------------
+1. **Normalize & key.**  The router runs the same
+   :func:`repro.service.evaluations.normalize_params` /
+   :func:`~repro.service.evaluations.request_key` pair the nodes use,
+   so router and node derive the identical content key for a request —
+   the whole design hangs on that equality.
+2. **Place.**  The key's ring targets (owner first, then clockwise
+   siblings, ``replication`` of them) are computed on the
+   :class:`~repro.fleet.ring.HashRing`; the forward target is the first
+   healthy one under the bounded-load ceiling.
+3. **Peek.**  Before paying a forward, the router asks each live target
+   for a cached response (the ``peek`` op — a disk probe, never a
+   compute).  A sibling hit is replicated toward the owner so the
+   shard's natural home warms up, then served.
+4. **Forward & fail over.**  On a miss the full request goes to the
+   forward target.  A connection failure or reset marks the node
+   suspect and replays the request on the next target — safe because
+   evaluations are idempotent by content key.  ``overloaded`` from a
+   node is also retried on siblings; only when *every* target is
+   saturated does the client see ``overloaded``.
+
+Span tracing propagates through the hop: a traced client request gets a
+``router.route`` span parented under the client's span, and the node's
+spans parent under the router's — one submit, one connected trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+
+from repro.fleet.client import AsyncServiceClient
+from repro.fleet.ring import HashRing
+from repro.obs import spans as _spans
+from repro.service import protocol
+from repro.service.protocol import ErrorCode, ProtocolError
+from repro.spec.fleet import FleetSpec
+from repro.telemetry.metrics import metrics_registry
+
+_log = logging.getLogger(__name__)
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ")
+
+#: deadline for a cache peek — a disk probe, not a compute
+PEEK_TIMEOUT_S = 5.0
+
+
+def _package_version() -> str:
+    from repro.cli import package_version
+
+    return package_version()
+
+
+class _Node:
+    """One worker node as the router sees it."""
+
+    __slots__ = ("address", "host", "port", "client", "healthy",
+                 "node_id", "inflight", "last_error")
+
+    def __init__(self, address: str):
+        host, _, port = address.rpartition(":")
+        self.address = address
+        self.host = host
+        self.port = int(port)
+        self.client = AsyncServiceClient(self.host, self.port)
+        self.healthy = True  # innocent until a probe or a reset says not
+        self.node_id: str | None = None
+        self.inflight = 0
+        self.last_error: str | None = None
+
+    def status(self) -> dict:
+        return {"address": self.address, "node_id": self.node_id,
+                "healthy": self.healthy, "inflight": self.inflight,
+                "last_error": self.last_error}
+
+
+class FleetRouter:
+    """Routes service requests onto a fleet of nodes by content key."""
+
+    def __init__(self, spec: FleetSpec, host: str = "127.0.0.1",
+                 port: int = 0):
+        if not spec.nodes:
+            raise ValueError("FleetSpec has no nodes to route onto")
+        self.spec = spec
+        self.host = host
+        self.port = port
+        self.ring = HashRing(spec.nodes, seed=spec.hash_seed,
+                             vnodes=spec.vnodes)
+        self.nodes: dict[str, _Node] = {
+            address: _Node(address) for address in spec.nodes}
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._health_task: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        metrics_registry().gauge("router.nodes").set(len(self.nodes))
+        self._health_task = asyncio.ensure_future(self._health_loop())
+        _log.info("router listening on %s:%d over %d node(s)",
+                  self.host, self.port, len(self.nodes))
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        for node in self.nodes.values():
+            await node.client.close()
+        _log.info("router stopped")
+
+    # -- health --------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.gather(
+                *(self._check_health(node) for node in self.nodes.values()),
+                return_exceptions=True,
+            )
+            metrics_registry().gauge("router.nodes_healthy").set(
+                sum(node.healthy for node in self.nodes.values()))
+            await asyncio.sleep(self.spec.health_interval_s)
+
+    async def _check_health(self, node: _Node) -> None:
+        """One ``GET /healthz`` probe; recovery re-learns the node id."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(node.host, node.port),
+                timeout=self.spec.health_interval_s + 2.0)
+            writer.write(b"GET /healthz HTTP/1.1\r\n"
+                         b"Host: fleet\r\nConnection: close\r\n\r\n")
+            await writer.drain()
+            status_line = await asyncio.wait_for(
+                reader.readline(), timeout=self.spec.health_interval_s + 2.0)
+            writer.close()
+            ok = b" 200 " in status_line
+        except (OSError, asyncio.TimeoutError, ConnectionError) as exc:
+            node.healthy = False
+            node.last_error = f"healthz: {exc or type(exc).__name__}"
+            return
+        if ok and not (node.healthy and node.node_id):
+            await self._learn_identity(node)
+        node.healthy = ok
+        if ok:
+            node.last_error = None
+        else:
+            node.last_error = "healthz: not ok"
+
+    async def _learn_identity(self, node: _Node) -> None:
+        try:
+            result = await node.client.evaluate("ping", timeout=5.0)
+            node.node_id = result.get("node") or node.address
+        except Exception as exc:  # noqa: BLE001 - identity is best-effort
+            node.last_error = f"ping: {exc}"
+
+    def _mark_down(self, node: _Node, error: str) -> None:
+        node.healthy = False
+        node.last_error = error
+        metrics_registry().gauge("router.nodes_healthy").set(
+            sum(n.healthy for n in self.nodes.values()))
+
+    # -- routing --------------------------------------------------------
+
+    def _candidates(self, key: str) -> list[_Node]:
+        """Forward order for ``key``: healthy bounded-load targets
+        first, then unhealthy ones as a stale-health last resort."""
+        targets = [self.nodes[a]
+                   for a in self.ring.targets(key, self.spec.replication)]
+        healthy = [n for n in targets if n.healthy]
+        if healthy:
+            loads = {n.address: n.inflight for n in self.nodes.values()}
+            first = self.ring.pick(
+                key, loads, factor=self.spec.load_factor,
+                n=self.spec.replication)
+            if self.nodes[first] in healthy:
+                healthy.remove(self.nodes[first])
+                healthy.insert(0, self.nodes[first])
+        return healthy + [n for n in targets if not n.healthy]
+
+    async def _route(self, request: protocol.Request) -> dict:
+        """One routed request to its response frame — never raises."""
+        metrics = metrics_registry()
+        rid = request.id
+        try:
+            if request.op == "ping":
+                return protocol.make_response(rid, {
+                    "pong": True, "role": "router",
+                    "version": _package_version(),
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "nodes": len(self.nodes),
+                }, {"served_from": "router"})
+            if request.op == "metrics":
+                return protocol.make_response(
+                    rid, {"metrics": metrics.to_dict()},
+                    {"served_from": "router"})
+            if request.op == "peek":
+                return await self._route_peek(request)
+
+            from repro.service import evaluations
+
+            normalized = evaluations.normalize_params(
+                request.op, request.params)
+            key = evaluations.request_key(request.op, normalized)
+            metrics.counter("router.routed").inc()
+
+            ctx = request.trace
+            if ctx is not None and _spans.enabled():
+                with _spans.attach(ctx), \
+                        _spans.span("router.route", op=request.op,
+                                    request_id=rid) as sp:
+                    frame, node = await self._dispatch(
+                        request, normalized, key,
+                        trace=_spans.current_context())
+                    sp.set(node=node)
+                    return frame
+            frame, _ = await self._dispatch(request, normalized, key,
+                                            trace=ctx)
+            return frame
+        except ProtocolError as exc:
+            return protocol.make_error(rid, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the wire must answer
+            _log.exception("unexpected error routing a request")
+            return protocol.make_error(
+                rid, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    async def _dispatch(self, request: protocol.Request, normalized: dict,
+                        key: str | None,
+                        trace: dict | None) -> tuple[dict, str | None]:
+        """Peek-then-forward over the key's targets, failing over."""
+        metrics = metrics_registry()
+        start = time.perf_counter()
+        if key is None:  # unkeyable request: any healthy node will do
+            candidates = [n for n in self.nodes.values() if n.healthy] or \
+                list(self.nodes.values())
+        else:
+            candidates = self._candidates(key)
+
+        if key is not None and self.spec.peek:
+            frame = await self._peek_targets(request, key, candidates,
+                                             trace=trace)
+            if frame is not None:
+                metrics.histogram("router.request_s").observe(
+                    time.perf_counter() - start)
+                return frame, frame.get("meta", {}).get("node")
+
+        saw_overloaded = False
+        for node in candidates:
+            node.inflight += 1
+            try:
+                response = await node.client.request(
+                    request.op, normalized, timeout=request.timeout,
+                    trace=trace)
+            except (ConnectionError, OSError) as exc:
+                self._mark_down(node, f"forward: {exc}")
+                metrics.counter("router.failover").inc()
+                _log.warning("node %s failed mid-request (%s); "
+                             "failing over", node.address, exc)
+                continue
+            except asyncio.TimeoutError:
+                metrics.counter("router.failover").inc()
+                _log.warning("node %s timed out; failing over",
+                             node.address)
+                continue
+            finally:
+                node.inflight -= 1
+            metrics.counter("router.forwarded").inc()
+            if not response.get("ok") and (response.get("error") or {}).get(
+                    "code") == ErrorCode.OVERLOADED:
+                saw_overloaded = True
+                continue  # a sibling may have headroom; replays are safe
+            # The node answered the router's internal request id; the
+            # client is waiting on its own.
+            response = dict(response)
+            response["id"] = request.id
+            meta = dict(response.get("meta") or {})
+            meta.setdefault("node", node.node_id or node.address)
+            meta["router"] = {"target": node.address,
+                              "owner": candidates[0].address}
+            response["meta"] = meta
+            metrics.histogram("router.request_s").observe(
+                time.perf_counter() - start)
+            return response, meta.get("node")
+
+        if saw_overloaded:
+            metrics.counter("router.overloaded").inc()
+            return protocol.make_error(
+                request.id, ErrorCode.OVERLOADED,
+                "every replica target is saturated"), None
+        return protocol.make_error(
+            request.id, ErrorCode.INTERNAL,
+            "no fleet node could serve the request"), None
+
+    async def _peek_targets(self, request: protocol.Request, key: str,
+                            candidates: list[_Node],
+                            trace: dict | None = None) -> dict | None:
+        """Serve from any target's cache; replicate hits to the owner."""
+        metrics = metrics_registry()
+        owner = candidates[0] if candidates else None
+        for node in candidates:
+            try:
+                result = await node.client.evaluate(
+                    "peek", {"key": key}, timeout=PEEK_TIMEOUT_S,
+                    trace=trace)
+            except Exception:  # noqa: BLE001 - peeks are best-effort
+                continue
+            if not result.get("found"):
+                continue
+            metrics.counter("router.peek_hit").inc()
+            payload = result["result"]
+            if owner is not None and node is not owner and owner.healthy:
+                try:
+                    await owner.client.evaluate(
+                        "peek", {"key": key, "store": payload},
+                        timeout=PEEK_TIMEOUT_S, trace=trace)
+                    metrics.counter("router.replicated").inc()
+                except Exception:  # noqa: BLE001 - replication is advisory
+                    pass
+            return protocol.make_response(request.id, payload, {
+                "served_from": "peek",
+                "node": node.node_id or node.address,
+                "router": {"target": node.address,
+                           "owner": owner.address if owner else None},
+            })
+        metrics.counter("router.peek_miss").inc()
+        return None
+
+    async def _route_peek(self, request: protocol.Request) -> dict:
+        """An external ``peek``: probe the key's targets, first hit wins."""
+        key = request.params.get("key")
+        if not isinstance(key, str) or not key:
+            raise ProtocolError("'peek' requires a string 'key'")
+        for node in self._candidates(key):
+            try:
+                result = await node.client.evaluate(
+                    "peek", request.params, timeout=PEEK_TIMEOUT_S)
+            except Exception:  # noqa: BLE001
+                continue
+            if result.get("found") or result.get("stored"):
+                return protocol.make_response(
+                    request.id, result,
+                    {"served_from": "peek",
+                     "node": node.node_id or node.address})
+        return protocol.make_response(
+            request.id, {"found": False, "result": None},
+            {"served_from": "router"})
+
+    # -- status ---------------------------------------------------------
+
+    def fleet_status(self) -> dict:
+        """The ``/fleet`` document: topology, health, router counters."""
+        registry = metrics_registry()
+        counters = {
+            name: registry.counter(name).value
+            for name in ("router.routed", "router.forwarded",
+                         "router.peek_hit", "router.peek_miss",
+                         "router.replicated", "router.failover",
+                         "router.overloaded")
+        }
+        return {
+            "router": {"host": self.host, "port": self.port,
+                       "version": _package_version(),
+                       "protocol": protocol.PROTOCOL_VERSION},
+            "spec": self.spec.to_dict(),
+            "nodes": [self.nodes[a].status() for a in self.spec.nodes],
+            "healthy": sum(n.healthy for n in self.nodes.values()),
+            "counters": counters,
+        }
+
+    # -- connection handling (same dual dialect as the service) ----------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if any(first.startswith(m) for m in _HTTP_METHODS):
+                await self._handle_http(first, reader, writer)
+            else:
+                await self._handle_frames(first, reader, writer)
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                ValueError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_frames(self, first: bytes,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        line = first
+        while line:
+            if line.strip():
+                task = asyncio.ensure_future(
+                    self._answer_frame(line, writer, lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            line = await reader.readline()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _answer_frame(self, line: bytes,
+                            writer: asyncio.StreamWriter,
+                            lock: asyncio.Lock) -> None:
+        response = await self._respond(line)
+        async with lock:
+            writer.write(protocol.encode_frame(response))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict:
+        rid = ""
+        try:
+            frame = protocol.decode_frame(line)
+            rid = str(frame.get("id", "")) if isinstance(frame, dict) else ""
+            request = protocol.parse_request(frame)
+            return await self._route(request)
+        except ProtocolError as exc:
+            return protocol.make_error(rid, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001
+            _log.exception("unexpected error answering a routed request")
+            return protocol.make_error(
+                rid, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    async def _handle_http(self, request_line: bytes,
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            method, target, _ = request_line.decode().split(None, 2)
+        except ValueError:
+            await self._http_reply(writer, 400, "bad request line\n")
+            return
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    pass
+        body = b""
+        if content_length:
+            if content_length > protocol.MAX_FRAME_BYTES:
+                await self._http_reply(writer, 413, "body too large\n")
+                return
+            body = await reader.readexactly(content_length)
+
+        path = target.split("?", 1)[0]
+        if method in ("GET", "HEAD") and path == "/healthz":
+            if any(node.healthy for node in self.nodes.values()):
+                await self._http_reply(writer, 200, "ok\n")
+            else:
+                await self._http_reply(writer, 503, "no healthy nodes\n")
+        elif method in ("GET", "HEAD") and path == "/metrics":
+            await self._http_reply(
+                writer, 200,
+                metrics_registry().to_prometheus(labels={"node": "router"}),
+                content_type="text/plain; version=0.0.4")
+        elif method in ("GET", "HEAD") and path == "/version":
+            doc = {"version": _package_version(),
+                   "protocol": protocol.PROTOCOL_VERSION,
+                   "host": self.host, "port": self.port, "role": "router"}
+            await self._http_reply(writer, 200, json.dumps(doc) + "\n",
+                                   content_type="application/json")
+        elif method in ("GET", "HEAD") and path == "/fleet":
+            await self._http_reply(
+                writer, 200,
+                json.dumps(self.fleet_status(), sort_keys=True) + "\n",
+                content_type="application/json")
+        elif method == "POST" and path == "/v1/eval":
+            response = await self._respond(body)
+            status = 200
+            if not response["ok"]:
+                code = response["error"]["code"]
+                status = {ErrorCode.OVERLOADED: 503,
+                          ErrorCode.SHUTTING_DOWN: 503,
+                          ErrorCode.TIMEOUT: 504,
+                          ErrorCode.INTERNAL: 500}.get(code, 400)
+            await self._http_reply(
+                writer, status,
+                json.dumps(response, sort_keys=True) + "\n",
+                content_type="application/json")
+        else:
+            await self._http_reply(writer, 404, f"no route {path}\n")
+
+    async def _http_reply(self, writer: asyncio.StreamWriter, status: int,
+                          body: str,
+                          content_type: str = "text/plain") -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  413: "Payload Too Large", 500: "Internal Server Error",
+                  503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "Unknown")
+        payload = body.encode()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def _route_async(spec: FleetSpec, host: str, port: int,
+                       ready=None) -> None:
+    router = FleetRouter(spec, host, port)
+    await router.start()
+    if ready is not None:
+        ready(router)
+    try:
+        await router.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await router.stop()
+
+
+def route(spec: FleetSpec, host: str = "127.0.0.1", port: int = 7400,
+          ready=None) -> None:
+    """Run a router until interrupted (the ``repro route`` entry)."""
+    try:
+        asyncio.run(_route_async(spec, host, port, ready))
+    except KeyboardInterrupt:
+        _log.info("interrupted; router stopped")
+
+
+class BackgroundRouter:
+    """A router on a daemon thread — tests, benchmarks, embedding.
+
+    ::
+
+        with BackgroundRouter(spec) as bg:
+            with ServiceClient(bg.host, bg.port) as client:
+                client.simulate("gzip")   # routed onto the fleet
+
+    The context entry blocks until the socket is bound; the exit stops
+    the router (the nodes are not the router's to stop).
+    """
+
+    def __init__(self, spec: FleetSpec, host: str = "127.0.0.1",
+                 port: int = 0):
+        self._spec = spec
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._router: FleetRouter | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._failure: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        assert self._router is not None, "not started"
+        return self._router.port
+
+    @property
+    def router(self) -> FleetRouter:
+        assert self._router is not None, "not started"
+        return self._router
+
+    def __enter__(self) -> "BackgroundRouter":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._failure is not None:
+            raise RuntimeError("router failed to start") from self._failure
+        assert self._router is not None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self._shutdown(), self._loop).result(timeout=60)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                router = FleetRouter(self._spec, self._host, self._port)
+                await router.start()
+                self._router = router
+            except BaseException as exc:
+                self._failure = exc
+                raise
+            finally:
+                self._started.set()
+            await self._stop.wait()
+
+        try:
+            asyncio.run(main())
+        except BaseException:  # pragma: no cover - already recorded
+            pass
+
+    async def _shutdown(self) -> None:
+        if self._router is not None:
+            await self._router.stop()
+        self._stop.set()
+
+
+__all__ = ["BackgroundRouter", "FleetRouter", "route"]

@@ -256,24 +256,58 @@ def _store(kind: str, key: str, obj) -> None:
     _log.debug("stored %s artifact %s", kind, key)
 
 
-def probe_artifact(kind: str, key: str) -> tuple[bool, object]:
+#: when set, a local probe miss consults this ``(kind, key) ->
+#: (found, obj)`` hook — e.g. a fleet sibling's cache over the wire
+_REMOTE_PROBE = None
+
+
+def set_remote_probe(hook):
+    """Install a cross-process cache-peek hook; returns the previous one.
+
+    The hook is consulted by :func:`probe_artifact` after a local miss
+    (unless the caller passes ``remote=False``).  A remote hit is
+    replicated into the local store, so the next probe answers from
+    disk.  Hooks must never raise — a failing peer is a miss.  Pass
+    ``None`` to uninstall.
+    """
+    global _REMOTE_PROBE
+    previous = _REMOTE_PROBE
+    _REMOTE_PROBE = hook
+    return previous
+
+
+def probe_artifact(kind: str, key: str,
+                   remote: bool = True) -> tuple[bool, object]:
     """Look a stored artifact up by key without computing anything.
 
     Returns ``(True, value)`` and counts a hit when the entry exists and
     loads; ``(False, None)`` otherwise — a probe miss is *not* counted
     as a cache miss, because nothing was (re)computed.  This is the
     service's fast path: answer a repeat query straight from disk.
+
+    With a remote hook installed (:func:`set_remote_probe`), a local
+    miss asks the hook and replicates any remote hit into the local
+    store.  ``remote=False`` keeps the probe strictly local — the
+    fleet's ``peek`` op uses it so two peers never probe each other in
+    a loop.
     """
     if not cache_enabled():
         return False, None
     with _spans.span("cache.probe", kind=kind, content_key=key) as sp:
         obj = _load(kind, key)
-        if obj is _MISS:
-            sp.set(hit=False)
-            return False, None
-        _STATS._bump(_STATS.hits, kind)
-        sp.set(hit=True)
-        return True, obj
+        if obj is not _MISS:
+            _STATS._bump(_STATS.hits, kind)
+            sp.set(hit=True)
+            return True, obj
+        if remote and _REMOTE_PROBE is not None:
+            found, value = _REMOTE_PROBE(kind, key)
+            if found:
+                _store(kind, key, value)  # replicate forward
+                _STATS._bump(_STATS.hits, f"{kind}@peer")
+                sp.set(hit=True, peer=True)
+                return True, value
+        sp.set(hit=False)
+        return False, None
 
 
 def store_artifact(kind: str, key: str, obj) -> None:

@@ -43,8 +43,10 @@ DEFAULT_TRACE_LENGTH = 30_000
 #: ``explore`` scenario; 5 added per-benchmark generation throughput —
 #: ``gen_fast_s``/``gen_mi_s``, vectorized vs the scalar ``gen_s`` —
 #: and the ``trace`` streaming-substrate scenario; 6 added the ``obs``
-#: span-tracing overhead section and per-section ``section_seconds``)
-BENCH_SCHEMA = 6
+#: span-tracing overhead section and per-section ``section_seconds``;
+#: 7 added the ``fleet`` routed-evaluation scenario — 1-node vs 3-node
+#: rps/latency/warm-hit-ratio plus a SIGKILL failover replay)
+BENCH_SCHEMA = 7
 
 
 def _best_of(runs: int, fn) -> float:
@@ -523,6 +525,26 @@ def bench_trace(benchmarks, length: int, runs: int, progress=None) -> dict:
     }
 
 
+#: trace length for the fleet scenario — short on purpose, so request
+#: latency is dominated by the workload's fixed chaos service time and
+#: the scaling numbers measure the fleet, not the model kernel
+FLEET_BENCH_LENGTH = 1_500
+
+
+def bench_fleet_scenario(progress=None) -> dict:
+    """Routed fleet scenario: 1-node vs 3-node rps, affinity, failover.
+
+    Delegates to :func:`repro.fleet.bench.bench_fleet`, which spawns
+    real node subprocesses behind an in-process router and SIGKILLs one
+    of the three mid-replay.
+    """
+    from repro.fleet.bench import bench_fleet
+
+    doc = bench_fleet(FLEET_BENCH_LENGTH, progress=progress)
+    doc["workload"]["trace_length"] = FLEET_BENCH_LENGTH
+    return doc
+
+
 def run_bench(
     length: int = DEFAULT_TRACE_LENGTH,
     runs: int = 3,
@@ -557,6 +579,7 @@ def run_bench(
         length, jobs, progress))
     trace = timed("trace", lambda: bench_trace(
         benchmarks, length, runs, progress))
+    fleet = timed("fleet", lambda: bench_fleet_scenario(progress))
 
     def total(field: str) -> float:
         return sum(row[field] for row in per_bench.values())
@@ -597,6 +620,7 @@ def run_bench(
         "service": service,
         "explore": explore,
         "trace": trace,
+        "fleet": fleet,
         "section_seconds": section_seconds,
     }
 
@@ -694,6 +718,22 @@ def format_bench(doc: dict) -> str:
             f"{explore['exhaustive_s']:.3f}s "
             f"({explore['search_speedup']:.2f}x), warm repeat "
             f"{explore['search_warm_s']:.3f}s",
+        ]
+    fleet = doc.get("fleet")
+    if fleet:  # absent before schema 7
+        one, three, chaos = fleet["one_node"], fleet["three_node"], \
+            fleet["chaos"]
+        lines += [
+            "",
+            f"fleet, routed heavy-tail batch ({one['requests']} requests, "
+            f"{fleet['workload']['distinct_keys']} keys): "
+            f"1 node {one['rps']:.0f} req/s -> 3 nodes "
+            f"{three['rps']:.0f} req/s ({fleet['rps_scaling']:.2f}x), "
+            f"warm shard hits {three['warm_hit_ratio']:.0%} "
+            f"(single-node {one['warm_hit_ratio']:.0%}); SIGKILL replay: "
+            f"{chaos['failed']} failed of {chaos['requests']}, "
+            f"{chaos['failover']} failovers, "
+            f"{chaos['survivors']} nodes left",
         ]
     trace = doc.get("trace")
     if trace:  # absent before schema 5

@@ -27,7 +27,7 @@ Start one with ``repro serve`` and query it with ``repro submit`` or::
         print(client.model("gzip")["cpi"])
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ErrorCode,
@@ -43,6 +43,7 @@ __all__ = [
     "ErrorCode",
     "ProtocolError",
     "Request",
+    "RetryPolicy",
     "Scheduler",
     "SchedulerConfig",
     "ServiceClient",

@@ -1,10 +1,12 @@
 """ServiceClient — the blocking Python API to a running service.
 
 One client holds one TCP connection speaking the native JSON-frames
-protocol.  Requests are correlated by id; sharing a client across
-threads is safe (a lock serializes the request/response exchange), but
-for genuinely concurrent traffic open one client per thread — the
-server handles any number of connections.
+protocol.  Requests are correlated by id, and the connection is safe to
+share across threads: sends are serialized by a lock, while receives use
+a leader/follower scheme — one thread reads the socket and hands frames
+for other ids to the threads waiting on them — so many requests can be
+in flight on the one connection at once (the server answers out of
+order by design).
 
 ::
 
@@ -16,15 +18,27 @@ server handles any number of connections.
         print(report["cpi"], sim["cpi"])
 
 Failures surface as :class:`ServiceError` with the server's error code
-(``overloaded``, ``timeout``, ...) so callers can implement their own
-retry policy; the client never retries on its own.
+(``overloaded``, ``timeout``, ...).  By default the client never
+retries; pass a :class:`RetryPolicy` to opt into client-side retries of
+``overloaded`` responses and connection resets with jittered
+exponential backoff::
+
+    with ServiceClient(host, port, retry=RetryPolicy()) as client:
+        client.simulate("gzip")   # survives transient saturation
+
+Retries are safe for this protocol because every evaluation is
+idempotent by content key — a replay of the same request can only hit
+the cache or recompute the identical answer.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
+import time
+from dataclasses import dataclass
 
 from repro.obs import spans as _spans
 from repro.service import protocol
@@ -60,38 +74,77 @@ class ServiceError(RuntimeError):
         self.code = code
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in client-side retry of transient failures.
+
+    ``attempts`` is the total try count (1 = no retry).  Sleeps follow
+    ``backoff_s * multiplier**i`` with up to ``jitter`` fractional
+    random extra, so a thundering herd of saturated clients decorrelates
+    instead of re-stampeding the service in lockstep.  Only error codes
+    in ``codes`` and connection failures (reset, refused, EOF) are
+    retried — a ``bad_request`` can never succeed on replay.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    codes: tuple[str, ...] = (protocol.ErrorCode.OVERLOADED,)
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        base = self.backoff_s * (self.multiplier ** attempt)
+        r = rng.random() if rng is not None else random.random()
+        return base * (1.0 + self.jitter * r)
+
+    def retries(self, code: str | None) -> bool:
+        """Whether a failure is retryable (``None`` = connection loss)."""
+        return code is None or code in self.codes
+
+
 class ServiceClient:
     """Blocking client for :mod:`repro.service` (context manager)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7333,
-                 timeout: float | None = 120.0):
+                 timeout: float | None = 120.0,
+                 retry: RetryPolicy | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
         self._sock: socket.socket | None = None
         self._file = None
         self._ids = itertools.count(1)
-        self._lock = threading.Lock()        # request/response framing
-        self._results: dict[str, dict] = {}  # out-of-order responses
+        self._send_lock = threading.Lock()   # frame writes are atomic
+        self._recv = threading.Condition()   # leader/follower reads
+        self._reading = False                # a leader owns the socket
+        self._results: dict[str, dict] = {}  # demuxed responses by id
 
     # -- connection ----------------------------------------------------
 
     def connect(self) -> "ServiceClient":
-        if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout)
-            self._file = self._sock.makefile("rb")
+        with self._send_lock:
+            if self._sock is None:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+                self._sock = sock
+                self._file = sock.makefile("rb")
         return self
 
     def close(self) -> None:
-        if self._sock is not None:
-            try:
-                self._file.close()
-                self._sock.close()
-            except OSError:
-                pass
+        with self._send_lock:
+            sock, file = self._sock, self._file
             self._sock = None
             self._file = None
+        # the actual close happens outside the lock: it wakes a leader
+        # blocked in readline, which must not find the lock held
+        for closable in (file, sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
 
     def __enter__(self) -> "ServiceClient":
         return self.connect()
@@ -113,33 +166,92 @@ class ServiceClient:
             frame = protocol.make_request(
                 op, params, id=rid, timeout=timeout,
                 trace=_spans.current_context())
-            with self._lock:
-                self._sock.sendall(protocol.encode_frame(frame))
-                return self._read_until(rid)
+            with self._send_lock:
+                # snapshot under the lock: another thread's close()
+                # (its error path) can null the socket at any moment
+                sock = self._sock
+                if sock is None:
+                    raise ConnectionError("connection is closed")
+                try:
+                    sock.sendall(protocol.encode_frame(frame))
+                except (OSError, ValueError) as exc:
+                    raise ConnectionError(f"send failed: {exc}") from exc
+            return self._read_until(rid)
 
     def _read_until(self, rid: str) -> dict:
-        # responses may interleave when the connection is shared; stash
-        # frames for other ids until ours arrives
-        if rid in self._results:
-            return self._results.pop(rid)
-        while True:
-            line = self._file.readline()
-            if not line:
-                raise ConnectionError("service closed the connection")
-            response = protocol.decode_frame(line)
-            if response.get("id") == rid:
-                return response
-            self._results[response.get("id", "")] = response
+        """Wait for the response to ``rid``, demuxing by request id.
+
+        Responses arrive in completion order, not send order (cache
+        hits overtake computes).  One waiting thread at a time is the
+        *leader*: it reads frames off the socket, keeps anything
+        addressed to another id in ``_results`` and wakes the waiters;
+        everyone else sleeps on the condition until their frame lands
+        or the leader seat frees up.  The socket read itself happens
+        outside the lock, so followers can collect their frames while
+        the leader is blocked in ``readline``.
+        """
+        with self._recv:
+            while True:
+                if rid in self._results:
+                    return self._results.pop(rid)
+                if not self._reading:
+                    self._reading = True
+                    break
+                self._recv.wait()
+        # this thread is now the leader; read until our frame shows
+        try:
+            while True:
+                file = self._file
+                if file is None:
+                    raise ConnectionError("connection closed")
+                try:
+                    line = file.readline()
+                except (ValueError, OSError) as exc:  # closed mid-read
+                    raise ConnectionError(str(exc)) from exc
+                if not line:
+                    raise ConnectionError("service closed the connection")
+                response = protocol.decode_frame(line)
+                got = str(response.get("id", ""))
+                if got == rid:
+                    return response
+                with self._recv:
+                    self._results[got] = response
+                    self._recv.notify_all()
+        finally:
+            with self._recv:
+                self._reading = False
+                self._recv.notify_all()
 
     def evaluate(self, op: str, params: dict | None = None,
                  timeout: float | None = None) -> dict:
-        """Send one request; return ``result`` or raise ServiceError."""
-        response = self.request(op, params, timeout)
-        if not response.get("ok"):
+        """Send one request; return ``result`` or raise ServiceError.
+
+        With a :class:`RetryPolicy` configured, ``overloaded`` (or any
+        policy-listed code) and connection failures are retried with
+        jittered backoff, reconnecting as needed; the last failure
+        propagates when attempts run out.
+        """
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(attempts):
+            last = attempt == attempts - 1
+            try:
+                response = self.request(op, params, timeout)
+            except (ConnectionError, OSError):
+                self.close()  # the socket is in an unknown state
+                if policy is None or last or not policy.retries(None):
+                    raise
+                time.sleep(policy.delay(attempt))
+                continue
+            if response.get("ok"):
+                return response["result"]
             error = response.get("error") or {}
-            raise ServiceError(error.get("code", "internal"),
-                               error.get("message", "unknown error"))
-        return response["result"]
+            code = error.get("code", "internal")
+            if policy is not None and not last and policy.retries(code):
+                time.sleep(policy.delay(attempt))
+                continue
+            raise ServiceError(code, error.get("message", "unknown error"))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- convenience wrappers -------------------------------------------
 
@@ -148,6 +260,10 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self.evaluate("metrics")["metrics"]
+
+    def peek(self, key: str) -> dict:
+        """Probe the server's response cache for a content key."""
+        return self.evaluate("peek", {"key": key})
 
     def model(self, benchmark: str, **params) -> dict:
         return self.evaluate(
@@ -180,4 +296,4 @@ class ServiceClient:
                              timeout=timeout)
 
 
-__all__ = ["ProtocolError", "ServiceClient", "ServiceError"]
+__all__ = ["ProtocolError", "RetryPolicy", "ServiceClient", "ServiceError"]

@@ -59,9 +59,11 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         config: SchedulerConfig | None = None,
+        node_id: str | None = None,
     ):
         self.host = host
         self.port = port
+        self.node_id = node_id
         self.scheduler = Scheduler(config)
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.Task] = set()
@@ -163,6 +165,8 @@ class ServiceServer:
             request = protocol.parse_request(frame)
             rid = request.id
             result, meta = await self._evaluate(request)
+            if self.node_id is not None:
+                meta = {**meta, "node": self.node_id}
             return protocol.make_response(rid, result, meta)
         except ProtocolError as exc:
             return protocol.make_error(rid, exc.code, str(exc))
@@ -180,21 +184,58 @@ class ServiceServer:
     async def _evaluate(self, request: protocol.Request) -> tuple[dict, dict]:
         if request.op == "ping":
             return ({"pong": True, "version": _package_version(),
-                     "protocol": protocol.PROTOCOL_VERSION},
+                     "protocol": protocol.PROTOCOL_VERSION,
+                     "node": self.node_id},
                     {"served_from": "server"})
         if request.op == "metrics":
             return ({"metrics": metrics_registry().to_dict()},
                     {"served_from": "server"})
+        if request.op == "peek":
+            if request.trace is not None and _spans.enabled():
+                # the probe's cache.probe span joins the caller's trace
+                with _spans.attach(request.trace):
+                    return self._peek(request.params)
+            return self._peek(request.params)
         if request.trace is not None and _spans.enabled():
             # re-root under the client's span so client, scheduler and
             # pool worker form one connected trace per submit
+            attrs = {"op": request.op, "request_id": request.id}
+            if self.node_id is not None:
+                attrs["node"] = self.node_id
             with _spans.attach(request.trace), \
-                    _spans.span("service.request", op=request.op,
-                                request_id=request.id):
+                    _spans.span("service.request", **attrs):
                 return await self.scheduler.submit(
                     request.op, request.params, timeout=request.timeout)
         return await self.scheduler.submit(
             request.op, request.params, timeout=request.timeout)
+
+    def _peek(self, params: dict) -> tuple[dict, dict]:
+        """The fleet's cache-probe op: look up (or store) a keyed
+        response without ever touching the scheduler or the pool.
+
+        ``{"key": K}`` answers ``{"found": bool, "result": ...}`` from
+        the *local* store only (``remote=False`` — peers asking peers
+        must never recurse); ``{"key": K, "store": payload}`` replicates
+        a response computed elsewhere into this node's cache.
+        """
+        from repro.runner import artifacts
+
+        key = params.get("key")
+        if not isinstance(key, str) or not key:
+            raise ProtocolError("'peek' requires a string 'key'")
+        unknown = set(params) - {"key", "store"}
+        if unknown:
+            raise ProtocolError(f"unknown peek params: {sorted(unknown)}")
+        metrics = metrics_registry()
+        if "store" in params:
+            artifacts.store_artifact("response", key, params["store"])
+            metrics.counter("service.peek_store").inc()
+            return ({"stored": True}, {"served_from": "server"})
+        found, obj = artifacts.probe_artifact("response", key, remote=False)
+        metrics.counter(
+            "service.peek_hit" if found else "service.peek_miss").inc()
+        return ({"found": found, "result": obj if found else None},
+                {"served_from": "cache" if found else "server"})
 
     # -- the HTTP dialect -----------------------------------------------
 
@@ -231,12 +272,15 @@ class ServiceServer:
             else:
                 await self._http_reply(writer, 200, "ok\n")
         elif method in ("GET", "HEAD") and path == "/metrics":
+            labels = {"node": self.node_id} if self.node_id else None
             await self._http_reply(
-                writer, 200, metrics_registry().to_prometheus(),
+                writer, 200, metrics_registry().to_prometheus(labels=labels),
                 content_type="text/plain; version=0.0.4")
         elif method in ("GET", "HEAD") and path == "/version":
             doc = {"version": _package_version(),
-                   "protocol": protocol.PROTOCOL_VERSION}
+                   "protocol": protocol.PROTOCOL_VERSION,
+                   "host": self.host, "port": self.port,
+                   "node": self.node_id}
             await self._http_reply(writer, 200, json.dumps(doc) + "\n",
                                    content_type="application/json")
         elif method == "POST" and path == "/v1/eval":
@@ -278,8 +322,8 @@ class ServiceServer:
 
 async def _serve_async(host: str, port: int,
                        config: SchedulerConfig | None,
-                       ready=None) -> None:
-    server = ServiceServer(host, port, config)
+                       ready=None, node_id: str | None = None) -> None:
+    server = ServiceServer(host, port, config, node_id=node_id)
     await server.start()
     if ready is not None:
         ready(server)
@@ -292,14 +336,16 @@ async def _serve_async(host: str, port: int,
 
 
 def serve(host: str = "127.0.0.1", port: int = 7333,
-          config: SchedulerConfig | None = None, ready=None) -> None:
+          config: SchedulerConfig | None = None, ready=None,
+          node_id: str | None = None) -> None:
     """Run a service until interrupted (the ``repro serve`` entry).
 
     ``ready`` is called with the started :class:`ServiceServer` once the
-    socket is bound — the CLI prints the address from it.
+    socket is bound — the CLI prints the address from it (``port=0``
+    binds an ephemeral port, resolved by the time ``ready`` fires).
     """
     try:
-        asyncio.run(_serve_async(host, port, config, ready))
+        asyncio.run(_serve_async(host, port, config, ready, node_id))
     except KeyboardInterrupt:
         _log.info("interrupted; drained and stopped")
 
@@ -317,10 +363,12 @@ class BackgroundServer:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 config: SchedulerConfig | None = None):
+                 config: SchedulerConfig | None = None,
+                 node_id: str | None = None):
         self._host = host
         self._port = port
         self._config = config
+        self._node_id = node_id
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: ServiceServer | None = None
         self._thread: threading.Thread | None = None
@@ -358,7 +406,8 @@ class BackgroundServer:
             self._loop = asyncio.get_running_loop()
             self._stop = asyncio.Event()
             try:
-                server = ServiceServer(self._host, self._port, self._config)
+                server = ServiceServer(self._host, self._port, self._config,
+                                       node_id=self._node_id)
                 await server.start()
                 self._server = server
             except BaseException as exc:  # surface bind errors to __enter__

@@ -6,6 +6,7 @@ See docs/CONFIGURATION.md for the schema, the resolution precedence
 variable registry (:mod:`repro.spec.env`).
 """
 
+from repro.spec.fleet import FleetSpec
 from repro.spec.specs import (
     PREDICTORS,
     SPEC_SCHEMA,
@@ -28,6 +29,7 @@ __all__ = [
     "SPEC_SCHEMA",
     "CacheSpec",
     "EngineSpec",
+    "FleetSpec",
     "HierarchySpec",
     "MachineSpec",
     "ObsSpec",

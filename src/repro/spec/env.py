@@ -224,6 +224,17 @@ def explore_kill_after() -> int | None:
 # -- manifest echo -----------------------------------------------------------
 
 
+def process_environment() -> dict[str, str]:
+    """A mutable copy of the whole environment, for spawning children.
+
+    Spawners (e.g. :mod:`repro.fleet.nodes`) layer their per-child
+    overrides — a private ``REPRO_CACHE_DIR``, ``PYTHONPATH`` — on top
+    of this; keeping the read here preserves the invariant that only
+    the registry touches ``os.environ``.
+    """
+    return dict(os.environ)
+
+
 def repro_environment() -> dict[str, str]:
     """Every set ``REPRO_*`` variable, for the run manifest.
 

@@ -1,0 +1,116 @@
+"""FleetSpec — the typed description of a multi-node evaluation fleet.
+
+A fleet is N worker nodes (each one a :mod:`repro.service` process with
+its own scheduler, pool and artifact cache) behind one router
+(:mod:`repro.fleet.router`) that consistent-hashes every request by its
+:meth:`repro.spec.RunSpec.content_key` so each node's cache stays hot
+for its shard.  The spec pins everything placement depends on — node
+addresses, hash seed, virtual-node count, replication factor — so two
+routers built from the same spec place every key identically (the
+deterministic-rebalance property the fleet tests assert).
+
+Like the other specs this is frozen, plain-data, and round-trips
+through ``from_dict``/``to_dict`` with unknown-field rejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.spec.specs import (
+    SpecError,
+    _check_fields,
+    _construct,
+    _require_mapping,
+)
+
+
+def _check_address(address: Any) -> str:
+    """Validate one ``host:port`` node address."""
+    if not isinstance(address, str) or ":" not in address:
+        raise SpecError(
+            f"fleet node must be a 'host:port' string, got {address!r}")
+    host, _, port = address.rpartition(":")
+    if not host:
+        raise SpecError(f"fleet node {address!r} has an empty host")
+    try:
+        number = int(port)
+    except ValueError:
+        raise SpecError(
+            f"fleet node {address!r} has a non-integer port") from None
+    if not 0 < number < 65536:
+        raise SpecError(f"fleet node {address!r} port out of range")
+    return address
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Topology and placement policy of an evaluation fleet.
+
+    Attributes:
+        nodes: worker addresses (``host:port``); order does not affect
+            placement (the ring sorts by hash), but duplicates are an
+            error.
+        replication: how many distinct ring targets a key may be served
+            from (owner first, then clockwise siblings) — the failover
+            and peek fan-out bound.
+        hash_seed: seed folded into every ring hash; pin it to make
+            placement reproducible across processes and runs.
+        vnodes: virtual nodes per physical node — more vnodes, smoother
+            balance, slower ring construction.
+        load_factor: bounded-load ceiling as a multiple of the mean
+            outstanding load (``1.25`` = no node takes more than 125%
+            of the average before the ring walks on).
+        peek: ask ring targets for a cached response (the ``peek`` op)
+            before forwarding the full request.
+        health_interval_s: seconds between router ``/healthz`` probes.
+    """
+
+    nodes: tuple[str, ...] = field(default_factory=tuple)
+    replication: int = 2
+    hash_seed: int = 0
+    vnodes: int = 64
+    load_factor: float = 1.25
+    peek: bool = True
+    health_interval_s: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        for address in self.nodes:
+            _check_address(address)
+        if len(set(self.nodes)) != len(self.nodes):
+            raise SpecError("fleet nodes must be unique")
+        if not isinstance(self.replication, int) or self.replication < 1:
+            raise SpecError("fleet replication must be a positive integer")
+        if not isinstance(self.vnodes, int) or self.vnodes < 1:
+            raise SpecError("fleet vnodes must be a positive integer")
+        if not isinstance(self.hash_seed, int):
+            raise SpecError("fleet hash_seed must be an integer")
+        if self.load_factor < 1.0:
+            raise SpecError("fleet load_factor must be >= 1.0")
+        if self.health_interval_s <= 0:
+            raise SpecError("fleet health_interval_s must be positive")
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FleetSpec":
+        out = _check_fields(_require_mapping(data, "fleet"), cls, "fleet")
+        if "nodes" in out:
+            if not isinstance(out["nodes"], (list, tuple)):
+                raise SpecError("fleet nodes must be a list")
+            out["nodes"] = tuple(out["nodes"])
+        return _construct(cls, out, "fleet")
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "replication": self.replication,
+            "hash_seed": self.hash_seed,
+            "vnodes": self.vnodes,
+            "load_factor": self.load_factor,
+            "peek": self.peek,
+            "health_interval_s": self.health_interval_s,
+        }
+
+
+__all__ = ["FleetSpec"]

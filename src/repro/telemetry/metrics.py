@@ -173,17 +173,28 @@ class MetricsRegistry:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
-    def to_prometheus(self, namespace: str = "repro") -> str:
+    def to_prometheus(self, namespace: str = "repro",
+                      labels: dict[str, str] | None = None) -> str:
         """Prometheus text exposition (the service's ``/metrics`` body).
 
         Instrument names map to ``<namespace>_<name>`` with
         non-identifier characters folded to ``_``; histograms export
         ``_count``/``_sum`` plus exact ``quantile``-labelled samples.
+        ``labels`` are attached to every sample — a fleet node passes
+        ``{"node": "<node-id>"}`` so scraped series stay distinguishable
+        after aggregation across the fleet.
         """
         def mangle(name: str) -> str:
             cleaned = "".join(
                 ch if ch.isalnum() or ch == "_" else "_" for ch in name)
             return f"{namespace}_{cleaned}"
+
+        def labelled(extra: dict | None = None) -> str:
+            pairs = {**(labels or {}), **(extra or {})}
+            if not pairs:
+                return ""
+            body = ",".join(f'{k}="{v}"' for k, v in sorted(pairs.items()))
+            return "{" + body + "}"
 
         lines: list[str] = []
         for name in self.names():
@@ -194,12 +205,12 @@ class MetricsRegistry:
                 for q in (0.5, 0.9, 0.99):
                     value = self._instruments[name].percentile(q * 100)
                     lines.append(
-                        f'{metric}{{quantile="{q}"}} {value!r}')
-                lines.append(f"{metric}_sum {snap['sum']!r}")
-                lines.append(f"{metric}_count {snap['count']}")
+                        f'{metric}{labelled({"quantile": q})} {value!r}')
+                lines.append(f"{metric}_sum{labelled()} {snap['sum']!r}")
+                lines.append(f"{metric}_count{labelled()} {snap['count']}")
             else:
                 lines.append(f"# TYPE {metric} {snap['type']}")
-                lines.append(f"{metric} {snap['value']!r}")
+                lines.append(f"{metric}{labelled()} {snap['value']!r}")
         return "\n".join(lines) + "\n"
 
     def render(self, names: Iterable[str] | None = None) -> str:

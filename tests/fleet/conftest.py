@@ -1,0 +1,42 @@
+"""Shared fleet fixtures: isolated caches/metrics and an in-process
+two-node fleet (router + BackgroundServers) for the fast tests.
+
+Subprocess fleets (private caches, SIGKILL chaos) are built per-test
+with :class:`repro.fleet.LocalFleet` where cross-node behaviour is the
+point — in-process nodes share one artifact cache, which hides it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.artifacts import reset_cache_stats
+from repro.service import BackgroundServer, SchedulerConfig
+from repro.telemetry.metrics import reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_state(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    reset_cache_stats()
+    reset_metrics()
+    yield
+    reset_cache_stats()
+    reset_metrics()
+
+
+@pytest.fixture
+def fleet2():
+    """Two in-process nodes behind a router: (router, node_a, node_b)."""
+    from repro.fleet import BackgroundRouter, FleetSpec
+
+    config = SchedulerConfig(workers=1, queue_limit=16,
+                             request_timeout_s=60.0,
+                             retries=2, retry_backoff_s=0.05)
+    with BackgroundServer(config=config, node_id="n1") as a, \
+            BackgroundServer(config=config, node_id="n2") as b:
+        spec = FleetSpec(nodes=(f"{a.host}:{a.port}", f"{b.host}:{b.port}"),
+                         replication=2, health_interval_s=0.25)
+        with BackgroundRouter(spec) as router:
+            yield router, a, b

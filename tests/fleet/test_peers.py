@@ -1,0 +1,103 @@
+"""Node-level cache peering: the artifacts remote-probe hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import artifacts
+from repro.service import ServiceClient
+
+
+@pytest.fixture
+def peer_node(tmp_path):
+    """A *subprocess* peer with its own cache — a shared in-process
+    cache would satisfy every probe locally and mask the hook."""
+    from repro.fleet import spawn_node
+
+    node = spawn_node("peer", str(tmp_path / "peer-cache"), workers=1)
+    yield node
+    node.stop()
+
+
+class TestRemoteProbeHook:
+    def test_hook_fires_only_on_a_local_miss(self, monkeypatch):
+        calls = []
+
+        def hook(kind, key):
+            calls.append((kind, key))
+            return True, {"value": 42}
+
+        prior = artifacts.set_remote_probe(hook)
+        try:
+            found, obj = artifacts.probe_artifact("response", "k1")
+            assert found and obj == {"value": 42}
+            assert calls == [("response", "k1")]
+            # the hit was replicated into the local store: no second call
+            found, obj = artifacts.probe_artifact("response", "k1")
+            assert found and obj == {"value": 42}
+            assert len(calls) == 1
+        finally:
+            artifacts.set_remote_probe(prior)
+
+    def test_remote_false_never_calls_the_hook(self):
+        def hook(kind, key):  # pragma: no cover - must not run
+            raise AssertionError("probe recursed to the peer")
+
+        prior = artifacts.set_remote_probe(hook)
+        try:
+            found, _ = artifacts.probe_artifact("response", "k2",
+                                                remote=False)
+            assert not found
+        finally:
+            artifacts.set_remote_probe(prior)
+
+
+class TestPeerCache:
+    def test_peer_hit_is_served_and_replicated(self, peer_node):
+        from repro.fleet.peers import PeerCache
+
+        # plant a response in the peer's cache via its peek op
+        with ServiceClient(peer_node.host, peer_node.port) as client:
+            stored = client.evaluate("peek", {"key": "shared-key",
+                                              "store": {"cpi": 1.25}})
+            assert stored["stored"]
+
+        peer = PeerCache(peer_node.host, peer_node.port)
+        try:
+            found, obj = peer("response", "shared-key")
+            assert found and obj == {"cpi": 1.25}
+            found, _ = peer("response", "missing-key")
+            assert not found
+            # non-response kinds never travel
+            found, _ = peer("trace", "shared-key")
+            assert not found
+        finally:
+            peer.close()
+
+    def test_dead_peer_is_a_miss_with_backoff(self):
+        from repro.fleet.peers import PeerCache
+
+        peer = PeerCache("127.0.0.1", 1, timeout=0.5, retry_s=30.0)
+        try:
+            found, _ = peer("response", "k")
+            assert not found
+            assert peer._down_until > 0  # circuit opened
+            # while the breaker is open the peer is not even dialled
+            found, _ = peer("response", "k")
+            assert not found
+        finally:
+            peer.close()
+
+    def test_install_peer_wires_probe_artifact(self, peer_node):
+        from repro.fleet.peers import install_peer
+
+        with ServiceClient(peer_node.host, peer_node.port) as client:
+            client.evaluate("peek", {"key": "wired-key",
+                                     "store": {"ipc": 2.0}})
+        peer = install_peer(f"{peer_node.host}:{peer_node.port}")
+        try:
+            found, obj = artifacts.probe_artifact("response", "wired-key")
+            assert found and obj == {"ipc": 2.0}
+        finally:
+            artifacts.set_remote_probe(None)
+            peer.close()

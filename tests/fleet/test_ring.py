@@ -1,0 +1,107 @@
+"""Hash-ring properties: determinism, balance, bounded key movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.ring import HashRing
+
+NODES = ("10.0.0.1:7333", "10.0.0.2:7333", "10.0.0.3:7333")
+KEYS = [f"key-{i:04d}" for i in range(3000)]
+
+
+class TestDeterminism:
+    def test_same_inputs_same_ring(self):
+        a = HashRing(NODES, seed=7)
+        b = HashRing(NODES, seed=7)
+        assert a.placement(KEYS) == b.placement(KEYS)
+
+    def test_node_order_does_not_matter(self):
+        a = HashRing(NODES, seed=7)
+        b = HashRing(tuple(reversed(NODES)), seed=7)
+        assert a.placement(KEYS) == b.placement(KEYS)
+
+    def test_seed_changes_placement(self):
+        a = HashRing(NODES, seed=0)
+        b = HashRing(NODES, seed=1)
+        assert a.placement(KEYS) != b.placement(KEYS)
+
+    def test_pinned_placement(self):
+        # a regression pin: any change to the hash layout is a breaking
+        # change for running fleets (every cache shard moves)
+        ring = HashRing(NODES, seed=0)
+        assert ring.owner("key-0000") == "10.0.0.3:7333"
+        assert ring.owner("key-0001") == "10.0.0.2:7333"
+        assert ring.owner("key-0002") == "10.0.0.2:7333"
+
+
+class TestBalance:
+    def test_shards_are_roughly_even(self):
+        ring = HashRing(NODES, seed=0)
+        placement = ring.placement(KEYS)
+        counts = [sum(1 for owner in placement.values() if owner == node)
+                  for node in NODES]
+        expected = len(KEYS) / len(NODES)
+        for count in counts:
+            assert 0.6 * expected <= count <= 1.4 * expected, counts
+
+
+class TestTargets:
+    def test_owner_first_and_distinct(self):
+        ring = HashRing(NODES, seed=0)
+        for key in KEYS[:100]:
+            targets = ring.targets(key, 3)
+            assert targets[0] == ring.owner(key)
+            assert len(targets) == len(set(targets)) == 3
+
+    def test_targets_clamped_to_ring_size(self):
+        ring = HashRing(NODES[:2], seed=0)
+        assert len(ring.targets("k", 5)) == 2
+
+    def test_empty_ring_raises(self):
+        ring = HashRing([], seed=0)
+        with pytest.raises(ValueError):
+            ring.owner("k")
+
+
+class TestBoundedMovement:
+    def test_join_moves_at_most_its_fair_share(self):
+        ring = HashRing(NODES, seed=0)
+        before = ring.placement(KEYS)
+        after = ring.with_node("10.0.0.4:7333").placement(KEYS)
+        moved = sum(1 for k in KEYS if before[k] != after[k])
+        # expectation K/(N+1) = 750; vnode variance stays well under 2x
+        assert moved <= 2 * len(KEYS) / (len(NODES) + 1), moved
+        # every moved key moved TO the joiner, nothing reshuffled
+        assert all(after[k] == "10.0.0.4:7333"
+                   for k in KEYS if before[k] != after[k])
+
+    def test_leave_moves_only_the_departed_shard(self):
+        ring = HashRing(NODES, seed=0)
+        before = ring.placement(KEYS)
+        after = ring.without_node(NODES[1]).placement(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        assert all(before[k] == NODES[1] for k in moved)
+        assert len(moved) == sum(
+            1 for owner in before.values() if owner == NODES[1])
+
+
+class TestBoundedLoad:
+    def test_idle_fleet_uses_the_owner(self):
+        ring = HashRing(NODES, seed=0)
+        key = "key-0000"
+        assert ring.pick(key, {}) == ring.owner(key)
+
+    def test_hot_owner_spills_to_a_sibling(self):
+        ring = HashRing(NODES, seed=0)
+        key = "key-0000"
+        owner, sibling = ring.targets(key, 2)
+        loads = {owner: 50, sibling: 0}
+        assert ring.pick(key, loads, factor=1.25) == sibling
+
+    def test_saturated_fleet_picks_least_loaded(self):
+        ring = HashRing(NODES, seed=0)
+        key = "key-0000"
+        targets = ring.targets(key, 3)
+        loads = {t: 100 + i for i, t in enumerate(targets)}
+        assert ring.pick(key, loads, factor=1.0) == targets[0]
