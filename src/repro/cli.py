@@ -23,6 +23,9 @@ writing any code:
 * ``timeline <bench>``    — interval IPC/occupancy sparklines and the
   measured CPI stack of one simulation; ``--stream --max-rows N``
   holds a bounded multi-resolution timeline at any workload length
+* ``ingest <file>``       — normalize a foreign trace (CSV, JSONL, or a
+  SynchroTrace-style event trace) into the chunk store and print its
+  ``ingest:<key>`` workload name, runnable by every command above
 * ``stats [bench...]``    — run a sweep and dump the runner/cache
   metrics registry
 * ``serve``               — start the evaluation service (``repro.service``)
@@ -55,8 +58,41 @@ from repro.config import BASELINE
 from repro.core.model import FirstOrderModel
 from repro.simulator.processor import DetailedSimulator
 from repro.trace.profiles import BENCHMARK_ORDER
-from repro.trace.synthetic import generate_trace
 from repro.util.ascii_plot import bar_chart, line_plot
+
+
+def _benchmark_arg(text: str) -> str:
+    """Argparse type for benchmark arguments: any source-tagged workload.
+
+    Accepts the twelve synthetic profile names (bare or
+    ``synthetic:``-prefixed) plus ``ingest:<key-or-path>`` foreign
+    traces — the same grammar :class:`repro.spec.WorkloadSpec` takes.
+    Synthetic names are validated eagerly so typos fail at parse time
+    with the familiar message; ingest references are validated when the
+    workload resolves (the file may still need ingesting).
+    """
+    from repro.trace.sources import parse_benchmark
+
+    scheme, ref = parse_benchmark(text)
+    if scheme == "synthetic" and ref not in BENCHMARK_ORDER:
+        raise argparse.ArgumentTypeError(
+            f"unknown benchmark {ref!r}; one of "
+            + ", ".join(BENCHMARK_ORDER) + " (or ingest:<key-or-path>)")
+    return text
+
+
+def _workload_trace(workload):
+    """The materialized trace a resolved workload names.
+
+    All non-streaming commands fetch traces through here
+    (:func:`repro.runner.artifacts.trace_artifact`), so synthetic and
+    ingested workloads are interchangeable everywhere a benchmark
+    argument is.
+    """
+    from repro.runner.artifacts import trace_artifact
+
+    return trace_artifact(workload.benchmark, workload.length,
+                          workload.seed)
 
 
 def package_version() -> str:
@@ -154,8 +190,7 @@ def cmd_model(args: argparse.Namespace) -> int:
     if _maybe_dump_spec(args, spec):
         return 0
     workload = spec.workload
-    trace = generate_trace(workload.benchmark, workload.length,
-                           workload.seed)
+    trace = _workload_trace(workload)
     report = FirstOrderModel(
         spec.machine.to_config()).evaluate_trace(trace)
     print(f"{args.benchmark}: model CPI {report.cpi:.3f} "
@@ -211,8 +246,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             with _spans.span("trace.generate",
                              workload=workload.benchmark,
                              length=workload.length):
-                trace = generate_trace(workload.benchmark,
-                                       workload.length, workload.seed)
+                trace = _workload_trace(workload)
             sim = DetailedSimulator.from_spec(spec)
             with _spans.span("sim.detailed",
                              benchmark=workload.benchmark,
@@ -248,8 +282,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     errors = []
     for name in benchmarks:
         workload = spec.workload.with_benchmark(name)
-        trace = generate_trace(workload.benchmark, workload.length,
-                               workload.seed)
+        trace = _workload_trace(workload)
         report = model.evaluate_trace(trace)
         sim = DetailedSimulator(config, instrument=False).run(trace)
         err = (report.cpi - sim.cpi) / sim.cpi
@@ -261,11 +294,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_iw(args: argparse.Namespace) -> int:
+    from repro.spec.specs import WorkloadSpec
     from repro.window.iw_simulator import measure_iw_curve
     from repro.window.powerlaw import fit_curve
 
     length = args.length if args.length is not None else 30_000
-    trace = generate_trace(args.benchmark, length)
+    trace = _workload_trace(WorkloadSpec(args.benchmark, length))
     curve = measure_iw_curve(trace)
     fit = fit_curve(curve)
     print(f"{args.benchmark}: I = {fit.alpha:.2f} * W^{fit.beta:.2f} "
@@ -575,8 +609,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         result = simulate_stream(stream, spec.machine.to_config(),
                                  telemetry=tele)
     else:
-        trace = generate_trace(workload.benchmark, workload.length,
-                               workload.seed)
+        trace = _workload_trace(workload)
         sim = DetailedSimulator(spec.machine.to_config(), telemetry=tele)
         result = sim.run(trace)
     report = tele.report
@@ -674,18 +707,52 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ingest import ingest_file, IngestError
+
+    try:
+        result = ingest_file(args.file, fmt=args.format, name=args.name,
+                             force=args.force)
+    except IngestError as exc:
+        print(f"ingest failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    verb = "reused" if result.reused else "ingested"
+    print(f"{verb} {args.file} ({result.format}): {result.length} "
+          f"instruction records in {result.chunks} chunk(s)")
+    for warning in result.warnings:
+        print(f"  warning: {warning}")
+    print(f"workload key: {result.key}")
+    print("run it anywhere a benchmark goes, e.g.:")
+    print(f"  repro model {result.benchmark}")
+    return 0
+
+
 def cmd_trace_info(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.isa.opclass import OpClass
     from repro.runner import artifacts
     from repro.trace.chunks import chunk_content_key
+    from repro.trace.sources import parse_benchmark
     from repro.trace.trace import _COLUMNS
     from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
 
     cs = args.chunk_size or DEFAULT_CHUNK_SIZE
     stream = artifacts.trace_chunk_stream(
         args.benchmark, args.length, args.seed, chunk_size=cs)
+    if args.extract and args.json:
+        import json
+
+        from repro.trace.analysis import extract_model_inputs
+
+        print(json.dumps(extract_model_inputs(stream).to_dict(),
+                         indent=2, sort_keys=True))
+        return 0
     n = len(stream)
     class_counts = np.zeros(len(OpClass), dtype=np.int64)
     keys: list[str] = []
@@ -728,6 +795,37 @@ def cmd_trace_info(args: argparse.Namespace) -> int:
     print(f"  {'chunk':>5s} {'instructions':>12s}  content key")
     for i, (key, size) in enumerate(zip(keys, sizes)):
         print(f"  {i:5d} {size:12d}  {key}")
+    scheme, ref = parse_benchmark(args.benchmark)
+    if scheme == "ingest":
+        manifest = artifacts.trace_chunk_manifest(args.benchmark)
+        prov = (manifest or {}).get("provenance", {})
+        print("  provenance:")
+        print(f"    source format: {prov.get('format', '?')}")
+        print(f"    source file:   {prov.get('source', '?')} "
+              f"(sha256 {prov.get('source_sha256', '?')})")
+        print(f"    records:       {prov.get('records', '?')}")
+        warnings = prov.get("warnings", [])
+        if warnings:
+            print(f"    normalization warnings ({len(warnings)}):")
+            for warning in warnings:
+                print(f"      - {warning}")
+        else:
+            print("    normalization warnings: none")
+    if args.extract:
+        from repro.trace.analysis import extract_model_inputs
+
+        inputs = extract_model_inputs(stream)
+        print("  model inputs (extracted):")
+        print(f"    IW fit: I = {inputs.alpha:.3f} * W^{inputs.beta:.3f} "
+              f"(R^2 {inputs.r_squared:.3f}, over {inputs.fit_length} "
+              "instructions)")
+        print(f"    mean dependence distance: "
+              f"{inputs.statistics.mean_dependence_distance:.2f}")
+        print(f"    branch mispredict rate (gshare 8K): "
+              f"{inputs.mispredict_rate:.4f} "
+              f"(taken rate {inputs.taken_rate:.4f})")
+        print(f"    footprints: {inputs.code_footprint} pcs, "
+              f"{inputs.data_footprint_lines} 64B data lines")
     return 0
 
 
@@ -956,6 +1054,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 def cmd_list(args: argparse.Namespace) -> int:
     print("benchmarks:", ", ".join(BENCHMARK_ORDER))
+    print("workload forms: <benchmark>, synthetic:<benchmark>, "
+          "ingest:<key-or-path> (see 'repro ingest')")
     names = sorted(
         m.__name__.split(".")[-1]
         for m in _experiment_registry().values()
@@ -986,7 +1086,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_bench(p):
-        p.add_argument("benchmark", choices=BENCHMARK_ORDER)
+        p.add_argument("benchmark", type=_benchmark_arg,
+                       metavar="benchmark",
+                       help="a synthetic profile name ("
+                            + ", ".join(BENCHMARK_ORDER)
+                            + ") or ingest:<key-or-path> (a foreign "
+                            "trace; see 'repro ingest')")
         p.add_argument("--length", type=int, default=None,
                        help="dynamic trace length (default 30000)")
 
@@ -1018,8 +1123,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="model vs simulation CPI table")
-    p.add_argument("benchmarks", nargs="*", choices=BENCHMARK_ORDER + ("",),
-                   default=None)
+    p.add_argument("benchmarks", nargs="*", type=_benchmark_arg,
+                   metavar="benchmark", default=None)
     p.add_argument("--length", type=int, default=None)
     add_spec(p)
     p.set_defaults(func=cmd_compare)
@@ -1054,7 +1159,8 @@ def build_parser() -> argparse.ArgumentParser:
         "explore",
         help="surrogate-guided design-space search to a Pareto frontier",
     )
-    p.add_argument("benchmark", nargs="?", choices=BENCHMARK_ORDER,
+    p.add_argument("benchmark", nargs="?", type=_benchmark_arg,
+                   metavar="benchmark",
                    help="workload benchmark (omit with --search)")
     p.add_argument("--length", type=int, default=None,
                    help="dynamic trace length (default 30000)")
@@ -1115,7 +1221,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one simulation with wall-clock span tracing "
              "(see docs/OBSERVABILITY.md)",
     )
-    p.add_argument("benchmark", nargs="?", choices=BENCHMARK_ORDER,
+    p.add_argument("benchmark", nargs="?", type=_benchmark_arg,
+                   metavar="benchmark",
                    help="workload benchmark (omit with --from-jsonl)")
     p.add_argument("--length", type=int, default=None,
                    help="dynamic trace length (default 30000)")
@@ -1159,8 +1266,8 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="run a sweep and dump the runner/cache metrics registry",
     )
-    p.add_argument("benchmarks", nargs="*", choices=BENCHMARK_ORDER + ("",),
-                   default=None)
+    p.add_argument("benchmarks", nargs="*", type=_benchmark_arg,
+                   metavar="benchmark", default=None)
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--jobs", "-j", type=int, default=None)
     p.add_argument("--json", action="store_true",
@@ -1180,10 +1287,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench(p)
     p.add_argument("--seed", type=int, default=None,
-                   help="trace RNG seed (default: the profile's)")
+                   help="trace RNG seed (default: the profile's; "
+                        "ingest workloads take none)")
     p.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
                    help="chunk granularity in instructions (default 65536)")
+    p.add_argument("--extract", action="store_true",
+                   help="additionally measure the first-order model's "
+                        "inputs from the trace (IW power-law fit, mix, "
+                        "branch predictability, footprints)")
+    p.add_argument("--json", action="store_true",
+                   help="with --extract: emit the model inputs as JSON")
     p.set_defaults(func=cmd_trace_info)
+
+    p = sub.add_parser(
+        "ingest",
+        help="normalize a foreign trace file into the chunk store "
+             "(see docs/TRACE.md)",
+    )
+    p.add_argument("file", help="the trace file to ingest")
+    p.add_argument("--format", choices=("csv", "jsonl", "synchrotrace"),
+                   default=None,
+                   help="source format (default: detect from suffix "
+                        "and content)")
+    p.add_argument("--name", default=None,
+                   help="workload label stored in the manifest "
+                        "(default: the file stem)")
+    p.add_argument("--force", action="store_true",
+                   help="re-parse even when the source index already "
+                        "maps this file's sha256 to a workload")
+    p.add_argument("--json", action="store_true",
+                   help="emit the IngestResult as JSON")
+    p.set_defaults(func=cmd_ingest)
 
     p = sub.add_parser(
         "serve",

@@ -1,0 +1,312 @@
+"""Foreign-trace ingestion: normalize external traces into the chunk store.
+
+The rest of the system — streaming engines, artifact cache, coalescing
+service, fleet routing — consumes workloads as content-addressed
+``.rtc`` chunk streams (:mod:`repro.trace.chunks`,
+:mod:`repro.runner.artifacts`).  This package is the adapter in front of
+that substrate: :func:`ingest_file` parses a foreign trace file through
+a format reader (:mod:`repro.ingest.readers`), normalizes the records
+into canonical trace columns (:mod:`repro.ingest.normalize`), publishes
+the chunks into the cache, and stores a tiny *ingest manifest* under a
+key derived purely from the chunk contents.  That 64-hex key is the
+workload's identity everywhere: ``WorkloadSpec(benchmark="ingest:<key>")``
+runs through ``repro model``, ``repro simulate --stream``, the service
+and the fleet exactly like a synthetic profile, and the same trace
+ingested twice (or from two spellings of the same bytes) resolves to the
+same key, the same cache entries, and the same shard.
+
+Ingestion is idempotent and warm-cached two ways: the manifest is keyed
+by chunk content, and a *source index* maps the input file's sha256 (and
+format) to its manifest so a re-run of ``repro ingest`` on an unchanged
+file never re-parses it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.ingest.normalize import batch_to_trace
+from repro.ingest.readers import READERS, TraceReader, detect_format
+
+__all__ = [
+    "INGEST_SCHEMA",
+    "IngestError",
+    "IngestResult",
+    "READERS",
+    "TraceReader",
+    "detect_format",
+    "ingest_chunk_stream",
+    "ingest_file",
+    "ingest_manifest",
+    "register_reader",
+]
+
+#: bump when the ingest manifest layout or normalization rules change;
+#: old manifests stop matching and files re-ingest cleanly
+INGEST_SCHEMA = 1
+
+
+class IngestError(ValueError):
+    """A foreign trace could not be ingested or served."""
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What one :func:`ingest_file` call produced (or found).
+
+    Attributes:
+        key: the 64-hex content key naming the ingested workload.
+        benchmark: the spec spelling, ``ingest:<key>``.
+        length: instruction-record count after normalization.
+        chunks: stored chunk count.
+        format: the reader that parsed the file.
+        source_sha256: sha256 of the input file bytes.
+        warnings: normalization warnings, deduplicated, in first-seen
+            order.
+        reused: True when the warm source index answered and nothing
+            was re-parsed.
+    """
+
+    key: str
+    benchmark: str
+    length: int
+    chunks: int
+    format: str
+    source_sha256: str
+    warnings: tuple[str, ...]
+    reused: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key, "benchmark": self.benchmark,
+            "length": self.length, "chunks": self.chunks,
+            "format": self.format, "source_sha256": self.source_sha256,
+            "warnings": list(self.warnings), "reused": self.reused,
+        }
+
+
+def register_reader(fmt: str, reader: TraceReader) -> None:
+    """Add (or replace) a format reader in the registry."""
+    READERS[fmt] = reader
+
+
+def _file_sha256(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+def _source_index_recipe(sha256: str, fmt: str) -> dict:
+    return {"schema": INGEST_SCHEMA, "sha256": sha256, "format": fmt}
+
+
+def _manifest_key(keys: list[str], sizes: list[int]) -> str:
+    """The workload content key: a pure function of the chunk contents."""
+    from repro.runner.artifacts import artifact_key
+
+    return artifact_key(
+        "ingest", {"schema": INGEST_SCHEMA, "keys": keys, "sizes": sizes})
+
+
+def ingest_manifest(key: str) -> dict | None:
+    """The stored ingest manifest for a workload reference, or ``None``.
+
+    ``key`` is the 64-hex workload key, or a trace file path (resolved
+    through the warm source index; an un-ingested path answers
+    ``None``).  The manifest mirrors the synthetic chunk manifests
+    (``name``, ``length``, ``chunk_size``, ``keys``, ``sizes``) plus a
+    ``provenance`` section: source format, original file sha256, record
+    count and the normalization warnings.
+    """
+    from repro.runner.artifacts import probe_artifact
+    from repro.trace.sources import _is_content_key
+
+    if not _is_content_key(key):
+        try:
+            key = ingest_file(key).key
+        except IngestError:
+            return None
+    found, manifest = probe_artifact("ingest", key)
+    return manifest if found else None
+
+
+def _result_from_manifest(key: str, manifest: dict,
+                          reused: bool) -> IngestResult:
+    prov = manifest.get("provenance", {})
+    return IngestResult(
+        key=key,
+        benchmark=f"ingest:{key}",
+        length=int(manifest["length"]),
+        chunks=len(manifest["keys"]),
+        format=str(prov.get("format", "?")),
+        source_sha256=str(prov.get("source_sha256", "?")),
+        warnings=tuple(prov.get("warnings", ())),
+        reused=reused,
+    )
+
+
+def ingest_file(path: str | Path, fmt: str | None = None,
+                name: str | None = None, force: bool = False) -> IngestResult:
+    """Normalize a foreign trace file into the chunk store.
+
+    Parses ``path`` with the ``fmt`` reader (auto-detected when
+    ``None``), publishes the normalized chunks content-addressed, and
+    stores the ingest manifest.  Re-running on an unchanged file is a
+    warm no-op through the source index (``force=True`` re-parses).
+    Raises :class:`IngestError` on unreadable input, an unknown format,
+    an empty trace, or a disabled artifact cache (ingested chunks must
+    persist to be servable).
+    """
+    from repro.runner import artifacts
+    from repro.trace.chunks import rechunk_stream
+    from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
+
+    if not artifacts.cache_enabled():
+        raise IngestError(
+            "ingestion needs the artifact cache; unset REPRO_CACHE_DISABLE")
+    path = Path(path)
+    if not path.is_file():
+        raise IngestError(f"no such trace file: {path}")
+    if fmt is None:
+        try:
+            fmt = detect_format(path)
+        except ValueError as exc:
+            raise IngestError(str(exc)) from exc
+    reader = READERS.get(fmt)
+    if reader is None:
+        raise IngestError(
+            f"unknown trace format {fmt!r}; one of "
+            + ", ".join(sorted(READERS)))
+    sha256 = _file_sha256(path)
+    index_key = artifacts.artifact_key(
+        "ingest_source", _source_index_recipe(sha256, fmt))
+    if not force:
+        found, entry = artifacts.probe_artifact(
+            "ingest_source", index_key, remote=False)
+        if found:
+            manifest = ingest_manifest(entry["key"])
+            if manifest is not None:
+                return _result_from_manifest(entry["key"], manifest, True)
+
+    warnings: list[str] = []
+    seen: set[str] = set()
+
+    def warn(message: str) -> None:
+        if message not in seen:
+            seen.add(message)
+            warnings.append(message)
+
+    label = name or path.stem
+    keys: list[str] = []
+    sizes: list[int] = []
+    total = 0
+
+    def traced_batches():
+        offset = 0
+        try:
+            for batch in reader(path, warn):
+                chunk = batch_to_trace(batch, label, warn, pc_offset=offset)
+                offset += len(chunk)
+                yield chunk
+        except (OSError, ValueError) as exc:
+            raise IngestError(f"cannot parse {path} as {fmt}: {exc}") from exc
+
+    for chunk in rechunk_stream(traced_batches(),
+                                chunk_size=DEFAULT_CHUNK_SIZE, name=label):
+        keys.append(artifacts.publish_chunk(chunk))
+        sizes.append(len(chunk))
+        total += len(chunk)
+    if total == 0:
+        raise IngestError(f"{path}: no instruction records ({fmt})")
+
+    key = _manifest_key(keys, sizes)
+    found, existing = artifacts.probe_artifact("ingest", key, remote=False)
+    if found and not force:
+        # another spelling of the same trace content already owns this
+        # key; keep its first-seen provenance, just index this source
+        artifacts.store_artifact("ingest_source", index_key, {"key": key})
+        return _result_from_manifest(key, existing, False)
+    manifest = {
+        "schema": INGEST_SCHEMA,
+        "name": label,
+        "length": total,
+        "chunk_size": DEFAULT_CHUNK_SIZE,
+        "keys": keys,
+        "sizes": sizes,
+        "provenance": {
+            "format": fmt,
+            "source": path.name,
+            "source_sha256": sha256,
+            "records": total,
+            "warnings": list(warnings),
+        },
+    }
+    artifacts.store_artifact("ingest", key, manifest)
+    artifacts.store_artifact("ingest_source", index_key, {"key": key})
+    return _result_from_manifest(key, manifest, False)
+
+
+def ingest_chunk_stream(ref: str, length: int | None = None,
+                        chunk_size: int | None = None, mmap: bool = True):
+    """A :class:`~repro.trace.chunks.TraceChunkStream` over an ingested
+    trace.
+
+    ``ref`` is the 64-hex workload key (or a file path, which ingests
+    first).  Chunks are stored at one fixed granularity and re-sliced on
+    the fly to any requested ``chunk_size``; ``length`` truncates (it
+    cannot exceed the record count).  Serving needs only the manifest
+    and the content-addressed payloads — the same machinery the
+    synthetic substrate uses, so corruption of a payload is detected on
+    read; unlike synthetic traces it cannot be regenerated, so the
+    remedy is re-running ``repro ingest`` on the original file.
+    """
+    from repro.runner.artifacts import chunk_payload_path
+    from repro.trace.chunks import (
+        ChunkCorruptError,
+        TraceChunkStream,
+        read_chunk,
+        rechunk_stream,
+    )
+    from repro.trace.sources import _is_content_key
+
+    if not _is_content_key(ref):
+        ref = ingest_file(ref).key
+    manifest = ingest_manifest(ref)
+    if manifest is None:
+        raise IngestError(
+            f"no ingested trace {ref!r} in the artifact cache; "
+            "run 'repro ingest <file>' first")
+    total = int(manifest["length"])
+    stored = int(manifest["chunk_size"])
+    n = total if length is None else int(length)
+    if n > total:
+        raise IngestError(
+            f"ingested trace {ref[:12]}… has {total} records; "
+            f"cannot serve {n}")
+    cs = stored if chunk_size is None else int(chunk_size)
+    if cs <= 0:
+        raise IngestError("chunk_size must be positive")
+    name = f"ingest:{ref[:12]}"
+
+    def stored_chunks():
+        for idx, key in enumerate(manifest["keys"]):
+            chunk = read_chunk(chunk_payload_path(key), name=name, mmap=mmap)
+            if len(chunk) != manifest["sizes"][idx]:
+                raise ChunkCorruptError(
+                    f"ingested chunk {key}: {len(chunk)} != "
+                    f"{manifest['sizes'][idx]}; re-run 'repro ingest' "
+                    "on the original file to repair")
+            yield chunk
+
+    def source():
+        if n == total and cs == stored:
+            yield from stored_chunks()
+        else:
+            yield from rechunk_stream(
+                stored_chunks(), length=n, chunk_size=cs, name=name)
+
+    return TraceChunkStream(source, name=name, length=n, chunk_size=cs)

@@ -1,0 +1,331 @@
+"""Trace readers: foreign file formats -> column batches.
+
+A reader is any callable matching the :class:`TraceReader` protocol: it
+takes a file path and a ``warn`` callback and yields column batches
+(dicts consumed by :func:`repro.ingest.normalize.batch_to_trace`) of at
+most :data:`BATCH_ROWS` records.  Three readers ship in the registry:
+
+``csv``
+    Generic columnar CSV with a header row.  ``op`` is the only
+    required column (opclass name or code); ``pc``, ``dst``, ``src1``,
+    ``src2``, ``addr``, ``taken`` and ``target`` are optional and
+    default deterministically.  Empty register cells mean "absent".
+
+``jsonl``
+    One JSON object per line, same keys and defaults as ``csv``.
+
+``synchrotrace``
+    A SynchroTrace-style gem5 event trace: each line aggregates one
+    computation event's iops/flops/memory reads/writes (with optional
+    ``*``-prefixed read and ``$``-prefixed write addresses), which the
+    reader expands into a deterministic instruction-record sequence.
+    The expansion is lossy by construction — control flow and exact
+    register dependences are not part of the source format — and every
+    synthesized aspect is recorded as a normalization warning.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable, Iterator, Protocol
+
+from repro.isa.instruction import NO_REG
+from repro.isa.opclass import OpClass
+from repro.ingest.normalize import opclass_code
+
+__all__ = [
+    "BATCH_ROWS",
+    "READERS",
+    "TraceReader",
+    "detect_format",
+    "read_csv",
+    "read_jsonl",
+    "read_synchrotrace",
+]
+
+#: records per yielded column batch (bounds parser peak memory)
+BATCH_ROWS = 65_536
+
+#: optional integer columns shared by the csv and jsonl readers
+_INT_FIELDS = ("pc", "dst", "src1", "src2", "addr", "target")
+
+_TRUE_WORDS = frozenset({"1", "true", "t", "yes", "y", "taken"})
+_FALSE_WORDS = frozenset({"0", "false", "f", "no", "n", "", "not-taken"})
+
+
+class TraceReader(Protocol):
+    """The reader protocol: path + warn callback -> column batches."""
+
+    def __call__(self, path: str | Path,
+                 warn: Callable[[str], None]) -> Iterator[dict]:
+        ...  # pragma: no cover - protocol signature
+
+
+def _parse_int(text: str, line: int, field: str,
+               warn: Callable[[str], None], default: int = 0) -> int:
+    text = text.strip()
+    if not text:
+        return default
+    try:
+        return int(text, 0)  # accepts 0x... addresses
+    except ValueError:
+        warn(f"line {line}: bad {field} {text!r}; treated as {default}")
+        return default
+
+
+def _parse_taken(value, line: int, warn: Callable[[str], None]) -> bool:
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in _TRUE_WORDS:
+        return True
+    if text in _FALSE_WORDS:
+        return False
+    warn(f"line {line}: bad taken {value!r}; treated as not taken")
+    return False
+
+
+def read_csv(path: str | Path,
+             warn: Callable[[str], None]) -> Iterator[dict]:
+    """Generic columnar CSV reader (header row, ``op`` required)."""
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            return
+        fields = [f.strip().lower() for f in reader.fieldnames]
+        reader.fieldnames = fields
+        if "op" not in fields and "opclass" not in fields:
+            raise ValueError(
+                f"{path}: no 'op' column in CSV header {fields!r}")
+        op_field = "op" if "op" in fields else "opclass"
+        present = [f for f in _INT_FIELDS if f in fields]
+        has_taken = "taken" in fields
+        batch: dict[str, list] = {}
+
+        def fresh() -> dict[str, list]:
+            out = {"opclass": []}
+            for f in present:
+                out[f] = []
+            if has_taken:
+                out["taken"] = []
+            return out
+
+        batch = fresh()
+        for line, row in enumerate(reader, start=2):
+            batch["opclass"].append(opclass_code(row[op_field] or "", warn))
+            for f in present:
+                default = NO_REG if f in ("dst", "src1", "src2") else 0
+                batch[f].append(
+                    _parse_int(row[f] or "", line, f, warn, default))
+            if has_taken:
+                batch["taken"].append(
+                    _parse_taken(row["taken"] or "", line, warn))
+            if len(batch["opclass"]) >= BATCH_ROWS:
+                yield batch
+                batch = fresh()
+        if batch["opclass"]:
+            yield batch
+
+
+def read_jsonl(path: str | Path,
+               warn: Callable[[str], None]) -> Iterator[dict]:
+    """JSON-lines reader: one record object per line, csv-equivalent keys."""
+    rows: list[dict] = []
+
+    def flush(rows: list[dict]) -> dict:
+        out: dict[str, list] = {
+            "opclass": [r["opclass"] for r in rows]}
+        for f in _INT_FIELDS + ("taken",):
+            if any(f in r for r in rows):
+                if f == "taken":
+                    out[f] = [bool(r.get(f, False)) for r in rows]
+                else:
+                    default = NO_REG if f in ("dst", "src1", "src2") else 0
+                    out[f] = [int(r.get(f, default)) for r in rows]
+        return out
+
+    with open(path) as fh:
+        for line, text in enumerate(fh, start=1):
+            text = text.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                obj = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line}: bad JSON ({exc})") from exc
+            if not isinstance(obj, dict):
+                raise ValueError(f"{path}:{line}: record must be an object")
+            op = obj.get("op", obj.get("opclass"))
+            if op is None:
+                raise ValueError(f"{path}:{line}: record has no 'op'")
+            row: dict = {"opclass": opclass_code(str(op), warn)}
+            for f in _INT_FIELDS:
+                if f in obj:
+                    try:
+                        row[f] = int(obj[f])
+                    except (TypeError, ValueError):
+                        warn(f"line {line}: bad {f} {obj[f]!r}; "
+                             "treated as 0")
+                        row[f] = 0
+            if "taken" in obj:
+                row["taken"] = _parse_taken(obj["taken"], line, warn)
+            rows.append(row)
+            if len(rows) >= BATCH_ROWS:
+                yield flush(rows)
+                rows = []
+    if rows:
+        yield flush(rows)
+
+
+#: registers the synchrotrace expansion rotates producer values through
+_ST_REGS = 24
+_ST_REG_BASE = 8
+
+
+def read_synchrotrace(path: str | Path,
+                      warn: Callable[[str], None]) -> Iterator[dict]:
+    """SynchroTrace-style gem5 event-trace reader (lossy adapter).
+
+    Each non-comment line is one computation event::
+
+        <event>,<thread>,<iops>,<flops>,<reads>,<writes> [* raddr ...] [$ waddr ...]
+
+    expanded to ``reads`` LOADs, ``iops`` IALUs, ``flops`` FALUs and
+    ``writes`` STOREs, in that order.  Synthesized aspects (and their
+    warnings): register dependence chains rotate through a small
+    producer window; pcs come from a per-event-signature static block so
+    repeated events share code addresses; the format carries no control
+    flow, so no branch records are emitted; multi-thread traces flatten
+    in file order.  Synchronization (``pth_ty``) lines are skipped.
+    """
+    threads: set[str] = set()
+    blocks: dict[tuple[int, int, int, int], int] = {}
+    produced = 0     # rolling producer-register cursor
+    last_dst = NO_REG
+    total = 0
+    skipped_sync = 0
+    batch: dict[str, list] = {
+        "opclass": [], "pc": [], "dst": [], "src1": [], "src2": [],
+        "addr": [],
+    }
+    warned_regs = False
+
+    def emit(op: OpClass, pc: int, dst: int, src1: int, src2: int,
+             addr: int) -> None:
+        batch["opclass"].append(int(op))
+        batch["pc"].append(pc)
+        batch["dst"].append(dst)
+        batch["src1"].append(src1)
+        batch["src2"].append(src2)
+        batch["addr"].append(addr)
+
+    with open(path) as fh:
+        for line_no, raw in enumerate(fh, start=1):
+            text = raw.strip()
+            if not text or text.startswith("#"):
+                continue
+            if "pth_ty" in text:
+                skipped_sync += 1
+                continue
+            head, *markers = text.split()
+            fields = head.split(",")
+            if len(fields) < 6:
+                warn(f"line {line_no}: short event record; skipped")
+                continue
+            try:
+                thread = fields[1]
+                iops, flops, reads, writes = (
+                    int(fields[2]), int(fields[3]),
+                    int(fields[4]), int(fields[5]),
+                )
+            except ValueError:
+                warn(f"line {line_no}: unparseable event record; skipped")
+                continue
+            if min(iops, flops, reads, writes) < 0:
+                warn(f"line {line_no}: negative op counts; skipped")
+                continue
+            threads.add(thread)
+            raddrs = [_parse_int(m[1:], line_no, "read address", warn)
+                      for m in markers if m.startswith("*")]
+            waddrs = [_parse_int(m[1:], line_no, "write address", warn)
+                      for m in markers if m.startswith("$")]
+            signature = (iops, flops, reads, writes)
+            block = blocks.setdefault(signature, len(blocks))
+            pc = 0x40_0000 + block * 512
+            if not warned_regs and (iops or flops or reads or writes):
+                warn("register dependences synthesized (rotating "
+                     "producer chain); the source format carries none")
+                warned_regs = True
+            k = 0
+            for i in range(reads):
+                addr = raddrs[i] if i < len(raddrs) else 0x1000_0000 + (
+                    total + k) * 64
+                dst = _ST_REG_BASE + produced % _ST_REGS
+                emit(OpClass.LOAD, pc + 4 * k, dst, NO_REG, NO_REG, addr)
+                produced += 1
+                last_dst = dst
+                k += 1
+            for cls, count in ((OpClass.IALU, iops), (OpClass.FALU, flops)):
+                for _ in range(count):
+                    dst = _ST_REG_BASE + produced % _ST_REGS
+                    src2 = (_ST_REG_BASE + (produced - 2) % _ST_REGS
+                            if produced >= 2 else NO_REG)
+                    emit(cls, pc + 4 * k, dst, last_dst, src2, 0)
+                    produced += 1
+                    last_dst = dst
+                    k += 1
+            for i in range(writes):
+                addr = waddrs[i] if i < len(waddrs) else 0x2000_0000 + (
+                    total + k) * 64
+                emit(OpClass.STORE, pc + 4 * k, NO_REG, last_dst,
+                     NO_REG, addr)
+                k += 1
+            total += k
+            if len(batch["opclass"]) >= BATCH_ROWS:
+                yield batch
+                batch = {key: [] for key in batch}
+    if skipped_sync:
+        warn(f"skipped {skipped_sync} synchronization (pth_ty) event(s)")
+    if len(threads) > 1:
+        warn(f"{len(threads)} threads flattened in file order")
+    if total:
+        warn("no control-flow records in the source format; the trace "
+             "carries no branches")
+    if batch["opclass"]:
+        yield batch
+
+
+#: the reader registry, by format name
+READERS: dict[str, TraceReader] = {
+    "csv": read_csv,
+    "jsonl": read_jsonl,
+    "synchrotrace": read_synchrotrace,
+}
+
+
+def detect_format(path: str | Path) -> str:
+    """Guess a file's trace format from its suffix, then its first line."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".csv":
+        return "csv"
+    if suffix in (".jsonl", ".ndjson", ".json"):
+        return "jsonl"
+    if suffix in (".sigil", ".synchrotrace", ".stgen"):
+        return "synchrotrace"
+    try:
+        with open(path) as fh:
+            for line in fh:
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                if text.startswith("{"):
+                    return "jsonl"
+                head = text.split(",")[0].strip().lower()
+                if head in ("op", "opclass", "pc") or not head.isdigit():
+                    return "csv"
+                return "synchrotrace"
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from exc
+    raise ValueError(f"{path}: empty file; cannot detect a trace format")

@@ -351,20 +351,24 @@ def cached_artifact(kind: str, recipe: dict, compute):
 
 
 def trace_artifact(benchmark: str, length: int, seed: int | None = None):
-    """The synthetic trace for ``(benchmark, length, seed)``, disk-cached.
+    """The trace for ``(benchmark, length, seed)``, disk-cached.
 
-    ``seed=None`` uses the benchmark profile's own default seed — the
-    deterministic baseline every experiment shares.  Keys carry the
-    *resolved* seed (via :class:`repro.spec.WorkloadSpec`), so the two
-    spellings of the default share one cache entry.
+    ``benchmark`` is any source-tagged workload reference the
+    :mod:`repro.trace.sources` registry accepts: a synthetic profile
+    name (``seed=None`` uses the profile's own default seed — the
+    deterministic baseline every experiment shares) or an
+    ``ingest:<key>`` foreign trace.  Keys carry the *resolved* seed
+    (via :class:`repro.spec.WorkloadSpec`), so the two spellings of the
+    default share one cache entry.
 
     Misses route through the chunk store: the trace is generated (or
     mmap-served) chunk-wise by :func:`trace_chunk_stream` — publishing
     the content-addressed payloads as a side effect, so a later
     streaming run of the same workload mmaps them — and materialized
-    for this whole-trace contract.  Generation is the vectorized
-    chunked generator, byte-identical to the original scalar generator
-    (an equivalence the test suite enforces per profile).
+    for this whole-trace contract.  Synthetic generation is the
+    vectorized chunked generator, byte-identical to the original scalar
+    generator (an equivalence the test suite enforces per profile);
+    ingested traces mmap their stored chunks.
     """
     from repro.spec.specs import WorkloadSpec
 
@@ -373,7 +377,8 @@ def trace_artifact(benchmark: str, length: int, seed: int | None = None):
     return cached_artifact(
         "trace",
         workload.canonical(),
-        lambda: trace_chunk_stream(benchmark, length, resolved).materialize(),
+        lambda: trace_chunk_stream(
+            workload.benchmark, workload.length, resolved).materialize(),
     )
 
 
@@ -407,16 +412,24 @@ def trace_chunk_manifest(benchmark: str, length: int | None = None,
 
     The manifest is a dict with ``name``, ``length``, ``chunk_size``,
     ``keys`` (ordered content keys) and ``sizes`` (instructions per
-    chunk); it never contains trace bytes.
+    chunk); it never contains trace bytes.  For an ``ingest:<key>``
+    workload this is the stored ingest manifest (which additionally
+    carries a ``provenance`` section).
     """
     from repro.spec.specs import WorkloadSpec
     from repro.trace.profiles import get_profile
+    from repro.trace.sources import parse_benchmark
     from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
 
-    profile = get_profile(benchmark)
+    scheme, ref = parse_benchmark(benchmark)
+    if scheme == "ingest":
+        from repro import ingest as _ingest
+
+        return _ingest.ingest_manifest(ref)
+    profile = get_profile(ref)
     n = profile.default_length if length is None else int(length)
     cs = DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
-    workload = WorkloadSpec(benchmark, n, seed)
+    workload = WorkloadSpec(ref, n, seed)
     key = artifact_key("trace_chunks", _manifest_recipe(workload, cs))
     found, manifest = probe_artifact("trace_chunks", key)
     return manifest if found else None
@@ -428,25 +441,39 @@ def trace_chunk_stream(benchmark: str, length: int | None = None,
                        mmap: bool = True):
     """A cached :class:`~repro.trace.chunks.TraceChunkStream`.
 
-    First use generates the trace chunk-by-chunk (O(chunk) peak memory),
-    publishing each chunk as a content-addressed container plus one
-    manifest.  Later uses mmap the stored chunks — no generation and no
-    materialized copy.  A corrupted or torn chunk is detected on read;
-    the stream transparently regenerates from the start of the stream,
-    re-publishes the damaged payloads, and keeps yielding — consumers
-    never observe the corruption.
+    ``benchmark`` dispatches through the :mod:`repro.trace.sources`
+    registry.  An ``ingest:<key-or-path>`` workload serves the stored
+    foreign-trace chunks (re-sliced to the requested ``chunk_size`` and
+    ``length``); the ``seed`` argument is ignored for it — ingested
+    traces carry no RNG.
+
+    For synthetic workloads, first use generates the trace
+    chunk-by-chunk (O(chunk) peak memory), publishing each chunk as a
+    content-addressed container plus one manifest.  Later uses mmap the
+    stored chunks — no generation and no materialized copy.  A corrupted
+    or torn chunk is detected on read; the stream transparently
+    regenerates from the start of the stream, re-publishes the damaged
+    payloads, and keeps yielding — consumers never observe the
+    corruption.
     """
     from repro.spec.specs import WorkloadSpec
     from repro.trace.chunks import TraceChunkStream
     from repro.trace.profiles import get_profile
+    from repro.trace.sources import parse_benchmark
     from repro.trace.vectorgen import DEFAULT_CHUNK_SIZE
 
-    profile = get_profile(benchmark)
+    scheme, ref = parse_benchmark(benchmark)
+    if scheme == "ingest":
+        from repro import ingest as _ingest
+
+        return _ingest.ingest_chunk_stream(
+            ref, length=length, chunk_size=chunk_size, mmap=mmap)
+    profile = get_profile(ref)
     n = profile.default_length if length is None else int(length)
     cs = DEFAULT_CHUNK_SIZE if chunk_size is None else int(chunk_size)
     if cs <= 0:
         raise ValueError("chunk_size must be positive")
-    workload = WorkloadSpec(benchmark, n, seed)
+    workload = WorkloadSpec(ref, n, seed)
     resolved = workload.resolved_seed()
 
     def generate():
@@ -520,6 +547,17 @@ def _publish_chunk(chunk, force: bool = False) -> str:
                 _log.warning("could not store chunk %s: %s", key, exc)
                 _STATS.errors += 1
     return key
+
+
+def publish_chunk(chunk, force: bool = False) -> str:
+    """Store one chunk payload under its content key (public face).
+
+    The ingest layer publishes normalized foreign-trace chunks through
+    this, so ingested and synthetic workloads share one content-
+    addressed chunk store (and byte-identical chunks deduplicate across
+    them).
+    """
+    return _publish_chunk(chunk, force)
 
 
 def _serve_chunks(manifest: dict, name: str, generate, mmap: bool):

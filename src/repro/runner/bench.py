@@ -45,8 +45,10 @@ DEFAULT_TRACE_LENGTH = 30_000
 #: and the ``trace`` streaming-substrate scenario; 6 added the ``obs``
 #: span-tracing overhead section and per-section ``section_seconds``;
 #: 7 added the ``fleet`` routed-evaluation scenario — 1-node vs 3-node
-#: rps/latency/warm-hit-ratio plus a SIGKILL failover replay)
-BENCH_SCHEMA = 7
+#: rps/latency/warm-hit-ratio plus a SIGKILL failover replay; 8 added
+#: the ``ingestion`` foreign-trace scenario — cold parse→chunk-store
+#: throughput, warm source-index probe, warm mmap delivery)
+BENCH_SCHEMA = 8
 
 
 def _best_of(runs: int, fn) -> float:
@@ -525,6 +527,99 @@ def bench_trace(benchmarks, length: int, runs: int, progress=None) -> dict:
     }
 
 
+def bench_ingestion(benchmarks, length: int, runs: int,
+                    progress=None) -> dict:
+    """Foreign-trace ingestion throughput (schema 8).
+
+    Writes one synthetic trace out as the generic CSV format — the
+    worst-case, text-parsing ingest path — and times three things
+    against an isolated cache root so the cold number really is cold:
+    the cold parse → normalize → chunk-store pipeline
+    (:func:`repro.ingest.ingest_file`), the warm re-ingest of the
+    unchanged file (a sha256 + source-index probe, no parsing), and
+    warm mmap delivery of the ingested chunks — which must match the
+    synthetic substrate's delivery rate, because past the chunk store
+    the two are the same machinery.
+    """
+    import csv
+    import tempfile
+
+    import numpy as np
+
+    from repro import ingest
+    from repro.isa.opclass import OpClass
+    from repro.trace.synthetic import generate_trace
+    from repro.trace.trace import _COLUMNS
+
+    benchmark = benchmarks[0]
+    rows = min(4 * length, 120_000)
+    if progress:
+        progress(f"ingestion: writing a {rows:,}-row foreign CSV")
+    trace = generate_trace(benchmark, rows)
+    names = {int(c): c.name.lower() for c in OpClass}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as tmp:
+        path = Path(tmp) / f"{benchmark}_foreign.csv"
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["pc", "op", "dst", "src1", "src2", "addr",
+                             "taken", "target"])
+            for k in range(rows):
+                writer.writerow([
+                    int(trace.pc[k]), names[int(trace.opclass[k])],
+                    int(trace.dst[k]), int(trace.src1[k]),
+                    int(trace.src2[k]), int(trace.addr[k]),
+                    int(trace.taken[k]), int(trace.target[k]),
+                ])
+        file_bytes = path.stat().st_size
+
+        if progress:
+            progress("ingestion: cold parse -> chunk store")
+        cold_s = float("inf")
+        for attempt in range(max(1, runs)):
+            with _env.cache_dir_scope(Path(tmp) / f"cold{attempt}"):
+                start = time.perf_counter()
+                result = ingest.ingest_file(path)
+                cold_s = min(cold_s, time.perf_counter() - start)
+
+        with _env.cache_dir_scope(Path(tmp) / "warm"):
+            ingest.ingest_file(path)  # prime the warm cache root
+            if progress:
+                progress("ingestion: warm source-index probe")
+            warm = ingest.ingest_file(path)
+            assert warm.reused, "second ingest missed the source index"
+            warm_probe_s = _best_of(
+                runs, lambda: ingest.ingest_file(path))
+
+            if progress:
+                progress("ingestion: warm mmap delivery")
+            stream = ingest.ingest_chunk_stream(warm.key)
+
+            def drain():
+                # touch every payload byte so mmap delivery actually
+                # pages the data in (same discipline as bench_trace)
+                for chunk in stream:
+                    for col, _ in _COLUMNS:
+                        np.asarray(getattr(chunk, col)).view(
+                            np.uint8).sum()
+
+            delivery_s = _best_of(runs, drain)
+
+    mi = rows / 1e6
+    return {
+        "benchmark": benchmark,
+        "format": "csv",
+        "rows": rows,
+        "file_mb": file_bytes / 1e6,
+        "chunks": result.chunks,
+        "cold_ingest_s": cold_s,
+        "cold_ingest_mi_s": mi / cold_s,
+        "warm_probe_s": warm_probe_s,
+        "warm_speedup": cold_s / warm_probe_s,
+        "delivery_warm_s": delivery_s,
+        "delivery_warm_mi_s": mi / delivery_s,
+    }
+
+
 #: trace length for the fleet scenario — short on purpose, so request
 #: latency is dominated by the workload's fixed chaos service time and
 #: the scaling numbers measure the fleet, not the model kernel
@@ -579,6 +674,8 @@ def run_bench(
         length, jobs, progress))
     trace = timed("trace", lambda: bench_trace(
         benchmarks, length, runs, progress))
+    ingestion = timed("ingestion", lambda: bench_ingestion(
+        benchmarks, length, runs, progress))
     fleet = timed("fleet", lambda: bench_fleet_scenario(progress))
 
     def total(field: str) -> float:
@@ -620,6 +717,7 @@ def run_bench(
         "service": service,
         "explore": explore,
         "trace": trace,
+        "ingestion": ingestion,
         "fleet": fleet,
         "section_seconds": section_seconds,
     }
@@ -749,6 +847,19 @@ def format_bench(doc: dict) -> str:
             f"({trace['delivery_warm_speedup']:.0f}x); streaming "
             f"detailed sim end-to-end {trace['stream_sim_s']:.3f}s "
             f"({trace['stream_sim_mi_s']:.2f} MI/s, O(chunk) memory)",
+        ]
+    ingestion = doc.get("ingestion")
+    if ingestion:  # absent before schema 8
+        lines += [
+            "",
+            f"ingestion ({ingestion['benchmark']} as "
+            f"{ingestion['format']}, {ingestion['rows']:,} rows, "
+            f"{ingestion['file_mb']:.1f} MB): cold parse -> chunk store "
+            f"{ingestion['cold_ingest_s']:.3f}s "
+            f"({ingestion['cold_ingest_mi_s']:.2f} MI/s), warm re-ingest "
+            f"probe {ingestion['warm_probe_s'] * 1e3:.1f}ms "
+            f"({ingestion['warm_speedup']:.0f}x), warm mmap delivery "
+            f"{ingestion['delivery_warm_mi_s']:.1f} MI/s",
         ]
     return "\n".join(lines)
 

@@ -64,7 +64,16 @@ def _benchmarks() -> tuple[str, ...]:
 
 
 def _check_benchmark(name) -> str:
-    if name not in _benchmarks():
+    """Validate a workload reference: a synthetic profile name, or any
+    non-synthetic source-tagged form (e.g. ``ingest:<key>``), which the
+    spec layer resolves and the trace substrate serves by content key —
+    the service evaluates ingested traces with no wire changes."""
+    if not isinstance(name, str):
+        raise ProtocolError("'benchmark' must be a string")
+    from repro.trace.sources import parse_benchmark
+
+    scheme, ref = parse_benchmark(name)
+    if scheme == "synthetic" and ref not in _benchmarks():
         raise ProtocolError(
             f"unknown benchmark {name!r}; one of {', '.join(_benchmarks())}"
         )
@@ -151,8 +160,15 @@ def flat_params_to_spec(op: str, params: dict):
         if engine is not None and engine not in ("reference", "fast"):
             raise ProtocolError("'engine' must be 'reference' or 'fast'")
         engine_name = engine or "fast"
+    from repro.spec import SpecError
+
+    try:
+        workload = WorkloadSpec(benchmark=benchmark, length=length,
+                                seed=seed)
+    except SpecError as exc:  # e.g. a seed on an ingest workload
+        raise ProtocolError(f"invalid workload: {exc}") from exc
     return RunSpec(
-        workload=WorkloadSpec(benchmark=benchmark, length=length, seed=seed),
+        workload=workload,
         machine=machine,
         engine=EngineSpec(engine=engine_name),
     )
@@ -169,8 +185,14 @@ def _parse_spec(payload):
 
 def _resolve_workload_seed(spec):
     """Pin ``seed: null`` to the profile's resolved seed before keying,
-    so the implicit and explicit spellings coalesce to one request."""
+    so the implicit and explicit spellings coalesce to one request.
+    Non-synthetic workloads (``ingest:<key>``) carry no RNG seed — their
+    benchmark *is* a content key, so they already coalesce."""
+    from repro.trace.sources import workload_scheme
+
     if spec.workload.seed is not None:
+        return spec
+    if workload_scheme(spec.workload.benchmark) != "synthetic":
         return spec
     return dataclasses.replace(
         spec,

@@ -113,6 +113,20 @@ def cache_disabled_scope():
             os.environ["REPRO_CACHE_DISABLE"] = prior
 
 
+@contextlib.contextmanager
+def cache_dir_scope(path):
+    """Temporarily point ``REPRO_CACHE_DIR`` at ``path`` (bench isolation)."""
+    prior = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_CACHE_DIR"]
+        else:
+            os.environ["REPRO_CACHE_DIR"] = prior
+
+
 # -- telemetry ---------------------------------------------------------------
 
 

@@ -302,12 +302,21 @@ class MachineSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """One benchmark trace: profile name, dynamic length, RNG seed.
+    """One workload trace: source-tagged benchmark, length, RNG seed.
 
-    ``seed=None`` means the benchmark profile's own deterministic
-    default; :meth:`resolved_seed` makes that explicit, and the
-    canonical form always carries the resolved seed so ``seed=None`` and
-    the spelled-out default can never alias to different cache entries.
+    ``benchmark`` names a trace through the :mod:`repro.trace.sources`
+    registry: a bare profile name (``"gzip"``, the canonical synthetic
+    spelling), ``synthetic:<name>`` (normalized to the bare name at
+    construction), or ``ingest:<key-or-path>`` for a foreign trace
+    normalized into the chunk store by :mod:`repro.ingest` (a path
+    spelling ingests the file and normalizes to its content key).
+
+    ``seed=None`` means the source's own deterministic default (the
+    profile seed for synthetic workloads; 0 for ingested traces, which
+    carry no RNG and reject explicit seeds); :meth:`resolved_seed` makes
+    that explicit, and the canonical form always carries the resolved
+    seed so ``seed=None`` and the spelled-out default can never alias to
+    different cache entries.
     """
 
     benchmark: str
@@ -315,27 +324,38 @@ class WorkloadSpec:
     seed: int | None = None
 
     def __post_init__(self) -> None:
-        from repro.trace.profiles import BENCHMARK_ORDER
+        from repro.trace.sources import get_source, parse_benchmark
 
-        if self.benchmark not in BENCHMARK_ORDER:
-            raise SpecError(
-                f"unknown benchmark {self.benchmark!r}; one of "
-                + ", ".join(BENCHMARK_ORDER)
-            )
+        if not isinstance(self.benchmark, str):
+            raise SpecError("workload benchmark must be a string")
         if (not isinstance(self.length, int)
                 or isinstance(self.length, bool) or self.length < 1):
             raise SpecError("workload length must be a positive integer")
         if self.seed is not None and (
                 not isinstance(self.seed, int) or isinstance(self.seed, bool)):
             raise SpecError("workload seed must be an integer or null")
+        scheme, ref = parse_benchmark(self.benchmark)
+        benchmark, length = get_source(scheme).normalize(
+            ref, self.length, self.seed)
+        if benchmark != self.benchmark:
+            object.__setattr__(self, "benchmark", benchmark)
+        if length != self.length:
+            object.__setattr__(self, "length", length)
+
+    def source(self) -> tuple[str, str]:
+        """This workload's ``(scheme, reference)`` pair."""
+        from repro.trace.sources import parse_benchmark
+
+        return parse_benchmark(self.benchmark)
 
     def resolved_seed(self) -> int:
-        """The effective RNG seed (profile default when ``seed=None``)."""
+        """The effective RNG seed (source default when ``seed=None``)."""
         if self.seed is not None:
             return self.seed
-        from repro.trace.profiles import get_profile
+        from repro.trace.sources import get_source, parse_benchmark
 
-        return get_profile(self.benchmark).seed
+        scheme, ref = parse_benchmark(self.benchmark)
+        return get_source(scheme).default_seed(ref)
 
     def with_benchmark(self, benchmark: str) -> "WorkloadSpec":
         """This workload shape applied to another benchmark."""

@@ -155,6 +155,151 @@ class StreamingTraceAnalyzer:
         )
 
 
+@dataclass(frozen=True)
+class ModelInputs:
+    """Everything the first-order model needs, measured from one trace.
+
+    This is the bridge that makes *ingested* foreign traces first-class
+    model workloads: where a synthetic profile carries its parameters by
+    construction, :func:`extract_model_inputs` measures the same
+    quantities from any chunk stream — the dependence-distance power law
+    (paper §3), the instruction mix and mean latency (Table 1), branch
+    predictability under the baseline gShare, and code/data footprints
+    for locality context.
+
+    Attributes:
+        statistics: the full :class:`TraceStatistics` of the trace.
+        alpha / beta / r_squared: the fitted ``I = alpha * W**beta``
+            IW characteristic (Figure 5); NaN when the trace is too
+            short or degenerate to fit.
+        mispredict_rate: baseline gShare(8K) misprediction rate over the
+            trace's conditional branches (0 when there are none).
+        taken_rate: fraction of conditional branches taken.
+        code_footprint: distinct instruction pcs.
+        data_footprint_lines: distinct 64-byte lines touched by memory
+            ops.
+        fit_length: instructions the IW fit actually used (the fit
+            simulates scheduling, so it runs on a bounded prefix).
+        window_sizes: window sizes the IW curve was measured at.
+    """
+
+    statistics: TraceStatistics
+    alpha: float
+    beta: float
+    r_squared: float
+    mispredict_rate: float
+    taken_rate: float
+    code_footprint: int
+    data_footprint_lines: int
+    fit_length: int
+    window_sizes: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (used by ``repro trace-info --extract``)."""
+        s = self.statistics
+        return {
+            "length": s.length,
+            "mix": {cls.name.lower(): frac for cls, frac in s.mix.items()},
+            "mean_latency": s.mean_latency,
+            "branch_fraction": s.branch_fraction,
+            "load_fraction": s.load_fraction,
+            "store_fraction": s.store_fraction,
+            "mean_dependence_distance": s.mean_dependence_distance,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "r_squared": self.r_squared,
+            "mispredict_rate": self.mispredict_rate,
+            "taken_rate": self.taken_rate,
+            "code_footprint": self.code_footprint,
+            "data_footprint_lines": self.data_footprint_lines,
+            "fit_length": self.fit_length,
+            "window_sizes": list(self.window_sizes),
+        }
+
+
+def extract_model_inputs(
+    source,
+    latency_table: LatencyTable | None = None,
+    *,
+    histogram_bins: int = 64,
+    max_fit_length: int = 30_000,
+    window_sizes: tuple[int, ...] | None = None,
+) -> ModelInputs:
+    """Measure first-order model inputs from a trace or chunk stream.
+
+    ``source`` is a :class:`~repro.trace.trace.Trace` or any iterable of
+    trace chunks (e.g. a :class:`~repro.trace.chunks.TraceChunkStream`,
+    synthetic or ingested).  One pass over the chunks feeds the
+    streaming statistics, a baseline gShare predictor, and the footprint
+    sets; the IW power-law fit additionally materializes a prefix of at
+    most ``max_fit_length`` instructions (window scheduling is not
+    streamable).  Works identically for ``synthetic:`` and ``ingest:``
+    workloads — this is tentpole glue that lets ``repro report`` and the
+    figure experiments consume foreign traces unchanged.
+    """
+    from repro.branch.gshare import GShare
+    from repro.window.iw_simulator import DEFAULT_WINDOW_SIZES, measure_iw_curve
+    from repro.window.powerlaw import fit_curve
+
+    if window_sizes is None:
+        window_sizes = DEFAULT_WINDOW_SIZES
+    chunks = [source] if isinstance(source, Trace) else source
+    analyzer = StreamingTraceAnalyzer(latency_table, histogram_bins)
+    predictor = GShare()
+    branch_code = int(OpClass.BRANCH)
+    taken_count = 0
+    branch_count = 0
+    pcs: set[int] = set()
+    lines: set[int] = set()
+    prefix: list[Trace] = []
+    prefix_len = 0
+    for chunk in chunks:
+        analyzer.update(chunk)
+        pcs.update(np.unique(chunk.pc).tolist())
+        mem = chunk.loads | chunk.stores
+        if np.any(mem):
+            lines.update(np.unique(chunk.addr[mem] >> 6).tolist())
+        is_branch = chunk.opclass == branch_code
+        for pc, taken in zip(chunk.pc[is_branch], chunk.taken[is_branch]):
+            predictor.observe(int(pc), bool(taken))
+        branch_count += int(is_branch.sum())
+        taken_count += int(chunk.taken[is_branch].sum())
+        if prefix_len < max_fit_length:
+            prefix.append(chunk[: max_fit_length - prefix_len])
+            prefix_len += len(prefix[-1])
+    stats = analyzer.finalize()
+    if len(prefix) == 1:
+        fit_trace = prefix[0]
+    else:
+        from repro.trace.vectorgen import concat_traces
+
+        fit_trace = concat_traces(prefix, name="fit-prefix")
+    try:
+        fit = fit_curve(measure_iw_curve(fit_trace, window_sizes,
+                                         latency_table))
+        alpha, beta, r2 = fit.alpha, fit.beta, fit.r_squared
+    except ValueError:
+        alpha = beta = r2 = float("nan")
+    if branch_count:
+        mispredict = float(predictor.stats.misprediction_rate)
+        taken_rate = taken_count / branch_count
+    else:
+        mispredict = 0.0
+        taken_rate = 0.0
+    return ModelInputs(
+        statistics=stats,
+        alpha=alpha,
+        beta=beta,
+        r_squared=r2,
+        mispredict_rate=mispredict,
+        taken_rate=taken_rate,
+        code_footprint=len(pcs),
+        data_footprint_lines=len(lines),
+        fit_length=prefix_len,
+        window_sizes=tuple(int(w) for w in window_sizes),
+    )
+
+
 def event_distances(event_indices: np.ndarray) -> np.ndarray:
     """Distances (in dynamic instructions) between consecutive events.
 

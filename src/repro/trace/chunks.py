@@ -54,6 +54,7 @@ __all__ = [
     "chunk_content_key",
     "chunk_layout",
     "read_chunk",
+    "rechunk_stream",
     "verify_chunk",
     "write_chunk",
 ]
@@ -203,6 +204,76 @@ def verify_chunk(path: str | Path, expected_key: str) -> bool:
     except ChunkCorruptError:
         return False
     return chunk_content_key(chunk) == expected_key
+
+
+def rechunk_stream(
+    chunks: Iterable[Trace],
+    *,
+    length: int | None = None,
+    chunk_size: int,
+    name: str = "trace",
+) -> Iterator[Trace]:
+    """Re-slice a chunk iterator to ``chunk_size`` granularity.
+
+    Yields chunks of exactly ``chunk_size`` instructions (the last may
+    be shorter), truncating the stream after ``length`` instructions
+    when given.  Slices are zero-copy views wherever a stored chunk
+    already aligns; only boundary-straddling chunks concatenate.  The
+    ingest layer stores foreign traces at one fixed granularity and
+    serves any requested ``chunk_size``/``length`` through this.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    pending: list[Trace] = []
+    buffered = 0
+    remaining = length
+    for chunk in chunks:
+        if remaining is not None:
+            if remaining <= 0:
+                break
+            if len(chunk) > remaining:
+                chunk = chunk[:remaining]
+            remaining -= len(chunk)
+        if len(chunk) == 0:
+            continue
+        pending.append(chunk)
+        buffered += len(chunk)
+        while buffered >= chunk_size:
+            take: list[Trace] = []
+            need = chunk_size
+            while need:
+                head = pending[0]
+                if len(head) <= need:
+                    take.append(head)
+                    need -= len(head)
+                    pending.pop(0)
+                else:
+                    take.append(head[:need])
+                    pending[0] = head[need:]
+                    need = 0
+            buffered -= chunk_size
+            if len(take) == 1:
+                out = take[0]
+                yield out if out.name == name else _renamed(out, name)
+            else:
+                from repro.trace.vectorgen import concat_traces
+
+                yield concat_traces(take, name=name)
+    if pending:
+        if len(pending) == 1:
+            out = pending[0]
+            yield out if out.name == name else _renamed(out, name)
+        else:
+            from repro.trace.vectorgen import concat_traces
+
+            yield concat_traces(pending, name=name)
+
+
+def _renamed(chunk: Trace, name: str) -> Trace:
+    """The same column views under another trace name."""
+    return Trace(
+        name=name, **{col: getattr(chunk, col) for col, _ in _COLUMNS}
+    )
 
 
 class TraceChunkStream:

@@ -1,0 +1,198 @@
+"""Pluggable trace sources: where a workload's instructions come from.
+
+Historically every layer of the system assumed "workload = one of the 12
+synthetic SPECint-like profiles" — :class:`repro.spec.WorkloadSpec`
+validated its benchmark against ``BENCHMARK_ORDER`` inline.  This module
+turns that hard-coded enum into a small registry of :class:`TraceSource`
+implementations, each owning one *scheme* of the source-tagged benchmark
+grammar:
+
+``<name>`` or ``synthetic:<name>``
+    A synthetic profile trace.  The bare spelling is canonical — the
+    ``synthetic:`` prefix normalizes to it at spec construction, so the
+    canonical workload form (and every pinned content key) is
+    byte-for-byte what it was before this layer existed.
+
+``ingest:<key>`` or ``ingest:<path>``
+    A foreign trace previously normalized into the content-addressed
+    chunk store by :mod:`repro.ingest`.  The canonical spelling carries
+    the 64-hex ingest content key; the path spelling is a construction-
+    time convenience that ingests (or re-finds) the file and normalizes
+    to the key, so both spellings of the same bytes share one cache
+    entry, one service coalescing key and one fleet shard.
+
+Validation lives in the sources (:meth:`TraceSource.normalize`), seed
+resolution in :meth:`TraceSource.default_seed`, and chunk delivery
+dispatches per scheme inside :func:`repro.runner.artifacts` — the
+streaming engines, artifact cache, coalescing service and fleet routing
+never look at the scheme at all.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterator
+
+from repro.spec.specs import SpecError
+
+__all__ = [
+    "SyntheticSource",
+    "IngestSource",
+    "TraceSource",
+    "get_source",
+    "iter_sources",
+    "parse_benchmark",
+    "register_source",
+    "workload_scheme",
+]
+
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+
+def _is_content_key(ref: str) -> bool:
+    """Whether ``ref`` is a 64-hex artifact content key."""
+    return len(ref) == 64 and set(ref) <= _HEX_DIGITS
+
+
+class TraceSource:
+    """One scheme of the source-tagged workload grammar.
+
+    Subclasses own validation/normalization of their references and the
+    default RNG seed.  Chunk delivery stays in
+    :mod:`repro.runner.artifacts`, which dispatches on the scheme — a
+    source never needs to know about the cache layout.
+    """
+
+    #: the scheme tag this source answers for (``"synthetic"``, ...)
+    scheme: str = ""
+
+    def normalize(self, ref: str, length: int,
+                  seed: int | None) -> tuple[str, int]:
+        """Validate ``ref`` and return the canonical ``(benchmark,
+        length)`` pair for the workload.  Raises :class:`SpecError` when
+        the reference (or the seed, for sources that reject seeds) is
+        invalid."""
+        raise NotImplementedError
+
+    def default_seed(self, ref: str) -> int:
+        """The resolved seed when the workload leaves ``seed=None``."""
+        raise NotImplementedError
+
+
+class SyntheticSource(TraceSource):
+    """The 12 synthetic SPECint-like profile traces (the default)."""
+
+    scheme = "synthetic"
+
+    def normalize(self, ref: str, length: int,
+                  seed: int | None) -> tuple[str, int]:
+        from repro.trace.profiles import BENCHMARK_ORDER
+
+        if ref not in BENCHMARK_ORDER:
+            raise SpecError(
+                f"unknown benchmark {ref!r}; one of "
+                + ", ".join(BENCHMARK_ORDER)
+            )
+        # the canonical spelling is the bare profile name: byte-for-byte
+        # what WorkloadSpec.canonical() produced before sources existed
+        return ref, length
+
+    def default_seed(self, ref: str) -> int:
+        from repro.trace.profiles import get_profile
+
+        return get_profile(ref).seed
+
+
+class IngestSource(TraceSource):
+    """Foreign traces normalized into the chunk store by ``repro.ingest``.
+
+    References are either the 64-hex ingest content key (canonical) or a
+    filesystem path, which is ingested — idempotently, keyed by content —
+    at spec-construction time and replaced by its key.  Ingested traces
+    carry no RNG: the seed must stay ``None`` and resolves to 0 in the
+    canonical form.
+    """
+
+    scheme = "ingest"
+
+    def normalize(self, ref: str, length: int,
+                  seed: int | None) -> tuple[str, int]:
+        # 0 is what resolved_seed() answers for ingest workloads, so the
+        # canonical form round-trips; anything else implies an RNG that
+        # does not exist here
+        if seed is not None and seed != 0:
+            raise SpecError(
+                "ingest workloads take no RNG seed; leave seed null")
+        if not ref:
+            raise SpecError(
+                "ingest workload needs a content key or file path, "
+                "e.g. ingest:<64-hex-key> or ingest:trace.csv")
+        from repro import ingest as _ingest
+
+        if not _is_content_key(ref):
+            # path spelling: ingest (or re-find) the file and normalize
+            # to its content key so both spellings share one identity
+            try:
+                ref = _ingest.ingest_file(ref).key
+            except _ingest.IngestError as exc:
+                raise SpecError(f"cannot ingest {ref!r}: {exc}") from exc
+        manifest = _ingest.ingest_manifest(ref)
+        if manifest is not None:
+            # clamp to the trace's record count (like seed resolution,
+            # a construction-time normalization); on machines without
+            # the data the requested length is kept as-is — clients
+            # always send already-normalized canonical specs
+            length = min(length, int(manifest["length"]))
+        return f"{self.scheme}:{ref}", length
+
+    def default_seed(self, ref: str) -> int:
+        return 0
+
+
+_SOURCES: dict[str, TraceSource] = {}
+
+
+def register_source(source: TraceSource) -> TraceSource:
+    """Add a :class:`TraceSource` to the registry (keyed by scheme)."""
+    if not source.scheme:
+        raise ValueError("a trace source needs a non-empty scheme")
+    _SOURCES[source.scheme] = source
+    return source
+
+
+def get_source(scheme: str) -> TraceSource:
+    """The registered source for ``scheme`` (:class:`SpecError` if none)."""
+    try:
+        return _SOURCES[scheme]
+    except KeyError:
+        raise SpecError(
+            f"unknown trace source {scheme!r}; one of "
+            + ", ".join(sorted(_SOURCES))
+        ) from None
+
+
+def iter_sources() -> Iterator[TraceSource]:
+    """All registered sources, in registration order."""
+    return iter(_SOURCES.values())
+
+
+register_source(SyntheticSource())
+register_source(IngestSource())
+
+
+def parse_benchmark(benchmark: str) -> tuple[str, str]:
+    """Split a benchmark string into ``(scheme, reference)``.
+
+    Bare names (no recognized ``scheme:`` prefix) are synthetic — the
+    pre-registry spelling keeps working everywhere, and an unknown bare
+    name still fails with the familiar "unknown benchmark" message.
+    """
+    scheme, sep, ref = benchmark.partition(":")
+    if sep and scheme in _SOURCES:
+        return scheme, ref
+    return "synthetic", benchmark
+
+
+def workload_scheme(benchmark: str) -> str:
+    """The scheme a (possibly un-normalized) benchmark string names."""
+    return parse_benchmark(benchmark)[0]

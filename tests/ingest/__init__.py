@@ -1,0 +1,1 @@
+"""Foreign-trace ingestion: readers, normalization, serving, identity."""

@@ -1,0 +1,154 @@
+"""One trace, one key: ingested workloads across every evaluation path.
+
+The acceptance bar for the pluggable trace-source substrate: the sample
+foreign trace shipped under ``examples/`` runs through the model path,
+the streaming simulator and a service submission, and all three resolve
+to the *same* workload content key (and therefore the same cache
+entries and the same fleet shard).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ingest
+from repro.cli import main
+from repro.spec import RunSpec, WorkloadSpec
+
+SAMPLE = Path(__file__).resolve().parents[2] / "examples" / "sample_trace.csv"
+
+
+@pytest.fixture(scope="module")
+def sample_key() -> str:
+    return ingest.ingest_file(SAMPLE).key
+
+
+class TestSampleTrace:
+    def test_sample_exists_and_ingests_cleanly(self, sample_key):
+        result = ingest.ingest_file(SAMPLE)
+        assert result.length == 5000
+        assert result.format == "csv"
+        assert result.warnings == ()
+
+    def test_all_paths_resolve_to_one_content_key(self, sample_key):
+        """Path spelling, key spelling, and the service wire form keyed
+        identically — the one-workload-one-key invariant."""
+        from repro.service.evaluations import normalize_params
+
+        by_path = RunSpec(workload=WorkloadSpec(f"ingest:{SAMPLE}", 5000))
+        by_key = RunSpec(workload=WorkloadSpec(f"ingest:{sample_key}", 5000))
+        assert by_path.content_key() == by_key.content_key()
+        wire = normalize_params("model", {"spec": by_path.to_dict()})
+        assert RunSpec.from_dict(
+            wire["spec"]).content_key() == by_key.content_key()
+
+    def test_model_stream_and_service_agree(self, sample_key):
+        from repro.core.model import FirstOrderModel
+        from repro.config import BASELINE
+        from repro.runner import artifacts
+        from repro.runner.pool import execute_spec
+        from repro.service.evaluations import evaluate
+        from repro.spec import EngineSpec
+
+        benchmark = f"ingest:{sample_key}"
+        # model path (what `repro model` and `repro report` run through)
+        trace = artifacts.trace_artifact(benchmark, 5000)
+        model_cpi = FirstOrderModel(BASELINE).evaluate_trace(trace).cpi
+        # streaming simulation (what `repro simulate --stream` runs)
+        spec = RunSpec(workload=WorkloadSpec(benchmark, 5000),
+                       engine=EngineSpec(stream=True, chunk_size=1024))
+        sim = execute_spec(spec)
+        assert sim.instructions == 5000
+        # service evaluation of the same spec, in process
+        served = evaluate("simulate", {"spec": spec.to_dict()})
+        assert served["cpi"] == pytest.approx(sim.cpi)
+        assert served["benchmark"] == benchmark
+        # the model tracks the simulator on this trace
+        assert model_cpi == pytest.approx(sim.cpi, rel=0.35)
+
+    def test_experiments_layer_accepts_ingested_workloads(self, sample_key):
+        from repro.experiments.common import cached_trace
+
+        trace = cached_trace(WorkloadSpec(f"ingest:{sample_key}", 5000))
+        assert len(trace) == 5000
+
+    def test_service_rejects_bad_ingest_specs_cleanly(self, sample_key):
+        from repro.service.evaluations import ProtocolError, flat_params_to_spec
+
+        with pytest.raises(ProtocolError, match="workload|seed"):
+            flat_params_to_spec("model", {
+                "benchmark": f"ingest:{sample_key}", "seed": 5})
+
+    def test_service_still_rejects_unknown_synthetic(self):
+        from repro.service.evaluations import ProtocolError, _check_benchmark
+
+        with pytest.raises(ProtocolError, match="unknown benchmark"):
+            _check_benchmark("spec2017")
+        assert _check_benchmark("gzip") == "gzip"
+
+
+class TestCli:
+    def test_ingest_command_prints_the_key(self, capsys, sample_key):
+        assert main(["ingest", str(SAMPLE)]) == 0
+        out = capsys.readouterr().out
+        assert sample_key in out
+        assert "reused" in out  # the module fixture already ingested it
+
+    def test_ingest_json(self, capsys, sample_key):
+        import json
+
+        assert main(["ingest", str(SAMPLE), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["key"] == sample_key
+        assert doc["length"] == 5000
+
+    def test_ingest_failure_exit_code(self, capsys, tmp_path):
+        assert main(["ingest", str(tmp_path / "missing.csv")]) == 1
+        assert "ingest failed" in capsys.readouterr().err
+
+    def test_model_runs_an_ingested_workload(self, capsys, sample_key):
+        assert main(["model", f"ingest:{sample_key}"]) == 0
+        assert "model CPI" in capsys.readouterr().out
+
+    def test_simulate_stream_runs_an_ingested_workload(self, capsys,
+                                                       sample_key):
+        assert main(["simulate", f"ingest:{sample_key}", "--stream",
+                     "--chunk-size", "2048"]) == 0
+        assert "5000 instructions" in capsys.readouterr().out
+
+    def test_trace_info_shows_provenance(self, capsys, sample_key):
+        assert main(["trace-info", f"ingest:{sample_key}"]) == 0
+        out = capsys.readouterr().out
+        assert "provenance" in out
+        assert "sample_trace.csv" in out
+
+    def test_trace_info_extract_json(self, capsys, sample_key):
+        import json
+
+        assert main(["trace-info", f"ingest:{sample_key}", "--extract",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert 0 < doc["beta"] < 1
+        assert doc["length"] == 5000
+
+    def test_synthetic_prefix_spelling_is_accepted(self, capsys):
+        assert main(["model", "synthetic:gzip", "--length", "2000"]) == 0
+        assert "model CPI" in capsys.readouterr().out
+
+
+class TestServedColumns:
+    def test_served_trace_matches_the_source_file(self, sample_key):
+        """The mmap-served chunks are byte-faithful to what was parsed."""
+        from repro.runner import artifacts
+
+        served = artifacts.trace_chunk_stream(
+            f"ingest:{sample_key}", 5000, chunk_size=1024).materialize()
+        again = artifacts.trace_chunk_stream(
+            f"ingest:{sample_key}", 5000, chunk_size=4096).materialize()
+        for col in ("pc", "opclass", "dst", "src1", "src2", "addr",
+                    "taken", "target"):
+            assert np.array_equal(getattr(served, col),
+                                  getattr(again, col)), col

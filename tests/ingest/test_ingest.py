@@ -1,0 +1,186 @@
+"""The ingest flow: identity, idempotence, serving, spec integration."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+import pytest
+
+from repro import ingest
+from repro.isa.opclass import OpClass
+from repro.runner import artifacts
+from repro.spec import SpecError, WorkloadSpec
+from repro.trace.synthetic import generate_trace
+
+
+def write_csv_trace(path, trace):
+    """Serialize a trace as the generic CSV format, losslessly."""
+    names = {int(c): c.name.lower() for c in OpClass}
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["pc", "op", "dst", "src1", "src2", "addr", "taken",
+                    "target"])
+        for k in range(len(trace)):
+            w.writerow([
+                int(trace.pc[k]), names[int(trace.opclass[k])],
+                int(trace.dst[k]), int(trace.src1[k]), int(trace.src2[k]),
+                int(trace.addr[k]), int(trace.taken[k]),
+                int(trace.target[k]),
+            ])
+
+
+@pytest.fixture(scope="module")
+def foreign(tmp_path_factory):
+    """A 5000-record foreign CSV (gzip statistics, non-default seed)."""
+    trace = generate_trace("gzip", 5000, seed=777)
+    path = tmp_path_factory.mktemp("foreign") / "foreign.csv"
+    write_csv_trace(path, trace)
+    return path, trace
+
+
+class TestIngestFile:
+    def test_round_trip_is_column_exact(self, foreign):
+        path, trace = foreign
+        result = ingest.ingest_file(path)
+        assert result.length == len(trace)
+        assert result.benchmark == f"ingest:{result.key}"
+        served = artifacts.trace_artifact(result.benchmark, result.length)
+        for col in ("pc", "opclass", "dst", "src1", "src2", "addr",
+                    "taken", "target"):
+            assert np.array_equal(getattr(served, col),
+                                  getattr(trace, col)), col
+
+    def test_reingest_is_a_warm_noop(self, foreign):
+        path, _ = foreign
+        first = ingest.ingest_file(path)
+        again = ingest.ingest_file(path)
+        assert again.reused
+        assert again.key == first.key
+        forced = ingest.ingest_file(path, force=True)
+        assert not forced.reused
+        assert forced.key == first.key
+
+    def test_key_is_content_not_spelling(self, foreign, tmp_path):
+        """Hex vs decimal fields, different filename — same workload."""
+        path, trace = foreign
+        other = tmp_path / "respelled.csv"
+        names = {int(c): c.name.lower() for c in OpClass}
+        with open(other, "w", newline="") as fh:
+            w = csv.writer(fh)
+            w.writerow(["pc", "op", "dst", "src1", "src2", "addr",
+                        "taken", "target"])
+            for k in range(len(trace)):
+                w.writerow([
+                    hex(int(trace.pc[k])), names[int(trace.opclass[k])],
+                    int(trace.dst[k]), int(trace.src1[k]),
+                    int(trace.src2[k]), hex(int(trace.addr[k])),
+                    int(trace.taken[k]), hex(int(trace.target[k])),
+                ])
+        assert ingest.ingest_file(other).key == ingest.ingest_file(path).key
+
+    def test_missing_file_unknown_format_empty_trace(self, tmp_path):
+        with pytest.raises(ingest.IngestError, match="no such"):
+            ingest.ingest_file(tmp_path / "absent.csv")
+        path = tmp_path / "t.csv"
+        path.write_text("op\nadd\n")
+        with pytest.raises(ingest.IngestError, match="unknown trace format"):
+            ingest.ingest_file(path, fmt="elf")
+        empty = tmp_path / "empty.csv"
+        empty.write_text("op\n")
+        with pytest.raises(ingest.IngestError, match="no instruction"):
+            ingest.ingest_file(empty)
+
+    def test_needs_the_artifact_cache(self, foreign, monkeypatch):
+        path, _ = foreign
+        monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+        with pytest.raises(ingest.IngestError, match="artifact cache"):
+            ingest.ingest_file(path)
+
+    def test_manifest_carries_provenance(self, foreign):
+        path, _ = foreign
+        result = ingest.ingest_file(path)
+        manifest = ingest.ingest_manifest(result.key)
+        prov = manifest["provenance"]
+        assert prov["format"] == "csv"
+        assert prov["source"] == "foreign.csv"
+        assert prov["records"] == result.length
+        assert len(prov["source_sha256"]) == 64
+        # a path reference resolves through the source index too
+        assert ingest.ingest_manifest(str(path)) == manifest
+        assert ingest.ingest_manifest("not-ingested.csv") is None
+
+
+class TestIngestChunkStream:
+    def test_serves_any_chunk_size_and_length(self, foreign):
+        path, trace = foreign
+        key = ingest.ingest_file(path).key
+        stream = ingest.ingest_chunk_stream(key, length=3000,
+                                            chunk_size=700)
+        assert stream.num_chunks == 5
+        got = stream.materialize()
+        assert np.array_equal(got.pc, trace.pc[:3000])
+
+    def test_cannot_overrun_the_record_count(self, foreign):
+        path, _ = foreign
+        key = ingest.ingest_file(path).key
+        with pytest.raises(ingest.IngestError, match="cannot serve"):
+            ingest.ingest_chunk_stream(key, length=10_000)
+
+    def test_unknown_key_says_ingest_first(self):
+        with pytest.raises(ingest.IngestError, match="repro ingest"):
+            ingest.ingest_chunk_stream("ab" * 32)
+
+
+class TestWorkloadSpecIntegration:
+    def test_path_spelling_normalizes_to_the_key(self, foreign):
+        path, _ = foreign
+        key = ingest.ingest_file(path).key
+        workload = WorkloadSpec(f"ingest:{path}")
+        assert workload.benchmark == f"ingest:{key}"
+        assert workload.length == 5000  # clamped to the record count
+        assert workload.resolved_seed() == 0
+        assert workload.source() == ("ingest", key)
+
+    def test_seed_is_rejected(self, foreign):
+        path, _ = foreign
+        key = ingest.ingest_file(path).key
+        with pytest.raises(SpecError, match="no RNG seed"):
+            WorkloadSpec(f"ingest:{key}", 1000, seed=3)
+
+    def test_streams_route_through_the_artifacts_layer(self, foreign):
+        path, trace = foreign
+        key = ingest.ingest_file(path).key
+        stream = artifacts.trace_chunk_stream(f"ingest:{key}", 2000,
+                                              chunk_size=512)
+        assert len(stream) == 2000
+        assert np.array_equal(stream.materialize().pc, trace.pc[:2000])
+        manifest = artifacts.trace_chunk_manifest(f"ingest:{key}")
+        assert manifest["length"] == 5000
+        assert "provenance" in manifest
+
+    def test_corrupt_chunk_names_the_remedy(self, foreign, tmp_path):
+        path, _ = foreign
+        key = ingest.ingest_file(path).key
+        manifest = ingest.ingest_manifest(key)
+        payload = artifacts.chunk_payload_path(manifest["keys"][0])
+        good = payload.read_bytes()
+        try:
+            payload.write_bytes(good[: len(good) // 2])
+            from repro.trace.chunks import ChunkCorruptError
+
+            with pytest.raises(ChunkCorruptError):
+                ingest.ingest_chunk_stream(key).materialize()
+        finally:
+            payload.write_bytes(good)
+
+    def test_cache_stores_only_chunks_and_manifest(self, foreign):
+        path, _ = foreign
+        result = ingest.ingest_file(path)
+        # serving is mmap-backed: no whole-trace artifact is required
+        root = artifacts.cache_root()
+        assert (root / "chunks").exists()
+        assert os.path.getsize(
+            artifacts.chunk_payload_path(
+                ingest.ingest_manifest(result.key)["keys"][0])) > 0

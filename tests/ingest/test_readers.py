@@ -1,0 +1,223 @@
+"""Format readers and normalization: parsing, defaults, warnings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ingest.normalize import (
+    OPCLASS_ALIASES,
+    REGISTER_LIMIT,
+    batch_to_trace,
+    opclass_code,
+)
+from repro.ingest.readers import (
+    BATCH_ROWS,
+    detect_format,
+    read_csv,
+    read_jsonl,
+    read_synchrotrace,
+)
+from repro.isa.instruction import NO_REG
+from repro.isa.opclass import OpClass
+
+
+def _collect(reader, path):
+    warnings: list[str] = []
+    batches = list(reader(path, warnings.append))
+    return batches, warnings
+
+
+class TestOpclassMapping:
+    def test_canonical_names_and_aliases(self):
+        warn = []
+        assert opclass_code("load", warn.append) == int(OpClass.LOAD)
+        assert opclass_code("LD", warn.append) == int(OpClass.LOAD)
+        assert opclass_code("  add ", warn.append) == int(OpClass.IALU)
+        assert opclass_code("fsqrt", warn.append) == int(OpClass.FDIV)
+        assert not warn
+
+    def test_integer_codes_pass_through(self):
+        warn = []
+        assert opclass_code("6", warn.append) == 6
+        assert not warn
+        assert opclass_code("99", warn.append) == int(OpClass.IALU)
+        assert warn
+
+    def test_unknown_name_warns_and_defaults(self):
+        warn = []
+        assert opclass_code("vfmadd231ps", warn.append) == int(OpClass.IALU)
+        assert "vfmadd231ps" in warn[0]
+
+    def test_every_opclass_has_its_own_name(self):
+        for cls in OpClass:
+            assert OPCLASS_ALIASES[cls.name.lower()] is cls
+
+
+class TestBatchToTrace:
+    def test_minimal_batch_gets_deterministic_defaults(self):
+        warn: list[str] = []
+        chunk = batch_to_trace(
+            {"opclass": [int(OpClass.IALU)] * 3}, "t", warn.append)
+        assert len(chunk) == 3
+        assert np.array_equal(np.diff(chunk.pc), [4, 4])
+        assert np.all(chunk.dst == NO_REG)
+        assert np.all(~chunk.taken)
+        assert any("pc" in w for w in warn)
+
+    def test_pc_offset_continues_the_synthetic_sequence(self):
+        warn: list[str] = []
+        a = batch_to_trace({"opclass": [0, 0]}, "t", warn.append)
+        b = batch_to_trace({"opclass": [0, 0]}, "t", warn.append,
+                           pc_offset=2)
+        assert b.pc[0] - a.pc[-1] == 4
+
+    def test_register_folding_and_negatives(self):
+        warn: list[str] = []
+        chunk = batch_to_trace(
+            {"opclass": [0, 0], "dst": [REGISTER_LIMIT + 3, -7]},
+            "t", warn.append)
+        assert chunk.dst[0] == 3
+        assert chunk.dst[1] == NO_REG
+        assert any("folded" in w for w in warn)
+        assert any("absent" in w for w in warn)
+
+    def test_branches_without_taken_column_warn(self):
+        warn: list[str] = []
+        batch_to_trace({"opclass": [int(OpClass.BRANCH)]}, "t", warn.append)
+        assert any("not taken" in w for w in warn)
+
+    def test_out_of_range_codes_are_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            batch_to_trace({"opclass": [len(OpClass)]}, "t", lambda m: None)
+
+    def test_ragged_columns_are_rejected(self):
+        with pytest.raises(ValueError, match="addr"):
+            batch_to_trace({"opclass": [0, 0], "addr": [1]},
+                           "t", lambda m: None)
+
+
+class TestCsvReader:
+    def test_parses_hex_and_empty_registers(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "pc,op,dst,src1,src2,addr,taken,target\n"
+            "0x400000,load,3,,,0x1000,0,0x0\n"
+            "0x400004,add,4,3,,0,0,0\n"
+            "0x400008,br,,,,0,1,0x400000\n"
+        )
+        batches, warnings = _collect(read_csv, path)
+        chunk = batch_to_trace(batches[0], "t", warnings.append)
+        assert len(chunk) == 3
+        assert chunk.pc[0] == 0x400000
+        assert chunk.src1[0] == NO_REG  # empty cell = absent
+        assert chunk.opclass[2] == int(OpClass.BRANCH)
+        assert bool(chunk.taken[2])
+        assert chunk.target[2] == 0x400000
+
+    def test_missing_op_column_is_an_error(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("pc,foo\n1,2\n")
+        with pytest.raises(ValueError, match="no 'op' column"):
+            list(read_csv(path, lambda m: None))
+
+    def test_bad_cells_warn_with_line_numbers(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("op,addr\nload,zzz\n")
+        _, warnings = _collect(read_csv, path)
+        assert any("line 2" in w and "addr" in w for w in warnings)
+
+    def test_batches_bound_memory(self, tmp_path):
+        path = tmp_path / "t.csv"
+        rows = BATCH_ROWS + 7
+        path.write_text("op\n" + "add\n" * rows)
+        batches, _ = _collect(read_csv, path)
+        assert [len(b["opclass"]) for b in batches] == [BATCH_ROWS, 7]
+
+
+class TestJsonlReader:
+    def test_parses_records_and_comments(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            "# a comment\n"
+            '{"op": "load", "addr": 4096, "dst": 1}\n'
+            "\n"
+            '{"op": "br", "taken": true, "pc": 64, "target": 32}\n'
+        )
+        batches, warnings = _collect(read_jsonl, path)
+        chunk = batch_to_trace(batches[0], "t", warnings.append)
+        assert len(chunk) == 2
+        assert chunk.addr[0] == 4096
+        assert bool(chunk.taken[1])
+
+    def test_bad_json_is_an_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{nope\n")
+        with pytest.raises(ValueError, match="bad JSON"):
+            list(read_jsonl(path, lambda m: None))
+
+    def test_record_without_op_is_an_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"pc": 4}\n')
+        with pytest.raises(ValueError, match="no 'op'"):
+            list(read_jsonl(path, lambda m: None))
+
+
+class TestSynchrotraceReader:
+    def test_event_expansion_order_and_addresses(self, tmp_path):
+        path = tmp_path / "t.stgen"
+        path.write_text("1,0,2,1,1,1 *0x1000 $0x2000\n")
+        batches, warnings = _collect(read_synchrotrace, path)
+        chunk = batch_to_trace(batches[0], "t", warnings.append)
+        # 1 read, 2 iops, 1 flop, 1 write — in that order
+        assert chunk.opclass.tolist() == [
+            int(OpClass.LOAD), int(OpClass.IALU), int(OpClass.IALU),
+            int(OpClass.FALU), int(OpClass.STORE)]
+        assert chunk.addr[0] == 0x1000
+        assert chunk.addr[-1] == 0x2000
+        # the store consumes the last produced value
+        assert chunk.src1[-1] == chunk.dst[-2]
+        assert any("register dependences synthesized" in w
+                   for w in warnings)
+        assert any("no control-flow" in w for w in warnings)
+
+    def test_repeated_event_signatures_share_pcs(self, tmp_path):
+        path = tmp_path / "t.stgen"
+        path.write_text("1,0,2,0,0,0\n2,0,2,0,0,0\n3,0,1,0,0,0\n")
+        batches, _ = _collect(read_synchrotrace, path)
+        chunk = batch_to_trace(batches[0], "t", lambda m: None)
+        assert chunk.pc[0] == chunk.pc[2]  # same (2,0,0,0) signature
+        assert chunk.pc[0] != chunk.pc[4]  # different signature
+
+    def test_sync_events_and_threads_warn(self, tmp_path):
+        path = tmp_path / "t.stgen"
+        path.write_text("1,0,1,0,0,0\n2,0,pth_ty:1^0\n3,1,1,0,0,0\n")
+        _, warnings = _collect(read_synchrotrace, path)
+        assert any("pth_ty" in w for w in warnings)
+        assert any("threads flattened" in w for w in warnings)
+
+
+class TestDetectFormat:
+    def test_by_suffix(self, tmp_path):
+        for suffix, fmt in ((".csv", "csv"), (".jsonl", "jsonl"),
+                            (".stgen", "synchrotrace")):
+            path = tmp_path / f"t{suffix}"
+            path.write_text("x\n")
+            assert detect_format(path) == fmt
+
+    def test_by_content(self, tmp_path):
+        csvish = tmp_path / "a.trace"
+        csvish.write_text("op,pc\nadd,4\n")
+        assert detect_format(csvish) == "csv"
+        jsonish = tmp_path / "b.trace"
+        jsonish.write_text('{"op": "add"}\n')
+        assert detect_format(jsonish) == "jsonl"
+        eventish = tmp_path / "c.trace"
+        eventish.write_text("1,0,2,0,1,1\n")
+        assert detect_format(eventish) == "synchrotrace"
+
+    def test_empty_file_is_an_error(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            detect_format(path)

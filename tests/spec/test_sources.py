@@ -1,0 +1,69 @@
+"""The trace-source registry: parsing, validation, spec normalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec import SpecError, WorkloadSpec
+from repro.trace.profiles import BENCHMARK_ORDER, get_profile
+from repro.trace.sources import (
+    get_source,
+    iter_sources,
+    parse_benchmark,
+    register_source,
+    workload_scheme,
+)
+
+
+class TestParseBenchmark:
+    def test_bare_names_are_synthetic(self):
+        assert parse_benchmark("gzip") == ("synthetic", "gzip")
+        assert workload_scheme("gzip") == "synthetic"
+
+    def test_explicit_synthetic_prefix(self):
+        assert parse_benchmark("synthetic:gzip") == ("synthetic", "gzip")
+
+    def test_ingest_prefix(self):
+        assert parse_benchmark("ingest:" + "ab" * 32) == (
+            "ingest", "ab" * 32)
+        assert workload_scheme("ingest:/tmp/x.csv") == "ingest"
+
+    def test_unrecognized_scheme_reads_as_a_synthetic_name(self):
+        # "x:y" with an unknown scheme is treated as a (bad) bare name,
+        # so the error message stays the familiar one
+        assert parse_benchmark("weird:thing") == ("synthetic",
+                                                  "weird:thing")
+
+
+class TestRegistry:
+    def test_both_sources_are_registered(self):
+        schemes = {source.scheme for source in iter_sources()}
+        assert {"synthetic", "ingest"} <= schemes
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(SpecError, match="unknown trace source"):
+            get_source("elf")
+
+    def test_register_replaces(self):
+        synthetic = get_source("synthetic")
+        register_source(synthetic)
+        assert get_source("synthetic") is synthetic
+
+
+class TestSyntheticNormalization:
+    def test_prefix_spelling_normalizes_to_bare(self):
+        spelled = WorkloadSpec("synthetic:gzip", 2000)
+        bare = WorkloadSpec("gzip", 2000)
+        assert spelled.benchmark == "gzip"
+        assert spelled.canonical() == bare.canonical()
+
+    def test_unknown_name_keeps_the_original_message(self):
+        with pytest.raises(SpecError, match="unknown benchmark 'spec2017'"):
+            WorkloadSpec("spec2017")
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_default_seed_is_the_profile_seed(self, name):
+        assert WorkloadSpec(name).resolved_seed() == get_profile(name).seed
+
+    def test_source_accessor(self):
+        assert WorkloadSpec("gzip").source() == ("synthetic", "gzip")

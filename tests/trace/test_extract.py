@@ -1,0 +1,132 @@
+"""Model-input extraction: round-trips against the generating profiles.
+
+For every synthetic profile, :func:`repro.trace.analysis.extract_model_inputs`
+run on a generated trace must recover the statistics the profile was
+built from — the instruction mix within sampling tolerance, the IW
+power-law fit exactly matching a direct :func:`fit_curve` on the same
+trace, and branch predictability consistent with the profile's
+control-flow knobs.  This is what licenses treating *ingested* foreign
+traces as model workloads: the extractor is validated where ground
+truth is known.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.opclass import OpClass
+from repro.trace.analysis import ModelInputs, extract_model_inputs
+from repro.trace.profiles import BENCHMARK_ORDER, get_profile
+from repro.trace.synthetic import generate_trace
+from repro.window.iw_simulator import measure_iw_curve
+from repro.window.powerlaw import fit_curve
+
+#: long enough for stable mix statistics, short enough to fit 12 runs
+EXTRACT_LENGTH = 12_000
+
+#: sampling tolerance for dynamic mix fractions vs. profile knobs
+MIX_TOLERANCE = 0.035
+
+
+@pytest.fixture(scope="module")
+def extracted() -> dict[str, ModelInputs]:
+    return {
+        name: extract_model_inputs(generate_trace(name, EXTRACT_LENGTH))
+        for name in BENCHMARK_ORDER
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_mix_matches_the_profile(self, extracted, name):
+        profile_mix = get_profile(name).full_mix()
+        measured = extracted[name].statistics.mix
+        for cls in OpClass:
+            want = profile_mix.get(cls, 0.0)
+            got = measured.get(cls, 0.0)
+            assert got == pytest.approx(want, abs=MIX_TOLERANCE), cls
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_fit_matches_a_direct_measurement(self, extracted, name):
+        trace = generate_trace(name, EXTRACT_LENGTH)
+        direct = fit_curve(measure_iw_curve(trace))
+        inputs = extracted[name]
+        assert inputs.alpha == pytest.approx(direct.alpha)
+        assert inputs.beta == pytest.approx(direct.beta)
+        assert inputs.r_squared == pytest.approx(direct.r_squared)
+        assert inputs.fit_length == EXTRACT_LENGTH
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_fit_is_a_power_law(self, extracted, name):
+        inputs = extracted[name]
+        assert 0.1 < inputs.beta < 0.9
+        assert inputs.alpha > 0
+        assert inputs.r_squared > 0.9
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_branch_statistics_are_consistent(self, extracted, name):
+        inputs = extracted[name]
+        profile = get_profile(name)
+        assert inputs.statistics.branch_fraction == pytest.approx(
+            profile.frac_branch, abs=MIX_TOLERANCE)
+        # gShare beats always-wrong and loses to perfect; hard-branch
+        # fractions bound how unpredictable the profile can be
+        assert 0.0 < inputs.mispredict_rate < 0.5
+        assert 0.0 < inputs.taken_rate < 1.0
+
+    def test_calibrated_benchmarks_keep_their_bands(self, extracted):
+        """The paper's three tabulated benchmarks stay in their beta
+        bands (Table 1): vpr low, gzip middle, vortex high."""
+        assert extracted["vpr"].beta < extracted["gzip"].beta
+        assert extracted["gzip"].beta < extracted["vortex"].beta
+
+    @pytest.mark.parametrize("name", ("gzip", "mcf"))
+    def test_dependence_distance_tracks_the_profile(self, extracted, name):
+        measured = extracted[name].statistics.mean_dependence_distance
+        want = get_profile(name).dep_mean_distance
+        # live-ins and block structure shift the dynamic mean; it must
+        # land in the right neighborhood, not exactly on the knob
+        assert 0.4 * want < measured < 3.0 * want
+
+
+class TestExtractorMechanics:
+    def test_stream_and_trace_sources_agree(self):
+        from repro.runner.artifacts import trace_chunk_stream
+
+        trace = generate_trace("gzip", 6000)
+        whole = extract_model_inputs(trace)
+        streamed = extract_model_inputs(
+            trace_chunk_stream("gzip", 6000, chunk_size=1024))
+        assert whole.to_dict() == streamed.to_dict()
+
+    def test_fit_prefix_is_bounded(self):
+        trace = generate_trace("gzip", 8000)
+        inputs = extract_model_inputs(trace, max_fit_length=2000)
+        assert inputs.fit_length == 2000
+        assert inputs.statistics.length == 8000  # stats cover everything
+
+    def test_footprints_are_counted(self):
+        trace = generate_trace("gzip", 6000)
+        inputs = extract_model_inputs(trace)
+        assert inputs.code_footprint == len(np.unique(trace.pc))
+        mem = trace.loads | trace.stores
+        assert inputs.data_footprint_lines == len(
+            np.unique(trace.addr[mem] >> 6))
+
+    def test_branchless_trace_reports_zero_rates(self):
+        from repro.ingest.normalize import batch_to_trace
+
+        chunk = batch_to_trace({"opclass": [int(OpClass.IALU)] * 64},
+                               "t", lambda m: None)
+        inputs = extract_model_inputs(chunk)
+        assert inputs.mispredict_rate == 0.0
+        assert inputs.taken_rate == 0.0
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        trace = generate_trace("gzip", 4000)
+        doc = extract_model_inputs(trace).to_dict()
+        json.dumps(doc)  # no numpy scalars or arrays leak through
+        assert doc["window_sizes"] == [2, 4, 8, 16, 32, 64, 128]
