@@ -55,6 +55,57 @@ class GShare(BranchPredictor):
                 self._table[idx] = counter - 1
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
+    def observe_batch(self, pcs, takens) -> np.ndarray:
+        """Vectorized :meth:`observe` over a run of branches.
+
+        The global history before each branch is a pure function of the
+        outcome sequence, so per-branch histories and table indices are
+        computed with array ops up front; only the pattern-table walk
+        (whose counter updates feed later predictions at the same
+        index) remains a scalar loop, over plain Python ints.
+        Decision-for-decision identical to the sequential path.
+        """
+        takens = np.asarray(takens, dtype=bool)
+        pcs = np.asarray(pcs)
+        n = len(takens)
+        if len(pcs) != n:
+            raise ValueError("pcs and takens must be the same length")
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        bits = self.history_bits
+        # ext[i] is the outcome (i - bits) steps into the batch; the
+        # first `bits` entries replay the incoming history, oldest first
+        pre = np.array([(self._history >> (bits - 1 - i)) & 1
+                        for i in range(bits)], dtype=np.uint64)
+        ext = np.concatenate([pre, takens.astype(np.uint64)])
+        hist = np.zeros(n, dtype=np.uint64)
+        for j in range(bits):
+            hist |= ext[bits - 1 - j:n + bits - 1 - j] << np.uint64(j)
+        shifted = pcs.astype(np.int64, copy=False).view(np.uint64)
+        idx = ((shifted >> np.uint64(2)) ^ hist) & np.uint64(self._index_mask)
+        table = self._table.tolist()
+        correct = np.empty(n, dtype=bool)
+        wrong = 0
+        for k, (i, taken) in enumerate(zip(idx.tolist(), takens.tolist())):
+            counter = table[i]
+            if taken:
+                if counter < _MAX_COUNTER:
+                    table[i] = counter + 1
+            elif counter > 0:
+                table[i] = counter - 1
+            ok = (counter >= _WEAKLY_TAKEN) == taken
+            correct[k] = ok
+            if not ok:
+                wrong += 1
+        self._table = np.asarray(table, dtype=np.int8)
+        history = self._history
+        for taken in takens[-bits:].tolist() if bits else ():
+            history = (history << 1) | int(taken)
+        self._history = history & self._history_mask
+        self.stats.predictions += n
+        self.stats.mispredictions += wrong
+        return correct
+
     def _reset_state(self) -> None:
         self._table.fill(_WEAKLY_TAKEN)
         self._history = 0

@@ -78,6 +78,24 @@ class BranchPredictor(abc.ABC):
     def _reset_state(self) -> None:  # pragma: no cover - trivial default
         """Subclasses with tables override this."""
 
+    def observe_batch(self, pcs, takens) -> np.ndarray:
+        """Observe a run of conditional branches in trace order.
+
+        ``pcs`` and ``takens`` are aligned arrays (one entry per
+        conditional branch).  Returns a boolean array: True where the
+        prediction was correct.  The base implementation is the
+        sequential :meth:`observe` loop; subclasses may override with a
+        faster path, which must match it decision-for-decision.
+        """
+        pcs = np.asarray(pcs)
+        takens = np.asarray(takens)
+        if len(pcs) != len(takens):
+            raise ValueError("pcs and takens must be the same length")
+        correct = np.empty(len(takens), dtype=bool)
+        for k in range(len(takens)):
+            correct[k] = self.observe(int(pcs[k]), bool(takens[k]))
+        return correct
+
     def run_trace(self, trace: Trace) -> np.ndarray:
         """Predict every conditional branch of ``trace`` in order.
 
@@ -86,9 +104,7 @@ class BranchPredictor(abc.ABC):
         """
         mispredicted = np.zeros(len(trace), dtype=bool)
         branch_idx = np.flatnonzero(trace.branches)
-        pcs = trace.pc
-        takens = trace.taken
-        for k in branch_idx.tolist():
-            if not self.observe(int(pcs[k]), bool(takens[k])):
-                mispredicted[k] = True
+        correct = self.observe_batch(trace.pc[branch_idx],
+                                     trace.taken[branch_idx])
+        mispredicted[branch_idx[~correct]] = True
         return mispredicted

@@ -112,24 +112,48 @@ def _manifest_key(keys: list[str], sizes: list[int]) -> str:
         "ingest", {"schema": INGEST_SCHEMA, "keys": keys, "sizes": sizes})
 
 
+def _indexed_key(path: str | Path) -> str | None:
+    """The warm source index's workload key for a trace file, or ``None``.
+
+    A pure read-side probe: the file is hashed and looked up by
+    ``(sha256, detected format)``; nothing is ever parsed or published.
+    Actual ingestion is :func:`ingest_file`'s job alone.
+    """
+    from repro.runner import artifacts
+
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        fmt = detect_format(path)
+    except ValueError:
+        return None
+    index_key = artifacts.artifact_key(
+        "ingest_source", _source_index_recipe(_file_sha256(path), fmt))
+    found, entry = artifacts.probe_artifact(
+        "ingest_source", index_key, remote=False)
+    return entry["key"] if found else None
+
+
 def ingest_manifest(key: str) -> dict | None:
     """The stored ingest manifest for a workload reference, or ``None``.
 
     ``key`` is the 64-hex workload key, or a trace file path (resolved
-    through the warm source index; an un-ingested path answers
-    ``None``).  The manifest mirrors the synthetic chunk manifests
+    purely through the warm source index; an un-ingested path answers
+    ``None`` — this is a read-only probe with no ingestion side
+    effects).  The manifest mirrors the synthetic chunk manifests
     (``name``, ``length``, ``chunk_size``, ``keys``, ``sizes``) plus a
     ``provenance`` section: source format, original file sha256, record
     count and the normalization warnings.
     """
     from repro.runner.artifacts import probe_artifact
-    from repro.trace.sources import _is_content_key
+    from repro.trace.sources import is_content_key
 
-    if not _is_content_key(key):
-        try:
-            key = ingest_file(key).key
-        except IngestError:
+    if not is_content_key(key):
+        resolved = _indexed_key(key)
+        if resolved is None:
             return None
+        key = resolved
     found, manifest = probe_artifact("ingest", key)
     return manifest if found else None
 
@@ -212,7 +236,7 @@ def ingest_file(path: str | Path, fmt: str | None = None,
                 chunk = batch_to_trace(batch, label, warn, pc_offset=offset)
                 offset += len(chunk)
                 yield chunk
-        except (OSError, ValueError) as exc:
+        except (OSError, ValueError, OverflowError) as exc:
             raise IngestError(f"cannot parse {path} as {fmt}: {exc}") from exc
 
     for chunk in rechunk_stream(traced_batches(),
@@ -257,8 +281,11 @@ def ingest_chunk_stream(ref: str, length: int | None = None,
 
     ``ref`` is the 64-hex workload key (or a file path, which ingests
     first).  Chunks are stored at one fixed granularity and re-sliced on
-    the fly to any requested ``chunk_size``; ``length`` truncates (it
-    cannot exceed the record count).  Serving needs only the manifest
+    the fly to any requested ``chunk_size``; ``length`` truncates, and a
+    request beyond the record count clamps to it — spec construction
+    keeps the requested length verbatim (workload identity must not
+    depend on what is cached locally), so oversize requests resolve
+    here, uniformly on every machine.  Serving needs only the manifest
     and the content-addressed payloads — the same machinery the
     synthetic substrate uses, so corruption of a payload is detected on
     read; unlike synthetic traces it cannot be regenerated, so the
@@ -271,9 +298,9 @@ def ingest_chunk_stream(ref: str, length: int | None = None,
         read_chunk,
         rechunk_stream,
     )
-    from repro.trace.sources import _is_content_key
+    from repro.trace.sources import is_content_key
 
-    if not _is_content_key(ref):
+    if not is_content_key(ref):
         ref = ingest_file(ref).key
     manifest = ingest_manifest(ref)
     if manifest is None:
@@ -282,11 +309,9 @@ def ingest_chunk_stream(ref: str, length: int | None = None,
             "run 'repro ingest <file>' first")
     total = int(manifest["length"])
     stored = int(manifest["chunk_size"])
-    n = total if length is None else int(length)
-    if n > total:
-        raise IngestError(
-            f"ingested trace {ref[:12]}… has {total} records; "
-            f"cannot serve {n}")
+    n = total if length is None else min(int(length), total)
+    if n <= 0:
+        raise IngestError("length must be positive")
     cs = stored if chunk_size is None else int(chunk_size)
     if cs <= 0:
         raise IngestError("chunk_size must be positive")

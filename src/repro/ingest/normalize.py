@@ -83,7 +83,18 @@ def _int_column(values: Sequence, dtype, default: int, n: int,
                 name: str, warn: Callable[[str], None]) -> np.ndarray:
     if values is None:
         return np.full(n, default, dtype=dtype)
-    arr = np.asarray(values, dtype=np.int64)
+    try:
+        arr = np.asarray(values, dtype=np.int64)
+    except OverflowError:
+        # kernel-space addresses and pcs (e.g. 0xffff800000000000) are
+        # u64 values past the signed trace columns' range; fold them by
+        # two's complement so the bit pattern — and with it cache-line
+        # and set geometry — survives the signed representation
+        warn(f"column {name!r} has values outside int64; "
+             "folded to signed 64-bit (two's complement)")
+        mask = (1 << 64) - 1
+        arr = np.asarray([int(v) & mask for v in values],
+                         dtype=np.uint64).view(np.int64)
     if len(arr) != n:
         raise ValueError(f"column {name!r} has {len(arr)} values != {n}")
     return arr

@@ -64,20 +64,45 @@ def _benchmarks() -> tuple[str, ...]:
 
 
 def _check_benchmark(name) -> str:
-    """Validate a workload reference: a synthetic profile name, or any
-    non-synthetic source-tagged form (e.g. ``ingest:<key>``), which the
-    spec layer resolves and the trace substrate serves by content key —
-    the service evaluates ingested traces with no wire changes."""
+    """Validate a workload reference on the wire: a synthetic profile
+    name, or the canonical ``ingest:<64-hex-content-key>`` form.
+
+    Path-spelled ingest references are a *local* construction
+    convenience only — ``WorkloadSpec`` resolves them by opening,
+    hashing and parsing the named file, which a server must never do on
+    behalf of a remote client (it would read arbitrary server-side
+    paths and echo parse errors, i.e. file contents, back over the
+    wire).  Clients run ``repro ingest`` themselves and submit the key
+    it prints."""
     if not isinstance(name, str):
         raise ProtocolError("'benchmark' must be a string")
-    from repro.trace.sources import parse_benchmark
+    from repro.trace.sources import is_content_key, parse_benchmark
 
     scheme, ref = parse_benchmark(name)
     if scheme == "synthetic" and ref not in _benchmarks():
         raise ProtocolError(
             f"unknown benchmark {name!r}; one of {', '.join(_benchmarks())}"
         )
+    if scheme == "ingest" and not is_content_key(ref):
+        raise ProtocolError(
+            "ingest workloads on the wire must name the canonical 64-hex "
+            f"content key, not a file path (got {name!r}); run "
+            "'repro ingest <file>' and submit ingest:<key>")
     return name
+
+
+def _check_wire_workload(payload) -> None:
+    """Reject non-canonical workload references in a raw spec payload
+    *before* spec construction (``WorkloadSpec.__post_init__`` would
+    otherwise ingest a path spelling server-side; see
+    :func:`_check_benchmark`).  Structural errors are left for the spec
+    parser's own messages."""
+    if isinstance(payload, dict):
+        workload = payload.get("workload")
+        if isinstance(workload, dict):
+            benchmark = workload.get("benchmark")
+            if isinstance(benchmark, str):
+                _check_benchmark(benchmark)
 
 
 def _check_length(length) -> int:
@@ -177,6 +202,7 @@ def flat_params_to_spec(op: str, params: dict):
 def _parse_spec(payload):
     from repro.spec import RunSpec, SpecError
 
+    _check_wire_workload(payload)
     try:
         return RunSpec.from_dict(payload)
     except SpecError as exc:
@@ -218,6 +244,8 @@ def _normalize_search(params: dict) -> dict:
         raise ProtocolError(
             "'explore' requires a 'search' object: "
             "{'search': <SearchSpec dict>} (see docs/EXPLORATION.md)")
+    if isinstance(params["search"], dict):
+        _check_wire_workload(params["search"].get("base"))
     try:
         search = SearchSpec.from_dict(params["search"])
         base = _resolve_workload_seed(search.base)

@@ -260,8 +260,7 @@ def extract_model_inputs(
         if np.any(mem):
             lines.update(np.unique(chunk.addr[mem] >> 6).tolist())
         is_branch = chunk.opclass == branch_code
-        for pc, taken in zip(chunk.pc[is_branch], chunk.taken[is_branch]):
-            predictor.observe(int(pc), bool(taken))
+        predictor.observe_batch(chunk.pc[is_branch], chunk.taken[is_branch])
         branch_count += int(is_branch.sum())
         taken_count += int(chunk.taken[is_branch].sum())
         if prefix_len < max_fit_length:

@@ -40,6 +40,7 @@ __all__ = [
     "IngestSource",
     "TraceSource",
     "get_source",
+    "is_content_key",
     "iter_sources",
     "parse_benchmark",
     "register_source",
@@ -49,9 +50,13 @@ __all__ = [
 _HEX_DIGITS = frozenset(string.hexdigits.lower())
 
 
-def _is_content_key(ref: str) -> bool:
+def is_content_key(ref: str) -> bool:
     """Whether ``ref`` is a 64-hex artifact content key."""
     return len(ref) == 64 and set(ref) <= _HEX_DIGITS
+
+
+#: backwards-compatible alias for early adopters of the private name
+_is_content_key = is_content_key
 
 
 class TraceSource:
@@ -127,22 +132,19 @@ class IngestSource(TraceSource):
             raise SpecError(
                 "ingest workload needs a content key or file path, "
                 "e.g. ingest:<64-hex-key> or ingest:trace.csv")
-        from repro import ingest as _ingest
-
-        if not _is_content_key(ref):
+        if not is_content_key(ref):
             # path spelling: ingest (or re-find) the file and normalize
             # to its content key so both spellings share one identity
+            from repro import ingest as _ingest
+
             try:
                 ref = _ingest.ingest_file(ref).key
             except _ingest.IngestError as exc:
                 raise SpecError(f"cannot ingest {ref!r}: {exc}") from exc
-        manifest = _ingest.ingest_manifest(ref)
-        if manifest is not None:
-            # clamp to the trace's record count (like seed resolution,
-            # a construction-time normalization); on machines without
-            # the data the requested length is kept as-is — clients
-            # always send already-normalized canonical specs
-            length = min(length, int(manifest["length"]))
+        # the requested length is kept verbatim: canonicalization must
+        # be a pure function of the reference, identical on machines
+        # with and without the trace data cached locally.  Serving
+        # clamps to the record count (repro.ingest.ingest_chunk_stream)
         return f"{self.scheme}:{ref}", length
 
     def default_seed(self, ref: str) -> int:

@@ -131,6 +131,59 @@ class TestStats:
         assert g.stats.misprediction_rate == 0.0
 
 
+class TestObserveBatch:
+    """The vectorized gShare path must match the sequential observe
+    loop decision-for-decision (histories, aliasing, stats)."""
+
+    def _random_branches(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pcs = rng.integers(0, 1 << 20, n) * 4
+        takens = rng.random(n) < 0.6
+        return pcs.astype(np.int64), takens
+
+    def test_matches_sequential_observe(self):
+        pcs, takens = self._random_branches(5000, 11)
+        seq = GShare(entries=1024)
+        expected = np.array([seq.observe(int(p), bool(t))
+                             for p, t in zip(pcs, takens)])
+        batched = GShare(entries=1024)
+        got = batched.observe_batch(pcs, takens)
+        assert np.array_equal(got, expected)
+        assert batched.stats.predictions == seq.stats.predictions
+        assert batched.stats.mispredictions == seq.stats.mispredictions
+        assert batched._history == seq._history
+        assert np.array_equal(batched._table, seq._table)
+
+    def test_history_carries_across_batches(self):
+        pcs, takens = self._random_branches(3000, 23)
+        whole = GShare(entries=512)
+        expected = whole.observe_batch(pcs, takens)
+        split = GShare(entries=512)
+        got = np.concatenate([
+            split.observe_batch(pcs[:7], takens[:7]),      # < history_bits
+            split.observe_batch(pcs[7:1000], takens[7:1000]),
+            split.observe_batch(pcs[1000:], takens[1000:]),
+        ])
+        assert np.array_equal(got, expected)
+        assert split._history == whole._history
+
+    def test_negative_pcs_match_python_semantics(self):
+        """Two's-complement-folded kernel pcs index like sequential."""
+        pcs = np.array([-8, -4096, 0x400, -8], dtype=np.int64)
+        takens = np.array([True, False, True, True])
+        seq = GShare(entries=256)
+        expected = np.array([seq.observe(int(p), bool(t))
+                             for p, t in zip(pcs, takens)])
+        batched = GShare(entries=256)
+        assert np.array_equal(batched.observe_batch(pcs, takens), expected)
+        assert np.array_equal(batched._table, seq._table)
+
+    def test_empty_batch_is_a_noop(self):
+        g = GShare(entries=256)
+        assert len(g.observe_batch([], [])) == 0
+        assert g.stats.predictions == 0
+
+
 class TestRunTrace:
     def test_run_trace_alignment(self, gzip_trace):
         g = GShare()

@@ -82,6 +82,33 @@ class TestSampleTrace:
             flat_params_to_spec("model", {
                 "benchmark": f"ingest:{sample_key}", "seed": 5})
 
+    def test_service_rejects_path_spelled_ingest_refs(self, sample_key):
+        """The wire accepts only canonical 64-hex ingest keys: a path
+        spelling would make the server open, hash and parse an
+        arbitrary server-side file on the request path (and echo parse
+        errors — file contents — back to the client)."""
+        from repro.service.evaluations import ProtocolError, normalize_params
+
+        spec = RunSpec(
+            workload=WorkloadSpec(f"ingest:{sample_key}", 5000)).to_dict()
+        for path in ("/etc/passwd", str(SAMPLE)):
+            bad = {**spec, "workload": {**spec["workload"],
+                                        "benchmark": f"ingest:{path}"}}
+            with pytest.raises(ProtocolError, match="content key"):
+                normalize_params("model", {"spec": bad})
+            with pytest.raises(ProtocolError, match="content key"):
+                normalize_params("simulate", {"spec": bad})
+            with pytest.raises(ProtocolError, match="content key"):
+                normalize_params("explore", {"search": {
+                    "base": bad,
+                    "axes": {"machine.width": [2, 4]}}})
+            with pytest.raises(ProtocolError, match="content key"):
+                normalize_params("compare", {
+                    "benchmarks": [f"ingest:{path}"], "length": 1000})
+        # the canonical key form still normalizes cleanly
+        out = normalize_params("model", {"spec": spec})
+        assert out["spec"]["workload"]["benchmark"] == f"ingest:{sample_key}"
+
     def test_service_still_rejects_unknown_synthetic(self):
         from repro.service.evaluations import ProtocolError, _check_benchmark
 

@@ -92,6 +92,20 @@ class TestIngestFile:
         with pytest.raises(ingest.IngestError, match="no instruction"):
             ingest.ingest_file(empty)
 
+    def test_kernel_space_trace_ingests_cleanly(self, tmp_path):
+        """Addresses/pcs >= 2**63 ingest with a fold warning instead of
+        an unhandled OverflowError."""
+        path = tmp_path / "kernel.csv"
+        path.write_text(
+            "pc,op,addr\n"
+            "0xffff800000000000,load,0xffff888000001000\n"
+            "0x400004,add,0\n")
+        result = ingest.ingest_file(path)
+        assert result.length == 2
+        assert any("outside int64" in w for w in result.warnings)
+        served = artifacts.trace_artifact(result.benchmark, result.length)
+        assert served.addr[0] == 0xFFFF_8880_0000_1000 - (1 << 64)
+
     def test_needs_the_artifact_cache(self, foreign, monkeypatch):
         path, _ = foreign
         monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
@@ -111,6 +125,16 @@ class TestIngestFile:
         assert ingest.ingest_manifest(str(path)) == manifest
         assert ingest.ingest_manifest("not-ingested.csv") is None
 
+    def test_manifest_probe_never_ingests(self, tmp_path):
+        """ingest_manifest is read-only: an un-ingested file answers
+        None and publishes nothing (ingestion is ingest_file's job)."""
+        path = tmp_path / "probe_only.csv"
+        path.write_text("op\nadd\nld\n")
+        before = ingest.ingest_manifest(str(path))
+        assert before is None
+        # still un-ingested: a real ingest afterwards is a cold run
+        assert not ingest.ingest_file(path).reused
+
 
 class TestIngestChunkStream:
     def test_serves_any_chunk_size_and_length(self, foreign):
@@ -122,11 +146,14 @@ class TestIngestChunkStream:
         got = stream.materialize()
         assert np.array_equal(got.pc, trace.pc[:3000])
 
-    def test_cannot_overrun_the_record_count(self, foreign):
-        path, _ = foreign
+    def test_oversize_length_clamps_to_the_record_count(self, foreign):
+        path, trace = foreign
         key = ingest.ingest_file(path).key
-        with pytest.raises(ingest.IngestError, match="cannot serve"):
-            ingest.ingest_chunk_stream(key, length=10_000)
+        stream = ingest.ingest_chunk_stream(key, length=10_000)
+        assert len(stream) == 5000
+        assert np.array_equal(stream.materialize().pc, trace.pc)
+        with pytest.raises(ingest.IngestError, match="positive"):
+            ingest.ingest_chunk_stream(key, length=0)
 
     def test_unknown_key_says_ingest_first(self):
         with pytest.raises(ingest.IngestError, match="repro ingest"):
@@ -139,9 +166,21 @@ class TestWorkloadSpecIntegration:
         key = ingest.ingest_file(path).key
         workload = WorkloadSpec(f"ingest:{path}")
         assert workload.benchmark == f"ingest:{key}"
-        assert workload.length == 5000  # clamped to the record count
+        assert workload.length == 30_000  # kept verbatim; serving clamps
         assert workload.resolved_seed() == 0
         assert workload.source() == ("ingest", key)
+
+    def test_canonical_form_is_machine_independent(self, foreign):
+        """Key-spelled workloads normalize identically with and without
+        the trace data cached locally — no length clamp at construction,
+        so cache/coalescing keys never split across machines."""
+        path, _ = foreign
+        key = ingest.ingest_file(path).key
+        with_data = WorkloadSpec(f"ingest:{key}", 9_999)
+        assert with_data.length == 9_999
+        # a key this machine has never seen constructs the same way
+        cold = WorkloadSpec("ingest:" + "ab" * 32, 9_999)
+        assert cold.length == 9_999
 
     def test_seed_is_rejected(self, foreign):
         path, _ = foreign

@@ -87,6 +87,21 @@ class TestBatchToTrace:
         batch_to_trace({"opclass": [int(OpClass.BRANCH)]}, "t", warn.append)
         assert any("not taken" in w for w in warn)
 
+    def test_kernel_space_addresses_fold_to_signed64(self):
+        """u64 values past int64 (e.g. 0xffff800000000000) must not
+        escape as OverflowError; they fold by two's complement."""
+        warn: list[str] = []
+        chunk = batch_to_trace(
+            {"opclass": [int(OpClass.LOAD), int(OpClass.LOAD)],
+             "addr": [0xFFFF_8000_0000_0000, 0x1000],
+             "pc": [0xFFFF_FFFF_8010_0000, 0x400000]},
+            "t", warn.append)
+        assert chunk.addr[0] == 0xFFFF_8000_0000_0000 - (1 << 64)
+        assert chunk.addr[1] == 0x1000
+        assert chunk.pc[1] == 0x400000
+        assert any("outside int64" in w and "addr" in w for w in warn)
+        assert any("outside int64" in w and "pc" in w for w in warn)
+
     def test_out_of_range_codes_are_rejected(self):
         with pytest.raises(ValueError, match="out of range"):
             batch_to_trace({"opclass": [len(OpClass)]}, "t", lambda m: None)
