@@ -6,6 +6,9 @@ writing any code:
 * ``model <bench>``       — the Eq. 1 report and CPI stack for one benchmark
 * ``simulate <bench>``    — the detailed reference simulator
 * ``compare [bench...]``  — model vs simulation (the Figure-15 table)
+* ``corun <b1> <b2>...``  — multi-programmed co-run over a shared L2:
+  per-workload solo/co-run/model CPI, interference deltas and the
+  shared-L2 reconciliation (see docs/SCENARIOS.md)
 * ``iw <bench>``          — the IW curve, power-law fit and an ASCII plot
 * ``transient``           — the Figure-8 misprediction transient, plotted
 * ``experiment <name>``   — run any paper experiment (``fig15``, ``tab01`` …)
@@ -291,6 +294,83 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"mean |error| {sum(errors) / len(errors):.1%}, "
           f"worst {max(errors):.1%}")
     return 0
+
+
+def _corun_spec_from_args(args: argparse.Namespace, benchmarks):
+    """The :class:`repro.spec.CoRunSpec` an invocation describes.
+
+    Shared by ``repro corun`` and ``repro submit corun`` so the local and
+    service paths build byte-identical specs — and therefore the
+    identical content key — from the same flags.  The machine section
+    resolves through the usual layers (defaults < ``--spec`` file <
+    environment < flags) via :func:`_resolved_spec`.
+    """
+    from repro.spec import CoRunSpec, InterleaveSpec, SpecError
+
+    path = getattr(args, "corun_spec", None)
+    if path:
+        with open(path) as fh:
+            return CoRunSpec.from_json(fh.read())
+    if len(benchmarks) == 1 and benchmarks[0].endswith(".json"):
+        with open(benchmarks[0]) as fh:
+            return CoRunSpec.from_json(fh.read())
+    if len(benchmarks) < 2:
+        raise SpecError(
+            "a co-run needs at least 2 benchmarks (or --corun-spec PATH)")
+    base = _resolved_spec(args, benchmark=benchmarks[0])
+    return CoRunSpec(
+        workloads=tuple(base.workload.with_benchmark(name)
+                        for name in benchmarks),
+        machine=base.machine,
+        interleave=InterleaveSpec(
+            policy=getattr(args, "policy", None) or "cpi",
+            quantum=getattr(args, "quantum", None) or 64,
+            seed=getattr(args, "interleave_seed", None) or 0,
+        ),
+    )
+
+
+def cmd_corun(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.corun import corun_payload_checks, format_corun, run_corun
+    from repro.runner import artifacts
+    from repro.spec import SpecError
+    from repro.telemetry.manifest import build_manifest, write_manifest
+
+    try:
+        spec = _corun_spec_from_args(args, args.benchmarks or [])
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if _maybe_dump_spec(args, spec):
+        return 0
+    start = time.perf_counter()
+    payload = run_corun(spec, reuse=True, stream=args.stream,
+                        chunk_size=args.chunk_size)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_corun(payload))
+    failures = sum(not holds for _, holds, _ in corun_payload_checks(payload))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+        write_manifest(args.output, build_manifest(
+            command="corun",
+            config=spec.machine.to_config(),
+            spec=None,
+            wall_seconds=elapsed,
+            cache_stats=artifacts.cache_stats(),
+            wallclock={"total_s": elapsed},
+            extra={"corun_spec": spec.to_dict(),
+                   "content_key": payload["content_key"]},
+        ))
+    return 1 if failures else 0
 
 
 def cmd_iw(args: argparse.Namespace) -> int:
@@ -1000,6 +1080,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
             return 2
         with open(args.target[0]) as fh:
             params = {"search": json.load(fh)}
+    elif args.op == "corun":
+        from repro.spec import SpecError
+
+        try:
+            corun_spec = _corun_spec_from_args(args, list(args.target))
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if _maybe_dump_spec(args, corun_spec):
+            return 0
+        params = {"corun": corun_spec.to_dict()}
     try:
         with ServiceClient(host, port, timeout=args.timeout) as client:
             response = client.request(args.op, params or None,
@@ -1032,6 +1123,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(result["output"])
         for check in result["checks"]:
             print(check["text"])
+    elif args.op == "corun":
+        from repro.corun import format_corun
+
+        print(format_corun(result))
     elif args.op == "explore":
         print(f"{result['candidates']} candidates, "
               f"{len(result['promotions'])} promoted "
@@ -1128,6 +1223,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=None)
     add_spec(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "corun",
+        help="multi-programmed co-run over a shared L2 "
+             "(see docs/SCENARIOS.md)",
+    )
+    p.add_argument("benchmarks", nargs="*", type=_benchmark_arg,
+                   metavar="benchmark",
+                   help="two or more workloads to co-schedule (synthetic "
+                        "names or ingest:<key-or-path>)")
+    p.add_argument("--length", type=int, default=None,
+                   help="dynamic trace length per workload (default 30000)")
+    p.add_argument("--policy", choices=("cpi", "round_robin"), default=None,
+                   help="interleave policy (default cpi: "
+                        "cycle-proportional)")
+    p.add_argument("--quantum", type=int, default=None,
+                   help="round-robin turn length in instructions "
+                        "(default 64)")
+    p.add_argument("--interleave-seed", type=int, default=None,
+                   dest="interleave_seed",
+                   help="pinned interleave seed (default 0)")
+    p.add_argument("--corun-spec", default=None, metavar="PATH",
+                   dest="corun_spec",
+                   help="load the whole CoRunSpec from this JSON file "
+                        "(see examples/corun_spec.json)")
+    p.add_argument("--stream", action="store_true",
+                   help="feed the contended pass from the chunk store "
+                        "(O(chunk) trace memory; bit-identical results)")
+    p.add_argument("--chunk-size", type=int, default=None, dest="chunk_size",
+                   help="streaming chunk granularity in instructions")
+    p.add_argument("--json", action="store_true",
+                   help="print the full result payload as JSON")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the result JSON (plus run manifest) here")
+    add_spec(p)
+    p.set_defaults(func=cmd_corun)
 
     p = sub.add_parser("iw", help="measure and plot the IW characteristic")
     add_bench(p)
@@ -1400,10 +1531,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("op",
                    choices=("model", "simulate", "compare", "experiment",
-                            "explore", "ping", "metrics"))
+                            "explore", "corun", "ping", "metrics"))
     p.add_argument("target", nargs="*",
-                   help="benchmark name(s), experiment name, or a "
-                        "SearchSpec JSON path (explore)")
+                   help="benchmark name(s), experiment name, a SearchSpec "
+                        "JSON path (explore), or co-run benchmarks / a "
+                        "CoRunSpec JSON path (corun)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7333)
     p.add_argument("--router", default=None, metavar="HOST:PORT",

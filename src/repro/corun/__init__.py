@@ -1,0 +1,35 @@
+"""Multi-programmed co-run scenarios over a shared L2.
+
+The paper models one workload on a private memory hierarchy; this
+subsystem asks its natural follow-up question — does the first-order
+model's additive-penalty story survive shared-resource contention?  A
+:class:`~repro.spec.CoRunSpec` pins ≥2 workloads, one machine and a
+deterministic interleave policy; the contended functional pass
+(:mod:`repro.corun.contention`) measures each workload's elevated
+miss-event profile under shared-L2 pressure; and
+:func:`~repro.corun.scenario.run_corun` closes the loop by feeding those
+contended profiles back into :class:`~repro.core.model.FirstOrderModel`
+and reporting per-workload model-vs-simulation agreement.
+
+See docs/SCENARIOS.md for the spec grammar, policies and validation
+results.
+"""
+
+from repro.corun.contention import (
+    ADDRESS_OFFSET_BITS,
+    ContentionResult,
+    WorkloadContention,
+    run_contended_pass,
+)
+from repro.corun.interleave import interleave_order
+from repro.corun.scenario import corun_payload_checks, format_corun, run_corun
+
+__all__ = [
+    "ADDRESS_OFFSET_BITS",
+    "ContentionResult",
+    "WorkloadContention",
+    "corun_payload_checks",
+    "format_corun",
+    "interleave_order",
+    "run_corun",
+]

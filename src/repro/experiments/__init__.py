@@ -23,6 +23,7 @@ runnable as scripts: ``python -m repro.experiments.fig15_overall``.
 | fig19_ramp            | Figure 19 — inter-misprediction ramp |
 | val_assumptions       | §4.1/§4.3 in-text assumption checks |
 | val_additivity        | Eq. 1 — measured vs modeled CPI stack |
+| val_corun             | shared-L2 co-runs — model accuracy under contention |
 | cmp_statsim           | §1.2 — model vs statistical simulation |
 | sens_config           | robustness across machine configurations |
 | sens_predictor        | robustness across predictor quality |
@@ -50,6 +51,7 @@ from repro.experiments import (
     fig19_ramp,
     val_additivity,
     val_assumptions,
+    val_corun,
 )
 from repro.experiments.common import Claim, cached_trace, format_table
 from repro.experiments.runner import Report, run_all
@@ -72,6 +74,7 @@ ALL_EXPERIMENTS = (
     fig19_ramp,
     val_assumptions,
     val_additivity,
+    val_corun,
     cmp_statsim,
     sens_config,
     sens_length,

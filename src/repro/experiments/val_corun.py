@@ -1,0 +1,237 @@
+"""Co-run validation — the additive-penalty story under contention.
+
+The paper validates the first-order model on one workload over a private
+memory hierarchy.  This experiment asks the natural multi-programmed
+follow-up: when two workloads share the unified L2
+(:mod:`repro.corun`), each sees an *elevated* long-miss rate — does the
+model, fed those contention-elevated miss-event profiles, still predict
+each workload's co-run CPI within the solo validation band?  Three
+agreement bands per workload: solo CPI (private L2), co-run CPI
+(detailed simulation on the contended annotations) and the model's
+prediction from the contended profile.
+
+One pair mixes a synthetic workload with an ingested foreign trace
+(``examples/sample_trace.csv``) when the file is available, exercising
+the scenario space the ingestion layer opened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import ProcessorConfig
+from repro.experiments.common import (
+    BASELINE,
+    DEFAULT_TRACE_LENGTH,
+    Claim,
+    WorkloadSpec,
+    cached_trace,
+    format_table,
+    workload_for,
+)
+
+#: co-scheduled pairs (synthetic×synthetic); chosen to mix a low-miss
+#: workload (gzip, vpr) with a memory-bound one (mcf, twolf)
+PAIRS = (("gzip", "mcf"), ("vpr", "twolf"))
+
+#: |model - simulated| co-run CPI band — the *solo* validation band of
+#: val_additivity, reused unchanged: contention must not cost accuracy
+TOTAL_BAND = 0.35
+
+#: default per-workload length: half the solo validation length, so the
+#: *merged* co-run puts the same total footprint on the shared L2 as
+#: one solo validation run.  This keeps the contended long-miss rates
+#: inside the envelope the paper validates the model in; far outside it
+#: (long/ld >~ 0.05) the additive first-order model underpredicts badly
+#: even for SOLO runs (a 30k vpr over a 32 KB private L2 simulates at
+#: CPI 3.8 vs model 1.8), so larger lengths measure the model's known
+#: breakdown regime, not the contention subsystem.
+CORUN_TRACE_LENGTH = DEFAULT_TRACE_LENGTH // 2
+
+#: the foreign trace for the synthetic×ingested pair
+INGEST_SAMPLE = Path(__file__).resolve().parents[3] / "examples" \
+    / "sample_trace.csv"
+
+
+@dataclass(frozen=True)
+class CoRunRow:
+    """One workload's three agreement numbers inside one co-run."""
+
+    benchmark: str
+    solo_cpi: float
+    corun_cpi: float
+    model_cpi: float
+    solo_rate: float
+    corun_rate: float
+    stack_residual: float
+
+    @property
+    def model_error(self) -> float:
+        return self.model_cpi - self.corun_cpi
+
+    @property
+    def cpi_degradation(self) -> float:
+        return self.corun_cpi - self.solo_cpi
+
+
+@dataclass(frozen=True)
+class CoRunPair:
+    """One evaluated co-run: its rows plus the shared-L2 reconciliation."""
+
+    label: str
+    rows: tuple[CoRunRow, ...]
+    reconciled: bool
+    content_key: str
+
+
+@dataclass(frozen=True)
+class CoRunValidationResult:
+    pairs: tuple[CoRunPair, ...]
+    skipped: tuple[str, ...] = ()
+
+    def all_rows(self) -> list[CoRunRow]:
+        return [row for pair in self.pairs for row in pair.rows]
+
+    def format(self) -> str:
+        out = format_table(
+            ("pair / workload", "solo CPI", "corun CPI", "model CPI",
+             "error", "dCPI", "dlong/ld"),
+            [
+                (f"{pair.label}: {row.benchmark}",
+                 row.solo_cpi, row.corun_cpi, row.model_cpi,
+                 row.model_error, row.cpi_degradation,
+                 row.corun_rate - row.solo_rate)
+                for pair in self.pairs
+                for row in pair.rows
+            ],
+        )
+        if self.skipped:
+            out += "\n(skipped: " + "; ".join(self.skipped) + ")"
+        return out
+
+    def checks(self) -> list[Claim]:
+        rows = self.all_rows()
+        claims = [
+            Claim(
+                "shared-L2 contention elevates every workload's long-miss "
+                "rate at or above its solo rate",
+                all(r.corun_rate >= r.solo_rate for r in rows),
+                "; ".join(f"{r.benchmark} {r.solo_rate:.4f}->"
+                          f"{r.corun_rate:.4f}" for r in rows),
+            ),
+            Claim(
+                "every workload's co-run CPI is at or above its solo CPI",
+                all(r.corun_cpi >= r.solo_cpi for r in rows),
+                "; ".join(f"{r.benchmark} {r.solo_cpi:.3f}->"
+                          f"{r.corun_cpi:.3f}" for r in rows),
+            ),
+            Claim(
+                "the model, fed contended miss-event profiles, predicts "
+                f"each workload's co-run CPI within {TOTAL_BAND} CPI "
+                "(the solo validation band)",
+                all(abs(r.model_error) < TOTAL_BAND for r in rows),
+                f"worst |model - sim| "
+                f"{max(abs(r.model_error) for r in rows):.3f}",
+            ),
+            Claim(
+                "each workload's measured co-run CPI stack sums to its "
+                "simulated CPI",
+                all(r.stack_residual < 1e-9 for r in rows),
+                f"worst residual "
+                f"{max(r.stack_residual for r in rows):.2e}",
+            ),
+            Claim(
+                "shared-L2 counters reconcile with the per-workload sums "
+                "in every co-run",
+                all(pair.reconciled for pair in self.pairs),
+                ", ".join(f"{p.label}: "
+                          f"{'ok' if p.reconciled else 'MISMATCH'}"
+                          for p in self.pairs),
+            ),
+        ]
+        return claims
+
+
+def _ingested_workload(trace_length: int) -> WorkloadSpec | None:
+    """The sample foreign trace as a workload, or ``None`` if absent.
+
+    The served length is whatever the file actually holds (the sample
+    carries 5000 records), clamped to the requested experiment length.
+    """
+    if not INGEST_SAMPLE.is_file():
+        return None
+    from repro.spec import SpecError
+
+    try:
+        probe = WorkloadSpec(f"ingest:{INGEST_SAMPLE}", length=trace_length)
+        trace = cached_trace(probe)
+    except (SpecError, OSError):
+        return None
+    return WorkloadSpec(probe.benchmark, len(trace))
+
+
+def _pair_result(spec, label: str) -> CoRunPair:
+    from repro.corun import run_corun
+
+    payload = run_corun(spec)
+    rows = tuple(
+        CoRunRow(
+            benchmark=row["benchmark"][:28],
+            solo_cpi=row["solo"]["cpi"],
+            corun_cpi=row["corun"]["cpi"],
+            model_cpi=row["model"]["cpi"],
+            solo_rate=row["solo"]["long_miss_rate"],
+            corun_rate=row["corun"]["long_miss_rate"],
+            stack_residual=abs(row["corun"]["stack_total"]
+                               - row["corun"]["cpi"]),
+        )
+        for row in payload["workloads"]
+    )
+    return CoRunPair(
+        label=label,
+        rows=rows,
+        reconciled=bool(payload["shared_l2"]["reconciled"]),
+        content_key=payload["content_key"],
+    )
+
+
+def run(
+    pairs: tuple[tuple[str, str], ...] = PAIRS,
+    trace_length: int = CORUN_TRACE_LENGTH,
+    config: ProcessorConfig = BASELINE,
+    workload: WorkloadSpec | None = None,
+) -> CoRunValidationResult:
+    from repro.spec import CoRunSpec, MachineSpec
+
+    machine = MachineSpec.from_config(config)
+    results: list[CoRunPair] = []
+    skipped: list[str] = []
+    for a, b in pairs:
+        spec = CoRunSpec(
+            workloads=(workload_for(workload, a, trace_length),
+                       workload_for(workload, b, trace_length)),
+            machine=machine,
+        )
+        results.append(_pair_result(spec, f"{a}+{b}"))
+
+    ingested = _ingested_workload(trace_length)
+    if ingested is None:
+        skipped.append("synthetic x ingested pair "
+                       f"({INGEST_SAMPLE.name} unavailable)")
+    else:
+        spec = CoRunSpec(
+            workloads=(workload_for(workload, "gzip", trace_length),
+                       ingested),
+            machine=machine,
+        )
+        results.append(_pair_result(spec, "gzip+ingested"))
+    return CoRunValidationResult(pairs=tuple(results),
+                                 skipped=tuple(skipped))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    result = run()
+    print(result.format())
+    for claim in result.checks():
+        print(claim)

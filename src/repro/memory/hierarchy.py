@@ -62,13 +62,30 @@ class CacheHierarchy:
     ``ideal_dcache``) always report :attr:`AccessOutcome.L1_HIT` without
     touching cache state, matching the paper's "everything ideal except…"
     configurations.
+
+    ``shared_l2`` injects an externally-owned L2 :class:`Cache` instead of
+    building a private one — the multi-programmed co-run substrate
+    (:mod:`repro.corun`) gives each workload its own hierarchy (private
+    L1s, private statistics) over one shared L2 object, so contention is
+    modeled purely through cache state while every per-workload counter
+    stays attributable.  The injected cache must match ``config.l2``'s
+    geometry; its statistics aggregate across all sharers.
     """
 
-    def __init__(self, config: HierarchyConfig | None = None):
+    def __init__(self, config: HierarchyConfig | None = None,
+                 shared_l2: Cache | None = None):
         self.config = config or HierarchyConfig()
         self.l1i = Cache(self.config.l1i, "L1I")
         self.l1d = Cache(self.config.l1d, "L1D")
-        self.l2 = Cache(self.config.l2, "L2")
+        if shared_l2 is not None and shared_l2.geometry != self.config.l2:
+            raise ValueError(
+                f"shared L2 geometry {shared_l2.geometry} does not match "
+                f"the hierarchy's l2 config {self.config.l2}"
+            )
+        self.l2 = shared_l2 if shared_l2 is not None else Cache(
+            self.config.l2, "L2")
+        #: whether :attr:`l2` is owned by someone else (co-run sharing)
+        self.l2_shared = shared_l2 is not None
         self.istats = HierarchyStats()
         self.dstats = HierarchyStats()
 

@@ -47,8 +47,10 @@ DEFAULT_TRACE_LENGTH = 30_000
 #: 7 added the ``fleet`` routed-evaluation scenario — 1-node vs 3-node
 #: rps/latency/warm-hit-ratio plus a SIGKILL failover replay; 8 added
 #: the ``ingestion`` foreign-trace scenario — cold parse→chunk-store
-#: throughput, warm source-index probe, warm mmap delivery)
-BENCH_SCHEMA = 8
+#: throughput, warm source-index probe, warm mmap delivery; 9 added the
+#: ``corun`` shared-L2 scenario — co-run evaluation vs 2× solo runs,
+#: warm cache-served repeat, and per-workload interference deltas)
+BENCH_SCHEMA = 9
 
 
 def _best_of(runs: int, fn) -> float:
@@ -620,6 +622,83 @@ def bench_ingestion(benchmarks, length: int, runs: int,
     }
 
 
+#: trace length cap for the co-run scenario — the contended pass walks
+#: the merged stream one instruction at a time, so the scenario stays
+#: bounded regardless of the bench's headline length
+CORUN_BENCH_LENGTH = 10_000
+
+
+def bench_corun(length: int, runs: int, progress=None) -> dict:
+    """Shared-L2 co-run scenario (schema 9).
+
+    Times a 2-workload co-run (:func:`repro.corun.run_corun`) against
+    the sum of its two solo simulations, all against an isolated cache
+    root: the cold co-run (solo baselines + contended functional pass +
+    two detailed simulations + two model evaluations), the two solo
+    pipelines alone (the work a user would do instead), and the warm
+    repeat, which must be served whole from the artifact cache.  The
+    per-workload interference deltas — CPI degradation and long-miss
+    elevation — are recorded from the payload, so the bench document
+    doubles as a contention regression reference.
+    """
+    import tempfile
+
+    from repro.corun import run_corun
+    from repro.runner.pool import execute_spec
+    from repro.spec import CoRunSpec, WorkloadSpec
+
+    corun_len = min(length, CORUN_BENCH_LENGTH)
+    pair = ("gzip", "mcf")
+    spec = CoRunSpec(workloads=tuple(
+        WorkloadSpec(name, corun_len) for name in pair))
+
+    def solo_pair():
+        for i in range(len(pair)):
+            execute_spec(spec.solo_spec(i), reuse_result=False)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-corun-") as tmp:
+        if progress:
+            progress(f"corun: 2x solo baseline ({'+'.join(pair)})")
+        with _cache_disabled():
+            solo_s = _best_of(runs, solo_pair)
+
+        if progress:
+            progress("corun: cold shared-L2 co-run")
+        cold_s = float("inf")
+        for attempt in range(max(1, runs)):
+            with _env.cache_dir_scope(Path(tmp) / f"cold{attempt}"):
+                start = time.perf_counter()
+                payload = run_corun(spec)
+                cold_s = min(cold_s, time.perf_counter() - start)
+
+        if progress:
+            progress("corun: warm cache-served repeat")
+        with _env.cache_dir_scope(Path(tmp) / "warm"):
+            run_corun(spec)  # prime
+            warm_s = _best_of(runs, lambda: run_corun(spec))
+
+    return {
+        "benchmarks": list(pair),
+        "trace_length": corun_len,
+        "policy": payload["interleave"]["policy"],
+        "content_key": payload["content_key"],
+        "solo_pair_s": solo_s,
+        "cold_corun_s": cold_s,
+        "corun_overhead": cold_s / solo_s,
+        "warm_corun_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "interference": [
+            {
+                "benchmark": row["benchmark"],
+                "cpi_degradation": row["interference"]["cpi_degradation"],
+                "long_miss_elevation":
+                    row["interference"]["long_miss_elevation"],
+            }
+            for row in payload["workloads"]
+        ],
+    }
+
+
 #: trace length for the fleet scenario — short on purpose, so request
 #: latency is dominated by the workload's fixed chaos service time and
 #: the scaling numbers measure the fleet, not the model kernel
@@ -676,6 +755,7 @@ def run_bench(
         benchmarks, length, runs, progress))
     ingestion = timed("ingestion", lambda: bench_ingestion(
         benchmarks, length, runs, progress))
+    corun = timed("corun", lambda: bench_corun(length, runs, progress))
     fleet = timed("fleet", lambda: bench_fleet_scenario(progress))
 
     def total(field: str) -> float:
@@ -718,6 +798,7 @@ def run_bench(
         "explore": explore,
         "trace": trace,
         "ingestion": ingestion,
+        "corun": corun,
         "fleet": fleet,
         "section_seconds": section_seconds,
     }
@@ -860,6 +941,23 @@ def format_bench(doc: dict) -> str:
             f"probe {ingestion['warm_probe_s'] * 1e3:.1f}ms "
             f"({ingestion['warm_speedup']:.0f}x), warm mmap delivery "
             f"{ingestion['delivery_warm_mi_s']:.1f} MI/s",
+        ]
+    corun = doc.get("corun")
+    if corun:  # absent before schema 9
+        deltas = "; ".join(
+            f"{row['benchmark']} +{row['cpi_degradation']:.3f} CPI, "
+            f"+{row['long_miss_elevation']:.4f} long/ld"
+            for row in corun["interference"])
+        lines += [
+            "",
+            f"corun ({'+'.join(corun['benchmarks'])}, "
+            f"{corun['trace_length']:,} instructions each, "
+            f"policy {corun['policy']}): 2x solo "
+            f"{corun['solo_pair_s']:.3f}s vs cold co-run "
+            f"{corun['cold_corun_s']:.3f}s "
+            f"({corun['corun_overhead']:.2f}x), warm repeat "
+            f"{corun['warm_corun_s'] * 1e3:.1f}ms "
+            f"({corun['warm_speedup']:.0f}x); interference: {deltas}",
         ]
     return "\n".join(lines)
 

@@ -10,6 +10,8 @@ entry points and returns a plain-JSON payload:
 * ``experiment`` — any registered paper experiment, formatted
 * ``explore``    — a surrogate-guided design-space search
   (:func:`repro.explore.run_search`)
+* ``corun``      — a multi-programmed shared-L2 co-run
+  (:func:`repro.corun.run_corun`)
 
 ``model`` and ``simulate`` requests carry a :class:`repro.spec.RunSpec`
 payload: ``{"spec": {...}}``.  Normalization
@@ -54,7 +56,7 @@ CONFIG_FIELDS = ("pipeline_depth", "width", "window_size", "rob_size")
 DEFAULT_LENGTH = 30_000
 
 #: ops the scheduler will run on the pool
-OPS = ("model", "simulate", "compare", "experiment", "explore")
+OPS = ("model", "simulate", "compare", "experiment", "explore", "corun")
 
 
 def _benchmarks() -> tuple[str, ...]:
@@ -261,6 +263,41 @@ def _normalize_search(params: dict) -> dict:
     return search.to_dict()
 
 
+def _normalize_corun(payload) -> dict:
+    """Canonicalize a ``corun`` request's spec payload.
+
+    Every workload's benchmark is wire-checked *before* spec
+    construction (same server-side path-resolution hazard as
+    :func:`_check_wire_workload`), then synthetic ``seed: null``
+    workloads are pinned to their resolved seeds — so the implicit and
+    explicit spellings of one co-run normalize, coalesce and cache
+    identically, mirroring :meth:`repro.spec.CoRunSpec.content_key`.
+    """
+    from repro.spec import CoRunSpec, SpecError
+
+    if isinstance(payload, dict) and isinstance(
+            payload.get("workloads"), list):
+        for workload in payload["workloads"]:
+            if isinstance(workload, dict) and isinstance(
+                    workload.get("benchmark"), str):
+                _check_benchmark(workload["benchmark"])
+    try:
+        spec = CoRunSpec.from_dict(payload)
+    except SpecError as exc:
+        raise ProtocolError(f"invalid corun spec: {exc}") from exc
+    from repro.trace.sources import workload_scheme
+
+    resolved = tuple(
+        dataclasses.replace(w, seed=w.resolved_seed())
+        if w.seed is None and workload_scheme(w.benchmark) == "synthetic"
+        else w
+        for w in spec.workloads
+    )
+    if resolved != spec.workloads:
+        spec = dataclasses.replace(spec, workloads=resolved)
+    return spec.to_dict()
+
+
 def normalize_params(op: str, params: dict) -> dict:
     """Validate ``params`` for ``op`` and fill every default in.
 
@@ -297,6 +334,13 @@ def normalize_params(op: str, params: dict) -> dict:
             raise ProtocolError("'benchmarks' must be a list")
         out["benchmarks"] = [_check_benchmark(b) for b in benchmarks]
         out["length"] = _check_length(params.get("length", DEFAULT_LENGTH))
+    elif op == "corun":
+        known |= {"corun"}
+        if "corun" not in params:
+            raise ProtocolError(
+                "'corun' requires a 'corun' object: "
+                "{'corun': <CoRunSpec dict>} (see docs/SCENARIOS.md)")
+        out["corun"] = _normalize_corun(params["corun"])
     elif op == "experiment":
         known |= {"name"}
         from repro.experiments import experiment_registry
@@ -424,6 +468,16 @@ def _eval_experiment(params: dict) -> dict:
     }
 
 
+def _eval_corun(params: dict) -> dict:
+    from repro.corun import run_corun
+    from repro.spec import CoRunSpec
+
+    spec = CoRunSpec.from_dict(params["corun"])
+    # run_corun stores the payload under CoRunSpec.content_key() — the
+    # identical artifact an in-process or CLI evaluation would produce
+    return run_corun(spec, reuse=True)
+
+
 def _eval_explore(params: dict) -> dict:
     from repro.explore import SearchSpec, run_search
 
@@ -441,6 +495,7 @@ _EVALUATORS = {
     "compare": _eval_compare,
     "experiment": _eval_experiment,
     "explore": _eval_explore,
+    "corun": _eval_corun,
 }
 
 

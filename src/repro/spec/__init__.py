@@ -6,6 +6,7 @@ See docs/CONFIGURATION.md for the schema, the resolution precedence
 variable registry (:mod:`repro.spec.env`).
 """
 
+from repro.spec.corun import CORUN_SCHEMA, CoRunSpec, InterleaveSpec
 from repro.spec.fleet import FleetSpec
 from repro.spec.specs import (
     PREDICTORS,
@@ -25,11 +26,14 @@ from repro.spec.specs import (
 from repro.spec.resolve import load_spec_file, resolve_spec
 
 __all__ = [
+    "CORUN_SCHEMA",
     "PREDICTORS",
     "SPEC_SCHEMA",
     "CacheSpec",
+    "CoRunSpec",
     "EngineSpec",
     "FleetSpec",
+    "InterleaveSpec",
     "HierarchySpec",
     "MachineSpec",
     "ObsSpec",

@@ -1,0 +1,205 @@
+"""Co-run specifications: multiple workloads sharing one machine's L2.
+
+A :class:`CoRunSpec` describes a multi-programmed scenario — an *ordered*
+list of at least two :class:`WorkloadSpec`s co-scheduled on a single
+:class:`MachineSpec` whose unified L2 they share — plus an
+:class:`InterleaveSpec` pinning how the per-workload access streams merge.
+It reuses the canonical-JSON / content-key machinery of
+:mod:`repro.spec.specs` verbatim, so co-run results cache, coalesce and
+shard through the runner, service and fleet exactly like single-workload
+results: one spec, one key, wherever it is evaluated.
+
+Workload order is significant (it breaks interleave ties and labels the
+result rows), so two co-runs of the same set in different orders key
+differently on purpose.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.spec.specs import (
+    SPEC_SCHEMA,
+    MachineSpec,
+    SpecError,
+    WorkloadSpec,
+    _check_fields,
+    _construct,
+    _require_mapping,
+)
+
+__all__ = ["CORUN_SCHEMA", "INTERLEAVE_POLICIES", "CoRunSpec",
+           "InterleaveSpec"]
+
+#: co-run wire-format version; history:
+#:   1 — initial (workloads + machine + interleave)
+CORUN_SCHEMA = 1
+
+#: recognized interleave policies (see :mod:`repro.corun.interleave`)
+INTERLEAVE_POLICIES = ("cpi", "round_robin")
+
+
+@dataclass(frozen=True)
+class InterleaveSpec:
+    """How per-workload access streams merge onto the shared L2.
+
+    ``policy="cpi"`` advances each workload in proportion to its solo
+    execution rate (cycle-proportional: the workload with the least
+    consumed virtual time goes next), which is the deterministic stand-in
+    for "both cores run concurrently".  ``policy="round_robin"`` alternates
+    fixed ``quantum``-instruction turns.  Both are fully deterministic;
+    ``seed`` is pinned into the content key so any future stochastic
+    policy cannot silently alias results with a deterministic one.
+    """
+
+    policy: str = "cpi"
+    quantum: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in INTERLEAVE_POLICIES:
+            raise SpecError(
+                f"unknown interleave policy {self.policy!r}; one of "
+                + ", ".join(INTERLEAVE_POLICIES)
+            )
+        if (not isinstance(self.quantum, int)
+                or isinstance(self.quantum, bool) or self.quantum < 1):
+            raise SpecError("interleave quantum must be a positive integer")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise SpecError("interleave seed must be an integer")
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "InterleaveSpec":
+        return _construct(
+            cls,
+            _check_fields(_require_mapping(data, "interleave"), cls,
+                          "interleave"),
+            "interleave")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class CoRunSpec:
+    """One multi-programmed co-run: ≥2 workloads over a shared L2."""
+
+    workloads: tuple[WorkloadSpec, ...]
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    interleave: InterleaveSpec = field(default_factory=InterleaveSpec)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workloads, list):
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+        if not isinstance(self.workloads, tuple) or not all(
+                isinstance(w, WorkloadSpec) for w in self.workloads):
+            raise SpecError("co-run workloads must be a list of workloads")
+        if len(self.workloads) < 2:
+            raise SpecError(
+                f"a co-run needs at least 2 workloads, got "
+                f"{len(self.workloads)}")
+        if not isinstance(self.machine, MachineSpec):
+            raise SpecError("co-run machine must be a machine spec")
+        if not isinstance(self.interleave, InterleaveSpec):
+            raise SpecError("co-run interleave must be an interleave spec")
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_schema": SPEC_SCHEMA,
+            "corun_schema": CORUN_SCHEMA,
+            "machine": self.machine.to_dict(),
+            "workloads": [w.to_dict() for w in self.workloads],
+            "interleave": self.interleave.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "CoRunSpec":
+        out = _require_mapping(data, "corun spec")
+        schema = out.pop("spec_schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise SpecError(
+                f"unsupported spec_schema {schema!r} (this release reads "
+                f"{SPEC_SCHEMA})"
+            )
+        corun_schema = out.pop("corun_schema", CORUN_SCHEMA)
+        if corun_schema != CORUN_SCHEMA:
+            raise SpecError(
+                f"unsupported corun_schema {corun_schema!r} (this release "
+                f"reads {CORUN_SCHEMA})"
+            )
+        unknown = set(out) - {"machine", "workloads", "interleave"}
+        if unknown:
+            raise SpecError(
+                f"unknown corun spec section(s): {sorted(unknown)}")
+        if "workloads" not in out:
+            raise SpecError("a corun spec requires a 'workloads' section")
+        workloads = out["workloads"]
+        if not isinstance(workloads, list):
+            raise SpecError("corun 'workloads' must be a JSON array")
+        return cls(
+            workloads=tuple(
+                WorkloadSpec.from_dict(w) for w in workloads),
+            machine=MachineSpec.from_dict(out.get("machine", {})),
+            interleave=InterleaveSpec.from_dict(out.get("interleave", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoRunSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"corun spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- keying ----------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """Fully-resolved canonical form (workload seeds resolved)."""
+        out = self.to_dict()
+        out["workloads"] = [w.canonical() for w in self.workloads]
+        return out
+
+    def result_recipe(self) -> dict:
+        """What the co-run result is a pure function of.
+
+        The shared machine, every resolved workload *in order*, and the
+        interleave policy.  Engine/telemetry-style knobs do not exist at
+        this level: the co-run reference path always runs the detailed
+        timing engines with telemetry on.
+        """
+        return {
+            "spec_schema": SPEC_SCHEMA,
+            "corun_schema": CORUN_SCHEMA,
+            "machine": self.machine.canonical(),
+            "workloads": [w.canonical() for w in self.workloads],
+            "interleave": self.interleave.to_dict(),
+        }
+
+    def content_key(self) -> str:
+        """The artifact-cache key of this co-run's result.
+
+        Shared by in-process execution (:func:`repro.corun.run_corun`),
+        the ``repro corun`` CLI, and the ``corun`` service op — one spec,
+        one key, one cache entry, one coalescing/fleet shard.
+        """
+        from repro.runner.artifacts import artifact_key
+
+        return artifact_key("corun", self.result_recipe())
+
+    def solo_spec(self, index: int) -> "Any":
+        """The single-workload :class:`RunSpec` for ``workloads[index]``.
+
+        Solo runs use the same machine with a private L2 — the baseline
+        each workload's interference metrics are measured against.
+        """
+        from repro.spec.specs import RunSpec
+
+        return RunSpec(workload=self.workloads[index], machine=self.machine)

@@ -1,0 +1,113 @@
+"""The ``repro corun`` command and the benchmark-scheme audit."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.spec import CoRunSpec
+
+LENGTH = 1_200
+
+#: a syntactically valid ingest reference (64-hex content key)
+INGEST_KEY = "ingest:" + "ab" * 32
+
+
+class TestParser:
+    def test_corun_args(self):
+        args = build_parser().parse_args(
+            ["corun", "gzip", "mcf", "--length", "2000",
+             "--policy", "round_robin", "--quantum", "16",
+             "--interleave-seed", "3", "--stream", "--chunk-size", "512",
+             "--json"])
+        assert args.benchmarks == ["gzip", "mcf"]
+        assert args.policy == "round_robin" and args.quantum == 16
+        assert args.interleave_seed == 3
+        assert args.stream and args.chunk_size == 512
+
+    def test_corun_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corun", "gzip", "mcf",
+                                       "--policy", "lottery"])
+
+    def test_submit_accepts_corun_op(self):
+        args = build_parser().parse_args(
+            ["submit", "corun", "gzip", "mcf", "--length", "2000"])
+        assert args.op == "corun" and args.target == ["gzip", "mcf"]
+
+
+class TestBenchmarkSchemes:
+    """Satellite audit: every benchmark-taking command accepts the full
+    workload grammar — bare names, ``synthetic:``, ``ingest:`` — and
+    rejects unknown synthetic profiles at parse time."""
+
+    MULTI = ("compare", "stats", "corun")
+    SINGLE = ("model", "simulate", "profile", "timeline", "explore")
+
+    @pytest.mark.parametrize("command", MULTI)
+    def test_multi_benchmark_commands_accept_schemes(self, command):
+        args = build_parser().parse_args(
+            [command, "synthetic:gzip", INGEST_KEY, "mcf"])
+        assert args.benchmarks == ["synthetic:gzip", INGEST_KEY, "mcf"]
+
+    @pytest.mark.parametrize("command", SINGLE)
+    @pytest.mark.parametrize("workload",
+                             ["gzip", "synthetic:gzip", INGEST_KEY])
+    def test_single_benchmark_commands_accept_schemes(self, command,
+                                                      workload):
+        args = build_parser().parse_args([command, workload])
+        assert args.benchmark == workload
+
+    @pytest.mark.parametrize("command", MULTI)
+    def test_unknown_synthetic_rejected_at_parse_time(self, command):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "gzip", "spec2017"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "gzip",
+                                       "synthetic:spec2017"])
+
+
+class TestCommand:
+    def test_needs_two_benchmarks(self, capsys):
+        assert main(["corun", "gzip"]) == 2
+        assert "at least 2" in capsys.readouterr().err
+
+    def test_dump_spec_skips_the_run(self, capsys):
+        assert main(["corun", "gzip", "mcf", "--length", "500",
+                     "--dump-spec"]) == 0
+        spec = CoRunSpec.from_json(capsys.readouterr().out)
+        assert [w.benchmark for w in spec.workloads] == ["gzip", "mcf"]
+        assert all(w.length == 500 for w in spec.workloads)
+
+    def test_table_output(self, capsys):
+        assert main(["corun", "gzip", "mcf", "--length",
+                     str(LENGTH)]) == 0
+        out = capsys.readouterr().out
+        assert "content key:" in out and "shared L2:" in out
+        assert "reconciled" in out
+
+    def test_json_output_and_manifest(self, tmp_path, capsys):
+        out_path = tmp_path / "corun.json"
+        assert main(["corun", "gzip", "mcf", "--length", str(LENGTH),
+                     "--json", "-o", str(out_path)]) == 0
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout[:stdout.index("\nwrote ") + 1])
+        assert payload["content_key"]
+        assert json.loads(out_path.read_text()) == payload
+        manifest = json.loads(
+            (tmp_path / "run_manifest.json").read_text())
+        assert manifest["command"] == "corun"
+        assert manifest["content_key"] == payload["content_key"]
+        assert (CoRunSpec.from_dict(manifest["corun_spec"])
+                .content_key() == payload["content_key"])
+
+    def test_spec_file_round_trips_through_the_cli(self, tmp_path, capsys):
+        assert main(["corun", "gzip", "mcf", "--length", str(LENGTH),
+                     "--dump-spec"]) == 0
+        spec_text = capsys.readouterr().out
+        path = tmp_path / "pair.json"
+        path.write_text(spec_text)
+        assert main(["corun", "--corun-spec", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert (payload["content_key"]
+                == CoRunSpec.from_json(spec_text).content_key())

@@ -1,0 +1,211 @@
+"""Shared-L2 contended pass: monotonicity, reconciliation, determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.corun.contention import run_contended_pass
+from repro.corun.interleave import interleave_order
+from repro.frontend.collector import CollectorConfig, collect_events
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import CacheHierarchy
+from repro.trace.synthetic import generate_trace
+
+LENGTH = 1_500
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return (generate_trace("gzip", LENGTH), generate_trace("mcf", LENGTH))
+
+
+@pytest.fixture(scope="module")
+def pressure_config(request):
+    small = request.getfixturevalue("small_l2_hierarchy")
+    return CollectorConfig(hierarchy=small)
+
+
+def contended(traces, config, chunk_size=None):
+    def source_for(trace):
+        if chunk_size is None:
+            return lambda: iter((trace,))
+        return lambda: iter(
+            trace[k:k + chunk_size]
+            for k in range(0, len(trace), chunk_size))
+
+    lengths = [len(t) for t in traces]
+    order = interleave_order(lengths)
+    return run_contended_pass(
+        [source_for(t) for t in traces], lengths, order, config)
+
+
+class TestSharedHierarchy:
+    def test_injected_l2_is_shared_object(self, pressure_config):
+        shared = Cache(pressure_config.hierarchy.l2, "L2(shared)")
+        a = CacheHierarchy(pressure_config.hierarchy, shared_l2=shared)
+        b = CacheHierarchy(pressure_config.hierarchy, shared_l2=shared)
+        assert a.l2 is shared and b.l2 is shared
+        assert a.l2_shared and b.l2_shared
+
+    def test_private_l2_by_default(self, pressure_config):
+        hierarchy = CacheHierarchy(pressure_config.hierarchy)
+        assert not hierarchy.l2_shared
+
+    def test_geometry_mismatch_rejected(self, pressure_config, baseline):
+        wrong = Cache(baseline.hierarchy.l2, "L2")
+        with pytest.raises(ValueError, match="geometry"):
+            CacheHierarchy(pressure_config.hierarchy, shared_l2=wrong)
+
+
+class TestContendedPass:
+    def test_l1_behavior_matches_solo(self, traces, pressure_config):
+        """The address offset preserves each workload's own stream: its
+        branch/load/fetch populations are exactly its solo ones."""
+        result = contended(traces, pressure_config)
+        for trace, counts in zip(traces, result.workloads):
+            solo = collect_events(trace, pressure_config)
+            assert counts.branch_count == solo.branch_count
+            assert counts.load_count == solo.load_count
+            assert counts.fetch_line_accesses == solo.fetch_line_accesses
+            assert counts.misprediction_count == solo.misprediction_count
+
+    def test_contention_only_elevates_long_misses(self, traces,
+                                                  pressure_config):
+        """Disjoint tags + per-set LRU: every solo L2 miss survives under
+        contention, so contended long-miss counts are >= solo."""
+        result = contended(traces, pressure_config)
+        elevated = 0
+        for trace, counts in zip(traces, result.workloads):
+            solo = collect_events(trace, pressure_config)
+            assert counts.dcache_long_count >= solo.dcache_long_count
+            assert counts.icache_long_count >= solo.icache_long_count
+            elevated += (counts.dcache_long_count - solo.dcache_long_count)
+        # the 16 KB pressure L2 must actually produce interference,
+        # otherwise the monotonicity assertions above are vacuous
+        assert elevated > 0
+
+    def test_shared_counters_reconcile(self, traces, pressure_config):
+        result = contended(traces, pressure_config)
+        assert result.shared_l2_accesses == sum(
+            c.l2_accesses for c in result.workloads)
+        assert result.shared_l2_misses == sum(
+            c.l2_misses for c in result.workloads)
+
+    def test_annotations_cover_trace_length(self, traces, pressure_config):
+        result = contended(traces, pressure_config)
+        for trace, counts in zip(traces, result.workloads):
+            ann = counts.annotations
+            assert len(ann.fetch_stall) == len(trace)
+            assert counts.dcache_long_count == int(
+                np.count_nonzero(ann.long_miss))
+            assert counts.misprediction_count == int(
+                np.count_nonzero(ann.mispredicted))
+
+    @pytest.mark.parametrize("chunk_size", [7, 997])
+    def test_chunk_size_never_changes_the_result(self, traces,
+                                                 pressure_config,
+                                                 chunk_size):
+        whole = contended(traces, pressure_config)
+        chunked = contended(traces, pressure_config, chunk_size=chunk_size)
+        assert whole.shared_l2_accesses == chunked.shared_l2_accesses
+        assert whole.shared_l2_misses == chunked.shared_l2_misses
+        for a, b in zip(whole.workloads, chunked.workloads):
+            assert a.dcache_long_count == b.dcache_long_count
+            assert np.array_equal(a.long_miss_indices, b.long_miss_indices)
+            assert np.array_equal(a.annotations.fetch_stall,
+                                  b.annotations.fetch_stall)
+            assert np.array_equal(a.annotations.load_extra,
+                                  b.annotations.load_extra)
+            assert np.array_equal(a.annotations.long_miss,
+                                  b.annotations.long_miss)
+            assert np.array_equal(a.annotations.mispredicted,
+                                  b.annotations.mispredicted)
+
+    def test_order_length_mismatch_rejected(self, traces, pressure_config):
+        lengths = [len(t) for t in traces]
+        short = interleave_order(lengths)[:-1]
+        with pytest.raises(ValueError, match="merged order"):
+            run_contended_pass(
+                [lambda t=t: iter((t,)) for t in traces], lengths, short,
+                pressure_config)
+
+
+class TestRunCorunEndToEnd:
+    @pytest.fixture(scope="class")
+    def spec(self, request):
+        from repro.spec import (
+            CoRunSpec,
+            HierarchySpec,
+            MachineSpec,
+            WorkloadSpec,
+        )
+
+        small = request.getfixturevalue("small_l2_hierarchy")
+        return CoRunSpec(
+            workloads=(WorkloadSpec("gzip", LENGTH),
+                       WorkloadSpec("mcf", LENGTH)),
+            machine=MachineSpec(
+                hierarchy=HierarchySpec.from_config(small)),
+        )
+
+    @pytest.fixture(scope="class")
+    def payload(self, spec):
+        from repro.corun import run_corun
+
+        return run_corun(spec)
+
+    def test_all_payload_invariants_hold(self, payload):
+        from repro.corun import corun_payload_checks
+
+        failures = [(desc, detail)
+                    for desc, holds, detail in corun_payload_checks(payload)
+                    if not holds]
+        assert not failures
+
+    def test_stack_sums_to_simulated_cpi(self, payload):
+        for row in payload["workloads"]:
+            stack = row["corun"]["stack"]
+            assert abs(sum(stack.values())
+                       - row["corun"]["stack_total"]) < 1e-9
+            assert abs(row["corun"]["stack_total"]
+                       - row["corun"]["cpi"]) < 1e-9
+
+    def test_payload_carries_the_spec_key(self, payload, spec):
+        assert payload["content_key"] == spec.content_key()
+        assert payload["spec"] == spec.to_dict()
+
+    def test_streaming_is_bit_identical(self, payload, spec):
+        from repro.corun import run_corun
+
+        streamed = run_corun(spec, reuse=False, stream=True, chunk_size=997)
+        assert (json.dumps(streamed, sort_keys=True)
+                == json.dumps(payload, sort_keys=True))
+
+    def test_warm_cache_returns_identical_payload(self, payload, spec):
+        from repro.corun import run_corun
+
+        again = run_corun(spec)
+        assert (json.dumps(again, sort_keys=True)
+                == json.dumps(payload, sort_keys=True))
+
+    def test_oversized_ingest_length_is_a_spec_error(self, spec):
+        """An ingest workload serving fewer records than requested must
+        fail with an actionable message, not a cursor underrun."""
+        import dataclasses
+        from pathlib import Path
+
+        from repro.corun import run_corun
+        from repro.ingest import ingest_file
+        from repro.spec import SpecError, WorkloadSpec
+
+        sample = (Path(__file__).resolve().parents[2] / "examples"
+                  / "sample_trace.csv")
+        record = ingest_file(sample)
+        huge = dataclasses.replace(
+            spec,
+            workloads=(spec.workloads[0],
+                       WorkloadSpec(f"ingest:{record.key}",
+                                    record.length + 1)))
+        with pytest.raises(SpecError, match="serves"):
+            run_corun(huge, reuse=False)

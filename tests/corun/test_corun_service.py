@@ -1,0 +1,107 @@
+"""The ``corun`` service op: wire rules, keying, cross-surface identity."""
+
+import json
+
+import pytest
+
+from repro.service import evaluations
+from repro.service.protocol import ProtocolError
+from repro.spec import CoRunSpec, WorkloadSpec
+
+LENGTH = 1_200
+
+
+def spec_pair():
+    return CoRunSpec(workloads=(WorkloadSpec("gzip", LENGTH),
+                                WorkloadSpec("mcf", LENGTH)))
+
+
+class TestNormalize:
+    def test_requires_corun_object(self):
+        with pytest.raises(ProtocolError, match="'corun'"):
+            evaluations.normalize_params("corun", {})
+
+    def test_rejects_flat_companions(self):
+        with pytest.raises(ProtocolError):
+            evaluations.normalize_params(
+                "corun", {"corun": spec_pair().to_dict(), "length": 5})
+
+    def test_invalid_spec_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="invalid corun spec"):
+            evaluations.normalize_params(
+                "corun", {"corun": {"workloads": []}})
+
+    def test_normalization_pins_synthetic_seeds(self):
+        out = evaluations.normalize_params(
+            "corun", {"corun": spec_pair().to_dict()})
+        for workload in out["corun"]["workloads"]:
+            assert workload["seed"] == WorkloadSpec(
+                workload["benchmark"]).resolved_seed()
+
+    def test_normalization_is_idempotent(self):
+        once = evaluations.normalize_params(
+            "corun", {"corun": spec_pair().to_dict()})
+        again = evaluations.normalize_params("corun", once)
+        assert again == once
+
+    def test_ingest_paths_never_cross_the_wire(self):
+        """The server must never open a client-named path: an ingest
+        workload must be spelled as its canonical content key."""
+        payload = spec_pair().to_dict()
+        payload["workloads"][1]["benchmark"] = "ingest:/tmp/evil.csv"
+        with pytest.raises(ProtocolError, match="content key"):
+            evaluations.normalize_params("corun", {"corun": payload})
+
+    def test_implicit_and_explicit_seeds_key_identically(self):
+        implicit = spec_pair().to_dict()
+        explicit = spec_pair().to_dict()
+        for workload in explicit["workloads"]:
+            workload["seed"] = WorkloadSpec(
+                workload["benchmark"]).resolved_seed()
+        key_a = evaluations.request_key("corun", evaluations.normalize_params(
+            "corun", {"corun": implicit}))
+        key_b = evaluations.request_key("corun", evaluations.normalize_params(
+            "corun", {"corun": explicit}))
+        assert key_a == key_b
+
+    def test_different_corun_questions_key_differently(self):
+        base = evaluations.request_key("corun", evaluations.normalize_params(
+            "corun", {"corun": spec_pair().to_dict()}))
+        other_payload = spec_pair().to_dict()
+        other_payload["interleave"]["policy"] = "round_robin"
+        other = evaluations.request_key("corun", evaluations.normalize_params(
+            "corun", {"corun": other_payload}))
+        assert base != other
+
+
+class TestEvaluate:
+    def test_evaluate_runs_the_corun(self):
+        norm = evaluations.normalize_params(
+            "corun", {"corun": spec_pair().to_dict()})
+        result = evaluations.evaluate("corun", norm)
+        assert result["content_key"] == spec_pair().content_key()
+        assert len(result["workloads"]) == 2
+
+    def test_content_key_identical_across_all_surfaces(self, capsys):
+        """Acceptance criterion: one spec, one key — whether built by the
+        CLI, constructed in-process, or normalized by the service."""
+        from repro.cli import main
+
+        spec = spec_pair()
+        in_process = spec.content_key()
+
+        norm = evaluations.normalize_params(
+            "corun", {"corun": spec.to_dict()})
+        service_key = CoRunSpec.from_dict(norm["corun"]).content_key()
+        service_result = evaluations.evaluate("corun", norm)
+
+        assert main(["corun", "gzip", "mcf", "--length", str(LENGTH),
+                     "--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+
+        assert service_key == in_process
+        assert service_result["content_key"] == in_process
+        assert cli_payload["content_key"] == in_process
+        # and the service result is the identical cached payload
+        assert (json.dumps(service_result, sort_keys=True)
+                == json.dumps(cli_payload, sort_keys=True))

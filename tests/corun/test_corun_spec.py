@@ -1,0 +1,143 @@
+"""CoRunSpec: wire format, strictness, content-key identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.spec import (
+    CoRunSpec,
+    InterleaveSpec,
+    MachineSpec,
+    SpecError,
+    WorkloadSpec,
+)
+
+
+def two_workloads():
+    return (WorkloadSpec("gzip", 2000), WorkloadSpec("mcf", 2000))
+
+
+class TestConstruction:
+    def test_minimal_spec(self):
+        spec = CoRunSpec(workloads=two_workloads())
+        assert len(spec.workloads) == 2
+        assert spec.interleave.policy == "cpi"
+
+    def test_list_workloads_become_tuple(self):
+        spec = CoRunSpec(workloads=list(two_workloads()))
+        assert isinstance(spec.workloads, tuple)
+
+    def test_rejects_single_workload(self):
+        with pytest.raises(SpecError, match="at least 2"):
+            CoRunSpec(workloads=(WorkloadSpec("gzip", 2000),))
+
+    def test_rejects_non_workload_entries(self):
+        with pytest.raises(SpecError):
+            CoRunSpec(workloads=("gzip", "mcf"))
+
+    def test_rejects_untyped_machine(self):
+        with pytest.raises(SpecError):
+            CoRunSpec(workloads=two_workloads(), machine={"width": 4})
+
+    def test_interleave_rejects_unknown_policy(self):
+        with pytest.raises(SpecError, match="policy"):
+            InterleaveSpec(policy="lottery")
+
+    def test_interleave_rejects_bad_quantum(self):
+        with pytest.raises(SpecError, match="quantum"):
+            InterleaveSpec(quantum=0)
+        with pytest.raises(SpecError, match="quantum"):
+            InterleaveSpec(quantum=True)
+
+    def test_interleave_rejects_non_integer_seed(self):
+        with pytest.raises(SpecError, match="seed"):
+            InterleaveSpec(seed="7")
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        spec = CoRunSpec(
+            workloads=two_workloads(),
+            machine=MachineSpec(width=8),
+            interleave=InterleaveSpec(policy="round_robin", quantum=16),
+        )
+        assert CoRunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_roundtrip(self):
+        spec = CoRunSpec(workloads=two_workloads())
+        assert CoRunSpec.from_json(spec.to_json()) == spec
+
+    def test_rejects_unknown_sections(self):
+        payload = CoRunSpec(workloads=two_workloads()).to_dict()
+        payload["engine"] = {}
+        with pytest.raises(SpecError, match="unknown corun spec"):
+            CoRunSpec.from_dict(payload)
+
+    def test_requires_workloads_section(self):
+        with pytest.raises(SpecError, match="workloads"):
+            CoRunSpec.from_dict({"machine": {}})
+
+    def test_rejects_future_schema(self):
+        payload = CoRunSpec(workloads=two_workloads()).to_dict()
+        payload["corun_schema"] = 99
+        with pytest.raises(SpecError, match="corun_schema"):
+            CoRunSpec.from_dict(payload)
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(SpecError, match="JSON"):
+            CoRunSpec.from_json("{not json")
+
+
+class TestContentKey:
+    def test_key_is_64_hex(self):
+        key = CoRunSpec(workloads=two_workloads()).content_key()
+        assert len(key) == 64 and int(key, 16) >= 0
+
+    def test_implicit_and_explicit_seed_key_identically(self):
+        implicit = CoRunSpec(workloads=two_workloads())
+        explicit = CoRunSpec(workloads=tuple(
+            dataclasses.replace(w, seed=w.resolved_seed())
+            for w in two_workloads()))
+        assert implicit.content_key() == explicit.content_key()
+
+    def test_wire_roundtrip_preserves_key(self):
+        spec = CoRunSpec(workloads=two_workloads())
+        again = CoRunSpec.from_dict(spec.to_dict())
+        assert again.content_key() == spec.content_key()
+
+    def test_workload_order_is_significant(self):
+        a, b = two_workloads()
+        assert (CoRunSpec(workloads=(a, b)).content_key()
+                != CoRunSpec(workloads=(b, a)).content_key())
+
+    @pytest.mark.parametrize("interleave", [
+        InterleaveSpec(policy="round_robin"),
+        InterleaveSpec(quantum=128),
+        InterleaveSpec(seed=1),
+    ])
+    def test_interleave_knobs_change_key(self, interleave):
+        base = CoRunSpec(workloads=two_workloads())
+        other = CoRunSpec(workloads=two_workloads(), interleave=interleave)
+        assert base.content_key() != other.content_key()
+
+    def test_machine_changes_key(self):
+        base = CoRunSpec(workloads=two_workloads())
+        wide = CoRunSpec(workloads=two_workloads(),
+                         machine=MachineSpec(width=8))
+        assert base.content_key() != wide.content_key()
+
+    def test_key_matches_artifact_key_of_recipe(self):
+        from repro.runner.artifacts import artifact_key
+
+        spec = CoRunSpec(workloads=two_workloads())
+        assert spec.content_key() == artifact_key(
+            "corun", spec.result_recipe())
+
+
+class TestSoloSpec:
+    def test_solo_spec_carries_machine_and_workload(self):
+        machine = MachineSpec(width=8)
+        spec = CoRunSpec(workloads=two_workloads(), machine=machine)
+        solo = spec.solo_spec(1)
+        assert solo.workload == spec.workloads[1]
+        assert solo.machine == machine

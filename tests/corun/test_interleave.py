@@ -1,0 +1,77 @@
+"""Interleave policies: determinism, proportional shares, exhaustion."""
+
+import numpy as np
+import pytest
+
+from repro.corun.interleave import interleave_order
+from repro.spec import InterleaveSpec, SpecError
+
+
+def counts(order, n_work):
+    return [int(np.count_nonzero(order == i)) for i in range(n_work)]
+
+
+class TestContract:
+    def test_covers_every_instruction_exactly_once(self):
+        order = interleave_order([300, 200, 100])
+        assert order.dtype == np.int32
+        assert len(order) == 600
+        assert counts(order, 3) == [300, 200, 100]
+
+    def test_deterministic_across_calls(self):
+        a = interleave_order([500, 400], weights=[0.47, 1.93])
+        b = interleave_order([500, 400], weights=[0.47, 1.93])
+        assert np.array_equal(a, b)
+
+    def test_rejects_single_workload(self):
+        with pytest.raises(SpecError, match="at least 2"):
+            interleave_order([100])
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(SpecError, match="positive"):
+            interleave_order([100, 0])
+
+    def test_rejects_weight_count_mismatch(self):
+        with pytest.raises(SpecError, match="match"):
+            interleave_order([100, 100], weights=[1.0])
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(SpecError, match="positive"):
+            interleave_order([100, 100], weights=[1.0, 0.0])
+
+
+class TestCpiPolicy:
+    def test_equal_weights_alternate(self):
+        order = interleave_order([8, 8])
+        assert np.array_equal(order, np.tile([0, 1], 8))
+
+    def test_shares_proportional_to_rate(self):
+        # weight 1 vs 3: workload 0 issues 3x as fast, so it exhausts
+        # its 300 instructions while workload 1 has issued only ~100;
+        # the tail is then pure workload 1
+        order = interleave_order([300, 300], weights=[1.0, 3.0])
+        head = order[:400]
+        assert int(np.count_nonzero(head == 0)) == 300
+        assert np.all(order[400:] == 1)
+
+    def test_ties_break_to_lowest_index(self):
+        order = interleave_order([4, 4], weights=[1.0, 1.0])
+        assert order[0] == 0 and order[1] == 1
+
+
+class TestRoundRobinPolicy:
+    def test_quantum_turns(self):
+        order = interleave_order(
+            [10, 10], InterleaveSpec(policy="round_robin", quantum=4))
+        expected = [0] * 4 + [1] * 4 + [0] * 4 + [1] * 4 + [0] * 2 + [1] * 2
+        assert order.tolist() == expected
+
+    def test_skips_exhausted_workloads(self):
+        order = interleave_order(
+            [4, 12], InterleaveSpec(policy="round_robin", quantum=4))
+        assert order.tolist() == [0] * 4 + [1] * 12
+
+    def test_quantum_one_is_fine_grained(self):
+        order = interleave_order(
+            [5, 5], InterleaveSpec(policy="round_robin", quantum=1))
+        assert np.array_equal(order, np.tile([0, 1], 5))

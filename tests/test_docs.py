@@ -18,7 +18,8 @@ REPO = pathlib.Path(repro.__file__).resolve().parents[2]
 
 PACKAGES = [
     "repro", "repro.isa", "repro.trace", "repro.memory", "repro.branch",
-    "repro.frontend", "repro.window", "repro.core", "repro.simulator",
+    "repro.corun", "repro.frontend", "repro.window", "repro.core",
+    "repro.simulator",
     "repro.experiments", "repro.extensions", "repro.ingest", "repro.statsim",
     "repro.telemetry", "repro.util", "repro.runner", "repro.service",
     "repro.spec", "repro.explore", "repro.obs",
@@ -29,7 +30,8 @@ class TestDocumentsExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/MODEL.md",
         "docs/CONFIGURATION.md", "docs/EXPLORATION.md", "docs/TRACE.md",
-        "docs/WORKLOADS.md", "examples/baseline_spec.json",
+        "docs/WORKLOADS.md", "docs/SCENARIOS.md",
+        "examples/baseline_spec.json", "examples/corun_spec.json",
         "examples/sample_trace.csv", "LICENSE", "pyproject.toml",
     ])
     def test_document_present_and_nonempty(self, name):
